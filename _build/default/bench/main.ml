@@ -1,0 +1,376 @@
+(* Bechamel benchmark harness.
+
+   One benchmark per figure of the paper (a single replicate of that
+   figure's innermost work unit at a representative size), the
+   Proposition II.1 complexity comparison (hard's m^3 solve vs soft's
+   (n+m)^3 solve at matched sizes), and ablation benches for the design
+   choices called out in DESIGN.md §5 (solver backends, soft methods,
+   kernel choice, dense vs kNN-sparsified graphs).
+
+   Run with:  dune exec bench/main.exe *)
+
+open Bechamel
+module Mat = Linalg.Mat
+
+(* ------------------------------------------------------------------ *)
+(* fixtures (built once, outside the timed region)                     *)
+(* ------------------------------------------------------------------ *)
+
+let synthetic_problem ~seed ~model ~n ~m =
+  let rng = Prng.Rng.create seed in
+  let samples = Dataset.Synthetic.sample_many rng model (n + m) in
+  let h = Kernel.Bandwidth.paper_rate ~d:5 n in
+  fst
+    (Dataset.Synthetic.to_problem ~kernel:Kernel.Kernel_fn.Rbf
+       ~bandwidth:(Kernel.Bandwidth.Fixed h) ~n_labeled:n samples)
+
+let synthetic_samples ~seed ~model ~count =
+  Dataset.Synthetic.sample_many (Prng.Rng.create seed) model count
+
+(* One full replicate of a synthetic figure's work: draw data, build the
+   graph, evaluate every lambda.  This is the unit that Figs 1-4 repeat
+   over their grids. *)
+let figure_replicate ~model ~n ~m rng =
+  let samples = Dataset.Synthetic.sample_many rng model (n + m) in
+  let h = Kernel.Bandwidth.paper_rate ~d:5 n in
+  let problem, truth =
+    Dataset.Synthetic.to_problem ~kernel:Kernel.Kernel_fn.Rbf
+      ~bandwidth:(Kernel.Bandwidth.Fixed h) ~n_labeled:n samples
+  in
+  List.map
+    (fun lambda ->
+      Stats.Metrics.rmse truth (Experiment.Figures.predict_adaptive ~lambda problem))
+    Experiment.Figures.default_lambdas
+
+let fig_bench name ~model ~n ~m seed =
+  let rng = Prng.Rng.create seed in
+  Test.make ~name (Staged.stage (fun () -> figure_replicate ~model ~n ~m rng))
+
+(* COIL fixture for the Fig. 5 unit: similarity matrix + one 80/20 fold. *)
+let coil_fixture =
+  lazy
+    (let rng = Prng.Rng.create 5 in
+     let data = Dataset.Coil.generate rng in
+     let keep = Prng.Rng.sample_without_replacement rng 240 1500 in
+     let points = Array.map (fun i -> (Dataset.Coil.points data).(i)) keep in
+     let labels = Array.map (fun i -> (Dataset.Coil.labels data).(i)) keep in
+     let d2 = Kernel.Pairwise.sq_distance_matrix points in
+     let bandwidth =
+       sqrt (Stats.Descriptive.median_of_pairwise_sq_distances points)
+     in
+     let w =
+       Kernel.Similarity.dense_of_sq_distances ~kernel:Kernel.Kernel_fn.Rbf
+         ~bandwidth d2
+     in
+     let split =
+       Dataset.Splits.ratio_split rng ~n:(Array.length points) ~labeled_fraction:0.8
+     in
+     let train = split.Dataset.Splits.train and test = split.Dataset.Splits.test in
+     let perm = Array.append train test in
+     let n_total = Array.length points in
+     let wp = Mat.init n_total n_total (fun i j -> Mat.get w perm.(i) perm.(j)) in
+     let y = Array.map (fun i -> if labels.(i) then 1. else 0.) train in
+     let problem =
+       Gssl.Problem.make ~graph:(Graph.Weighted_graph.of_dense wp) ~labels:y
+     in
+     let truth = Array.map (fun i -> labels.(i)) test in
+     (problem, truth))
+
+let fig5_bench =
+  Test.make ~name:"fig5: one 80/20 fold, 7 lambdas (COIL-240)"
+    (Staged.stage (fun () ->
+         let problem, truth = Lazy.force coil_fixture in
+         List.map
+           (fun lambda ->
+             let scores = Experiment.Figures.predict_adaptive ~lambda problem in
+             Stats.Roc.auc ~truth ~scores)
+           Experiment.Figures.coil_lambdas))
+
+(* ------------------------------------------------------------------ *)
+(* Prop II.1 complexity: hard O(m^3) vs soft O((n+m)^3)                 *)
+(* ------------------------------------------------------------------ *)
+
+let complexity_benches =
+  List.concat_map
+    (fun size ->
+      let problem =
+        synthetic_problem ~seed:(1000 + size) ~model:Dataset.Synthetic.Model1
+          ~n:size ~m:size
+      in
+      [
+        Test.make
+          ~name:(Printf.sprintf "complexity: hard direct, m=%d" size)
+          (Staged.stage (fun () -> Gssl.Hard.solve ~solver:Gssl.Hard.Cholesky problem));
+        Test.make
+          ~name:(Printf.sprintf "complexity: soft direct, n+m=%d" (2 * size))
+          (Staged.stage (fun () ->
+               Gssl.Soft.solve ~method_:Gssl.Soft.Full_cholesky ~lambda:0.1 problem));
+      ])
+    [ 50; 100; 200 ]
+
+(* ------------------------------------------------------------------ *)
+(* ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let solver_ablation =
+  let problem =
+    synthetic_problem ~seed:77 ~model:Dataset.Synthetic.Model1 ~n:150 ~m:100
+  in
+  [
+    Test.make ~name:"hard solver: cholesky (m=100)"
+      (Staged.stage (fun () -> Gssl.Hard.solve ~solver:Gssl.Hard.Cholesky problem));
+    Test.make ~name:"hard solver: lu (m=100)"
+      (Staged.stage (fun () -> Gssl.Hard.solve ~solver:Gssl.Hard.Lu problem));
+    Test.make ~name:"hard solver: cg (m=100)"
+      (Staged.stage (fun () ->
+           Gssl.Hard.solve ~solver:(Gssl.Hard.Cg { tol = 1e-9 }) problem));
+    Test.make ~name:"hard solver: label propagation (m=100)"
+      (Staged.stage (fun () -> Gssl.Label_propagation.solve_exn ~tol:1e-9 problem));
+    Test.make ~name:"baseline: nadaraya-watson (m=100)"
+      (Staged.stage (fun () -> Gssl.Nadaraya_watson.of_problem problem));
+  ]
+
+let soft_method_ablation =
+  let problem =
+    synthetic_problem ~seed:78 ~model:Dataset.Synthetic.Model1 ~n:150 ~m:100
+  in
+  [
+    Test.make ~name:"soft method: full cholesky (n+m=250)"
+      (Staged.stage (fun () ->
+           Gssl.Soft.solve ~method_:Gssl.Soft.Full_cholesky ~lambda:0.1 problem));
+    Test.make ~name:"soft method: block eq.(4) (n+m=250)"
+      (Staged.stage (fun () ->
+           Gssl.Soft.solve ~method_:Gssl.Soft.Block ~lambda:0.1 problem));
+    Test.make ~name:"soft method: matrix-free cg (n+m=250)"
+      (Staged.stage (fun () ->
+           Gssl.Soft.solve ~method_:(Gssl.Soft.Cg { tol = 1e-9 }) ~lambda:0.1 problem));
+  ]
+
+let kernel_ablation =
+  let samples = synthetic_samples ~seed:79 ~model:Dataset.Synthetic.Model1 ~count:300 in
+  let points = Array.map (fun s -> s.Dataset.Synthetic.x) samples in
+  let h = Kernel.Bandwidth.paper_rate ~d:5 270 in
+  [
+    Test.make ~name:"kernel build: plain rbf (300 pts)"
+      (Staged.stage (fun () ->
+           Kernel.Similarity.dense ~kernel:Kernel.Kernel_fn.Rbf ~bandwidth:h points));
+    Test.make ~name:"kernel build: truncated rbf (300 pts)"
+      (Staged.stage (fun () ->
+           Kernel.Similarity.dense ~kernel:(Kernel.Kernel_fn.Truncated_rbf 3.)
+             ~bandwidth:h points));
+    Test.make ~name:"kernel build: epanechnikov (300 pts)"
+      (Staged.stage (fun () ->
+           Kernel.Similarity.dense ~kernel:Kernel.Kernel_fn.Epanechnikov
+             ~bandwidth:(3. *. h) points));
+    Test.make ~name:"kernel build: knn sparsified k=10 (300 pts)"
+      (Staged.stage (fun () ->
+           Kernel.Similarity.knn ~kernel:Kernel.Kernel_fn.Rbf ~bandwidth:h ~k:10
+             points));
+  ]
+
+let dense_vs_sparse_ablation =
+  let rng = Prng.Rng.create 80 in
+  let samples = Dataset.Synthetic.sample_many rng Dataset.Synthetic.Model1 300 in
+  let points = Array.map (fun s -> s.Dataset.Synthetic.x) samples in
+  let labels = Array.init 200 (fun i -> samples.(i).Dataset.Synthetic.y) in
+  let h = Kernel.Bandwidth.paper_rate ~d:5 200 in
+  let dense_problem =
+    Gssl.Problem.make
+      ~graph:
+        (Graph.Weighted_graph.of_dense
+           (Kernel.Similarity.dense ~kernel:Kernel.Kernel_fn.Rbf ~bandwidth:h points))
+      ~labels
+  in
+  let sparse_problem =
+    Gssl.Problem.make
+      ~graph:
+        (Graph.Weighted_graph.of_sparse
+           (Kernel.Similarity.knn ~kernel:Kernel.Kernel_fn.Rbf ~bandwidth:h ~k:15
+              points))
+      ~labels
+  in
+  [
+    Test.make ~name:"graph: dense hard solve (300 pts)"
+      (Staged.stage (fun () -> Gssl.Hard.solve dense_problem));
+    Test.make ~name:"graph: knn-15 hard solve (300 pts)"
+      (Staged.stage (fun () -> Gssl.Hard.solve sparse_problem));
+  ]
+
+let incremental_ablation =
+  (* revealing 10 labels: incremental downdates vs refit-from-scratch *)
+  let problem =
+    synthetic_problem ~seed:81 ~model:Dataset.Synthetic.Model1 ~n:50 ~m:120
+  in
+  let reveal_incremental () =
+    let solver = Gssl.Incremental.create problem in
+    for k = 0 to 9 do
+      Gssl.Incremental.reveal solver ~vertex:(50 + (k * 7)) ~label:1.
+    done;
+    Gssl.Incremental.predict solver
+  in
+  let reveal_refit () =
+    (* the naive route: after each reveal, re-solve an equivalent problem *)
+    let w = Graph.Weighted_graph.to_dense problem.Gssl.Problem.graph in
+    let out = ref [||] in
+    for k = 1 to 10 do
+      let revealed = Array.init k (fun i -> 50 + (i * 7)) in
+      let keep_unlabeled =
+        Array.of_list
+          (List.filter
+             (fun v -> not (Array.exists (( = ) v) revealed))
+             (List.init 120 (fun a -> 50 + a)))
+      in
+      let order =
+        Array.concat [ Array.init 50 (fun i -> i); revealed; keep_unlabeled ]
+      in
+      let size = Array.length order in
+      let wp = Mat.init size size (fun i j -> Mat.get w order.(i) order.(j)) in
+      let labels =
+        Array.append problem.Gssl.Problem.labels (Array.make k 1.)
+      in
+      let p =
+        Gssl.Problem.make ~graph:(Graph.Weighted_graph.of_dense wp) ~labels
+      in
+      out := Gssl.Hard.solve p
+    done;
+    !out
+  in
+  [
+    Test.make ~name:"incremental: 10 reveals, rank-one downdates (m=120)"
+      (Staged.stage reveal_incremental);
+    Test.make ~name:"incremental: 10 reveals, refit each time (m=120)"
+      (Staged.stage reveal_refit);
+  ]
+
+let nystrom_ablation =
+  let samples = synthetic_samples ~seed:82 ~model:Dataset.Synthetic.Model1 ~count:400 in
+  let points = Array.map (fun s -> s.Dataset.Synthetic.x) samples in
+  let h = Kernel.Bandwidth.paper_rate ~d:5 360 in
+  let rng = Prng.Rng.create 83 in
+  let approx =
+    Kernel.Nystrom.fit ~rng ~kernel:Kernel.Kernel_fn.Rbf ~bandwidth:h
+      ~landmarks:40 points
+  in
+  let exact =
+    Kernel.Similarity.dense ~kernel:Kernel.Kernel_fn.Rbf ~bandwidth:h points
+  in
+  let x = Array.init 400 (fun i -> float_of_int (i mod 7) /. 7.) in
+  [
+    Test.make ~name:"nystrom: fit 40 landmarks (400 pts)"
+      (Staged.stage (fun () ->
+           Kernel.Nystrom.fit ~rng:(Prng.Rng.create 83) ~kernel:Kernel.Kernel_fn.Rbf
+             ~bandwidth:h ~landmarks:40 points));
+    Test.make ~name:"nystrom: W~x multiply (400 pts, 40 lm)"
+      (Staged.stage (fun () -> Kernel.Nystrom.multiply approx x));
+    Test.make ~name:"nystrom: exact Wx multiply (400 pts)"
+      (Staged.stage (fun () -> Mat.mv exact x));
+    Test.make ~name:"nystrom: exact W build (400 pts)"
+      (Staged.stage (fun () ->
+           Kernel.Similarity.dense ~kernel:Kernel.Kernel_fn.Rbf ~bandwidth:h points));
+  ]
+
+let scalable_ablation =
+  (* kNN-sparsified graph at 800 points: CSR+CG path vs dense Cholesky *)
+  let rng = Prng.Rng.create 84 in
+  let samples = Dataset.Synthetic.sample_many rng Dataset.Synthetic.Model1 800 in
+  let points = Array.map (fun s -> s.Dataset.Synthetic.x) samples in
+  let labels = Array.init 200 (fun i -> samples.(i).Dataset.Synthetic.y) in
+  let h = Kernel.Bandwidth.paper_rate ~d:5 200 in
+  let sparse_w =
+    Kernel.Similarity.knn ~kernel:Kernel.Kernel_fn.Rbf ~bandwidth:h ~k:12 points
+  in
+  let sparse_problem =
+    Gssl.Problem.make ~graph:(Graph.Weighted_graph.of_sparse sparse_w) ~labels
+  in
+  [
+    Test.make ~name:"scalable: csr+cg hard solve (800 pts, knn-12)"
+      (Staged.stage (fun () -> Gssl.Scalable.solve ~tol:1e-9 sparse_problem));
+    Test.make ~name:"scalable: dense cholesky hard solve (800 pts, knn-12)"
+      (Staged.stage (fun () -> Gssl.Hard.solve sparse_problem));
+    Test.make ~name:"scalable: gauss-seidel hard solve (800 pts, knn-12)"
+      (Staged.stage (fun () ->
+           Gssl.Scalable.solve_stationary ~tol:1e-9
+             Sparse.Stationary.Gauss_seidel sparse_problem));
+  ]
+
+let baseline_benches =
+  let problem =
+    synthetic_problem ~seed:85 ~model:Dataset.Synthetic.Model1 ~n:150 ~m:100
+  in
+  let rng = Prng.Rng.create 86 in
+  let samples = Dataset.Synthetic.sample_many rng Dataset.Synthetic.Model1 250 in
+  let labeled =
+    Array.init 150 (fun i -> (samples.(i).Dataset.Synthetic.x, samples.(i).Dataset.Synthetic.y))
+  in
+  let unlabeled = Array.init 100 (fun a -> samples.(150 + a).Dataset.Synthetic.x) in
+  let h = Kernel.Bandwidth.paper_rate ~d:5 150 in
+  [
+    Test.make ~name:"baseline: local-global consistency (n+m=250)"
+      (Staged.stage (fun () -> Gssl.Local_global.scores problem));
+    Test.make ~name:"baseline: laprls fit+predict (n+m=250)"
+      (Staged.stage (fun () ->
+           Gssl.Laprls.predict_unlabeled
+             (Gssl.Laprls.fit ~kernel:Kernel.Kernel_fn.Rbf ~bandwidth:h ~labeled
+                unlabeled)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* run & report                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let all_tests =
+  [
+    fig_bench "fig1: one replicate (Model 1, n=100, m=30)"
+      ~model:Dataset.Synthetic.Model1 ~n:100 ~m:30 1;
+    fig_bench "fig2: one replicate (Model 1, n=100, m=300)"
+      ~model:Dataset.Synthetic.Model1 ~n:100 ~m:300 2;
+    fig_bench "fig3: one replicate (Model 2, n=100, m=30)"
+      ~model:Dataset.Synthetic.Model2 ~n:100 ~m:30 3;
+    fig_bench "fig4: one replicate (Model 2, n=100, m=300)"
+      ~model:Dataset.Synthetic.Model2 ~n:100 ~m:300 4;
+    fig5_bench;
+  ]
+  @ complexity_benches @ solver_ablation @ soft_method_ablation @ kernel_ablation
+  @ dense_vs_sparse_ablation @ incremental_ablation @ nystrom_ablation
+  @ scalable_ablation @ baseline_benches
+
+let benchmark test =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 0.8) ~kde:(Some 10) ()
+  in
+  let raw = Benchmark.all cfg instances test in
+  Analyze.all ols Toolkit.Instance.monotonic_clock raw
+
+let () =
+  print_string "Benchmarks: per-figure work units, Prop II.1 complexity, ablations\n";
+  print_string "(time per run; see DESIGN.md section 3 and 5 for the mapping)\n\n";
+  Printf.printf "%-52s  %14s\n" "benchmark" "time/run";
+  print_string (String.make 70 '-');
+  print_newline ();
+  List.iter
+    (fun test ->
+      let results = benchmark (Test.make_grouped ~name:"g" [ test ]) in
+      Hashtbl.iter
+        (fun name result ->
+          let name =
+            (* strip the "g/" grouping prefix *)
+            match String.index_opt name '/' with
+            | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+            | None -> name
+          in
+          match Analyze.OLS.estimates result with
+          | Some [ ns ] ->
+              let display =
+                if ns >= 1e9 then Printf.sprintf "%8.3f  s" (ns /. 1e9)
+                else if ns >= 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
+                else if ns >= 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
+                else Printf.sprintf "%8.0f ns" ns
+              in
+              Printf.printf "%-52s  %14s\n%!" name display
+          | _ -> Printf.printf "%-52s  %14s\n%!" name "n/a")
+        results)
+    all_tests

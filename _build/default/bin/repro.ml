@@ -1,0 +1,308 @@
+(* Command-line driver for the reproduction: one subcommand per figure of
+   the paper, plus the toy example, the consistency probe, the complexity
+   table, and the ablation studies.  `repro all` runs everything. *)
+
+open Cmdliner
+
+let setup_logs () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some Logs.Warning)
+
+let print_figure ~markdown ~plot ~svg fig =
+  if markdown then print_string (Experiment.Report.figure_markdown fig)
+  else begin
+    print_string (Experiment.Table.of_figure fig);
+    print_newline ();
+    if plot then print_string (Experiment.Ascii_plot.render fig)
+  end;
+  (match svg with
+  | None -> ()
+  | Some path ->
+      Experiment.Svg_plot.write_file path fig;
+      Printf.printf "(svg written to %s)\n" path);
+  print_newline ()
+
+(* common options *)
+
+let reps_arg default =
+  let doc =
+    "Number of replications per grid point (paper scale: 1000 for Figs 1-4, \
+     100 for Fig 5)."
+  in
+  Arg.(value & opt int default & info [ "reps" ] ~docv:"REPS" ~doc)
+
+let seed_arg default =
+  let doc = "Master random seed (runs are bit-reproducible per seed)." in
+  Arg.(value & opt int default & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let markdown_arg =
+  let doc = "Emit a markdown table instead of the ASCII table + plot." in
+  Arg.(value & flag & info [ "markdown" ] ~doc)
+
+let no_plot_arg =
+  let doc = "Suppress the ASCII plot." in
+  Arg.(value & flag & info [ "no-plot" ] ~doc)
+
+let svg_arg =
+  let doc = "Also write the figure as an SVG chart to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE" ~doc)
+
+let domains_arg =
+  let doc =
+    "Run the replication grid on $(docv) OCaml domains (results are \
+     bit-identical regardless of the count; 0 = auto-detect)."
+  in
+  Arg.(value & opt int 1 & info [ "domains"; "j" ] ~docv:"D" ~doc)
+
+let resolve_domains d = if d = 0 then Domain.recommended_domain_count () else d
+
+let run_synthetic make reps seed domains markdown no_plot svg =
+  setup_logs ();
+  print_figure ~markdown ~plot:(not no_plot) ~svg
+    (make ~domains:(resolve_domains domains) ~reps ~seed ())
+
+let synthetic_cmd name default_seed make ~doc =
+  let term =
+    Term.(
+      const (run_synthetic (fun ~domains ~reps ~seed () -> make ~domains ~reps ~seed ()))
+      $ reps_arg 10 $ seed_arg default_seed $ domains_arg $ markdown_arg
+      $ no_plot_arg $ svg_arg)
+  in
+  Cmd.v (Cmd.info name ~doc) term
+
+let fig1_cmd =
+  synthetic_cmd "fig1" 1
+    (fun ~domains ~reps ~seed () -> Experiment.Figures.fig1 ~domains ~reps ~seed ())
+    ~doc:"Figure 1: RMSE vs n, Model 1 (linear logit), m=30."
+
+let fig2_cmd =
+  synthetic_cmd "fig2" 2
+    (fun ~domains ~reps ~seed () -> Experiment.Figures.fig2 ~domains ~reps ~seed ())
+    ~doc:"Figure 2: RMSE vs m, Model 1, n=100."
+
+let fig3_cmd =
+  synthetic_cmd "fig3" 3
+    (fun ~domains ~reps ~seed () -> Experiment.Figures.fig3 ~domains ~reps ~seed ())
+    ~doc:"Figure 3: RMSE vs n, Model 2 (non-linear logit), m=30."
+
+let fig4_cmd =
+  synthetic_cmd "fig4" 4
+    (fun ~domains ~reps ~seed () -> Experiment.Figures.fig4 ~domains ~reps ~seed ())
+    ~doc:"Figure 4: RMSE vs m, Model 2, n=100."
+
+let fig5_cmd =
+  let size_arg =
+    let doc =
+      "Number of images to keep from the simulated COIL dataset (paper: 1500)."
+    in
+    Arg.(value & opt int 1500 & info [ "size" ] ~docv:"N" ~doc)
+  in
+  let run reps seed size markdown no_plot svg =
+    setup_logs ();
+    print_figure ~markdown ~plot:(not no_plot) ~svg
+      (Experiment.Figures.fig5 ~reps ~seed ~dataset_size:size ())
+  in
+  let term =
+    Term.(
+      const run $ reps_arg 1 $ seed_arg 5 $ size_arg $ markdown_arg $ no_plot_arg
+      $ svg_arg)
+  in
+  Cmd.v
+    (Cmd.info "fig5"
+       ~doc:
+         "Figure 5: AUC vs lambda on the simulated COIL benchmark, three \
+          labeled ratios.")
+    term
+
+let toy_cmd =
+  let n_arg = Arg.(value & opt int 20 & info [ "n" ] ~docv:"N" ~doc:"Labeled count.") in
+  let m_arg = Arg.(value & opt int 10 & info [ "m" ] ~docv:"M" ~doc:"Unlabeled count.") in
+  let run n m seed =
+    setup_logs ();
+    print_string (Experiment.Figures.toy_demo ~n ~m ~seed)
+  in
+  let term = Term.(const run $ n_arg $ m_arg $ seed_arg 42) in
+  Cmd.v
+    (Cmd.info "toy"
+       ~doc:"Section III toy example: closed-form checks on constant inputs.")
+    term
+
+let consistency_cmd =
+  let run seed markdown no_plot svg =
+    setup_logs ();
+    print_figure ~markdown ~plot:(not no_plot) ~svg
+      (Experiment.Figures.consistency_demo ~seed ())
+  in
+  let term = Term.(const run $ seed_arg 11 $ markdown_arg $ no_plot_arg $ svg_arg) in
+  Cmd.v
+    (Cmd.info "consistency"
+       ~doc:"Theorem II.1 probe: sup-norm errors of hard / NW / soft as n grows.")
+    term
+
+let complexity_cmd =
+  let run seed =
+    setup_logs ();
+    print_string (Experiment.Figures.complexity_table ~seed ())
+  in
+  let term = Term.(const run $ seed_arg 13) in
+  Cmd.v
+    (Cmd.info "complexity"
+       ~doc:
+         "Proposition II.1 complexity remark: hard O(m^3) vs soft O((n+m)^3) \
+          timings.")
+    term
+
+(* ablations *)
+
+type ablation = Kernel | Regime | Cv | Nystrom | Active
+
+let ablation_conv =
+  Arg.enum
+    [
+      ("kernel", Kernel); ("regime", Regime); ("cv", Cv); ("nystrom", Nystrom);
+      ("active", Active);
+    ]
+
+let run_ablation which reps seed markdown no_plot svg =
+  setup_logs ();
+  let fig =
+    match which with
+    | Kernel -> Experiment.Ablations.kernel_study ~reps ~seed ()
+    | Regime -> Experiment.Ablations.regime_study ~reps ~seed ()
+    | Cv -> Experiment.Ablations.cv_study ~reps ~seed ()
+    | Nystrom -> Experiment.Ablations.nystrom_study ~seed ()
+    | Active -> Experiment.Ablations.active_study ~reps ~seed ()
+  in
+  print_figure ~markdown ~plot:(not no_plot) ~svg fig
+
+let ablation_cmd =
+  let which_arg =
+    Arg.(
+      required
+      & pos 0 (some ablation_conv) None
+      & info [] ~docv:"NAME"
+          ~doc:"One of: kernel, regime, cv, nystrom, active.")
+  in
+  let term =
+    Term.(
+      const run_ablation $ which_arg $ reps_arg 10 $ seed_arg 21 $ markdown_arg
+      $ no_plot_arg $ svg_arg)
+  in
+  Cmd.v
+    (Cmd.info "ablation"
+       ~doc:
+         "Ablation studies: kernel choice, m>n regime, CV-tuned lambda, \
+          Nystrom approximation, active learning.")
+    term
+
+let baselines_cmd =
+  let run reps seed markdown no_plot svg =
+    setup_logs ();
+    print_string (Experiment.Baselines.two_moons_report ~seed:(seed + 2) ());
+    print_newline ();
+    print_string (Experiment.Baselines.multiclass_report ~seed:(seed + 3) ());
+    print_newline ();
+    print_figure ~markdown ~plot:(not no_plot) ~svg
+      (Experiment.Baselines.method_comparison ~reps ~seed ());
+    print_string
+      (Experiment.Baselines.significance_report ~reps:(Stdlib.max 10 (3 * reps))
+         ~seed:(seed + 1) ())
+  in
+  let term =
+    Term.(
+      const run $ reps_arg 10 $ seed_arg 41 $ markdown_arg $ no_plot_arg $ svg_arg)
+  in
+  Cmd.v
+    (Cmd.info "baselines"
+       ~doc:
+         "Compare hard/soft against the cited baselines (Nadaraya-Watson, \
+          local-global consistency, LapRLS) with significance tests and the \
+          two-moons demo.")
+    term
+
+let future_cmd =
+  let run reps seed markdown no_plot svg =
+    setup_logs ();
+    let show = print_figure ~markdown ~plot:(not no_plot) ~svg in
+    let auc, acc, mcc = Experiment.Future_work.indicator_study ~reps ~seed () in
+    show auc;
+    show acc;
+    show mcc;
+    show (Experiment.Future_work.auc_consistency_study ~reps ~seed:(seed + 1) ());
+    show (Experiment.Future_work.calibration_study ~reps ~seed:(seed + 2) ())
+  in
+  let term =
+    Term.(
+      const run $ reps_arg 5 $ seed_arg 61 $ markdown_arg $ no_plot_arg $ svg_arg)
+  in
+  Cmd.v
+    (Cmd.info "future"
+       ~doc:
+         "The paper's future-work probes: AUC/accuracy/MCC orderings, AUC \
+          consistency in n, calibration of the two criteria.")
+    term
+
+let artifacts_cmd =
+  let dir_arg =
+    Arg.(
+      value & opt string "figures"
+      & info [ "dir" ] ~docv:"DIR" ~doc:"Output directory for the artifacts.")
+  in
+  let run reps seed dir =
+    setup_logs ();
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let save name fig =
+      Experiment.Svg_plot.write_file (Filename.concat dir (name ^ ".svg")) fig;
+      Experiment.Export.write_file (Filename.concat dir (name ^ ".csv")) fig;
+      Printf.printf "%s: wrote %s.svg and %s.csv\n%!" dir name name
+    in
+    save "fig1" (Experiment.Figures.fig1 ~reps ~seed ());
+    save "fig2" (Experiment.Figures.fig2 ~reps ~seed:(seed + 1) ());
+    save "fig3" (Experiment.Figures.fig3 ~reps ~seed:(seed + 2) ());
+    save "fig4" (Experiment.Figures.fig4 ~reps ~seed:(seed + 3) ());
+    save "fig5"
+      (Experiment.Figures.fig5 ~reps:(Stdlib.max 1 (reps / 10)) ~seed:(seed + 4) ());
+    save "consistency" (Experiment.Figures.consistency_demo ~seed:(seed + 5) ())
+  in
+  let term = Term.(const run $ reps_arg 20 $ seed_arg 1 $ dir_arg) in
+  Cmd.v
+    (Cmd.info "artifacts"
+       ~doc:
+         "Regenerate every figure as SVG + CSV data files into a directory \
+          (default ./figures).")
+    term
+
+let all_cmd =
+  let run reps seed markdown no_plot =
+    setup_logs ();
+    let plot = not no_plot in
+    let show = print_figure ~markdown ~plot ~svg:None in
+    print_string (Experiment.Figures.toy_demo ~n:20 ~m:10 ~seed:42);
+    print_newline ();
+    show (Experiment.Figures.fig1 ~reps ~seed ());
+    show (Experiment.Figures.fig2 ~reps ~seed:(seed + 1) ());
+    show (Experiment.Figures.fig3 ~reps ~seed:(seed + 2) ());
+    show (Experiment.Figures.fig4 ~reps ~seed:(seed + 3) ());
+    show (Experiment.Figures.fig5 ~reps:(Stdlib.max 1 (reps / 10)) ~seed:(seed + 4) ());
+    show (Experiment.Figures.consistency_demo ~seed:(seed + 5) ());
+    print_string (Experiment.Figures.complexity_table ~seed:(seed + 6) ())
+  in
+  let term = Term.(const run $ reps_arg 10 $ seed_arg 1 $ markdown_arg $ no_plot_arg) in
+  Cmd.v (Cmd.info "all" ~doc:"Run every reproduction in sequence.") term
+
+let () =
+  let info =
+    Cmd.info "repro" ~version:"1.0.0"
+      ~doc:
+        "Reproduction of 'On Consistency of Graph-based Semi-supervised \
+         Learning' (Du, Zhao & Wang)."
+  in
+  let group =
+    Cmd.group info
+      [
+        fig1_cmd; fig2_cmd; fig3_cmd; fig4_cmd; fig5_cmd; toy_cmd; consistency_cmd;
+        complexity_cmd; ablation_cmd; baselines_cmd; future_cmd; artifacts_cmd;
+        all_cmd;
+      ]
+  in
+  exit (Cmd.eval group)

@@ -1,0 +1,1 @@
+examples/active_learning.ml: Array Dataset Gssl Kernel List Printf Prng Stats

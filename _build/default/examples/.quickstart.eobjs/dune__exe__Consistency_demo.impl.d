@@ -1,0 +1,1 @@
+examples/consistency_demo.ml: Dataset Experiment Gssl Kernel Linalg List Printf Prng Stats

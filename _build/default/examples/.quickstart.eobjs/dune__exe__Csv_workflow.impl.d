@@ -1,0 +1,1 @@
+examples/csv_workflow.ml: Array Dataset Filename Gssl In_channel Kernel List Printf Prng Sys

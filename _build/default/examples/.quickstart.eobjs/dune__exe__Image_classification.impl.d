@@ -1,0 +1,1 @@
+examples/image_classification.ml: Array Dataset Experiment Graph Gssl Kernel Linalg List Printf Prng Stats

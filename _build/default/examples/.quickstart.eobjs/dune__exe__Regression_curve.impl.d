@@ -1,0 +1,1 @@
+examples/regression_curve.ml: Array Float Gssl Kernel Linalg Printf Prng Stats

@@ -1,0 +1,1 @@
+examples/spectral_vs_ssl.ml: Array Dataset Fun Graph Gssl Kernel Linalg List Printf Prng Stats

@@ -1,0 +1,1 @@
+examples/spectral_vs_ssl.mli:

@@ -1,0 +1,1 @@
+examples/two_moons.ml: Array Dataset Experiment Gssl List Printf Prng

@@ -1,0 +1,60 @@
+(* Active semi-supervised learning: start from a handful of labels, query
+   an oracle one point at a time with different strategies, and watch the
+   error fall.  Uses the O(m^2)-per-step incremental solver (rank-one
+   downdates of the hard-criterion system).
+
+   Run with:  dune exec examples/active_learning.exe *)
+
+let () =
+  let rng = Prng.Rng.create 31 in
+  let n0 = 8 and pool = 200 in
+  let samples =
+    Dataset.Synthetic.sample_many rng Dataset.Synthetic.Model1 (n0 + pool)
+  in
+  let h = Kernel.Bandwidth.paper_rate ~d:5 (n0 + (pool / 2)) in
+  let problem, _ =
+    Dataset.Synthetic.to_problem ~kernel:Kernel.Kernel_fn.Rbf
+      ~bandwidth:(Kernel.Bandwidth.Fixed h) ~n_labeled:n0 samples
+  in
+  let oracle vertex = samples.(vertex).Dataset.Synthetic.y in
+  let rmse_now solver =
+    let predictions = Gssl.Incremental.predict solver in
+    let truth =
+      Array.map (fun (v, _) -> samples.(v).Dataset.Synthetic.q) predictions
+    in
+    Stats.Metrics.rmse truth (Array.map snd predictions)
+  in
+  Printf.printf
+    "Active learning on Model 1: %d initial labels, %d-point unlabeled pool\n\n"
+    n0 pool;
+  Printf.printf "%8s  %12s  %18s  %9s\n" "queries" "uncertainty" "density-weighted"
+    "random";
+  let checkpoints = [ 0; 5; 10; 20; 40; 80 ] in
+  let strategies =
+    [
+      Gssl.Active.Uncertainty;
+      Gssl.Active.Density_weighted;
+      Gssl.Active.Random (Prng.Rng.create 77);
+    ]
+  in
+  let solvers =
+    List.map (fun _ -> Gssl.Incremental.create problem) strategies
+  in
+  let spent = ref 0 in
+  List.iter
+    (fun target ->
+      let step = target - !spent in
+      spent := target;
+      List.iter2
+        (fun strategy solver ->
+          ignore (Gssl.Active.run strategy ~oracle ~budget:step solver))
+        strategies solvers;
+      match List.map rmse_now solvers with
+      | [ a; b; c ] -> Printf.printf "%8d  %12.4f  %18.4f  %9.4f\n" target a b c
+      | _ -> assert false)
+    checkpoints;
+  print_newline ();
+  print_string
+    "Each query removes one row/column from the system via Sherman-Morrison-\n\
+     style downdates instead of refactoring: a full annotation session is\n\
+     O(m^3) total rather than O(m^4).\n"

@@ -1,0 +1,56 @@
+(* Quickstart: build a small semi-supervised problem from raw points,
+   solve it with the hard criterion, and compare against the soft
+   criterion.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  (* two labeled clusters in the plane: class 1 around (0,0), class 0
+     around (3,3), plus unlabeled points in between and inside the
+     clusters *)
+  let labeled =
+    [|
+      ([| 0.0; 0.2 |], 1.);
+      ([| 0.3; 0.0 |], 1.);
+      ([| -0.2; 0.1 |], 1.);
+      ([| 3.0; 3.1 |], 0.);
+      ([| 2.8; 2.9 |], 0.);
+      ([| 3.2; 3.0 |], 0.);
+    |]
+  in
+  let unlabeled =
+    [|
+      [| 0.1; 0.1 |];   (* deep inside class 1 *)
+      [| 2.9; 3.0 |];   (* deep inside class 0 *)
+      [| 1.2; 1.2 |];   (* leaning towards class 1 *)
+      [| 1.8; 1.9 |];   (* leaning towards class 0 *)
+    |]
+  in
+  let problem =
+    Gssl.Problem.of_points ~kernel:Kernel.Kernel_fn.Rbf
+      ~bandwidth:(Kernel.Bandwidth.Fixed 1.2) ~labeled ~unlabeled
+  in
+  Printf.printf "Problem: %d labeled + %d unlabeled points, connected: %b\n\n"
+    (Gssl.Problem.n_labeled problem)
+    (Gssl.Problem.n_unlabeled problem)
+    (Gssl.Problem.is_connected problem);
+
+  let hard = Gssl.Estimator.predict Gssl.Estimator.Hard problem in
+  let soft = Gssl.Estimator.predict (Gssl.Estimator.Soft 0.1) problem in
+  let classes = Gssl.Estimator.classify hard in
+
+  Printf.printf "%-18s  %-12s  %-12s  %s\n" "point" "hard score" "soft(0.1)" "class";
+  Array.iteri
+    (fun i x ->
+      Printf.printf "(%4.1f, %4.1f)        %10.4f   %10.4f    %d\n" x.(0) x.(1)
+        hard.(i) soft.(i)
+        (if classes.(i) then 1 else 0))
+    unlabeled;
+
+  (* the hard solution is harmonic: each unlabeled score is the weighted
+     average of its neighbours' scores *)
+  let full = Gssl.Hard.solve_full problem in
+  Printf.printf "\nhard solution harmonic: %b\n"
+    (Gssl.Hard.is_harmonic problem full);
+  Printf.printf "smoothness energy of hard solution: %.4f\n"
+    (Gssl.Hard.energy problem full)

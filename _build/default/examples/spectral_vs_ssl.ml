@@ -1,0 +1,91 @@
+(* Unsupervised vs semi-supervised on the same graphs: spectral
+   clustering uses zero labels (and recovers clusters only up to
+   renaming); the hard criterion pins the clusters down with a couple of
+   labels.  Run on two moons and on a stochastic block model.
+
+   Run with:  dune exec examples/spectral_vs_ssl.exe *)
+
+module Km = Stats.Kmeans
+
+let moons_comparison () =
+  let rng = Prng.Rng.create 51 in
+  let samples = Dataset.Two_moons.generate ~noise:0.07 rng 240 in
+  let points = Array.map (fun s -> s.Dataset.Two_moons.x) samples in
+  let truth_int =
+    Array.map (fun s -> if s.Dataset.Two_moons.label then 1 else 0) samples
+  in
+  let w =
+    Kernel.Similarity.dense ~kernel:Kernel.Kernel_fn.Rbf ~bandwidth:0.3 points
+  in
+  let g = Graph.Weighted_graph.of_dense w in
+  let unsupervised = Graph.Spectral_clustering.cluster ~rng ~k:2 g in
+  let spectral_acc = Km.agreement ~truth:truth_int unsupervised in
+
+  let problem, truth = Dataset.Two_moons.to_problem ~labeled_per_moon:2 samples in
+  let pred = Gssl.Estimator.classify (Gssl.Hard.solve problem) in
+  let hits = ref 0 in
+  Array.iteri (fun i p -> if p = truth.(i) then incr hits) pred;
+  let ssl_acc = float_of_int !hits /. float_of_int (Array.length truth) in
+  (spectral_acc, ssl_acc)
+
+(* Hard-criterion accuracy on the SBM with [per_block] labeled vertices
+   from each block. *)
+let sbm_hard_accuracy g blocks ~per_block =
+  let n_vertices = Array.length blocks in
+  let labeled_a = List.init per_block (fun i -> i) in
+  let labeled_b = List.init per_block (fun i -> 30 + i) in
+  let labeled = labeled_a @ labeled_b in
+  let order =
+    Array.append (Array.of_list labeled)
+      (Array.of_list
+         (List.filter (fun v -> not (List.mem v labeled)) (List.init n_vertices Fun.id)))
+  in
+  let w = Graph.Weighted_graph.to_dense g in
+  let wp =
+    Linalg.Mat.init n_vertices n_vertices (fun i j ->
+        Linalg.Mat.get w order.(i) order.(j))
+  in
+  let labels =
+    Array.of_list (List.map (fun v -> if blocks.(v) = 1 then 1. else 0.) labeled)
+  in
+  let problem =
+    Gssl.Problem.make ~graph:(Graph.Weighted_graph.of_dense wp) ~labels
+  in
+  let scores = Gssl.Hard.solve problem in
+  let hits = ref 0 in
+  Array.iteri
+    (fun k s ->
+      let v = order.(k + (2 * per_block)) in
+      if (if s >= 0.5 then 1 else 0) = blocks.(v) then incr hits)
+    scores;
+  float_of_int !hits /. float_of_int (Array.length scores)
+
+let sbm_comparison () =
+  let rng = Prng.Rng.create 52 in
+  let g, blocks =
+    Graph.Generators.stochastic_block rng ~sizes:[| 30; 30 |] ~p_in:0.5 ~p_out:0.05
+  in
+  let unsupervised = Graph.Spectral_clustering.cluster ~rng ~k:2 g in
+  let spectral_acc = Km.agreement ~truth:blocks unsupervised in
+  ( spectral_acc,
+    sbm_hard_accuracy g blocks ~per_block:1,
+    sbm_hard_accuracy g blocks ~per_block:5 )
+
+let () =
+  print_string "Unsupervised spectral clustering vs semi-supervised hard criterion\n";
+  print_string "(spectral accuracy is best-permutation: it cannot name the clusters)\n\n";
+  Printf.printf "%-24s  %20s  %16s  %17s\n" "dataset" "spectral (0 lbl)"
+    "hard (2 lbl)" "hard (10 lbl)";
+  let m_spec, m_ssl = moons_comparison () in
+  Printf.printf "%-24s  %20.4f  %16.4f  %17s\n" "two moons (240 pts)" m_spec m_ssl "-";
+  let s_spec, s_ssl2, s_ssl10 = sbm_comparison () in
+  Printf.printf "%-24s  %20.4f  %16.4f  %17.4f\n" "SBM 30+30, p=0.5/0.05" s_spec
+    s_ssl2 s_ssl10;
+  print_newline ();
+  print_string
+    "On the dense SBM a *single* anchor per block is too weak: the harmonic\n\
+     solution flattens towards a constant - exactly the uninformative-limit\n\
+     phenomenon of Nadler et al. (the paper's reference [17]).  A handful\n\
+     of labels per block restores near-perfect recovery, and the paper's\n\
+     m = o(n h^d) condition is the same story asymptotically: labels must\n\
+     not be overwhelmed by unlabeled mass.\n"

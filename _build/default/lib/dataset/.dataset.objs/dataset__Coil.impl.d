@@ -1,0 +1,1 @@
+lib/dataset/coil.ml: Array Float Linalg Prng Stdlib

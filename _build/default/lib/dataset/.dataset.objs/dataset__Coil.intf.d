@@ -1,0 +1,1 @@
+lib/dataset/coil.mli: Linalg Prng

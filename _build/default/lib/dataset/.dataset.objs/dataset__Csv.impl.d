@@ -1,0 +1,1 @@
+lib/dataset/csv.ml: Array Buffer Linalg List Printf String

@@ -1,0 +1,1 @@
+lib/dataset/splits.ml: Array Prng

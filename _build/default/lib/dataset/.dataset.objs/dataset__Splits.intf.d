@@ -1,0 +1,1 @@
+lib/dataset/splits.mli: Prng

@@ -1,0 +1,1 @@
+lib/dataset/synthetic.mli: Gssl Kernel Linalg Prng

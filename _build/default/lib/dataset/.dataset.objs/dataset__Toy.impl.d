@@ -1,0 +1,1 @@
+lib/dataset/toy.ml: Array Graph Gssl Linalg

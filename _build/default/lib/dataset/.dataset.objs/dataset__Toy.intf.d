@@ -1,0 +1,1 @@
+lib/dataset/toy.mli: Gssl Linalg

@@ -1,0 +1,1 @@
+lib/dataset/two_moons.ml: Array Float Gssl Kernel Linalg List Prng

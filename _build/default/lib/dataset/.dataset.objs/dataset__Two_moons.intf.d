@@ -1,0 +1,1 @@
+lib/dataset/two_moons.mli: Gssl Linalg Prng

@@ -1,0 +1,139 @@
+module Vec = Linalg.Vec
+
+let image_side = 16
+let n_objects = 24
+let n_angles = 72
+let n_classes = 6
+let objects_per_class = 4
+let images_per_class = 250
+
+type image = {
+  pixels : Vec.t;
+  object_id : int;
+  angle_index : int;
+  class_id : int;
+}
+
+(* Smooth 0->1 transition over [-width, width]; gives antialiased shape
+   edges so nearby angles produce nearby pixel vectors (the rotation
+   manifolds the graph methods rely on). *)
+let smoothstep width x =
+  if x <= -.width then 0.
+  else if x >= width then 1.
+  else begin
+    let t = (x +. width) /. (2. *. width) in
+    t *. t *. (3. -. (2. *. t))
+  end
+
+let edge = 0.12
+
+(* Signed "insideness" (positive inside) of each shape family, evaluated in
+   the object frame.  [v] selects the within-class variant (0..3). *)
+let shape_profile ~family ~variant u v =
+  let fv = float_of_int variant in
+  match family with
+  | 0 ->
+      (* ellipse, aspect varies *)
+      let a = 0.75 and b = 0.3 +. (0.1 *. fv) in
+      1. -. sqrt (((u /. a) ** 2.) +. ((v /. b) ** 2.))
+  | 1 ->
+      (* rectangle, aspect varies *)
+      let a = 0.7 and b = 0.25 +. (0.1 *. fv) in
+      Stdlib.min (a -. abs_float u) (b -. abs_float v) /. 0.5
+  | 2 ->
+      (* cross, arm width varies *)
+      let w = 0.14 +. (0.05 *. fv) in
+      let horiz = Stdlib.min (0.75 -. abs_float u) (w -. abs_float v) in
+      let vert = Stdlib.min (w -. abs_float u) (0.75 -. abs_float v) in
+      Stdlib.max horiz vert /. 0.4
+  | 3 ->
+      (* superellipse, exponent varies *)
+      let p = 1.2 +. (0.6 *. fv) in
+      let r = (abs_float (u /. 0.65) ** p) +. (abs_float (v /. 0.5) ** p) in
+      1. -. (r ** (1. /. p))
+  | 4 ->
+      (* ring, inner radius varies *)
+      let r = sqrt ((u *. u) +. (v *. v)) in
+      let outer = 0.75 and inner = 0.2 +. (0.08 *. fv) in
+      Stdlib.min (outer -. r) (r -. inner) /. 0.3
+  | 5 ->
+      (* triangle pointing up, size varies *)
+      let s = 0.55 +. (0.08 *. fv) in
+      let d1 = v +. s in
+      let d2 = (s -. v -. (1.732 *. u)) /. 2. in
+      let d3 = (s -. v +. (1.732 *. u)) /. 2. in
+      Stdlib.min d1 (Stdlib.min d2 d3) /. 0.5
+  | _ -> invalid_arg "Coil.shape_profile: bad family"
+
+(* Texture in the object frame, so it rotates rigidly with the shape; this
+   breaks the rotational symmetry of rings/ellipses and gives every object
+   a genuinely 1-D orbit under rotation. *)
+(* Low spatial frequency keeps adjacent viewing angles close in pixel
+   space (a smooth rotation manifold) while still breaking the rotational
+   symmetry of shapes like rings and crosses. *)
+let texture ~object_id u v =
+  let fo = float_of_int object_id in
+  let freq = 1.5 +. Float.rem fo 3. in
+  let phase = 0.7 *. fo in
+  let stripes = sin ((freq *. u) +. (0.8 *. v) +. phase) in
+  0.8 +. (0.2 *. stripes)
+
+let render ~object_id ~angle_index =
+  if object_id < 0 || object_id >= n_objects then
+    invalid_arg "Coil.render: object_id out of range";
+  if angle_index < 0 || angle_index >= n_angles then
+    invalid_arg "Coil.render: angle_index out of range";
+  let family = object_id / objects_per_class in
+  let variant = object_id mod objects_per_class in
+  let theta = 2. *. Float.pi *. float_of_int angle_index /. float_of_int n_angles in
+  let c = cos theta and s = sin theta in
+  let side = image_side in
+  let pixels = Array.make (side * side) 0. in
+  for row = 0 to side - 1 do
+    for col = 0 to side - 1 do
+      (* pixel centre in [-1, 1]^2 *)
+      let x = ((float_of_int col +. 0.5) /. float_of_int side *. 2.) -. 1. in
+      let y = ((float_of_int row +. 0.5) /. float_of_int side *. 2.) -. 1. in
+      (* rotate into the object frame *)
+      let u = (c *. x) +. (s *. y) in
+      let v = (-.s *. x) +. (c *. y) in
+      let inside = smoothstep edge (shape_profile ~family ~variant u v) in
+      pixels.((row * side) + col) <- inside *. texture ~object_id u v
+    done
+  done;
+  pixels
+
+type t = { images : image array }
+
+let generate ?(noise = 0.02) rng =
+  if noise < 0. then invalid_arg "Coil.generate: negative noise";
+  let per_class_total = objects_per_class * n_angles in
+  let images = ref [] in
+  for class_id = n_classes - 1 downto 0 do
+    (* render the full class, then thin to images_per_class *)
+    let all =
+      Array.init per_class_total (fun k ->
+          let object_id = (class_id * objects_per_class) + (k / n_angles) in
+          let angle_index = k mod n_angles in
+          let pixels = render ~object_id ~angle_index in
+          let pixels =
+            if noise = 0. then pixels
+            else
+              Array.map
+                (fun p ->
+                  let v = p +. Prng.Distributions.normal rng ~mean:0. ~std:noise in
+                  Stdlib.min 1. (Stdlib.max 0. v))
+                pixels
+          in
+          { pixels; object_id; angle_index; class_id })
+    in
+    let keep = Prng.Rng.sample_without_replacement rng images_per_class per_class_total in
+    Array.sort compare keep;
+    Array.iter (fun k -> images := all.(k) :: !images) keep
+  done;
+  { images = Array.of_list !images }
+
+let binary_label img = img.class_id < 3
+
+let points t = Array.map (fun img -> img.pixels) t.images
+let labels t = Array.map binary_label t.images

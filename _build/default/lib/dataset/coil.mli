@@ -1,0 +1,56 @@
+(** A procedural stand-in for the Columbia Object Image Library (COIL)
+    benchmark of Section V-B.
+
+    The real dataset (24 objects photographed at 72 rotation angles,
+    downsampled to 16×16 pixels, grouped into 6 classes of 4 objects,
+    randomly thinned to 250 images per class = 1500 total, then binarised
+    first-3-classes vs last-3) is not redistributable and unavailable in
+    this environment, so we *simulate* it: each class is a family of
+    parametric shapes (ellipse / rectangle / cross / superellipse / ring /
+    triangle), each object an instance with its own geometry and a texture
+    that rotates rigidly with it, rendered at the 72 angles with
+    antialiased edges.  What graph-based SSL consumes is only the geometry
+    of the pixel vectors — per-object 1-D rotation manifolds in ℝ²⁵⁶ with
+    inter-class gaps — and the renderer produces exactly that structure.
+    See DESIGN.md §4. *)
+
+val image_side : int
+(** 16. *)
+
+val n_objects : int
+(** 24. *)
+
+val n_angles : int
+(** 72. *)
+
+val n_classes : int
+(** 6 (4 objects each). *)
+
+val images_per_class : int
+(** 250 after thinning (the paper discards 38 of the 288 per class). *)
+
+type image = {
+  pixels : Linalg.Vec.t;  (** 256 grayscale values in [0, 1] *)
+  object_id : int;        (** 0 … 23 *)
+  angle_index : int;      (** 0 … 71 *)
+  class_id : int;         (** 0 … 5 = object_id / 4 *)
+}
+
+val render : object_id:int -> angle_index:int -> Linalg.Vec.t
+(** Deterministic render of one view.  Raises [Invalid_argument] on
+    out-of-range ids. *)
+
+type t = { images : image array }
+
+val generate : ?noise:float -> Prng.Rng.t -> t
+(** The full benchmark: render all views, thin each class to 250 using
+    the given generator, optionally add N(0, noise²) pixel noise clamped
+    back to [0,1] (default 0.02 — stands in for photographic noise).
+    Raises [Invalid_argument] on negative noise. *)
+
+val binary_label : image -> bool
+(** The paper's binarisation: classes {0,1,2} positive, {3,4,5}
+    negative. *)
+
+val points : t -> Linalg.Vec.t array
+val labels : t -> bool array

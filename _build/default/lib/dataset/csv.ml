@@ -1,0 +1,156 @@
+(* Hand-rolled RFC-4180-subset parser: a small state machine over the
+   input string.  No external dependencies. *)
+
+let parse text =
+  let len = String.length text in
+  let rows = ref [] and fields = ref [] in
+  let buf = Buffer.create 32 in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let flush_row () =
+    flush_field ();
+    rows := List.rev !fields :: !rows;
+    fields := []
+  in
+  let i = ref 0 in
+  let in_quotes = ref false in
+  let row_started = ref false in
+  while !i < len do
+    let c = text.[!i] in
+    if !in_quotes then begin
+      if c = '"' then
+        if !i + 1 < len && text.[!i + 1] = '"' then begin
+          Buffer.add_char buf '"';
+          incr i
+        end
+        else in_quotes := false
+      else Buffer.add_char buf c
+    end
+    else begin
+      match c with
+      | '"' ->
+          in_quotes := true;
+          row_started := true
+      | ',' ->
+          flush_field ();
+          row_started := true
+      | '\r' -> ()
+      | '\n' ->
+          if !row_started || Buffer.length buf > 0 || !fields <> [] then flush_row ();
+          row_started := false
+      | c ->
+          Buffer.add_char buf c;
+          row_started := true
+    end;
+    incr i
+  done;
+  if !in_quotes then failwith "Csv.parse: unclosed quoted field";
+  if !row_started || Buffer.length buf > 0 || !fields <> [] then flush_row ();
+  List.rev !rows
+
+(* Empty fields are quoted so that a row of empty fields still renders as
+   a visible row (a bare newline would be dropped on re-parse). *)
+let needs_quoting s =
+  s = "" || String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let render rows =
+  let render_field f = if needs_quoting f then quote f else f in
+  let render_row row = String.concat "," (List.map render_field row) in
+  String.concat "\n" (List.map render_row rows) ^ "\n"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  parse text
+
+let write_file path rows =
+  let oc = open_out_bin path in
+  output_string oc (render rows);
+  close_out oc
+
+type labeled_data = {
+  features : Linalg.Vec.t array;
+  labels : float option array;
+}
+
+let float_field context s =
+  match float_of_string_opt (String.trim s) with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "Csv: non-numeric field %S in %s" s context)
+
+let parse_numeric ?label_column ?(header = true) text =
+  let rows = parse text in
+  let rows =
+    if header then match rows with _ :: t -> t | [] -> [] else rows
+  in
+  match rows with
+  | [] -> { features = [||]; labels = [||] }
+  | first :: _ ->
+      let width = List.length first in
+      let label_col =
+        match label_column with Some c -> c | None -> width - 1
+      in
+      if label_col < 0 || label_col >= width then
+        failwith "Csv.parse_numeric: label column out of range";
+      let parse_row idx row =
+        if List.length row <> width then
+          failwith (Printf.sprintf "Csv.parse_numeric: ragged row %d" idx);
+        let features = ref [] and label = ref None in
+        List.iteri
+          (fun j field ->
+            if j = label_col then begin
+              if String.trim field <> "" then
+                label := Some (float_field (Printf.sprintf "row %d" idx) field)
+            end
+            else
+              features :=
+                float_field (Printf.sprintf "row %d" idx) field :: !features)
+          row;
+        (Array.of_list (List.rev !features), !label)
+      in
+      let parsed = List.mapi parse_row rows in
+      {
+        features = Array.of_list (List.map fst parsed);
+        labels = Array.of_list (List.map snd parsed);
+      }
+
+let render_points ?labels points =
+  let n = Array.length points in
+  (match labels with
+  | Some l when Array.length l <> n ->
+      invalid_arg "Csv.render_points: labels length mismatch"
+  | _ -> ());
+  let d = if n = 0 then 0 else Array.length points.(0) in
+  let header =
+    List.init d (fun j -> Printf.sprintf "x%d" j) @ [ "label" ]
+  in
+  let rows =
+    List.init n (fun i ->
+        let feats =
+          List.init d (fun j -> Printf.sprintf "%.17g" points.(i).(j))
+        in
+        let label =
+          match labels with
+          | None -> ""
+          | Some l -> (
+              match l.(i) with
+              | None -> ""
+              | Some y -> Printf.sprintf "%.17g" y)
+        in
+        feats @ [ label ])
+  in
+  render (header :: rows)

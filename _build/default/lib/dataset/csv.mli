@@ -1,0 +1,35 @@
+(** Minimal CSV reading/writing for datasets and experiment results.
+
+    Supports the subset of RFC 4180 the library needs: comma separation,
+    double-quote quoting with escaped quotes, CR/LF tolerance.  Numeric
+    helpers load feature matrices with an optional label column so users
+    can run the estimators on their own data files. *)
+
+val parse : string -> string list list
+(** Parse CSV text into rows of fields.  Raises [Failure] on an unclosed
+    quoted field.  Empty trailing line is ignored. *)
+
+val render : string list list -> string
+(** Render rows, quoting fields that contain commas, quotes or
+    newlines. *)
+
+val read_file : string -> string list list
+(** Raises [Sys_error] when unreadable. *)
+
+val write_file : string -> string list list -> unit
+
+type labeled_data = {
+  features : Linalg.Vec.t array;
+  labels : float option array;  (** [None] when the label field is empty *)
+}
+
+val parse_numeric : ?label_column:int -> ?header:bool -> string -> labeled_data
+(** Interpret rows as floats.  [label_column] (default: last column)
+    selects the label field; an empty label field means "unlabeled".
+    [header] (default true) skips the first row.  Raises [Failure] on
+    non-numeric fields or ragged rows. *)
+
+val render_points : ?labels:float option array -> Linalg.Vec.t array -> string
+(** Inverse of {!parse_numeric}: feature columns [x0…x{d−1}] plus a
+    [label] column (empty for [None]).  Raises [Invalid_argument] on
+    length mismatch. *)

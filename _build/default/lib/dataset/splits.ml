@@ -1,0 +1,40 @@
+type fold = { train : int array; test : int array }
+
+let k_folds rng ~n ~k =
+  if k < 2 || k > n then invalid_arg "Splits.k_folds: need 2 <= k <= n";
+  let perm = Prng.Rng.permutation rng n in
+  (* fold f gets indices perm.(start_f .. start_{f+1}-1); sizes differ by
+     at most one *)
+  let base = n / k and extra = n mod k in
+  let starts = Array.make (k + 1) 0 in
+  for f = 0 to k - 1 do
+    starts.(f + 1) <- starts.(f) + base + (if f < extra then 1 else 0)
+  done;
+  Array.init k (fun f ->
+      let test = Array.sub perm starts.(f) (starts.(f + 1) - starts.(f)) in
+      let train = Array.make (n - Array.length test) 0 in
+      let pos = ref 0 in
+      for g = 0 to k - 1 do
+        if g <> f then begin
+          let len = starts.(g + 1) - starts.(g) in
+          Array.blit perm starts.(g) train !pos len;
+          pos := !pos + len
+        end
+      done;
+      { train; test })
+
+let inverted { train; test } = { train = test; test = train }
+
+let ratio_split rng ~n ~labeled_fraction =
+  if labeled_fraction <= 0. || labeled_fraction >= 1. then
+    invalid_arg "Splits.ratio_split: fraction must lie strictly in (0,1)";
+  let n_train = int_of_float (ceil (labeled_fraction *. float_of_int n)) in
+  if n_train < 1 || n_train >= n then
+    invalid_arg "Splits.ratio_split: degenerate split";
+  let perm = Prng.Rng.permutation rng n in
+  { train = Array.sub perm 0 n_train; test = Array.sub perm n_train (n - n_train) }
+
+let is_partition ~n folds =
+  let seen = Array.make n 0 in
+  Array.iter (fun { test; _ } -> Array.iter (fun i -> seen.(i) <- seen.(i) + 1) test) folds;
+  Array.for_all (fun c -> c = 1) seen

@@ -1,0 +1,25 @@
+(** Train/test split machinery for the Section V-B protocol.
+
+    The paper's three settings: (1) 5-fold — each fold once as the *test*
+    set (80/20 labeled-to-unlabeled); (2) 5-fold with one fold as the
+    *training* set (20/80); (3) 10-fold with one fold as training
+    (10/90).  [k_folds] produces the fold partition; the experiment
+    harness interprets each fold either way. *)
+
+type fold = { train : int array; test : int array }
+
+val k_folds : Prng.Rng.t -> n:int -> k:int -> fold array
+(** Random partition of [0 … n−1] into [k] folds of near-equal size; fold
+    [i]'s [test] is the i-th part, [train] is the rest.  Raises
+    [Invalid_argument] unless [2 <= k <= n]. *)
+
+val inverted : fold -> fold
+(** Swap the roles of train and test — turns an 80/20 split into 20/80. *)
+
+val ratio_split : Prng.Rng.t -> n:int -> labeled_fraction:float -> fold
+(** One random split with [ceil (labeled_fraction · n)] training points.
+    Raises [Invalid_argument] unless the fraction produces at least one
+    point on each side. *)
+
+val is_partition : n:int -> fold array -> bool
+(** Check that the test sets partition [0 … n−1] (used by tests). *)

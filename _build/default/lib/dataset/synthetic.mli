@@ -1,0 +1,49 @@
+(** The paper's Section V-A synthetic data.
+
+    Inputs: [X̃ ~ N(mu, Sigma)] in dimension p = 5 with
+    [mu = (0.5,…,0.5)], [Sigma = 0.05·(1 + I)] (0.1 on the diagonal, 0.05
+    off), censored to 0 outside [0,1] componentwise.
+
+    Responses: Bernoulli with logit
+    - Model 1 (linear):
+      [logit q(X) = −1.35 + 2X₁ − X₂ + X₃ − X₄ + 2X₅]
+    - Model 2 (non-linear):
+      [Model 1 + X₁X₃ + X₂X₄]
+
+    The generator returns both the binary response and the true
+    regression function [q(X)] — Figures 1–4 measure RMSE against the
+    latter. *)
+
+type model = Model1 | Model2
+
+val dimension : int
+(** p = 5. *)
+
+val mean : Linalg.Vec.t
+val covariance : Linalg.Mat.t
+
+val logit : model -> Linalg.Vec.t -> float
+(** The linear/non-linear predictor.  Raises [Invalid_argument] unless
+    the input has dimension 5. *)
+
+val true_q : model -> Linalg.Vec.t -> float
+(** [q(X) = E[Y|X] = sigmoid (logit X)]. *)
+
+val sample_input : Prng.Rng.t -> Linalg.Vec.t
+(** One truncated-MVN input. *)
+
+type sample = { x : Linalg.Vec.t; y : float; q : float }
+
+val sample : Prng.Rng.t -> model -> sample
+val sample_many : Prng.Rng.t -> model -> int -> sample array
+
+val to_problem :
+  kernel:Kernel.Kernel_fn.t ->
+  bandwidth:Kernel.Bandwidth.t ->
+  n_labeled:int ->
+  sample array ->
+  Gssl.Problem.t * Linalg.Vec.t
+(** Split a drawn sample into the first [n_labeled] labeled and the rest
+    unlabeled; returns the problem plus the true [q] values on the
+    unlabeled block (the RMSE target).  Raises [Invalid_argument] unless
+    [0 < n_labeled <= Array.length samples]. *)

@@ -1,0 +1,22 @@
+module Mat = Linalg.Mat
+module Vec = Linalg.Vec
+
+let problem ~n ~m ~labels =
+  if n < 1 then invalid_arg "Toy.problem: need n >= 1";
+  if m < 0 then invalid_arg "Toy.problem: need m >= 0";
+  if Array.length labels <> n then invalid_arg "Toy.problem: label count mismatch";
+  let w = Mat.ones (n + m) (n + m) in
+  Gssl.Problem.make ~graph:(Graph.Weighted_graph.of_dense w) ~labels
+
+let expected_prediction labels = Vec.mean labels
+
+let expected_inverse ~n ~m =
+  if n < 1 || m < 1 then invalid_arg "Toy.expected_inverse: need n, m >= 1";
+  let nf = float_of_int n and total = float_of_int (n + m) in
+  Mat.init m m (fun a b ->
+      if a = b then (nf +. 1.) /. (nf *. total) else 1. /. (nf *. total))
+
+let system_inverse ~n ~m =
+  let labels = Vec.zeros n in
+  let p = problem ~n ~m ~labels in
+  Linalg.Lu.inverse (Gssl.Hard.system_matrix p)

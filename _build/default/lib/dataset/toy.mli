@@ -1,0 +1,23 @@
+(** Section III's toy example: all inputs are the same constant point.
+
+    With the RBF kernel every similarity is exactly 1, and the paper shows
+    in closed form that the hard criterion predicts the labeled mean
+    [ȳ = (1/n) Σ Y_i] at every unlabeled vertex, with the inverse
+    [(D₂₂ − W₂₂)⁻¹] having the explicit (n+1)/(n(m+n)) / 1/(n(m+n))
+    pattern.  The test suite checks both facts against the closed forms
+    given here. *)
+
+val problem : n:int -> m:int -> labels:Linalg.Vec.t -> Gssl.Problem.t
+(** The toy problem: a complete graph of [n + m] vertices with all
+    weights 1 (any constant input under RBF).  Raises [Invalid_argument]
+    unless [Array.length labels = n], [n >= 1], [m >= 0]. *)
+
+val expected_prediction : Linalg.Vec.t -> float
+(** [ȳ] — the closed-form hard prediction on every unlabeled vertex. *)
+
+val expected_inverse : n:int -> m:int -> Linalg.Mat.t
+(** The closed form of [(D₂₂ − W₂₂)⁻¹]:
+    diagonal [(n+1)/(n(m+n))], off-diagonal [1/(n(m+n))]. *)
+
+val system_inverse : n:int -> m:int -> Linalg.Mat.t
+(** The numerically computed [(D₂₂ − W₂₂)⁻¹] of the toy problem. *)

@@ -1,0 +1,46 @@
+module Vec = Linalg.Vec
+
+type sample = { x : Vec.t; label : bool }
+
+let generate ?(noise = 0.1) ?(radius = 1.0) ?(separation = 0.5) rng n =
+  if n < 0 then invalid_arg "Two_moons.generate: negative count";
+  if noise < 0. then invalid_arg "Two_moons.generate: negative noise";
+  if radius <= 0. then invalid_arg "Two_moons.generate: radius must be positive";
+  Array.init n (fun i ->
+      let label = i mod 2 = 0 in
+      let theta = Float.pi *. Prng.Rng.float rng in
+      let jitter () = Prng.Distributions.normal rng ~mean:0. ~std:noise in
+      (* moon 1: upper half circle; moon 2: lower half circle shifted right
+         and down so the arms interleave *)
+      let x, y =
+        if label then (radius *. cos theta, radius *. sin theta)
+        else
+          ( radius -. (radius *. cos theta),
+            separation -. (radius *. sin theta) )
+      in
+      { x = [| x +. jitter (); y +. jitter () |]; label })
+
+let to_problem ?(bandwidth = 0.35) ~labeled_per_moon samples =
+  if labeled_per_moon < 1 then
+    invalid_arg "Two_moons.to_problem: need at least one label per moon";
+  let moon1 = Array.of_list (List.filter (fun s -> s.label) (Array.to_list samples)) in
+  let moon2 = Array.of_list (List.filter (fun s -> not s.label) (Array.to_list samples)) in
+  if Array.length moon1 <= labeled_per_moon || Array.length moon2 <= labeled_per_moon
+  then invalid_arg "Two_moons.to_problem: not enough samples per moon";
+  let take k a = Array.sub a 0 k in
+  let drop k a = Array.sub a k (Array.length a - k) in
+  let labeled =
+    Array.append
+      (Array.map (fun s -> (s.x, 1.)) (take labeled_per_moon moon1))
+      (Array.map (fun s -> (s.x, 0.)) (take labeled_per_moon moon2))
+  in
+  let unlabeled_samples =
+    Array.append (drop labeled_per_moon moon1) (drop labeled_per_moon moon2)
+  in
+  let unlabeled = Array.map (fun s -> s.x) unlabeled_samples in
+  let truth = Array.map (fun s -> s.label) unlabeled_samples in
+  let problem =
+    Gssl.Problem.of_points ~kernel:Kernel.Kernel_fn.Rbf
+      ~bandwidth:(Kernel.Bandwidth.Fixed bandwidth) ~labeled ~unlabeled
+  in
+  (problem, truth)

@@ -1,0 +1,28 @@
+(** The two-moons dataset — the canonical illustration of the cluster
+    assumption behind graph-based semi-supervised learning (Chapelle et
+    al. 2006, Fig. 1.1): two interleaving half-circles, one label each is
+    enough for a graph method while any linear supervised rule fails. *)
+
+type sample = { x : Linalg.Vec.t; label : bool }
+(** [x] is 2-dimensional; [label] identifies the moon. *)
+
+val generate :
+  ?noise:float -> ?radius:float -> ?separation:float ->
+  Prng.Rng.t -> int -> sample array
+(** [generate rng n] draws [n] points, alternating moons (so any prefix
+    is roughly balanced).  [noise] (default 0.1) is the Gaussian jitter
+    std; [radius] (default 1.0) the half-circle radius; [separation]
+    (default 0.5) the vertical offset between the moons.  Raises
+    [Invalid_argument] on [n < 0] or negative noise/radius. *)
+
+val to_problem :
+  ?bandwidth:float ->
+  labeled_per_moon:int ->
+  sample array ->
+  Gssl.Problem.t * bool array
+(** Build a transductive problem using the first [labeled_per_moon]
+    samples of each moon as the labeled set (positives = moon 1) and the
+    rest as unlabeled; returns the problem plus the hidden truth for the
+    unlabeled block (problem order).  Default bandwidth 0.35 — tight
+    enough to respect the cluster structure at the default geometry.
+    Raises [Invalid_argument] when a moon has too few samples. *)

@@ -1,0 +1,1 @@
+lib/experiment/ablations.ml: Array Dataset Figures Gssl Kernel Linalg List Printf Prng Stats Sweep

@@ -1,0 +1,1 @@
+lib/experiment/ablations.mli: Sweep

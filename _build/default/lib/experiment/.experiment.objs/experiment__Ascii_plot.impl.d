@@ -1,0 +1,1 @@
+lib/experiment/ascii_plot.ml: Array Buffer List Printf Stdlib String Sweep

@@ -1,0 +1,1 @@
+lib/experiment/ascii_plot.mli: Sweep

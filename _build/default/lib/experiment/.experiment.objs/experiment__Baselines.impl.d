@@ -1,0 +1,1 @@
+lib/experiment/baselines.ml: Array Dataset Figures Graph Gssl Kernel Linalg List Printf Prng Sparse Stats Stdlib Sweep Table

@@ -1,0 +1,1 @@
+lib/experiment/baselines.mli: Sweep

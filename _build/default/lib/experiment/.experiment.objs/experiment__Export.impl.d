@@ -1,0 +1,1 @@
+lib/experiment/export.ml: Array Dataset List Printf String Sweep

@@ -1,0 +1,1 @@
+lib/experiment/export.mli: Sweep

@@ -1,0 +1,1 @@
+lib/experiment/figures.ml: Array Buffer Dataset Graph Gssl Kernel Linalg List Logs Printf Prng Stats Stdlib Sweep Sys Table

@@ -1,0 +1,1 @@
+lib/experiment/future_work.ml: Array Dataset Figures Fun Graph Gssl Kernel Linalg List Printf Prng Stats Stdlib Sweep

@@ -1,0 +1,1 @@
+lib/experiment/future_work.mli: Sweep

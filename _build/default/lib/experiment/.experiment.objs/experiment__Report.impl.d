@@ -1,0 +1,1 @@
+lib/experiment/report.ml: Array Buffer Float List Printf Stdlib String Sweep Table

@@ -1,0 +1,1 @@
+lib/experiment/report.mli: Sweep

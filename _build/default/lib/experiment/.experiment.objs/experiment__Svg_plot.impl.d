@@ -1,0 +1,1 @@
+lib/experiment/svg_plot.ml: Array Buffer List Printf Stdlib String Sweep

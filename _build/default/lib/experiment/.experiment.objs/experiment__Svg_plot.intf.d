@@ -1,0 +1,1 @@
+lib/experiment/svg_plot.mli: Sweep

@@ -1,0 +1,1 @@
+lib/experiment/sweep.ml: Array Domain List Prng Stats

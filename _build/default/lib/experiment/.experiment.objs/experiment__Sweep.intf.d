@@ -1,0 +1,1 @@
+lib/experiment/sweep.mli: Prng Stats

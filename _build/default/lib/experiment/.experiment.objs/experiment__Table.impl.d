@@ -1,0 +1,1 @@
+lib/experiment/table.ml: Array Float List Printf Stdlib String Sweep

@@ -1,0 +1,1 @@
+lib/experiment/table.mli: Sweep

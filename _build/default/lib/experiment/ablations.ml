@@ -1,0 +1,200 @@
+module Vec = Linalg.Vec
+
+let m_default = 30
+
+(* On rare draws a compactly supported kernel leaves an unlabeled vertex
+   with no path to a label; fall back to the only label-consistent
+   constant prediction so the sweep stays total. *)
+let hard_or_mean problem =
+  match Gssl.Hard.solve problem with
+  | scores -> scores
+  | exception Gssl.Hard.Unanchored_unlabeled _ ->
+      Vec.create (Gssl.Problem.n_unlabeled problem)
+        (Vec.mean problem.Gssl.Problem.labels)
+
+let build_problem ~kernel ~bandwidth samples ~n =
+  Dataset.Synthetic.to_problem ~kernel ~bandwidth:(Kernel.Bandwidth.Fixed bandwidth)
+    ~n_labeled:n samples
+
+let kernel_study ?(reps = 10) ?(seed = 21) ?(ns = [ 30; 100; 300; 800 ]) () =
+  let kernels =
+    [
+      ("rbf", Kernel.Kernel_fn.Rbf, 1.);
+      ("truncated-rbf", Kernel.Kernel_fn.Truncated_rbf 3., 1.);
+      ("box", Kernel.Kernel_fn.Box, 3.);
+      ("epanechnikov", Kernel.Kernel_fn.Epanechnikov, 3.);
+    ]
+  in
+  let labels = List.map (fun (name, _, _) -> name) kernels in
+  let measure ~x rng =
+    let n = int_of_float x in
+    let samples =
+      Dataset.Synthetic.sample_many rng Dataset.Synthetic.Model1 (n + m_default)
+    in
+    let h = Kernel.Bandwidth.paper_rate ~d:5 n in
+    List.map
+      (fun (_, kernel, scale) ->
+        let problem, truth =
+          build_problem ~kernel ~bandwidth:(scale *. h) samples ~n
+        in
+        Stats.Metrics.rmse truth (hard_or_mean problem))
+      kernels
+  in
+  let series =
+    Sweep.grid ~seed ~reps ~xs:(List.map float_of_int ns) ~labels measure
+  in
+  {
+    Sweep.title =
+      Printf.sprintf "Ablation: hard-criterion RMSE vs n by kernel (m=%d, reps=%d)"
+        m_default reps;
+    xlabel = "n";
+    ylabel = "avg RMSE";
+    series;
+  }
+
+let regime_study ?(reps = 10) ?(seed = 22) ?(total = 400) () =
+  let fractions = [ 0.1; 0.25; 0.5; 0.75; 0.9 ] in
+  let lambdas = Figures.default_lambdas in
+  let labels = List.map (fun l -> Printf.sprintf "lambda=%g" l) lambdas in
+  let measure ~x rng =
+    let m = int_of_float (x *. float_of_int total) in
+    let n = total - m in
+    let samples =
+      Dataset.Synthetic.sample_many rng Dataset.Synthetic.Model1 total
+    in
+    let h = Kernel.Bandwidth.paper_rate ~d:5 n in
+    let problem, truth =
+      build_problem ~kernel:Kernel.Kernel_fn.Rbf ~bandwidth:h samples ~n
+    in
+    List.map
+      (fun lambda ->
+        Stats.Metrics.rmse truth (Figures.predict_adaptive ~lambda problem))
+      lambdas
+  in
+  let series = Sweep.grid ~seed ~reps ~xs:fractions ~labels measure in
+  {
+    Sweep.title =
+      Printf.sprintf
+        "Ablation: RMSE vs unlabeled fraction m/(n+m) at n+m=%d (reps=%d)" total
+        reps;
+    xlabel = "m/(n+m)";
+    ylabel = "avg RMSE";
+    series;
+  }
+
+let cv_study ?(reps = 10) ?(seed = 23) ?(ns = [ 30; 60; 100; 200 ]) () =
+  let labels = [ "hard (lambda=0)"; "cv-tuned soft"; "lambda=5" ] in
+  let measure ~x rng =
+    let n = int_of_float x in
+    let samples =
+      Dataset.Synthetic.sample_many rng Dataset.Synthetic.Model1 (n + m_default)
+    in
+    let h = Kernel.Bandwidth.paper_rate ~d:5 n in
+    let problem, truth =
+      build_problem ~kernel:Kernel.Kernel_fn.Rbf ~bandwidth:h samples ~n
+    in
+    let hard = Stats.Metrics.rmse truth (Figures.predict_adaptive ~lambda:0. problem) in
+    let picked = Gssl.Cross_validation.select ~rng problem in
+    let tuned =
+      Stats.Metrics.rmse truth
+        (Figures.predict_adaptive ~lambda:picked.Gssl.Cross_validation.best_lambda
+           problem)
+    in
+    let fixed5 = Stats.Metrics.rmse truth (Figures.predict_adaptive ~lambda:5. problem) in
+    [ hard; tuned; fixed5 ]
+  in
+  let series =
+    Sweep.grid ~seed ~reps ~xs:(List.map float_of_int ns) ~labels measure
+  in
+  {
+    Sweep.title =
+      Printf.sprintf
+        "Ablation: hard vs CV-tuned soft vs fixed lambda=5 (m=%d, reps=%d)"
+        m_default reps;
+    xlabel = "n";
+    ylabel = "avg RMSE";
+    series;
+  }
+
+let nystrom_study ?(seed = 24) ?(n = 400) ?(landmark_counts = [ 10; 20; 40; 80; 160 ]) () =
+  let rng = Prng.Rng.create seed in
+  let samples = Dataset.Synthetic.sample_many rng Dataset.Synthetic.Model1 n in
+  let points = Array.map (fun s -> s.Dataset.Synthetic.x) samples in
+  let h = Kernel.Bandwidth.paper_rate ~d:5 n in
+  let exact = Kernel.Similarity.dense ~kernel:Kernel.Kernel_fn.Rbf ~bandwidth:h points in
+  let exact_degrees = Linalg.Mat.row_sums exact in
+  let matrix_err = ref [] and degree_err = ref [] in
+  List.iter
+    (fun l ->
+      let approx =
+        Kernel.Nystrom.fit ~rng ~kernel:Kernel.Kernel_fn.Rbf ~bandwidth:h
+          ~landmarks:l points
+      in
+      matrix_err := Kernel.Nystrom.approximation_error approx exact :: !matrix_err;
+      let d = Kernel.Nystrom.approx_degrees approx in
+      degree_err :=
+        (Vec.norm2 (Vec.sub d exact_degrees) /. Vec.norm2 exact_degrees)
+        :: !degree_err)
+    landmark_counts;
+  let xs = Array.of_list (List.map float_of_int landmark_counts) in
+  let to_series label values =
+    {
+      Sweep.label;
+      xs = Array.copy xs;
+      means = Array.of_list (List.rev values);
+      stderrs = Array.make (Array.length xs) 0.;
+    }
+  in
+  {
+    Sweep.title = Printf.sprintf "Ablation: Nystrom approximation quality (n=%d)" n;
+    xlabel = "landmarks";
+    ylabel = "relative error";
+    series =
+      [ to_series "||W - W~||_F / ||W||_F" !matrix_err;
+        to_series "degree error" !degree_err ];
+  }
+
+let active_study ?(reps = 5) ?(seed = 25) ?(budgets = [ 0; 10; 25; 50; 100 ]) () =
+  let n0 = 10 and pool = 150 in
+  let strategies =
+    [
+      ("uncertainty", fun _rng -> Gssl.Active.Uncertainty);
+      ("density-weighted", fun _rng -> Gssl.Active.Density_weighted);
+      ("random", fun rng -> Gssl.Active.Random rng);
+    ]
+  in
+  let labels = List.map fst strategies in
+  let measure ~x rng =
+    let budget = int_of_float x in
+    let samples =
+      Dataset.Synthetic.sample_many rng Dataset.Synthetic.Model1 (n0 + pool)
+    in
+    let h = Kernel.Bandwidth.paper_rate ~d:5 (n0 + (pool / 2)) in
+    let problem, _ =
+      build_problem ~kernel:Kernel.Kernel_fn.Rbf ~bandwidth:h samples ~n:n0
+    in
+    let oracle vertex = samples.(vertex).Dataset.Synthetic.y in
+    List.map
+      (fun (_, make_strategy) ->
+        let solver = Gssl.Incremental.create problem in
+        let strategy = make_strategy (Prng.Rng.split rng) in
+        ignore (Gssl.Active.run strategy ~oracle ~budget solver);
+        let predictions = Gssl.Incremental.predict solver in
+        let truth =
+          Array.map (fun (v, _) -> samples.(v).Dataset.Synthetic.q) predictions
+        in
+        Stats.Metrics.rmse truth (Array.map snd predictions))
+      strategies
+  in
+  let series =
+    Sweep.grid ~seed ~reps ~xs:(List.map float_of_int budgets) ~labels measure
+  in
+  {
+    Sweep.title =
+      Printf.sprintf
+        "Ablation: active label acquisition, RMSE on remaining pool (n0=%d, pool=%d, reps=%d)"
+        n0 pool reps;
+    xlabel = "queries";
+    ylabel = "avg RMSE";
+    series;
+  }

@@ -1,0 +1,37 @@
+(** Ablation studies for the design choices recorded in DESIGN.md §5 and
+    the paper's future-work directions.
+
+    Each returns a {!Sweep.figure_result} renderable by the same table /
+    ASCII / SVG back-ends as the main figures.  All are deterministic per
+    seed. *)
+
+val kernel_study :
+  ?reps:int -> ?seed:int -> ?ns:int list -> unit -> Sweep.figure_result
+(** Hard-criterion RMSE vs n under different kernels (plain RBF — the
+    paper's §V choice, truncated RBF — the one satisfying the theory's
+    compact-support condition, box, Epanechnikov).  Shape claim: kernel
+    choice does not change the consistency behaviour. *)
+
+val regime_study :
+  ?reps:int -> ?seed:int -> ?total:int -> unit -> Sweep.figure_result
+(** The paper's future-work regime: fix n+m and sweep the unlabeled
+    fraction m/(n+m); RMSE per λ.  Shows the error growing as unlabeled
+    data dominates while the hard criterion stays uniformly best. *)
+
+val cv_study :
+  ?reps:int -> ?seed:int -> ?ns:int list -> unit -> Sweep.figure_result
+(** Hard (λ=0) vs cross-validation-tuned soft criterion vs the worst
+    fixed λ: RMSE vs n.  The paper's practical message — tuning λ buys
+    nothing over λ=0 — as a measurable curve. *)
+
+val nystrom_study :
+  ?seed:int -> ?n:int -> ?landmark_counts:int list -> unit -> Sweep.figure_result
+(** Relative Frobenius error of the Nyström-approximated similarity
+    matrix, and the resulting approximate-degree error, vs the number of
+    landmarks. *)
+
+val active_study :
+  ?reps:int -> ?seed:int -> ?budgets:int list -> unit -> Sweep.figure_result
+(** Active label acquisition: test RMSE after [budget] queries for the
+    uncertainty, density-weighted, and random strategies (using the
+    incremental solver). *)

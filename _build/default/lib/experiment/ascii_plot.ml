@@ -1,0 +1,67 @@
+let glyphs = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '&' |]
+
+let render ?(width = 64) ?(height = 20) { Sweep.title; xlabel; ylabel; series } =
+  if width < 8 || height < 4 then invalid_arg "Ascii_plot.render: area too small";
+  let points =
+    List.concat_map
+      (fun s ->
+        Array.to_list (Array.map2 (fun x y -> (x, y)) s.Sweep.xs s.Sweep.means))
+      series
+  in
+  if points = [] then Printf.sprintf "%s\n  (no data)\n" title
+  else begin
+    let xs = List.map fst points and ys = List.map snd points in
+    let xmin = List.fold_left Stdlib.min (List.hd xs) xs in
+    let xmax = List.fold_left Stdlib.max (List.hd xs) xs in
+    let ymin = List.fold_left Stdlib.min (List.hd ys) ys in
+    let ymax = List.fold_left Stdlib.max (List.hd ys) ys in
+    let xspan = if xmax > xmin then xmax -. xmin else 1. in
+    let yspan = if ymax > ymin then ymax -. ymin else 1. in
+    let grid = Array.make_matrix height width ' ' in
+    List.iteri
+      (fun si s ->
+        let glyph = glyphs.(si mod Array.length glyphs) in
+        Array.iteri
+          (fun i x ->
+            let y = s.Sweep.means.(i) in
+            let cx =
+              int_of_float ((x -. xmin) /. xspan *. float_of_int (width - 1))
+            in
+            let cy =
+              height - 1
+              - int_of_float ((y -. ymin) /. yspan *. float_of_int (height - 1))
+            in
+            grid.(cy).(cx) <- glyph)
+          s.Sweep.xs)
+      series;
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf title;
+    Buffer.add_char buf '\n';
+    Array.iteri
+      (fun row line ->
+        let label =
+          if row = 0 then Printf.sprintf "%10.4g " ymax
+          else if row = height - 1 then Printf.sprintf "%10.4g " ymin
+          else String.make 11 ' '
+        in
+        Buffer.add_string buf label;
+        Buffer.add_char buf '|';
+        Buffer.add_string buf (String.init width (fun c -> line.(c)));
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf (String.make 11 ' ');
+    Buffer.add_char buf '+';
+    Buffer.add_string buf (String.make width '-');
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf
+      (Printf.sprintf "%s%-10.4g%*s%10.4g  (%s)\n" (String.make 12 ' ') xmin
+         (width - 20) "" xmax xlabel);
+    Buffer.add_string buf (Printf.sprintf "  y: %s   legend:" ylabel);
+    List.iteri
+      (fun si s ->
+        Buffer.add_string buf
+          (Printf.sprintf " %c=%s" glyphs.(si mod Array.length glyphs) s.Sweep.label))
+      series;
+    Buffer.add_char buf '\n';
+    Buffer.contents buf
+  end

@@ -1,0 +1,8 @@
+(** Terminal line plots — a rough visual rendering of each reproduced
+    figure, so `repro figN` output can be eyeballed against the paper. *)
+
+val render : ?width:int -> ?height:int -> Sweep.figure_result -> string
+(** Plot all series on one grid (each series gets a distinct glyph,
+    legend below).  [width]×[height] is the plot area in characters
+    (defaults 64×20).  Raises [Invalid_argument] on degenerate
+    dimensions; empty figures render as a note. *)

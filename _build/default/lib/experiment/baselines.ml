@@ -1,0 +1,196 @@
+module Vec = Linalg.Vec
+
+(* Evaluate every method on one drawn dataset; returns RMSEs in a fixed
+   order.  LapRLS refits its own kernel matrix from the raw inputs, so we
+   keep the samples around. *)
+let method_names = [ "hard"; "soft(0.1)"; "nadaraya-watson"; "local-global"; "laprls" ]
+
+let method_rmses ~n ~m rng =
+  let samples = Dataset.Synthetic.sample_many rng Dataset.Synthetic.Model1 (n + m) in
+  let h = Kernel.Bandwidth.paper_rate ~d:5 n in
+  let problem, truth =
+    Dataset.Synthetic.to_problem ~kernel:Kernel.Kernel_fn.Rbf
+      ~bandwidth:(Kernel.Bandwidth.Fixed h) ~n_labeled:n samples
+  in
+  let labeled = Array.init n (fun i -> (samples.(i).Dataset.Synthetic.x, samples.(i).Dataset.Synthetic.y)) in
+  let unlabeled = Array.init m (fun a -> samples.(n + a).Dataset.Synthetic.x) in
+  let rmse scores = Stats.Metrics.rmse truth scores in
+  let hard = rmse (Figures.predict_adaptive ~lambda:0. problem) in
+  let soft = rmse (Figures.predict_adaptive ~lambda:0.1 problem) in
+  let nw = rmse (Gssl.Nadaraya_watson.of_problem problem) in
+  let lgc = rmse (Gssl.Local_global.scores ~alpha:0.99 problem) in
+  let laprls =
+    let model =
+      Gssl.Laprls.fit ~gamma_a:1e-6 ~gamma_i:1. ~kernel:Kernel.Kernel_fn.Rbf
+        ~bandwidth:h ~labeled unlabeled
+    in
+    rmse (Gssl.Laprls.predict_unlabeled model)
+  in
+  [ hard; soft; nw; lgc; laprls ]
+
+let method_comparison ?(reps = 10) ?(seed = 41) ?(ns = [ 30; 100; 300; 800 ]) () =
+  let series =
+    Sweep.grid ~seed ~reps ~xs:(List.map float_of_int ns) ~labels:method_names
+      (fun ~x rng -> method_rmses ~n:(int_of_float x) ~m:30 rng)
+  in
+  {
+    Sweep.title =
+      Printf.sprintf "Baselines: RMSE vs n on Model 1 (m=30, reps=%d)" reps;
+    xlabel = "n";
+    ylabel = "avg RMSE";
+    series;
+  }
+
+let significance_report ?(reps = 30) ?(seed = 42) ?(n = 200) ?(m = 30) () =
+  let master = Prng.Rng.create seed in
+  let per_method = Array.make (List.length method_names) [] in
+  for k = 0 to reps - 1 do
+    let values = method_rmses ~n ~m (Prng.Rng.substream master k) in
+    List.iteri (fun i v -> per_method.(i) <- v :: per_method.(i)) values
+  done;
+  let columns = Array.map (fun l -> Array.of_list (List.rev l)) per_method in
+  let hard = columns.(0) in
+  let boot_rng = Prng.Rng.create (seed + 1) in
+  let rows =
+    List.mapi
+      (fun i name ->
+        let mean = Stats.Descriptive.mean columns.(i) in
+        if i = 0 then [ name; Printf.sprintf "%.4f" mean; "-"; "-"; "-" ]
+        else begin
+          let other = columns.(i) in
+          let t = Stats.Hypothesis.paired_t_test other hard in
+          let w = Stats.Hypothesis.wilcoxon_signed_rank other hard in
+          let ci =
+            Stats.Bootstrap.paired_difference_ci ~rng:boot_rng other hard
+          in
+          [
+            name;
+            Printf.sprintf "%.4f" mean;
+            Printf.sprintf "%.2e" t.Stats.Hypothesis.p_value;
+            Printf.sprintf "%.2e" w.Stats.Hypothesis.p_value;
+            Printf.sprintf "[%.4f, %.4f]" ci.Stats.Bootstrap.lower
+              ci.Stats.Bootstrap.upper;
+          ]
+        end)
+      method_names
+  in
+  Printf.sprintf
+    "Significance of the hard criterion's lead (Model 1, n=%d, m=%d, %d paired replicates)\n\
+     p-values test `method - hard = 0`; CI is the bootstrap 95%% interval of the mean gap\n%s"
+    n m reps
+    (Table.render
+       ~header:[ "method"; "mean RMSE"; "t-test p"; "wilcoxon p"; "gap 95% CI" ]
+       rows)
+
+let multiclass_report ?(seed = 44) ?(dataset_size = 360) ?(labeled_fraction = 0.1) () =
+  let master = Prng.Rng.create seed in
+  let data = Dataset.Coil.generate (Prng.Rng.substream master 0) in
+  let keep =
+    Prng.Rng.sample_without_replacement (Prng.Rng.substream master 1)
+      (Stdlib.min dataset_size 1500) 1500
+  in
+  let points = Array.map (fun i -> (Dataset.Coil.points data).(i)) keep in
+  let classes = Array.map (fun i -> data.Dataset.Coil.images.(i).Dataset.Coil.class_id) keep in
+  let n_total = Array.length points in
+  (* six classes need locality the global median bandwidth washes out: use
+     a kNN-sparsified graph with a tighter (10th-percentile) bandwidth *)
+  let bandwidth =
+    let d2 = Kernel.Pairwise.sq_distance_matrix points in
+    let vals = ref [] in
+    for i = 0 to n_total - 1 do
+      for j = i + 1 to n_total - 1 do
+        vals := Linalg.Mat.get d2 i j :: !vals
+      done
+    done;
+    sqrt (Stats.Descriptive.quantile (Array.of_list !vals) 0.1)
+  in
+  let w =
+    Sparse.Csr.to_dense
+      (Kernel.Similarity.knn ~kernel:Kernel.Kernel_fn.Rbf ~bandwidth ~k:10 points)
+  in
+  let split =
+    Dataset.Splits.ratio_split (Prng.Rng.substream master 2) ~n:n_total
+      ~labeled_fraction
+  in
+  let train = split.Dataset.Splits.train and test = split.Dataset.Splits.test in
+  let perm = Array.append train test in
+  let wp =
+    Linalg.Mat.init n_total n_total (fun i j ->
+        Linalg.Mat.get w perm.(i) perm.(j))
+  in
+  let class_labels = Array.map (fun i -> classes.(i)) train in
+  let truth = Array.map (fun i -> classes.(i)) test in
+  let mc =
+    Gssl.Multiclass.make ~graph:(Graph.Weighted_graph.of_dense wp) ~class_labels
+  in
+  let criterion_rows =
+    List.map
+      (fun (name, criterion) ->
+        let pred = Gssl.Multiclass.predict ~criterion mc in
+        [ name; Printf.sprintf "%.4f" (Gssl.Multiclass.accuracy ~truth pred) ])
+      [
+        ("hard (one-vs-rest)", Gssl.Estimator.Hard);
+        ("soft(0.05)", Gssl.Estimator.Soft 0.05);
+        ("soft(1)", Gssl.Estimator.Soft 1.);
+      ]
+  in
+  (* 1-NN baseline on raw pixels *)
+  let one_nn =
+    let pred =
+      Array.map
+        (fun ti ->
+          let best = ref train.(0) and best_d = ref infinity in
+          Array.iter
+            (fun tr ->
+              let d = Linalg.Vec.dist2_sq points.(ti) points.(tr) in
+              if d < !best_d then begin
+                best_d := d;
+                best := tr
+              end)
+            train;
+          classes.(!best))
+        test
+    in
+    Gssl.Multiclass.accuracy ~truth pred
+  in
+  let majority =
+    let counts = Array.make 6 0 in
+    Array.iter (fun c -> counts.(c) <- counts.(c) + 1) truth;
+    float_of_int (Array.fold_left Stdlib.max 0 counts)
+    /. float_of_int (Array.length truth)
+  in
+  Printf.sprintf
+    "Six-class simulated COIL (N=%d, %.0f%% labeled) - one-vs-rest extension\n%s"
+    n_total (100. *. labeled_fraction)
+    (Table.render ~header:[ "method"; "accuracy" ]
+       (criterion_rows
+       @ [
+           [ "1-NN (raw pixels)"; Printf.sprintf "%.4f" one_nn ];
+           [ "majority-class floor"; Printf.sprintf "%.4f" majority ];
+         ]))
+
+let two_moons_report ?(seed = 43) ?(n = 300) ?(labeled_per_moon = 2) () =
+  let rng = Prng.Rng.create seed in
+  let samples = Dataset.Two_moons.generate rng n in
+  let problem, truth =
+    Dataset.Two_moons.to_problem ~labeled_per_moon samples
+  in
+  let accuracy scores =
+    let pred = Gssl.Estimator.classify scores in
+    let hits = ref 0 in
+    Array.iteri (fun i p -> if p = truth.(i) then incr hits) pred;
+    float_of_int !hits /. float_of_int (Array.length truth)
+  in
+  let entries =
+    [
+      ("hard", accuracy (Figures.predict_adaptive ~lambda:0. problem));
+      ("soft(0.1)", accuracy (Figures.predict_adaptive ~lambda:0.1 problem));
+      ("nadaraya-watson", accuracy (Gssl.Nadaraya_watson.of_problem problem));
+      ("local-global", accuracy (Gssl.Local_global.scores problem));
+    ]
+  in
+  Printf.sprintf
+    "Two moons (%d points, %d labels per moon) - the cluster assumption at work\n%s"
+    n labeled_per_moon
+    (Table.render ~header:[ "method"; "accuracy" ]
+       (List.map (fun (name, acc) -> [ name; Printf.sprintf "%.4f" acc ]) entries))

@@ -1,0 +1,25 @@
+(** Baseline comparison: the paper's two criteria against the methods it
+    cites — Nadaraya–Watson kernel regression [20,21], local & global
+    consistency [12], and LapRLS manifold regularization [16] — plus
+    statistical significance for the headline "hard wins" claim. *)
+
+val method_comparison :
+  ?reps:int -> ?seed:int -> ?ns:int list -> unit -> Sweep.figure_result
+(** RMSE vs n on Model 1 (m = 30) for: hard, soft(0.1), Nadaraya–Watson,
+    local-global (α = 0.99), LapRLS. *)
+
+val significance_report : ?reps:int -> ?seed:int -> ?n:int -> ?m:int -> unit -> string
+(** At one configuration, run paired replicates of hard vs every other
+    method and report mean RMSEs, paired t-test and Wilcoxon p-values,
+    and a bootstrap CI of the mean difference. *)
+
+val two_moons_report : ?seed:int -> ?n:int -> ?labeled_per_moon:int -> unit -> string
+(** The cluster-assumption demo: accuracy of each method on two moons
+    with very few labels (default 2 per moon out of 300 points). *)
+
+val multiclass_report :
+  ?seed:int -> ?dataset_size:int -> ?labeled_fraction:float -> unit -> string
+(** The 6-class version of the COIL task (the paper binarises it; the
+    one-vs-rest extension handles it directly): per-criterion accuracy
+    of [Multiclass.predict], compared against the majority-class floor
+    and a 1-NN baseline. *)

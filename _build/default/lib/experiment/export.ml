@@ -1,0 +1,101 @@
+let float_str v = Printf.sprintf "%.17g" v
+
+let to_csv { Sweep.title; xlabel; ylabel; series } =
+  let meta = [ "# " ^ title; xlabel; ylabel ] in
+  let header =
+    "x"
+    :: List.concat_map
+         (fun s -> [ s.Sweep.label ^ " mean"; s.Sweep.label ^ " stderr" ])
+         series
+  in
+  let n_x = match series with [] -> 0 | s :: _ -> Array.length s.Sweep.xs in
+  let rows =
+    List.init n_x (fun i ->
+        let x = match series with [] -> "" | s :: _ -> float_str s.Sweep.xs.(i) in
+        x
+        :: List.concat_map
+             (fun s -> [ float_str s.Sweep.means.(i); float_str s.Sweep.stderrs.(i) ])
+             series)
+  in
+  Dataset.Csv.render (meta :: header :: rows)
+
+let strip_suffix ~suffix s =
+  if String.length s >= String.length suffix
+     && String.sub s (String.length s - String.length suffix) (String.length suffix)
+        = suffix
+  then Some (String.sub s 0 (String.length s - String.length suffix))
+  else None
+
+let of_csv text =
+  match Dataset.Csv.parse text with
+  | meta :: header :: rows ->
+      let title, xlabel, ylabel =
+        match meta with
+        | [ t; xl; yl ] ->
+            let t =
+              if String.length t >= 2 && String.sub t 0 2 = "# " then
+                String.sub t 2 (String.length t - 2)
+              else t
+            in
+            (t, xl, yl)
+        | _ -> failwith "Export.of_csv: bad metadata row"
+      in
+      let labels =
+        match header with
+        | "x" :: cols ->
+            let rec pair = function
+              | [] -> []
+              | mean_col :: _stderr_col :: rest -> (
+                  match strip_suffix ~suffix:" mean" mean_col with
+                  | Some label -> label :: pair rest
+                  | None -> failwith "Export.of_csv: bad mean column")
+              | _ -> failwith "Export.of_csv: odd column count"
+            in
+            pair cols
+        | _ -> failwith "Export.of_csv: bad header"
+      in
+      let parse_float s =
+        match float_of_string_opt s with
+        | Some v -> v
+        | None -> failwith "Export.of_csv: non-numeric cell"
+      in
+      let parsed_rows =
+        List.map
+          (fun row ->
+            match row with
+            | x :: cells -> (parse_float x, List.map parse_float cells)
+            | [] -> failwith "Export.of_csv: empty row")
+          rows
+      in
+      let xs = Array.of_list (List.map fst parsed_rows) in
+      let series =
+        List.mapi
+          (fun si label ->
+            {
+              Sweep.label;
+              xs = Array.copy xs;
+              means =
+                Array.of_list
+                  (List.map (fun (_, cells) -> List.nth cells (2 * si)) parsed_rows);
+              stderrs =
+                Array.of_list
+                  (List.map
+                     (fun (_, cells) -> List.nth cells ((2 * si) + 1))
+                     parsed_rows);
+            })
+          labels
+      in
+      { Sweep.title; xlabel; ylabel; series }
+  | _ -> failwith "Export.of_csv: need metadata and header rows"
+
+let write_file path fig =
+  let oc = open_out path in
+  output_string oc (to_csv fig);
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  of_csv text

@@ -1,0 +1,15 @@
+(** CSV import/export of figure results.
+
+    Lets reproduced figures be saved as data files (for external plotting
+    or archival diffing) and loaded back — round-trip tested. *)
+
+val to_csv : Sweep.figure_result -> string
+(** Columns: [x], then [<label> mean] and [<label> stderr] per series;
+    first row is the header, a leading comment row ([# title|xlabel|ylabel])
+    carries the metadata. *)
+
+val of_csv : string -> Sweep.figure_result
+(** Inverse of {!to_csv}.  Raises [Failure] on malformed input. *)
+
+val write_file : string -> Sweep.figure_result -> unit
+val read_file : string -> Sweep.figure_result

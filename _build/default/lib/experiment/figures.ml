@@ -1,0 +1,286 @@
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+
+let default_lambdas = [ 0.; 0.01; 0.1; 5. ]
+let coil_lambdas = [ 0.; 0.01; 0.05; 0.1; 0.5; 1.; 5. ]
+
+let lambda_label lambda = Printf.sprintf "lambda=%g" lambda
+
+let predict_adaptive ~lambda problem =
+  let total = Gssl.Problem.size problem in
+  let m = Gssl.Problem.n_unlabeled problem in
+  if lambda = 0. then
+    if m <= 400 then Gssl.Hard.solve ~solver:Gssl.Hard.Cholesky problem
+    else Gssl.Hard.solve ~solver:(Gssl.Hard.Cg { tol = 1e-9 }) problem
+  else if total <= 350 then Gssl.Soft.solve ~lambda problem
+  else begin
+    match Gssl.Soft.solve ~method_:(Gssl.Soft.Cg { tol = 1e-8 }) ~lambda problem with
+    | scores -> scores
+    | exception Failure _ ->
+        Logs.warn (fun k -> k "soft CG stalled (lambda=%g, size=%d); direct solve" lambda total);
+        Gssl.Soft.solve ~lambda problem
+  end
+
+(* One synthetic replicate: draw n+m points, build the graph with the
+   paper's bandwidth h_n = (log n / n)^{1/5}, return the RMSE of every
+   lambda against the true regression function on the unlabeled block. *)
+let synthetic_rmse ~model ~lambdas ~n ~m rng =
+  let samples = Dataset.Synthetic.sample_many rng model (n + m) in
+  let h = Kernel.Bandwidth.paper_rate ~d:Dataset.Synthetic.dimension n in
+  let problem, truth =
+    Dataset.Synthetic.to_problem ~kernel:Kernel.Kernel_fn.Rbf
+      ~bandwidth:(Kernel.Bandwidth.Fixed h) ~n_labeled:n samples
+  in
+  List.map
+    (fun lambda -> Stats.Metrics.rmse truth (predict_adaptive ~lambda problem))
+    lambdas
+
+let n_sweep ~domains ~model ~title ~reps ~seed ~ns ~m ~lambdas =
+  let labels = List.map lambda_label lambdas in
+  let series =
+    Sweep.grid_parallel ~domains ~seed ~reps ~xs:(List.map float_of_int ns)
+      ~labels
+      (fun ~x rng -> synthetic_rmse ~model ~lambdas ~n:(int_of_float x) ~m rng)
+  in
+  { Sweep.title; xlabel = "n"; ylabel = "avg RMSE"; series }
+
+let m_sweep ~domains ~model ~title ~reps ~seed ~ms ~n ~lambdas =
+  let labels = List.map lambda_label lambdas in
+  let series =
+    Sweep.grid_parallel ~domains ~seed ~reps ~xs:(List.map float_of_int ms)
+      ~labels
+      (fun ~x rng -> synthetic_rmse ~model ~lambdas ~n ~m:(int_of_float x) rng)
+  in
+  { Sweep.title; xlabel = "m"; ylabel = "avg RMSE"; series }
+
+let default_ns = [ 10; 30; 50; 100; 200; 300; 500; 800; 1000; 1500 ]
+let default_ms = [ 30; 60; 100; 300; 500; 1000 ]
+
+let fig1 ?(domains = 1) ?(reps = 10) ?(seed = 1) ?(ns = default_ns) ?(m = 30)
+    ?(lambdas = default_lambdas) () =
+  n_sweep ~domains ~model:Dataset.Synthetic.Model1
+    ~title:(Printf.sprintf "Fig.1: avg RMSE vs n (Model 1, m=%d, reps=%d)" m reps)
+    ~reps ~seed ~ns ~m ~lambdas
+
+let fig2 ?(domains = 1) ?(reps = 10) ?(seed = 2) ?(ms = default_ms) ?(n = 100)
+    ?(lambdas = default_lambdas) () =
+  m_sweep ~domains ~model:Dataset.Synthetic.Model1
+    ~title:(Printf.sprintf "Fig.2: avg RMSE vs m (Model 1, n=%d, reps=%d)" n reps)
+    ~reps ~seed ~ms ~n ~lambdas
+
+let fig3 ?(domains = 1) ?(reps = 10) ?(seed = 3) ?(ns = default_ns) ?(m = 30)
+    ?(lambdas = default_lambdas) () =
+  n_sweep ~domains ~model:Dataset.Synthetic.Model2
+    ~title:(Printf.sprintf "Fig.3: avg RMSE vs n (Model 2, m=%d, reps=%d)" m reps)
+    ~reps ~seed ~ns ~m ~lambdas
+
+let fig4 ?(domains = 1) ?(reps = 10) ?(seed = 4) ?(ms = default_ms) ?(n = 100)
+    ?(lambdas = default_lambdas) () =
+  m_sweep ~domains ~model:Dataset.Synthetic.Model2
+    ~title:(Printf.sprintf "Fig.4: avg RMSE vs m (Model 2, n=%d, reps=%d)" n reps)
+    ~reps ~seed ~ms ~n ~lambdas
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 5: COIL                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let median_offdiag_sq_distance d2 =
+  let n = d2.Mat.rows in
+  let vals = Array.make (n * (n - 1) / 2) 0. in
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      vals.(!k) <- Mat.get d2 i j;
+      incr k
+    done
+  done;
+  Stats.Descriptive.median vals
+
+let permuted_matrix w perm =
+  let n = Array.length perm in
+  Mat.init n n (fun i j -> Mat.get w perm.(i) perm.(j))
+
+(* Evaluate all lambdas on one train/test split of the fixed similarity
+   matrix; returns per-lambda AUC, or None when the test set is
+   single-class (AUC undefined). *)
+let fold_aucs ~w ~labels ~lambdas (fold : Dataset.Splits.fold) =
+  let train = fold.Dataset.Splits.train and test = fold.Dataset.Splits.test in
+  let truth = Array.map (fun i -> labels.(i)) test in
+  let has_pos = Array.exists (fun b -> b) truth in
+  let has_neg = Array.exists not truth in
+  if not (has_pos && has_neg) then None
+  else begin
+    let perm = Array.append train test in
+    let wp = permuted_matrix w perm in
+    let y = Array.map (fun i -> if labels.(i) then 1. else 0.) train in
+    let problem =
+      Gssl.Problem.make ~graph:(Graph.Weighted_graph.of_dense wp) ~labels:y
+    in
+    let aucs =
+      List.map
+        (fun lambda ->
+          let scores = predict_adaptive ~lambda problem in
+          Stats.Roc.auc ~truth ~scores)
+        lambdas
+    in
+    Some aucs
+  end
+
+let fig5 ?(reps = 1) ?(seed = 5) ?(lambdas = coil_lambdas) ?(dataset_size = 1500) () =
+  let master = Prng.Rng.create seed in
+  let data = Dataset.Coil.generate (Prng.Rng.substream master 0) in
+  let all_points = Dataset.Coil.points data in
+  let all_labels = Dataset.Coil.labels data in
+  let points, labels =
+    if dataset_size >= Array.length all_points then (all_points, all_labels)
+    else begin
+      let idx =
+        Prng.Rng.sample_without_replacement (Prng.Rng.substream master 1)
+          dataset_size (Array.length all_points)
+      in
+      ( Array.map (fun i -> all_points.(i)) idx,
+        Array.map (fun i -> all_labels.(i)) idx )
+    end
+  in
+  let n_total = Array.length points in
+  let d2 = Kernel.Pairwise.sq_distance_matrix points in
+  (* paper: sigma^2 = median of squared pairwise distances *)
+  let bandwidth = sqrt (median_offdiag_sq_distance d2) in
+  let w =
+    Kernel.Similarity.dense_of_sq_distances ~kernel:Kernel.Kernel_fn.Rbf ~bandwidth d2
+  in
+  let settings = [ ("80/20", 5, false); ("20/80", 5, true); ("10/90", 10, true) ] in
+  let series =
+    List.mapi
+      (fun si (name, k, invert) ->
+        let accs = List.map (fun _ -> Stats.Running.create ()) lambdas in
+        for rep = 0 to reps - 1 do
+          let rng = Prng.Rng.substream master (100 + (si * 10_000) + rep) in
+          let folds = Dataset.Splits.k_folds rng ~n:n_total ~k in
+          Array.iter
+            (fun fold ->
+              let fold = if invert then Dataset.Splits.inverted fold else fold in
+              match fold_aucs ~w ~labels ~lambdas fold with
+              | None -> ()
+              | Some aucs -> List.iter2 Stats.Running.add accs aucs)
+            folds
+        done;
+        {
+          Sweep.label = Printf.sprintf "ratio %s" name;
+          xs = Array.of_list lambdas;
+          means = Array.of_list (List.map Stats.Running.mean accs);
+          stderrs =
+            Array.of_list
+              (List.map
+                 (fun acc ->
+                   if Stats.Running.count acc >= 2 then
+                     Stats.Running.standard_error acc
+                   else 0.)
+                 accs);
+        })
+      settings
+  in
+  {
+    Sweep.title =
+      Printf.sprintf "Fig.5: avg AUC vs lambda (COIL-like, N=%d, reps=%d)" n_total reps;
+    xlabel = "lambda";
+    ylabel = "avg AUC";
+    series;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Supporting demonstrations                                           *)
+(* ------------------------------------------------------------------ *)
+
+let toy_demo ~n ~m ~seed =
+  let rng = Prng.Rng.create seed in
+  let labels =
+    Array.init n (fun _ -> if Prng.Rng.bernoulli rng 0.6 then 1. else 0.)
+  in
+  let problem = Dataset.Toy.problem ~n ~m ~labels in
+  let prediction = Gssl.Hard.solve problem in
+  let expected = Dataset.Toy.expected_prediction labels in
+  let max_pred_err =
+    Vec.norm_inf (Vec.add_scalar (-.expected) prediction)
+  in
+  let inv_err =
+    Mat.max_abs
+      (Mat.sub (Dataset.Toy.system_inverse ~n ~m) (Dataset.Toy.expected_inverse ~n ~m))
+  in
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "Toy example (Section III): n=%d labeled, m=%d unlabeled\n" n m);
+  Buffer.add_string b
+    (Printf.sprintf "  label mean ybar                  = %.6f\n" expected);
+  Buffer.add_string b
+    (Printf.sprintf "  max |hard prediction - ybar|     = %.3e\n" max_pred_err);
+  Buffer.add_string b
+    (Printf.sprintf "  max |(D22-W22)^-1 - closed form| = %.3e\n" inv_err);
+  Buffer.add_string b
+    (Printf.sprintf "  (both should be ~0: the hard criterion predicts the label mean)\n");
+  Buffer.contents b
+
+let consistency_demo ?(seed = 11) ?(ns = [ 50; 100; 200; 400; 800; 1600 ]) ?(m = 20) () =
+  let labels = [ "hard sup-err"; "nw sup-err"; "hard-nw gap"; "soft(5) sup-err" ] in
+  let measure ~x rng =
+    let n = int_of_float x in
+    let samples = Dataset.Synthetic.sample_many rng Dataset.Synthetic.Model1 (n + m) in
+    let h = Kernel.Bandwidth.paper_rate ~d:Dataset.Synthetic.dimension n in
+    let problem, truth =
+      Dataset.Synthetic.to_problem ~kernel:Kernel.Kernel_fn.Rbf
+        ~bandwidth:(Kernel.Bandwidth.Fixed h) ~n_labeled:n samples
+    in
+    let hard = predict_adaptive ~lambda:0. problem in
+    let nw = Gssl.Nadaraya_watson.of_problem problem in
+    let soft5 = predict_adaptive ~lambda:5. problem in
+    let sup_err pred = Vec.norm_inf (Vec.sub pred truth) in
+    [ sup_err hard; sup_err nw; Vec.norm_inf (Vec.sub hard nw); sup_err soft5 ]
+  in
+  let series =
+    Sweep.grid ~seed ~reps:5 ~xs:(List.map float_of_int ns) ~labels measure
+  in
+  {
+    Sweep.title =
+      Printf.sprintf
+        "Consistency probe (Thm II.1): sup-norm errors vs n (Model 1, m=%d)" m;
+    xlabel = "n";
+    ylabel = "sup-norm error";
+    series;
+  }
+
+let time_once f =
+  let t0 = Sys.time () in
+  ignore (f ());
+  Sys.time () -. t0
+
+let complexity_table ?(seed = 13) ?(sizes = [ 50; 100; 200; 400 ]) () =
+  let rng = Prng.Rng.create seed in
+  let rows =
+    List.map
+      (fun size ->
+        let n = size and m = size in
+        let samples =
+          Dataset.Synthetic.sample_many rng Dataset.Synthetic.Model1 (n + m)
+        in
+        let h = Kernel.Bandwidth.paper_rate ~d:Dataset.Synthetic.dimension n in
+        let problem, _ =
+          Dataset.Synthetic.to_problem ~kernel:Kernel.Kernel_fn.Rbf
+            ~bandwidth:(Kernel.Bandwidth.Fixed h) ~n_labeled:n samples
+        in
+        let t_hard = time_once (fun () -> Gssl.Hard.solve problem) in
+        let t_soft =
+          time_once (fun () -> Gssl.Soft.solve ~lambda:0.1 problem)
+        in
+        [
+          string_of_int size;
+          string_of_int (n + m);
+          Printf.sprintf "%.4f" t_hard;
+          Printf.sprintf "%.4f" t_soft;
+          Printf.sprintf "%.1fx" (t_soft /. Stdlib.max 1e-9 t_hard);
+        ])
+      sizes
+  in
+  "Complexity remark (Prop. II.1): hard solves an mxm system, soft an (n+m)x(n+m) one\n"
+  ^ Table.render
+      ~header:[ "m (=n)"; "n+m"; "hard solve (s)"; "soft solve (s)"; "ratio" ]
+      rows

@@ -1,0 +1,66 @@
+(** Reproductions of the paper's five figures plus the supporting
+    demonstrations (toy example, complexity claim, consistency probes).
+
+    Defaults are sized to run on one core in minutes; pass [reps] (and
+    for Fig. 5 [dataset_size]) to approach the paper's full scale
+    (1000 replications for Figs. 1–4, 100 CV repetitions for Fig. 5).
+    Every function is deterministic given [seed]. *)
+
+val default_lambdas : float list
+(** The synthetic-study grid: 0, 0.01, 0.1, 5. *)
+
+val coil_lambdas : float list
+(** The COIL grid: 0, 0.01, 0.05, 0.1, 0.5, 1, 5. *)
+
+val predict_adaptive : lambda:float -> Gssl.Problem.t -> Linalg.Vec.t
+(** The solver-selection policy used by all experiments: hard criterion
+    for λ = 0 (direct for small systems, CG for large), soft criterion
+    otherwise (direct/CG by size, with a direct fallback if CG stalls). *)
+
+val fig1 :
+  ?domains:int -> ?reps:int -> ?seed:int -> ?ns:int list -> ?m:int ->
+  ?lambdas:float list -> unit -> Sweep.figure_result
+(** Model 1, RMSE vs n at fixed m (paper: m = 30,
+    n ∈ 10…1500, 1000 reps; default reps = 10).  [domains] > 1 runs the
+    grid on that many OCaml 5 domains with bit-identical results. *)
+
+val fig2 :
+  ?domains:int -> ?reps:int -> ?seed:int -> ?ms:int list -> ?n:int ->
+  ?lambdas:float list -> unit -> Sweep.figure_result
+(** Model 1, RMSE vs m at fixed n (paper: n = 100, m ∈ 30…1000). *)
+
+val fig3 :
+  ?domains:int -> ?reps:int -> ?seed:int -> ?ns:int list -> ?m:int ->
+  ?lambdas:float list -> unit -> Sweep.figure_result
+(** Model 2 (non-linear logit), RMSE vs n. *)
+
+val fig4 :
+  ?domains:int -> ?reps:int -> ?seed:int -> ?ms:int list -> ?n:int ->
+  ?lambdas:float list -> unit -> Sweep.figure_result
+(** Model 2, RMSE vs m. *)
+
+val fig5 :
+  ?reps:int -> ?seed:int -> ?lambdas:float list -> ?dataset_size:int ->
+  unit -> Sweep.figure_result
+(** COIL-like binary classification: average AUC vs λ for the three
+    labeled-to-unlabeled ratios 80/20 (5-fold, test = 1 fold), 20/80
+    (5-fold, train = 1 fold) and 10/90 (10-fold, train = 1 fold).
+    [reps] repetitions of each CV scheme (paper: 100; default 1);
+    [dataset_size] (default 1500) subsamples the simulated dataset for
+    quicker runs. *)
+
+(** {1 Supporting demonstrations} *)
+
+val toy_demo : n:int -> m:int -> seed:int -> string
+(** Render the Section III closed-form checks on a random label draw:
+    hard prediction = label mean, and the explicit inverse pattern. *)
+
+val consistency_demo :
+  ?seed:int -> ?ns:int list -> ?m:int -> unit -> Sweep.figure_result
+(** Theorem II.1 / Prop. II.2 probe: sup-norm error of the hard solution
+    against q(X), its gap to Nadaraya–Watson, and the soft(λ=5) error,
+    as n grows with fixed m. *)
+
+val complexity_table : ?seed:int -> ?sizes:int list -> unit -> string
+(** Wall-clock of one hard solve (O(m³), m = size) vs one soft solve
+    (O((n+m)³)) on equal data — the Proposition II.1 complexity remark. *)

@@ -1,0 +1,165 @@
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+
+let clamp01 = Array.map (fun v -> Stdlib.min 1. (Stdlib.max 0. v))
+
+let safe_auc ~truth ~scores =
+  match Stats.Roc.auc ~truth ~scores with
+  | v -> v
+  | exception Invalid_argument _ -> 0.5 (* single-class test set *)
+
+(* ------------------------------------------------------------------ *)
+(* indicators on the COIL protocol                                      *)
+(* ------------------------------------------------------------------ *)
+
+let indicator_study ?(reps = 3) ?(seed = 61) ?(dataset_size = 400)
+    ?(lambdas = Figures.coil_lambdas) () =
+  let master = Prng.Rng.create seed in
+  let data = Dataset.Coil.generate (Prng.Rng.substream master 0) in
+  let keep =
+    Prng.Rng.sample_without_replacement (Prng.Rng.substream master 1)
+      (Stdlib.min dataset_size 1500) 1500
+  in
+  let points = Array.map (fun i -> (Dataset.Coil.points data).(i)) keep in
+  let labels = Array.map (fun i -> (Dataset.Coil.labels data).(i)) keep in
+  let n_total = Array.length points in
+  let d2 = Kernel.Pairwise.sq_distance_matrix points in
+  let bandwidth = sqrt (Stats.Descriptive.median_of_pairwise_sq_distances points) in
+  let w =
+    Kernel.Similarity.dense_of_sq_distances ~kernel:Kernel.Kernel_fn.Rbf ~bandwidth d2
+  in
+  let n_lambda = List.length lambdas in
+  let metric_accs = Array.init 3 (fun _ -> Array.init n_lambda (fun _ -> Stats.Running.create ())) in
+  for rep = 0 to reps - 1 do
+    let rng = Prng.Rng.substream master (100 + rep) in
+    let folds = Dataset.Splits.k_folds rng ~n:n_total ~k:5 in
+    Array.iter
+      (fun fold ->
+        let train = fold.Dataset.Splits.train and test = fold.Dataset.Splits.test in
+        let truth = Array.map (fun i -> labels.(i)) test in
+        if Array.exists Fun.id truth && Array.exists not truth then begin
+          let perm = Array.append train test in
+          let wp = Mat.init n_total n_total (fun i j -> Mat.get w perm.(i) perm.(j)) in
+          let y = Array.map (fun i -> if labels.(i) then 1. else 0.) train in
+          let problem =
+            Gssl.Problem.make ~graph:(Graph.Weighted_graph.of_dense wp) ~labels:y
+          in
+          List.iteri
+            (fun li lambda ->
+              let scores = Figures.predict_adaptive ~lambda problem in
+              let c = Stats.Metrics.confusion ~truth scores in
+              Stats.Running.add metric_accs.(0).(li) (safe_auc ~truth ~scores);
+              Stats.Running.add metric_accs.(1).(li) (Stats.Metrics.accuracy c);
+              Stats.Running.add metric_accs.(2).(li) (Stats.Metrics.mcc c))
+            lambdas
+        end)
+      folds
+  done;
+  let make_figure idx name =
+    let accs = metric_accs.(idx) in
+    {
+      Sweep.title =
+        Printf.sprintf "Future work: avg %s vs lambda (COIL-like 80/20, N=%d, reps=%d)"
+          name n_total reps;
+      xlabel = "lambda";
+      ylabel = "avg " ^ name;
+      series =
+        [
+          {
+            Sweep.label = name;
+            xs = Array.of_list lambdas;
+            means = Array.map Stats.Running.mean accs;
+            stderrs =
+              Array.map
+                (fun a ->
+                  if Stats.Running.count a >= 2 then Stats.Running.standard_error a
+                  else 0.)
+                accs;
+          };
+        ];
+    }
+  in
+  (make_figure 0 "AUC", make_figure 1 "accuracy", make_figure 2 "MCC")
+
+(* ------------------------------------------------------------------ *)
+(* AUC consistency on synthetic data                                    *)
+(* ------------------------------------------------------------------ *)
+
+let synthetic_setup ~n ~m rng =
+  let samples = Dataset.Synthetic.sample_many rng Dataset.Synthetic.Model1 (n + m) in
+  let h = Kernel.Bandwidth.paper_rate ~d:5 n in
+  let problem, q_truth =
+    Dataset.Synthetic.to_problem ~kernel:Kernel.Kernel_fn.Rbf
+      ~bandwidth:(Kernel.Bandwidth.Fixed h) ~n_labeled:n samples
+  in
+  let y_truth =
+    Array.init m (fun a -> samples.(n + a).Dataset.Synthetic.y = 1.)
+  in
+  (problem, q_truth, y_truth)
+
+let auc_consistency_study ?(reps = 10) ?(seed = 62) ?(ns = [ 50; 150; 400; 1000 ])
+    ?(m = 100) () =
+  let labels = [ "hard"; "soft(5)"; "oracle q(X)" ] in
+  let measure ~x rng =
+    let n = int_of_float x in
+    let problem, q_truth, y_truth = synthetic_setup ~n ~m rng in
+    let hard = Figures.predict_adaptive ~lambda:0. problem in
+    let soft = Figures.predict_adaptive ~lambda:5. problem in
+    [
+      safe_auc ~truth:y_truth ~scores:hard;
+      safe_auc ~truth:y_truth ~scores:soft;
+      safe_auc ~truth:y_truth ~scores:q_truth;
+    ]
+  in
+  let series =
+    Sweep.grid ~seed ~reps ~xs:(List.map float_of_int ns) ~labels measure
+  in
+  {
+    Sweep.title =
+      Printf.sprintf
+        "Future work: AUC vs n against sampled labels (Model 1, m=%d, reps=%d)" m
+        reps;
+    xlabel = "n";
+    ylabel = "avg AUC";
+    series;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* calibration                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let calibration_study ?(reps = 10) ?(seed = 63) ?(ns = [ 50; 150; 400; 1000 ])
+    ?(m = 100) () =
+  let labels =
+    [
+      "Brier hard"; "Brier soft(5)"; "resolution hard"; "resolution soft(5)";
+    ]
+  in
+  let measure ~x rng =
+    let n = int_of_float x in
+    let problem, _, y_truth = synthetic_setup ~n ~m rng in
+    (* hard scores obey the maximum principle; soft scores can spill
+       slightly outside [0,1], so clamp both uniformly *)
+    let hard = clamp01 (Figures.predict_adaptive ~lambda:0. problem) in
+    let soft = clamp01 (Figures.predict_adaptive ~lambda:5. problem) in
+    let dec_hard = Stats.Calibration.brier_decomposition ~truth:y_truth hard in
+    let dec_soft = Stats.Calibration.brier_decomposition ~truth:y_truth soft in
+    [
+      Stats.Calibration.brier_score ~truth:y_truth hard;
+      Stats.Calibration.brier_score ~truth:y_truth soft;
+      dec_hard.Stats.Calibration.resolution;
+      dec_soft.Stats.Calibration.resolution;
+    ]
+  in
+  let series =
+    Sweep.grid ~seed ~reps ~xs:(List.map float_of_int ns) ~labels measure
+  in
+  {
+    Sweep.title =
+      Printf.sprintf
+        "Future work: Brier score and resolution vs n (Model 1, m=%d, reps=%d) - \
+         the collapsed soft forecaster is 'calibrated' but has no resolution" m reps;
+    xlabel = "n";
+    ylabel = "score";
+    series;
+  }

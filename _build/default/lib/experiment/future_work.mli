@@ -1,0 +1,29 @@
+(** Empirical probes of the paper's *future work* section.
+
+    The paper closes with two open directions: (1) the behaviour of other
+    accuracy indicators — AUC and MCC — under the two criteria, and
+    (2) the m ≫ n regime (covered by {!Ablations.regime_study}).  These
+    studies provide the numerics for (1), plus a calibration analysis
+    that follows directly from consistency (a consistent score estimate
+    of E[Y|X] is asymptotically calibrated; the collapsed soft scores
+    are not). *)
+
+val indicator_study :
+  ?reps:int -> ?seed:int -> ?dataset_size:int -> ?lambdas:float list ->
+  unit -> Sweep.figure_result * Sweep.figure_result * Sweep.figure_result
+(** On the simulated-COIL 80/20 protocol, measure (AUC, accuracy, MCC)
+    vs λ — three figure results in that order.  The paper's conjecture
+    to check: the λ-ordering seen for AUC (Fig. 5) persists for the
+    other indicators. *)
+
+val auc_consistency_study :
+  ?reps:int -> ?seed:int -> ?ns:int list -> ?m:int -> unit -> Sweep.figure_result
+(** On synthetic Model 1: AUC of the hard criterion and of soft(5) vs n,
+    against the oracle AUC of the true regression function q(X) — the
+    empirical version of "is AUC consistent as an indicator?". *)
+
+val calibration_study :
+  ?reps:int -> ?seed:int -> ?ns:int list -> ?m:int -> unit -> Sweep.figure_result
+(** Expected calibration error and Brier score of hard vs soft(1) as n
+    grows: consistency shows up as vanishing ECE for the hard criterion
+    only. *)

@@ -1,0 +1,61 @@
+let figure_markdown { Sweep.title; xlabel; series; _ } =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "**%s**\n\n" title);
+  Buffer.add_string buf
+    (Printf.sprintf "| %s | %s |\n" xlabel
+       (String.concat " | " (List.map (fun s -> s.Sweep.label) series)));
+  Buffer.add_string buf
+    (Printf.sprintf "|---|%s\n"
+       (String.concat "" (List.map (fun _ -> "---|") series)));
+  let n_x = match series with [] -> 0 | s :: _ -> Array.length s.Sweep.xs in
+  for i = 0 to n_x - 1 do
+    let x = match series with [] -> "" | s :: _ -> Table.float_cell s.Sweep.xs.(i) in
+    let cells = List.map (fun s -> Table.float_cell s.Sweep.means.(i)) series in
+    Buffer.add_string buf
+      (Printf.sprintf "| %s | %s |\n" x (String.concat " | " cells))
+  done;
+  Buffer.contents buf
+
+let slack s i = 2. *. Stdlib.max s.Sweep.stderrs.(i) s.Sweep.stderrs.(i - 1)
+
+let series_monotone_nonincreasing s =
+  let ok = ref true in
+  for i = 1 to Array.length s.Sweep.means - 1 do
+    if s.Sweep.means.(i) > s.Sweep.means.(i - 1) +. slack s i then ok := false
+  done;
+  !ok
+
+let series_monotone_nondecreasing s =
+  let ok = ref true in
+  for i = 1 to Array.length s.Sweep.means - 1 do
+    if s.Sweep.means.(i) < s.Sweep.means.(i - 1) -. slack s i then ok := false
+  done;
+  !ok
+
+let first_series_best ?(larger_is_better = false) { Sweep.series; _ } =
+  match series with
+  | [] | [ _ ] -> true
+  | first :: rest ->
+      let ok = ref true in
+      Array.iteri
+        (fun i best ->
+          List.iter
+            (fun s ->
+              let v = s.Sweep.means.(i) in
+              if larger_is_better then begin
+                if v > best +. 1e-12 then ok := false
+              end
+              else if v < best -. 1e-12 then ok := false)
+            rest)
+        first.Sweep.means;
+      !ok
+
+let shape_checks ({ Sweep.series; _ } as fig) =
+  let per_series =
+    List.map
+      (fun s ->
+        ( Printf.sprintf "series %s is finite" s.Sweep.label,
+          Array.for_all Float.is_finite s.Sweep.means ))
+      series
+  in
+  ("first series weakly best at every x", first_series_best fig) :: per_series

@@ -1,0 +1,23 @@
+(** Markdown rendering of experiment results (used to regenerate the
+    tables embedded in EXPERIMENTS.md). *)
+
+val figure_markdown : Sweep.figure_result -> string
+(** A GitHub-flavoured markdown table: one row per x, one column per
+    series. *)
+
+val shape_checks : Sweep.figure_result -> (string * bool) list
+(** Qualitative "shape" assertions extracted from a figure result, of the
+    kind the paper's narrative makes (e.g. series ordering); pairs of
+    description and pass/fail.  The specific checks: for every x, series
+    appear in the order given (first = best, i.e. smallest for RMSE-like
+    outputs) — callers pick which figures this applies to. *)
+
+val series_monotone_nonincreasing : Sweep.series -> bool
+(** Means never increase along x (within a 2-stderr slack per step). *)
+
+val series_monotone_nondecreasing : Sweep.series -> bool
+
+val first_series_best :
+  ?larger_is_better:bool -> Sweep.figure_result -> bool
+(** True when the first series is weakly best at every x (default:
+    smaller is better). *)

@@ -1,0 +1,151 @@
+let palette =
+  [| "#1f77b4"; "#d62728"; "#2ca02c"; "#ff7f0e"; "#9467bd"; "#8c564b"; "#17becf" |]
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* "nice" tick positions covering [lo, hi] *)
+let ticks lo hi count =
+  if hi <= lo then [ lo ]
+  else begin
+    let span = hi -. lo in
+    let raw_step = span /. float_of_int count in
+    let mag = 10. ** floor (log10 raw_step) in
+    let norm = raw_step /. mag in
+    let step = (if norm < 1.5 then 1. else if norm < 3.5 then 2. else if norm < 7.5 then 5. else 10.) *. mag in
+    let first = ceil (lo /. step) *. step in
+    let rec collect t acc =
+      if t > hi +. (1e-9 *. span) then List.rev acc else collect (t +. step) (t :: acc)
+    in
+    collect first []
+  end
+
+let render ?(width = 800) ?(height = 500) { Sweep.title; xlabel; ylabel; series } =
+  if width <= 0 || height <= 0 then invalid_arg "Svg_plot.render: bad dimensions";
+  let buf = Buffer.create 8192 in
+  let put fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  put
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+     viewBox=\"0 0 %d %d\" font-family=\"sans-serif\">\n"
+    width height width height;
+  put "<rect width=\"%d\" height=\"%d\" fill=\"white\"/>\n" width height;
+  put
+    "<text x=\"%d\" y=\"24\" text-anchor=\"middle\" font-size=\"16\">%s</text>\n"
+    (width / 2) (escape title);
+  let points =
+    List.concat_map
+      (fun s ->
+        Array.to_list (Array.map2 (fun x y -> (x, y)) s.Sweep.xs s.Sweep.means))
+      series
+  in
+  if points = [] then
+    put
+      "<text x=\"%d\" y=\"%d\" text-anchor=\"middle\" font-size=\"14\">(no \
+       data)</text>\n"
+      (width / 2) (height / 2)
+  else begin
+    let margin_l = 70 and margin_r = 170 and margin_t = 40 and margin_b = 60 in
+    let plot_w = float_of_int (width - margin_l - margin_r) in
+    let plot_h = float_of_int (height - margin_t - margin_b) in
+    let xs = List.map fst points and ys = List.map snd points in
+    let xmin = List.fold_left Stdlib.min (List.hd xs) xs in
+    let xmax = List.fold_left Stdlib.max (List.hd xs) xs in
+    let ymin = List.fold_left Stdlib.min (List.hd ys) ys in
+    let ymax = List.fold_left Stdlib.max (List.hd ys) ys in
+    (* pad the y range 5% so curves do not hug the frame *)
+    let ypad = Stdlib.max 1e-12 (0.05 *. (ymax -. ymin)) in
+    let ymin = ymin -. ypad and ymax = ymax +. ypad in
+    let xspan = if xmax > xmin then xmax -. xmin else 1. in
+    let yspan = ymax -. ymin in
+    let sx x = float_of_int margin_l +. ((x -. xmin) /. xspan *. plot_w) in
+    let sy y = float_of_int margin_t +. ((ymax -. y) /. yspan *. plot_h) in
+    (* frame *)
+    put
+      "<rect x=\"%d\" y=\"%d\" width=\"%.0f\" height=\"%.0f\" fill=\"none\" \
+       stroke=\"#333\"/>\n"
+      margin_l margin_t plot_w plot_h;
+    (* gridlines + ticks *)
+    List.iter
+      (fun t ->
+        let x = sx t in
+        put
+          "<line x1=\"%.1f\" y1=\"%d\" x2=\"%.1f\" y2=\"%.0f\" stroke=\"#ddd\"/>\n"
+          x margin_t x (float_of_int margin_t +. plot_h);
+        put
+          "<text x=\"%.1f\" y=\"%.0f\" text-anchor=\"middle\" \
+           font-size=\"11\">%g</text>\n"
+          x (float_of_int (height - margin_b) +. 18.) t)
+      (ticks xmin xmax 6);
+    List.iter
+      (fun t ->
+        let y = sy t in
+        put
+          "<line x1=\"%d\" y1=\"%.1f\" x2=\"%.0f\" y2=\"%.1f\" stroke=\"#ddd\"/>\n"
+          margin_l y (float_of_int margin_l +. plot_w) y;
+        put
+          "<text x=\"%d\" y=\"%.1f\" text-anchor=\"end\" font-size=\"11\">%g</text>\n"
+          (margin_l - 6) (y +. 4.) t)
+      (ticks ymin ymax 6);
+    (* axis labels *)
+    put
+      "<text x=\"%.0f\" y=\"%d\" text-anchor=\"middle\" font-size=\"13\">%s</text>\n"
+      (float_of_int margin_l +. (plot_w /. 2.))
+      (height - 12) (escape xlabel);
+    put
+      "<text x=\"18\" y=\"%.0f\" text-anchor=\"middle\" font-size=\"13\" \
+       transform=\"rotate(-90 18 %.0f)\">%s</text>\n"
+      (float_of_int margin_t +. (plot_h /. 2.))
+      (float_of_int margin_t +. (plot_h /. 2.))
+      (escape ylabel);
+    (* series *)
+    List.iteri
+      (fun si s ->
+        let colour = palette.(si mod Array.length palette) in
+        let coords =
+          Array.to_list
+            (Array.map2 (fun x y -> Printf.sprintf "%.1f,%.1f" (sx x) (sy y))
+               s.Sweep.xs s.Sweep.means)
+        in
+        put "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" stroke-width=\"2\"/>\n"
+          (String.concat " " coords) colour;
+        Array.iteri
+          (fun i x ->
+            let y = s.Sweep.means.(i) in
+            put "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"3\" fill=\"%s\"/>\n" (sx x)
+              (sy y) colour;
+            (* error bars when stderr is available *)
+            if s.Sweep.stderrs.(i) > 0. then begin
+              let e = s.Sweep.stderrs.(i) in
+              put
+                "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" \
+                 stroke=\"%s\" stroke-width=\"1\"/>\n"
+                (sx x) (sy (y -. e)) (sx x) (sy (y +. e)) colour
+            end)
+          s.Sweep.xs;
+        (* legend entry *)
+        let ly = margin_t + 10 + (si * 20) in
+        let lx = width - margin_r + 12 in
+        put
+          "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"%s\" \
+           stroke-width=\"2\"/>\n"
+          lx ly (lx + 20) ly colour;
+        put "<text x=\"%d\" y=\"%d\" font-size=\"12\">%s</text>\n" (lx + 26) (ly + 4)
+          (escape s.Sweep.label))
+      series
+  end;
+  put "</svg>\n";
+  Buffer.contents buf
+
+let write_file path fig =
+  let oc = open_out path in
+  output_string oc (render fig);
+  close_out oc

@@ -1,0 +1,15 @@
+(** SVG line-chart rendering of figure results.
+
+    Produces a self-contained [.svg] file per figure so reproduced
+    figures can be compared with the paper's visually.  No dependencies —
+    the SVG is assembled textually. *)
+
+val render : ?width:int -> ?height:int -> Sweep.figure_result -> string
+(** The SVG document as a string.  [width]×[height] in pixels (defaults
+    800×500).  Series are drawn as polylines with point markers and
+    distinct colours, with axes, tick labels and a legend.  Raises
+    [Invalid_argument] on non-positive dimensions; empty figures render
+    as a document with a "(no data)" note. *)
+
+val write_file : string -> Sweep.figure_result -> unit
+(** Render to a file. *)

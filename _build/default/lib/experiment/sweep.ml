@@ -1,0 +1,129 @@
+type series = {
+  label : string;
+  xs : float array;
+  means : float array;
+  stderrs : float array;
+}
+
+type figure_result = {
+  title : string;
+  xlabel : string;
+  ylabel : string;
+  series : series list;
+}
+
+let replicate ~seed ~reps f =
+  if reps < 1 then invalid_arg "Sweep.replicate: need reps >= 1";
+  let master = Prng.Rng.create seed in
+  let acc = Stats.Running.create () in
+  for k = 0 to reps - 1 do
+    Stats.Running.add acc (f (Prng.Rng.substream master k))
+  done;
+  acc
+
+let replicate_multi ~seed ~reps ~labels f =
+  if reps < 1 then invalid_arg "Sweep.replicate_multi: need reps >= 1";
+  let master = Prng.Rng.create seed in
+  let accs = List.map (fun l -> (l, Stats.Running.create ())) labels in
+  for k = 0 to reps - 1 do
+    let values = f (Prng.Rng.substream master k) in
+    if List.length values <> List.length labels then
+      failwith "Sweep.replicate_multi: wrong number of measurements";
+    List.iter2 (fun (_, acc) v -> Stats.Running.add acc v) accs values
+  done;
+  accs
+
+let grid ~seed ~reps ~xs ~labels f =
+  if reps < 1 then invalid_arg "Sweep.grid: need reps >= 1";
+  let master = Prng.Rng.create seed in
+  let n_x = List.length xs in
+  let xs_arr = Array.of_list xs in
+  (* per-label accumulator matrix: label -> grid index -> Running.t *)
+  let accs =
+    List.map (fun l -> (l, Array.init n_x (fun _ -> Stats.Running.create ()))) labels
+  in
+  List.iteri
+    (fun i x ->
+      for k = 0 to reps - 1 do
+        let rng = Prng.Rng.substream master ((i * 1_000_003) + k) in
+        let values = f ~x rng in
+        if List.length values <> List.length labels then
+          failwith "Sweep.grid: wrong number of measurements";
+        List.iter2 (fun (_, row) v -> Stats.Running.add row.(i) v) accs values
+      done)
+    xs;
+  List.map
+    (fun (label, row) ->
+      {
+        label;
+        xs = Array.copy xs_arr;
+        means = Array.map Stats.Running.mean row;
+        stderrs =
+          Array.map
+            (fun acc ->
+              if Stats.Running.count acc >= 2 then Stats.Running.standard_error acc
+              else 0.)
+            row;
+      })
+    accs
+
+let grid_parallel ?domains ~seed ~reps ~xs ~labels f =
+  let domains =
+    match domains with
+    | Some d ->
+        if d < 1 then invalid_arg "Sweep.grid_parallel: need domains >= 1";
+        d
+    | None -> Domain.recommended_domain_count ()
+  in
+  if domains = 1 then grid ~seed ~reps ~xs ~labels f
+  else begin
+    if reps < 1 then invalid_arg "Sweep.grid_parallel: need reps >= 1";
+    let master = Prng.Rng.create seed in
+    let xs_arr = Array.of_list xs in
+    let n_x = Array.length xs_arr in
+    let n_tasks = n_x * reps in
+    (* each cell is written by exactly one domain, so the plain array is
+       race-free; results are merged afterwards in a fixed order *)
+    let results : float list option array = Array.make n_tasks None in
+    let run_slice d () =
+      let t = ref d in
+      while !t < n_tasks do
+        let i = !t / reps and k = !t mod reps in
+        let rng = Prng.Rng.substream master ((i * 1_000_003) + k) in
+        results.(!t) <- Some (f ~x:xs_arr.(i) rng);
+        t := !t + domains
+      done
+    in
+    let workers = Array.init (domains - 1) (fun d -> Domain.spawn (run_slice (d + 1))) in
+    run_slice 0 ();
+    Array.iter Domain.join workers;
+    (* merge in the same (i, k) order as the sequential grid *)
+    let accs =
+      List.map (fun l -> (l, Array.init n_x (fun _ -> Stats.Running.create ()))) labels
+    in
+    for i = 0 to n_x - 1 do
+      for k = 0 to reps - 1 do
+        match results.((i * reps) + k) with
+        | None -> failwith "Sweep.grid_parallel: missing cell"
+        | Some values ->
+            if List.length values <> List.length labels then
+              failwith "Sweep.grid_parallel: wrong number of measurements";
+            List.iter2 (fun (_, row) v -> Stats.Running.add row.(i) v) accs values
+      done
+    done;
+    List.map
+      (fun (label, row) ->
+        {
+          label;
+          xs = Array.copy xs_arr;
+          means = Array.map Stats.Running.mean row;
+          stderrs =
+            Array.map
+              (fun acc ->
+                if Stats.Running.count acc >= 2 then
+                  Stats.Running.standard_error acc
+                else 0.)
+              row;
+        })
+      accs
+  end

@@ -1,0 +1,53 @@
+let float_cell v =
+  if v = 0. then "0"
+  else if Float.is_integer v && abs_float v < 1e7 then
+    Printf.sprintf "%.0f" v
+  else begin
+    let a = abs_float v in
+    if a >= 1e-3 && a < 1e5 then Printf.sprintf "%.4f" v
+    else Printf.sprintf "%.3e" v
+  end
+
+let render ~header rows =
+  let width = List.length header in
+  List.iter
+    (fun row ->
+      if List.length row <> width then invalid_arg "Table.render: ragged row")
+    rows;
+  let all = header :: rows in
+  let col_widths =
+    List.init width (fun j ->
+        List.fold_left (fun acc row -> Stdlib.max acc (String.length (List.nth row j))) 0 all)
+  in
+  let pad j cell =
+    let w = List.nth col_widths j in
+    if j = 0 then Printf.sprintf "%-*s" w cell else Printf.sprintf "%*s" w cell
+  in
+  let line row = String.concat "  " (List.mapi pad row) in
+  let rule =
+    String.concat "--" (List.map (fun w -> String.make w '-') col_widths)
+  in
+  String.concat "\n" (line header :: rule :: List.map line rows) ^ "\n"
+
+let of_figure { Sweep.title; xlabel; series; _ } =
+  let header = xlabel :: List.map (fun s -> s.Sweep.label) series in
+  let n_x =
+    match series with [] -> 0 | s :: _ -> Array.length s.Sweep.xs
+  in
+  let rows =
+    List.init n_x (fun i ->
+        let x =
+          match series with [] -> "" | s :: _ -> float_cell s.Sweep.xs.(i)
+        in
+        let cells =
+          List.map
+            (fun s ->
+              let m = float_cell s.Sweep.means.(i) in
+              if s.Sweep.stderrs.(i) > 0. then
+                Printf.sprintf "%s ±%s" m (float_cell s.Sweep.stderrs.(i))
+              else m)
+            series
+        in
+        x :: cells)
+  in
+  Printf.sprintf "%s\n%s" title (render ~header rows)

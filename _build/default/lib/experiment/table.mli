@@ -1,0 +1,12 @@
+(** Aligned ASCII tables for experiment output. *)
+
+val render : header:string list -> string list list -> string
+(** Left column left-aligned, the rest right-aligned; raises
+    [Invalid_argument] if a row's width differs from the header's. *)
+
+val of_figure : Sweep.figure_result -> string
+(** One row per x value, one column per series (mean ± stderr when
+    stderr > 0). *)
+
+val float_cell : float -> string
+(** Compact numeric formatting used throughout ("0.1234", "1.5e-08"…). *)

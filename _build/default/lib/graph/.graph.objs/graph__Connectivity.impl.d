@@ -1,0 +1,1 @@
+lib/graph/connectivity.ml: Array List Queue Stdlib Weighted_graph

@@ -1,0 +1,1 @@
+lib/graph/connectivity.mli: Weighted_graph

@@ -1,0 +1,1 @@
+lib/graph/generators.ml: Array Linalg List Prng Weighted_graph

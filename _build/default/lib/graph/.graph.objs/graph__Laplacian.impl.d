@@ -1,0 +1,1 @@
+lib/graph/laplacian.ml: Array Linalg Sparse Weighted_graph

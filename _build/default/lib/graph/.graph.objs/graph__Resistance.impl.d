@@ -1,0 +1,1 @@
+lib/graph/resistance.ml: Array Connectivity Laplacian Linalg Stdlib Weighted_graph

@@ -1,0 +1,1 @@
+lib/graph/resistance.mli: Weighted_graph

@@ -1,0 +1,1 @@
+lib/graph/spectral.ml: Array Laplacian Linalg Weighted_graph

@@ -1,0 +1,1 @@
+lib/graph/spectral.mli: Laplacian Linalg Weighted_graph

@@ -1,0 +1,1 @@
+lib/graph/spectral_clustering.ml: Array Laplacian Linalg Sparse Stats Stdlib Weighted_graph

@@ -1,0 +1,1 @@
+lib/graph/spectral_clustering.mli: Linalg Prng Weighted_graph

@@ -1,0 +1,58 @@
+(* Union-find with path compression over the thresholded edge set. *)
+
+let components ?(threshold = 0.) g =
+  let n = Weighted_graph.order g in
+  let parent = Array.init n (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else begin
+      parent.(i) <- find parent.(i);
+      parent.(i)
+    end
+  in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(ri) <- rj
+  in
+  Weighted_graph.iter_edges g (fun i j w -> if w > threshold then union i j);
+  (* relabel roots consecutively *)
+  let label = Array.make n (-1) in
+  let next = ref 0 in
+  Array.init n (fun i ->
+      let r = find i in
+      if label.(r) = -1 then begin
+        label.(r) <- !next;
+        incr next
+      end;
+      label.(r))
+
+let count_components ?threshold g =
+  let c = components ?threshold g in
+  1 + Array.fold_left Stdlib.max (-1) c
+
+let is_connected ?threshold g = count_components ?threshold g <= 1
+
+let bfs_distances ?(threshold = 0.) g source =
+  let n = Weighted_graph.order g in
+  if source < 0 || source >= n then
+    invalid_arg "Connectivity.bfs_distances: bad source";
+  (* adjacency from thresholded edges *)
+  let adj = Array.make n [] in
+  Weighted_graph.iter_edges g (fun i j w ->
+      if w > threshold then begin
+        adj.(i) <- j :: adj.(i);
+        adj.(j) <- i :: adj.(j)
+      end);
+  let dist = Array.make n (-1) in
+  dist.(source) <- 0;
+  let queue = Queue.create () in
+  Queue.add source queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun v ->
+        if dist.(v) = -1 then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end)
+      adj.(u)
+  done;
+  dist

@@ -1,0 +1,96 @@
+module Mat = Linalg.Mat
+module Vec = Linalg.Vec
+
+type kind = Unnormalized | Symmetric_normalized | Random_walk
+
+let check_degrees kind d =
+  match kind with
+  | Unnormalized -> ()
+  | Symmetric_normalized | Random_walk ->
+      Array.iter
+        (fun v ->
+          if v <= 0. then
+            invalid_arg "Laplacian: normalized Laplacian needs positive degrees")
+        d
+
+let dense ?(kind = Unnormalized) g =
+  let w = Weighted_graph.to_dense g in
+  let d = Weighted_graph.degrees g in
+  check_degrees kind d;
+  let n = Weighted_graph.order g in
+  match kind with
+  | Unnormalized ->
+      Mat.init n n (fun i j ->
+          if i = j then d.(i) -. Mat.get w i j else -.Mat.get w i j)
+  | Symmetric_normalized ->
+      Mat.init n n (fun i j ->
+          let v = Mat.get w i j /. sqrt (d.(i) *. d.(j)) in
+          if i = j then 1. -. v else -.v)
+  | Random_walk ->
+      Mat.init n n (fun i j ->
+          let v = Mat.get w i j /. d.(i) in
+          if i = j then 1. -. v else -.v)
+
+let sparse ?(kind = Unnormalized) g =
+  let d = Weighted_graph.degrees g in
+  check_degrees kind d;
+  let n = Weighted_graph.order g in
+  let coo = Sparse.Coo.create n n in
+  let add_weight i j w =
+    match kind with
+    | Unnormalized ->
+        Sparse.Coo.add coo i j (-.w);
+        Sparse.Coo.add coo j i (-.w)
+    | Symmetric_normalized ->
+        let v = w /. sqrt (d.(i) *. d.(j)) in
+        Sparse.Coo.add coo i j (-.v);
+        Sparse.Coo.add coo j i (-.v)
+    | Random_walk ->
+        Sparse.Coo.add coo i j (-.(w /. d.(i)));
+        Sparse.Coo.add coo j i (-.(w /. d.(j)))
+  in
+  Weighted_graph.iter_edges g add_weight;
+  (* diagonal: degree minus self-loop weight for unnormalized; the
+     normalized kinds have 1 − w_ii/d_i on the diagonal *)
+  for i = 0 to n - 1 do
+    let wii = Weighted_graph.weight g i i in
+    match kind with
+    | Unnormalized -> Sparse.Coo.add coo i i (d.(i) -. wii)
+    | Symmetric_normalized | Random_walk -> Sparse.Coo.add coo i i (1. -. (wii /. d.(i)))
+  done;
+  Sparse.Csr.of_coo coo
+
+let quadratic_energy g f =
+  if Array.length f <> Weighted_graph.order g then
+    invalid_arg "Laplacian.quadratic_energy: length mismatch";
+  let acc = ref 0. in
+  Weighted_graph.iter_edges g (fun i j w ->
+      let d = f.(i) -. f.(j) in
+      (* each unordered pair appears twice in the paper's double sum *)
+      acc := !acc +. (2. *. w *. d *. d));
+  !acc
+
+let operator ~lambda ~n_labeled g =
+  if lambda < 0. then invalid_arg "Laplacian.operator: negative lambda";
+  let n = Weighted_graph.order g in
+  if n_labeled < 0 || n_labeled > n then
+    invalid_arg "Laplacian.operator: n_labeled out of range";
+  let d = Weighted_graph.degrees g in
+  let apply_w f =
+    match Weighted_graph.storage g with
+    | Weighted_graph.Dense m -> Mat.mv m f
+    | Weighted_graph.Sparse c -> Sparse.Csr.mv c f
+  in
+  let apply f =
+    if Array.length f <> n then invalid_arg "Laplacian.operator: length mismatch";
+    let wf = apply_w f in
+    Array.init n (fun i ->
+        let v_part = if i < n_labeled then f.(i) else 0. in
+        v_part +. (lambda *. ((d.(i) *. f.(i)) -. wf.(i))))
+  in
+  let diag () =
+    Array.init n (fun i ->
+        let v_part = if i < n_labeled then 1. else 0. in
+        v_part +. (lambda *. (d.(i) -. Weighted_graph.weight g i i)))
+  in
+  Sparse.Linop.of_fun ~dim:n ~diag apply

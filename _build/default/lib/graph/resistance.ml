@@ -1,0 +1,50 @@
+module Mat = Linalg.Mat
+module Vec = Linalg.Vec
+
+type t = { pinv : Mat.t; volume : float; order : int }
+
+let make g =
+  let n = Weighted_graph.order g in
+  if n < 2 then invalid_arg "Resistance.make: need at least 2 vertices";
+  if not (Connectivity.is_connected g) then
+    invalid_arg "Resistance.make: graph is disconnected";
+  let { Linalg.Eigen.values; vectors } =
+    Linalg.Eigen.jacobi (Laplacian.dense g)
+  in
+  (* a connected graph has exactly one zero eigenvalue: drop precisely
+     that mode.  If the algebraic connectivity is at numerical-noise
+     level the pseudoinverse (and hence every resistance) would be
+     garbage, so refuse such graphs instead of silently truncating. *)
+  let scale = Stdlib.max 1. values.(n - 1) in
+  if values.(1) <= 1e-12 *. scale then
+    invalid_arg
+      "Resistance.make: graph is numerically disconnected (algebraic \
+       connectivity at noise level)";
+  let pinv = Mat.zeros n n in
+  for k = 1 to n - 1 do
+    begin
+      let v = Mat.col vectors k in
+      let scale = 1. /. values.(k) in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          (* group v_i·v_j first so the update is bitwise symmetric in
+             (i, j) — resistance queries then satisfy R(u,v) = R(v,u)
+             exactly *)
+          Mat.set pinv i j (Mat.get pinv i j +. (scale *. (v.(i) *. v.(j))))
+        done
+      done
+    end
+  done;
+  { pinv; volume = Weighted_graph.total_weight g; order = n }
+
+let check_vertex t v =
+  if v < 0 || v >= t.order then invalid_arg "Resistance: vertex out of range"
+
+let effective_resistance t u v =
+  check_vertex t u;
+  check_vertex t v;
+  Mat.get t.pinv u u +. Mat.get t.pinv v v -. (2. *. Mat.get t.pinv u v)
+
+let commute_time t u v = t.volume *. effective_resistance t u v
+
+let total_resistance t = float_of_int t.order *. Mat.trace t.pinv

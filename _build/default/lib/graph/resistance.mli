@@ -1,0 +1,26 @@
+(** Effective resistance (resistance distance) on weighted graphs.
+
+    Viewing edge weights as electrical conductances, the effective
+    resistance [R(u,v)] is a metric tied directly to the random-walk
+    picture behind the hard criterion: the commute time between [u] and
+    [v] is [vol(G)·R(u,v)].  Computed through the Moore–Penrose
+    pseudoinverse of the Laplacian (dense eigendecomposition — intended
+    for graphs up to a few hundred vertices). *)
+
+type t
+(** A precomputed pseudoinverse, reusable across queries. *)
+
+val make : Weighted_graph.t -> t
+(** Raises [Invalid_argument] on a disconnected graph (resistance is
+    infinite across components) or a graph with fewer than 2 vertices. *)
+
+val effective_resistance : t -> int -> int -> float
+(** [R(u,v) = L⁺_uu + L⁺_vv − 2L⁺_uv]; zero iff [u = v].  Raises
+    [Invalid_argument] on out-of-range vertices. *)
+
+val commute_time : t -> int -> int -> float
+(** Expected round-trip steps of the random walk: [vol(G)·R(u,v)] where
+    [vol(G) = Σ_i d_i]. *)
+
+val total_resistance : t -> float
+(** The Kirchhoff index [Σ_{u<v} R(u,v) = n·tr(L⁺)]. *)

@@ -1,0 +1,13 @@
+let spectrum ?kind g = Linalg.Eigen.eigenvalues (Laplacian.dense ?kind g)
+
+let fiedler g =
+  if Weighted_graph.order g < 2 then
+    invalid_arg "Spectral.fiedler: need at least 2 vertices";
+  let { Linalg.Eigen.values; vectors } =
+    Linalg.Eigen.jacobi (Laplacian.dense g)
+  in
+  (values.(1), Linalg.Mat.col vectors 1)
+
+let spectral_gap g =
+  let values = spectrum g in
+  values.(1) -. values.(0)

@@ -1,0 +1,16 @@
+(** Spectral properties of graph Laplacians.
+
+    Used to sanity-check graphs (algebraic connectivity > 0 iff connected)
+    and in the extended analysis examples. *)
+
+val spectrum : ?kind:Laplacian.kind -> Weighted_graph.t -> Linalg.Vec.t
+(** All Laplacian eigenvalues, ascending (dense Jacobi — O(n³), intended
+    for graphs up to a few hundred vertices). *)
+
+val fiedler : Weighted_graph.t -> float * Linalg.Vec.t
+(** Algebraic connectivity (second-smallest eigenvalue of the
+    unnormalized Laplacian) and its eigenvector.  Raises
+    [Invalid_argument] on graphs with fewer than 2 vertices. *)
+
+val spectral_gap : Weighted_graph.t -> float
+(** [lambda_2 − lambda_1] of the unnormalized Laplacian (λ₁ ≈ 0). *)

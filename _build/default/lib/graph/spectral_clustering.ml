@@ -1,0 +1,46 @@
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+
+(* k smallest eigenvectors of L_sym, as columns *)
+let small_eigenvectors ~via_lanczos ~k g =
+  let n = Weighted_graph.order g in
+  if k < 1 || k > n then
+    invalid_arg "Spectral_clustering: k outside [1, order]";
+  if via_lanczos then begin
+    let l_sym = Laplacian.sparse ~kind:Laplacian.Symmetric_normalized g in
+    (* largest eigenpairs of cI − L_sym = smallest of L_sym; L_sym's
+       spectrum lies in [0, 2], so c = 2 suffices *)
+    let c = 2. in
+    let op =
+      Sparse.Linop.of_fun ~dim:n
+        ~diag:(fun () ->
+          Vec.add_scalar c (Vec.neg (Sparse.Csr.diagonal l_sym)))
+        (fun x ->
+          let lx = Sparse.Csr.mv l_sym x in
+          Vec.sub (Vec.scale c x) lx)
+    in
+    (* a few extra Krylov directions sharpen the extreme Ritz pairs *)
+    let steps = Stdlib.min n (k + Stdlib.max 10 (2 * k)) in
+    let pairs = Sparse.Lanczos.ritz_pairs (Sparse.Lanczos.run ~k:steps op) in
+    (* largest Ritz values of cI − L_sym come last *)
+    let total = Array.length pairs in
+    Array.init k (fun j -> snd pairs.(total - 1 - j))
+  end
+  else begin
+    let { Linalg.Eigen.vectors; _ } =
+      Linalg.Eigen.jacobi (Laplacian.dense ~kind:Laplacian.Symmetric_normalized g)
+    in
+    Array.init k (fun j -> Mat.col vectors j)
+  end
+
+let embedding ?(via_lanczos = false) ~k g =
+  let cols = small_eigenvectors ~via_lanczos ~k g in
+  let n = Weighted_graph.order g in
+  Array.init n (fun i ->
+      let row = Array.init k (fun j -> cols.(j).(i)) in
+      let norm = Vec.norm2 row in
+      if norm > 1e-12 then Vec.scale (1. /. norm) row else row)
+
+let cluster ?via_lanczos ~rng ~k g =
+  let rows = embedding ?via_lanczos ~k g in
+  (Stats.Kmeans.fit ~rng ~k rows).Stats.Kmeans.assignments

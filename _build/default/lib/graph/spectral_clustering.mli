@@ -1,0 +1,24 @@
+(** Spectral clustering (Ng–Jordan–Weiss style).
+
+    Embeds vertices into the eigenspace of the [k] smallest eigenvectors
+    of the symmetric normalized Laplacian (rows normalised to unit
+    length), then k-means in the embedding.  The unsupervised counterpart
+    of the paper's semi-supervised criteria — it exploits the same
+    cluster structure using *zero* labels, and the examples compare the
+    two regimes. *)
+
+val embedding : ?via_lanczos:bool -> k:int -> Weighted_graph.t -> Linalg.Vec.t array
+(** Per-vertex embedding rows (length [k]).  [via_lanczos] (default
+    false) computes the eigenvectors with {!Sparse.Lanczos} on
+    [cI − L_sym] instead of a dense Jacobi — the path for large sparse
+    graphs.  Rows of zero norm (isolated in eigenspace) are left
+    unnormalised.  Raises [Invalid_argument] when [k] is outside
+    [1, order], or some vertex has zero degree. *)
+
+val cluster :
+  ?via_lanczos:bool ->
+  rng:Prng.Rng.t ->
+  k:int ->
+  Weighted_graph.t ->
+  int array
+(** Cluster labels in [0, k) per vertex. *)

@@ -1,0 +1,73 @@
+module Mat = Linalg.Mat
+module Vec = Linalg.Vec
+
+type storage = Dense of Mat.t | Sparse of Sparse.Csr.t
+
+type t = { storage : storage; order : int; mutable degrees : Vec.t option }
+
+let validate_dense m =
+  if not (Mat.is_square m) then invalid_arg "Weighted_graph: matrix not square";
+  if not (Mat.is_symmetric ~tol:1e-9 m) then
+    invalid_arg "Weighted_graph: matrix not symmetric";
+  Array.iter
+    (fun v -> if v < 0. then invalid_arg "Weighted_graph: negative weight")
+    m.Mat.data
+
+let validate_sparse c =
+  let rows, cols = Sparse.Csr.dims c in
+  if rows <> cols then invalid_arg "Weighted_graph: matrix not square";
+  if not (Sparse.Csr.is_symmetric ~tol:1e-9 c) then
+    invalid_arg "Weighted_graph: matrix not symmetric";
+  Array.iter
+    (fun v -> if v < 0. then invalid_arg "Weighted_graph: negative weight")
+    c.Sparse.Csr.values
+
+let of_dense m =
+  validate_dense m;
+  { storage = Dense m; order = m.Mat.rows; degrees = None }
+
+let of_sparse c =
+  validate_sparse c;
+  { storage = Sparse c; order = fst (Sparse.Csr.dims c); degrees = None }
+
+let order t = t.order
+
+let weight t i j =
+  match t.storage with
+  | Dense m -> Mat.get m i j
+  | Sparse c -> Sparse.Csr.get c i j
+
+let degrees t =
+  match t.degrees with
+  | Some d -> d
+  | None ->
+      let d =
+        match t.storage with
+        | Dense m -> Mat.row_sums m
+        | Sparse c -> Sparse.Csr.row_sums c
+      in
+      t.degrees <- Some d;
+      d
+
+let storage t = t.storage
+
+let to_dense t =
+  match t.storage with
+  | Dense m -> Mat.copy m
+  | Sparse c -> Sparse.Csr.to_dense c
+
+let total_weight t = Vec.sum (degrees t)
+
+let iter_edges t f =
+  match t.storage with
+  | Dense m ->
+      for i = 0 to t.order - 1 do
+        for j = i + 1 to t.order - 1 do
+          let w = Mat.get m i j in
+          if w <> 0. then f i j w
+        done
+      done
+  | Sparse c ->
+      for i = 0 to t.order - 1 do
+        Sparse.Csr.iter_row c i (fun j w -> if j > i && w <> 0. then f i j w)
+      done

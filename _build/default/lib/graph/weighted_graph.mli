@@ -1,0 +1,35 @@
+(** Weighted undirected graphs backed by a dense or sparse similarity
+    matrix.
+
+    The paper's graph G = (V, E) has one node per input and edge weights
+    [w_ij ∈ [0, 1]] from the kernel; this module wraps either
+    representation behind one interface and provides degrees, which are
+    what the Laplacian and the SSL solvers consume. *)
+
+type storage = Dense of Linalg.Mat.t | Sparse of Sparse.Csr.t
+
+type t
+
+val of_dense : Linalg.Mat.t -> t
+(** Raises [Invalid_argument] unless the matrix is square, symmetric
+    (tol 1e-9) and entrywise ≥ 0. *)
+
+val of_sparse : Sparse.Csr.t -> t
+(** Same validation. *)
+
+val order : t -> int
+(** Number of vertices. *)
+
+val weight : t -> int -> int -> float
+val degrees : t -> Linalg.Vec.t
+(** [d_i = Σ_j w_ij] — computed once and cached. *)
+
+val storage : t -> storage
+val to_dense : t -> Linalg.Mat.t
+(** Materialise the weight matrix (copying if already dense). *)
+
+val total_weight : t -> float
+(** [Σ_ij w_ij] (each undirected edge counted twice, like the paper). *)
+
+val iter_edges : t -> (int -> int -> float -> unit) -> unit
+(** Visit every nonzero [w_ij] with [i < j] once. *)

@@ -1,0 +1,1 @@
+lib/gssl/active.ml: Array Graph Incremental List Prng

@@ -1,0 +1,1 @@
+lib/gssl/active.mli: Incremental Prng

@@ -1,0 +1,1 @@
+lib/gssl/cmn.mli: Linalg

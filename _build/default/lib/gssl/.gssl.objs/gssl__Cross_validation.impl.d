@@ -1,0 +1,1 @@
+lib/gssl/cross_validation.ml: Array Graph Hard Linalg List Prng Problem Soft Stats

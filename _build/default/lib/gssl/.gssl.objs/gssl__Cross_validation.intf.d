@@ -1,0 +1,1 @@
+lib/gssl/cross_validation.mli: Prng Problem

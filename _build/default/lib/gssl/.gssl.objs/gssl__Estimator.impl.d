@@ -1,0 +1,1 @@
+lib/gssl/estimator.ml: Array Hard Label_propagation Linalg Printf Problem Soft

@@ -1,0 +1,1 @@
+lib/gssl/estimator.mli: Linalg Problem

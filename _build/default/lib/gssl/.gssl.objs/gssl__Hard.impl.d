@@ -1,0 +1,1 @@
+lib/gssl/hard.ml: Array Graph Hashtbl Linalg Problem Sparse

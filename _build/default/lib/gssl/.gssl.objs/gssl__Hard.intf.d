@@ -1,0 +1,1 @@
+lib/gssl/hard.mli: Linalg Problem

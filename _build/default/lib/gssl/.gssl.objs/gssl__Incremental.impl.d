@@ -1,0 +1,1 @@
+lib/gssl/incremental.ml: Array Graph Hard Hashtbl Linalg List Problem Seq

@@ -1,0 +1,1 @@
+lib/gssl/incremental.mli: Graph Problem

@@ -1,0 +1,1 @@
+lib/gssl/induction.ml: Array Estimator Kernel Linalg Problem

@@ -1,0 +1,1 @@
+lib/gssl/induction.mli: Estimator Kernel Linalg Problem

@@ -1,0 +1,1 @@
+lib/gssl/label_propagation.ml: Array Graph Linalg Printf Problem

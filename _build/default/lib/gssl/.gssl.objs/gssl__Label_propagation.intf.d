@@ -1,0 +1,1 @@
+lib/gssl/label_propagation.mli: Linalg Problem

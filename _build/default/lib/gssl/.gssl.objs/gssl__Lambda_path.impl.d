@@ -1,0 +1,1 @@
+lib/gssl/lambda_path.ml: Array Hard Linalg Problem Soft

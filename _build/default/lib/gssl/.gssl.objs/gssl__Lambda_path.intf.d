@@ -1,0 +1,1 @@
+lib/gssl/lambda_path.mli: Linalg Problem

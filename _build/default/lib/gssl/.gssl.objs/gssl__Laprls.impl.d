@@ -1,0 +1,1 @@
+lib/gssl/laprls.ml: Array Graph Kernel Linalg

@@ -1,0 +1,1 @@
+lib/gssl/laprls.mli: Kernel Linalg

@@ -1,0 +1,1 @@
+lib/gssl/local_global.ml: Array Graph Linalg Problem

@@ -1,0 +1,1 @@
+lib/gssl/local_global.mli: Linalg Problem

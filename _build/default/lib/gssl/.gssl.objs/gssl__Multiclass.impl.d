@@ -1,0 +1,1 @@
+lib/gssl/multiclass.ml: Array Estimator Graph Hard Linalg Problem Stdlib

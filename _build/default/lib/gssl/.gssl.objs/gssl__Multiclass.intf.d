@@ -1,0 +1,1 @@
+lib/gssl/multiclass.mli: Estimator Graph Linalg

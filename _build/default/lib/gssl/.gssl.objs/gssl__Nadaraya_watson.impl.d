@@ -1,0 +1,1 @@
+lib/gssl/nadaraya_watson.ml: Array Graph Kernel Problem

@@ -1,0 +1,1 @@
+lib/gssl/nadaraya_watson.mli: Kernel Linalg Problem

@@ -1,0 +1,1 @@
+lib/gssl/problem.ml: Array Graph Kernel Linalg

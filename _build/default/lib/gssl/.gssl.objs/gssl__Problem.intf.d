@@ -1,0 +1,1 @@
+lib/gssl/problem.mli: Graph Kernel Linalg

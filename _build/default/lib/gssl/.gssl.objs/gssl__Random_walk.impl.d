@@ -1,0 +1,1 @@
+lib/gssl/random_walk.ml: Array Graph Hard Hashtbl Linalg Prng Problem Scalable Sparse Stdlib

@@ -1,0 +1,1 @@
+lib/gssl/random_walk.mli: Linalg Prng Problem

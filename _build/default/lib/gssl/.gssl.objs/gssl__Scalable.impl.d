@@ -1,0 +1,1 @@
+lib/gssl/scalable.ml: Array Graph Hard Hashtbl Linalg Printf Problem Sparse

@@ -1,0 +1,1 @@
+lib/gssl/scalable.mli: Linalg Problem Sparse

@@ -1,0 +1,1 @@
+lib/gssl/soft.ml: Array Graph Linalg Problem Sparse

@@ -1,0 +1,1 @@
+lib/gssl/soft.mli: Linalg Problem

@@ -1,0 +1,1 @@
+lib/gssl/theory.ml: Array Graph Hard Linalg Nadaraya_watson Problem Soft

@@ -1,0 +1,1 @@
+lib/gssl/theory.mli: Linalg Problem

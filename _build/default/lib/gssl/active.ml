@@ -1,0 +1,39 @@
+type strategy = Uncertainty | Density_weighted | Random of Prng.Rng.t
+
+let select strategy solver =
+  let scored = Incremental.predict solver in
+  if Array.length scored = 0 then
+    invalid_arg "Active.select: no unlabeled vertices remain";
+  match strategy with
+  | Random rng -> fst (Prng.Rng.choose rng scored)
+  | Uncertainty ->
+      let best = ref scored.(0) in
+      Array.iter
+        (fun (v, s) ->
+          if abs_float (s -. 0.5) < abs_float (snd !best -. 0.5) then
+            best := (v, s))
+        scored;
+      fst !best
+  | Density_weighted ->
+      let degrees = Graph.Weighted_graph.degrees (Incremental.graph solver) in
+      (* informativeness: (1 - 2|s - 1/2|) in [0,1], scaled by degree *)
+      let value (v, s) =
+        (1. -. (2. *. abs_float (s -. 0.5))) *. degrees.(v)
+      in
+      let best = ref scored.(0) in
+      Array.iter (fun p -> if value p > value !best then best := p) scored;
+      fst !best
+
+let run strategy ~oracle ~budget solver =
+  if budget < 0 then invalid_arg "Active.run: negative budget";
+  let acquired = ref [] in
+  (try
+     for _ = 1 to budget do
+       if Incremental.n_remaining solver = 0 then raise Exit;
+       let vertex = select strategy solver in
+       let label = oracle vertex in
+       Incremental.reveal solver ~vertex ~label;
+       acquired := (vertex, label) :: !acquired
+     done
+   with Exit -> ());
+  List.rev !acquired

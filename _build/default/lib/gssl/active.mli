@@ -1,0 +1,27 @@
+(** Query strategies for active semi-supervised learning.
+
+    Given the current scores on the unlabeled vertices, pick which one to
+    send to the annotator next.  Combines with {!Incremental} for an
+    O(m²)-per-step active-learning loop. *)
+
+type strategy =
+  | Uncertainty
+      (** closest score to the decision threshold 0.5 *)
+  | Density_weighted
+      (** uncertainty × vertex degree — prefer ambiguous points in dense
+          regions, where a label propagates to many neighbours *)
+  | Random of Prng.Rng.t
+
+val select : strategy -> Incremental.t -> int
+(** The graph vertex to query next.  Raises [Invalid_argument] when no
+    unlabeled vertices remain. *)
+
+val run :
+  strategy ->
+  oracle:(int -> float) ->
+  budget:int ->
+  Incremental.t ->
+  (int * float) list
+(** Run [budget] query/reveal rounds (or until nothing is unlabeled),
+    returning the [(vertex, label)] pairs acquired in order.  Raises
+    [Invalid_argument] on negative budget. *)

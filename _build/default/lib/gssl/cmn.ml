@@ -1,0 +1,20 @@
+module Vec = Linalg.Vec
+
+let scores ?prior ~labels f =
+  let q = match prior with Some q -> q | None -> Vec.mean labels in
+  if q <= 0. || q >= 1. then invalid_arg "Cmn.scores: prior outside (0,1)";
+  Array.iter
+    (fun v ->
+      if v < -1e-9 || v > 1. +. 1e-9 then
+        invalid_arg "Cmn.scores: scores must lie in [0,1]")
+    f;
+  let pos_mass = Vec.sum f in
+  let neg_mass = float_of_int (Array.length f) -. pos_mass in
+  if pos_mass <= 0. || neg_mass <= 0. then
+    invalid_arg "Cmn.scores: one class has zero mass";
+  Array.map
+    (fun v -> (q *. v /. pos_mass) -. ((1. -. q) *. (1. -. v) /. neg_mass))
+    f
+
+let classify ?prior ~labels f =
+  Array.map (fun s -> s > 0.) (scores ?prior ~labels f)

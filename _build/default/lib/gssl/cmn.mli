@@ -1,0 +1,22 @@
+(** Class-mass normalization (Zhu, Ghahramani & Lafferty 2003, §4).
+
+    The harmonic solution's decision threshold can be mis-calibrated when
+    the classes are unbalanced; CMN rescales the positive and negative
+    masses to match prior class proportions before thresholding:
+
+    {v  predict positive  iff  q·f_a / Σf  >  (1−q)·(1−f_a) / Σ(1−f) v}
+
+    where [q] is the prior positive proportion (estimated from the
+    labeled set by default).  This is the standard companion to the hard
+    criterion and is exercised by the image-classification example. *)
+
+val scores : ?prior:float -> labels:Linalg.Vec.t -> Linalg.Vec.t -> Linalg.Vec.t
+(** [scores ~labels f] rescales harmonic scores [f] (all in [0, 1]) into
+    CMN decision scores: positive mass minus negative mass, so the
+    decision threshold becomes 0.  [prior] defaults to the mean of
+    [labels].  Raises [Invalid_argument] when [prior] is outside (0, 1),
+    scores lie outside [0,1], or the score mass of either class is
+    zero. *)
+
+val classify : ?prior:float -> labels:Linalg.Vec.t -> Linalg.Vec.t -> bool array
+(** Threshold {!scores} at 0. *)

@@ -1,0 +1,80 @@
+module Mat = Linalg.Mat
+
+type result = { best_lambda : float; scores : (float * float) array }
+
+(* Local fold partition of [0 … n-1] (lib/dataset depends on this library,
+   so we cannot use its Splits module here). *)
+let k_folds rng ~n ~k =
+  let perm = Prng.Rng.permutation rng n in
+  let base = n / k and extra = n mod k in
+  let starts = Array.make (k + 1) 0 in
+  for f = 0 to k - 1 do
+    starts.(f + 1) <- starts.(f) + base + (if f < extra then 1 else 0)
+  done;
+  Array.init k (fun f ->
+      let holdout = Array.sub perm starts.(f) (starts.(f + 1) - starts.(f)) in
+      let train = Array.make (n - Array.length holdout) 0 in
+      let pos = ref 0 in
+      for g = 0 to k - 1 do
+        if g <> f then begin
+          let len = starts.(g + 1) - starts.(g) in
+          Array.blit perm starts.(g) train !pos len;
+          pos := !pos + len
+        end
+      done;
+      (train, holdout))
+
+let subproblem problem ~train ~holdout =
+  let n = Problem.n_labeled problem in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= n then invalid_arg "Cross_validation.subproblem: bad index")
+    (Array.append train holdout);
+  let total = Problem.size problem in
+  let unlabeled_tail = Array.init (total - n) (fun a -> n + a) in
+  let order = Array.concat [ train; holdout; unlabeled_tail ] in
+  let w = Graph.Weighted_graph.to_dense problem.Problem.graph in
+  let size = Array.length order in
+  let wp = Mat.init size size (fun i j -> Mat.get w order.(i) order.(j)) in
+  let labels = Array.map (fun i -> problem.Problem.labels.(i)) train in
+  ( Problem.make ~graph:(Graph.Weighted_graph.of_dense wp) ~labels,
+    Array.length holdout )
+
+let default_lambdas = [ 0.; 0.01; 0.05; 0.1; 0.5; 1.; 5. ]
+
+let select ?(k = 5) ?(lambdas = default_lambdas) ~rng problem =
+  if k < 2 then invalid_arg "Cross_validation.select: need k >= 2";
+  if lambdas = [] then invalid_arg "Cross_validation.select: empty grid";
+  List.iter
+    (fun l ->
+      if l < 0. then invalid_arg "Cross_validation.select: negative lambda")
+    lambdas;
+  let n = Problem.n_labeled problem in
+  if n < k then invalid_arg "Cross_validation.select: fewer labeled points than folds";
+  let folds = k_folds rng ~n ~k in
+  let accs = List.map (fun l -> (l, Stats.Running.create ())) lambdas in
+  Array.iter
+    (fun (train, holdout) ->
+      let sub, n_holdout = subproblem problem ~train ~holdout in
+      let truth = Array.map (fun i -> problem.Problem.labels.(i)) holdout in
+      List.iter
+        (fun (lambda, acc) ->
+          let scores =
+            if lambda = 0. then Hard.solve sub else Soft.solve ~lambda sub
+          in
+          let held = Array.sub scores 0 n_holdout in
+          let err = ref 0. in
+          Array.iteri
+            (fun i y ->
+              let d = y -. held.(i) in
+              err := !err +. (d *. d))
+            truth;
+          Stats.Running.add acc (!err /. float_of_int n_holdout))
+        accs)
+    folds;
+  let scores =
+    Array.of_list (List.map (fun (l, acc) -> (l, Stats.Running.mean acc)) accs)
+  in
+  let best = ref scores.(0) in
+  Array.iter (fun (l, e) -> if e < snd !best then best := (l, e)) scores;
+  { best_lambda = fst !best; scores }

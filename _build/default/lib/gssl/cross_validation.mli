@@ -1,0 +1,34 @@
+(** Cross-validated selection of the tuning parameter λ.
+
+    The paper's practical message is that tuning λ is a burden the hard
+    criterion removes.  This module implements the burden — transductive
+    k-fold CV over the labeled set — so that the claim can be tested:
+    even *oracle-tuned* soft criteria should not beat λ = 0.
+
+    Each fold hides one part of the labeled set, treats it as unlabeled
+    (prepending the remaining labels, appending the held-out and the
+    original unlabeled points so the graph is reused), scores every
+    candidate λ by squared error on the held-out labels, and averages
+    across folds. *)
+
+type result = {
+  best_lambda : float;
+  scores : (float * float) array;  (** (λ, mean held-out squared error), in grid order *)
+}
+
+val select :
+  ?k:int ->
+  ?lambdas:float list ->
+  rng:Prng.Rng.t ->
+  Problem.t ->
+  result
+(** [select ~rng problem] — default 5 folds over the grid
+    [0; 0.01; 0.05; 0.1; 0.5; 1; 5].  Ties break towards the smaller λ.
+    Raises [Invalid_argument] when the labeled set is smaller than [k],
+    [k < 2], or the grid is empty/negative. *)
+
+val subproblem : Problem.t -> train:int array -> holdout:int array -> Problem.t * int
+(** Build the fold problem: labeled = [train] (labeled indices), unlabeled
+    = [holdout] followed by the original unlabeled vertices.  Returns the
+    problem and the number of held-out points (their scores come first in
+    the prediction vector).  Exposed for tests. *)

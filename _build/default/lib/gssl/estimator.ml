@@ -1,0 +1,34 @@
+type criterion = Hard | Soft of float
+type strategy = Direct | Iterative
+
+let criterion_of_lambda lambda =
+  if lambda < 0. then invalid_arg "Estimator.criterion_of_lambda: negative lambda";
+  if lambda = 0. then Hard else Soft lambda
+
+let lambda_of_criterion = function Hard -> 0. | Soft lambda -> lambda
+
+let criterion_name = function
+  | Hard -> "hard (lambda=0)"
+  | Soft lambda -> Printf.sprintf "soft (lambda=%g)" lambda
+
+let predict ?(strategy = Direct) criterion problem =
+  match (criterion, strategy) with
+  | Hard, Direct -> Hard.solve ~solver:Hard.Cholesky problem
+  | Hard, Iterative -> Label_propagation.solve_exn problem
+  | Soft lambda, Direct -> Soft.solve ~method_:Soft.Full_cholesky ~lambda problem
+  | Soft lambda, Iterative ->
+      Soft.solve ~method_:(Soft.Cg { tol = 1e-10 }) ~lambda problem
+
+let predict_full ?(strategy = Direct) criterion problem =
+  match (criterion, strategy) with
+  | Hard, Direct -> Hard.solve_full ~solver:Hard.Cholesky problem
+  | Hard, Iterative ->
+      Linalg.Vec.concat
+        (Linalg.Vec.copy problem.Problem.labels)
+        (Label_propagation.solve_exn problem)
+  | Soft lambda, Direct -> Soft.solve_full ~method_:Soft.Full_cholesky ~lambda problem
+  | Soft lambda, Iterative ->
+      Soft.solve_full ~method_:(Soft.Cg { tol = 1e-10 }) ~lambda problem
+
+let classify ?(threshold = 0.5) scores =
+  Array.map (fun s -> s >= threshold) scores

@@ -1,0 +1,33 @@
+(** The unified estimator API — what the examples, experiments and
+    benchmarks call.
+
+    A criterion plus a solver strategy; [Hard] is the paper's λ = 0
+    (consistent) estimator, [Soft lambda] the λ > 0 (inconsistent)
+    variant.  Scores are posterior-probability-like for {0,1} responses
+    and regression predictions otherwise; {!classify} thresholds them. *)
+
+type criterion =
+  | Hard
+  | Soft of float  (** the tuning parameter λ > 0 *)
+
+type strategy =
+  | Direct      (** Cholesky/LU factorizations — default *)
+  | Iterative   (** CG for [Soft], label propagation for [Hard] *)
+
+val criterion_of_lambda : float -> criterion
+(** [0. ↦ Hard], [λ > 0 ↦ Soft λ] — the paper's parameterisation where
+    the hard criterion *is* the λ=0 soft criterion (Proposition II.1).
+    Raises [Invalid_argument] on negative λ. *)
+
+val lambda_of_criterion : criterion -> float
+val criterion_name : criterion -> string
+
+val predict : ?strategy:strategy -> criterion -> Problem.t -> Linalg.Vec.t
+(** Scores on the unlabeled vertices. *)
+
+val predict_full : ?strategy:strategy -> criterion -> Problem.t -> Linalg.Vec.t
+(** All n+m scores ([Hard] keeps the observed labels on the labeled
+    block). *)
+
+val classify : ?threshold:float -> Linalg.Vec.t -> bool array
+(** Threshold scores at [threshold] (default 0.5). *)

@@ -1,0 +1,86 @@
+module Mat = Linalg.Mat
+module Vec = Linalg.Vec
+
+type solver = Cholesky | Lu | Cg of { tol : float }
+
+exception Unanchored_unlabeled of int
+
+let system_matrix problem =
+  let n = Problem.n_labeled problem and m = Problem.n_unlabeled problem in
+  let d = Problem.degrees problem in
+  let g = problem.Problem.graph in
+  Mat.init m m (fun a b ->
+      let w = Graph.Weighted_graph.weight g (n + a) (n + b) in
+      if a = b then d.(n + a) -. w else -.w)
+
+(* An unlabeled vertex whose whole component contains no label makes the
+   system singular; find one such vertex (if any) for the error report. *)
+let find_unanchored problem =
+  let comps = Graph.Connectivity.components problem.Problem.graph in
+  let n = Problem.n_labeled problem in
+  let total = Problem.size problem in
+  let anchored = Hashtbl.create 8 in
+  for i = 0 to n - 1 do
+    Hashtbl.replace anchored comps.(i) ()
+  done;
+  let found = ref None in
+  for v = n to total - 1 do
+    if !found = None && not (Hashtbl.mem anchored comps.(v)) then found := Some v
+  done;
+  !found
+
+let rhs problem =
+  let n = Problem.n_labeled problem and m = Problem.n_unlabeled problem in
+  let g = problem.Problem.graph in
+  let y = problem.Problem.labels in
+  Array.init m (fun a ->
+      let acc = ref 0. in
+      for i = 0 to n - 1 do
+        acc := !acc +. (Graph.Weighted_graph.weight g (n + a) i *. y.(i))
+      done;
+      !acc)
+
+let solve ?(solver = Cholesky) problem =
+  let m = Problem.n_unlabeled problem in
+  if m = 0 then [||]
+  else begin
+    (match find_unanchored problem with
+    | Some v -> raise (Unanchored_unlabeled v)
+    | None -> ());
+    let a = system_matrix problem in
+    let b = rhs problem in
+    match solver with
+    | Cholesky -> Linalg.Cholesky.solve a b
+    | Lu -> Linalg.Lu.solve a b
+    | Cg { tol } -> Sparse.Cg.solve_exn ~tol (Sparse.Linop.of_dense a) b
+  end
+
+let solve_full ?solver problem =
+  Vec.concat (Vec.copy problem.Problem.labels) (solve ?solver problem)
+
+let energy problem f =
+  if Array.length f <> Problem.size problem then
+    invalid_arg "Hard.energy: length mismatch";
+  Graph.Laplacian.quadratic_energy problem.Problem.graph f
+
+let is_harmonic ?(tol = 1e-8) problem f =
+  if Array.length f <> Problem.size problem then
+    invalid_arg "Hard.is_harmonic: length mismatch";
+  let n = Problem.n_labeled problem in
+  let total = Problem.size problem in
+  let g = problem.Problem.graph in
+  let d = Problem.degrees problem in
+  let ok = ref true in
+  for a = n to total - 1 do
+    let self = Graph.Weighted_graph.weight g a a in
+    let denom = d.(a) -. self in
+    if denom > 0. then begin
+      let acc = ref 0. in
+      for j = 0 to total - 1 do
+        if j <> a then acc := !acc +. (Graph.Weighted_graph.weight g a j *. f.(j))
+      done;
+      if abs_float (f.(a) -. (!acc /. denom)) > tol *. (1. +. abs_float f.(a)) then
+        ok := false
+    end
+  done;
+  !ok

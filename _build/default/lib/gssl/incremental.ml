@@ -1,0 +1,89 @@
+module Mat = Linalg.Mat
+module Vec = Linalg.Vec
+
+type t = {
+  graph : Graph.Weighted_graph.t;
+  known : (int, float) Hashtbl.t;    (* graph vertex -> label *)
+  mutable unlabeled : int array;     (* ascending graph indices *)
+  mutable inverse : Mat.t;           (* (D22 - W22)^{-1} on [unlabeled] *)
+  mutable rhs : Vec.t;               (* W21 y on [unlabeled] *)
+}
+
+let create problem =
+  let n = Problem.n_labeled problem in
+  let total = Problem.size problem in
+  let known = Hashtbl.create (total + 1) in
+  for i = 0 to n - 1 do
+    Hashtbl.replace known i problem.Problem.labels.(i)
+  done;
+  let unlabeled = Array.init (total - n) (fun a -> n + a) in
+  (* reuse Hard's singularity detection, then invert *)
+  let system = Hard.system_matrix problem in
+  (match
+     (* a singular system means an unanchored component; surface the same
+        exception Hard.solve would *)
+     Linalg.Cholesky.factor system
+   with
+  | exception Linalg.Cholesky.Not_positive_definite _ ->
+      (match
+         Array.to_seq unlabeled
+         |> Seq.find (fun _ -> true)
+       with
+      | Some v -> raise (Hard.Unanchored_unlabeled v)
+      | None -> ())
+  | _ -> ());
+  let inverse = Linalg.Cholesky.inverse system in
+  let g = problem.Problem.graph in
+  let rhs =
+    Array.map
+      (fun v ->
+        let acc = ref 0. in
+        for i = 0 to n - 1 do
+          acc := !acc +. (Graph.Weighted_graph.weight g v i
+                          *. problem.Problem.labels.(i))
+        done;
+        !acc)
+      unlabeled
+  in
+  { graph = g; known; unlabeled; inverse; rhs }
+
+let predict t =
+  let scores = Mat.mv t.inverse t.rhs in
+  Array.mapi (fun k v -> (v, scores.(k))) t.unlabeled
+
+let position_of t vertex =
+  let pos = ref (-1) in
+  Array.iteri (fun k v -> if v = vertex then pos := k) t.unlabeled;
+  if !pos < 0 then invalid_arg "Incremental.reveal: vertex not unlabeled";
+  !pos
+
+let reveal t ~vertex ~label =
+  let k = position_of t vertex in
+  Hashtbl.replace t.known vertex label;
+  (* drop position k from the system: block-inverse downdate *)
+  t.inverse <- Linalg.Rank_one.delete_row_col t.inverse k;
+  let m = Array.length t.unlabeled in
+  let next_unlabeled = Array.make (m - 1) 0 in
+  let next_rhs = Array.make (m - 1) 0. in
+  let pos = ref 0 in
+  Array.iteri
+    (fun j v ->
+      if j <> k then begin
+        next_unlabeled.(!pos) <- v;
+        (* the newly labeled vertex now contributes to the right-hand side *)
+        next_rhs.(!pos) <-
+          t.rhs.(j) +. (Graph.Weighted_graph.weight t.graph v vertex *. label);
+        incr pos
+      end)
+    t.unlabeled;
+  t.unlabeled <- next_unlabeled;
+  t.rhs <- next_rhs
+
+let n_remaining t = Array.length t.unlabeled
+let remaining t = Array.copy t.unlabeled
+
+let labels t =
+  let out = Hashtbl.fold (fun v y acc -> (v, y) :: acc) t.known [] in
+  Array.of_list (List.sort compare out)
+
+let graph t = t.graph

@@ -1,0 +1,37 @@
+type t = {
+  kernel : Kernel.Kernel_fn.t;
+  bandwidth : float;
+  points : Linalg.Vec.t array;
+  scores : Linalg.Vec.t;
+}
+
+let make ~kernel ~bandwidth ~points ~scores =
+  if Array.length points = 0 then invalid_arg "Induction.make: no points";
+  if Array.length points <> Array.length scores then
+    invalid_arg "Induction.make: points/scores length mismatch";
+  if bandwidth <= 0. then invalid_arg "Induction.make: bandwidth must be positive";
+  { kernel; bandwidth; points; scores }
+
+let of_problem ?(criterion = Estimator.Hard) ~kernel ~bandwidth ~points problem =
+  if Array.length points <> Problem.size problem then
+    invalid_arg "Induction.of_problem: points/problem size mismatch";
+  let scores = Estimator.predict_full criterion problem in
+  make ~kernel ~bandwidth ~points ~scores
+
+let predict t x =
+  if Array.length x <> Array.length t.points.(0) then
+    invalid_arg "Induction.predict: dimension mismatch";
+  let num = ref 0. and den = ref 0. in
+  Array.iteri
+    (fun i p ->
+      let w = Kernel.Kernel_fn.eval t.kernel ~bandwidth:t.bandwidth p x in
+      num := !num +. (w *. t.scores.(i));
+      den := !den +. w)
+    t.points;
+  if !den = 0. then
+    (* x is outside every kernel's support: fall back to the global mean
+       of the fitted scores (the only symmetric choice) *)
+    Linalg.Vec.mean t.scores
+  else !num /. !den
+
+let predict_many t xs = Array.map (predict t) xs

@@ -1,0 +1,42 @@
+(** Out-of-sample ("induction") extension of the transductive solution —
+    Delalleau, Bengio & Le Roux (AISTATS 2005), the paper's reference
+    [10].
+
+    A transductive fit only scores the given unlabeled points; for a new
+    point [x] the induction formula re-uses the fitted scores:
+
+    {v  f̂(x) = Σ_i w(x, X_i) f̂_i  /  Σ_i w(x, X_i) v}
+
+    summing over all n+m training points with their fitted (hard or
+    soft) scores.  It agrees with the transductive solution in the sense
+    that inducting *at* an unlabeled training point reproduces a weighted
+    average consistent with the harmonic property. *)
+
+type t
+
+val make :
+  kernel:Kernel.Kernel_fn.t ->
+  bandwidth:float ->
+  points:Linalg.Vec.t array ->
+  scores:Linalg.Vec.t ->
+  t
+(** [points] are all n+m training inputs in problem order and [scores]
+    the full fitted vector (e.g. {!Hard.solve_full}).  Raises
+    [Invalid_argument] on length mismatch, empty input or non-positive
+    bandwidth. *)
+
+val of_problem :
+  ?criterion:Estimator.criterion ->
+  kernel:Kernel.Kernel_fn.t ->
+  bandwidth:float ->
+  points:Linalg.Vec.t array ->
+  Problem.t ->
+  t
+(** Fit the criterion (default [Hard]) and wrap it for induction; [points]
+    must match the problem's vertices. *)
+
+val predict : t -> Linalg.Vec.t -> float
+(** Score a new point.  Raises [Invalid_argument] on dimension
+    mismatch. *)
+
+val predict_many : t -> Linalg.Vec.t array -> Linalg.Vec.t

@@ -1,0 +1,30 @@
+(** Iterative label propagation (Zhu & Ghahramani 2002).
+
+    The fixed-point iteration
+
+    {v f_U ← D₂₂⁻¹ (W₂₁ Y_n + W₂₂ f_U) v}
+
+    is exactly the Jacobi iteration on the hard-criterion system
+    [(D₂₂ − W₂₂) f_U = W₂₁ Y_n], so it converges to the hard solution
+    whenever every unlabeled component is anchored to a label (spectral
+    radius of [D₂₂⁻¹W₂₂] < 1 — the quantity bounded by the "tiny
+    elements" argument in the paper's proof).  This gives an O(iters·n·m)
+    solver that never factors anything, and doubles as an independent
+    check of the direct solvers. *)
+
+type outcome = {
+  scores : Linalg.Vec.t;        (** unlabeled scores, graph order *)
+  iterations : int;
+  final_delta : float;          (** last sup-norm update size *)
+  converged : bool;
+}
+
+val run : ?tol:float -> ?max_iter:int -> ?init:Linalg.Vec.t -> Problem.t -> outcome
+(** [tol] (default 1e-10) is the sup-norm of one update; [max_iter]
+    defaults to 100_000.  [init] defaults to the zero vector (the paper's
+    uninformative start).  Raises [Invalid_argument] on a bad [init]
+    length or an unlabeled vertex of degree zero. *)
+
+val solve_exn : ?tol:float -> ?max_iter:int -> Problem.t -> Linalg.Vec.t
+(** Like {!run} but raises [Failure] when the iteration does not
+    converge. *)

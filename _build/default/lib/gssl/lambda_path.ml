@@ -1,0 +1,59 @@
+module Vec = Linalg.Vec
+
+type point = {
+  lambda : float;
+  scores : Vec.t;
+  distance_to_hard : float;
+  distance_to_collapse : float;
+}
+
+type t = { points : point array; hard : Vec.t; label_mean : float }
+
+let default_lambdas =
+  let log_lo = log 1e-4 and log_hi = log 1e3 in
+  let spaced =
+    Array.init 13 (fun i ->
+        exp (log_lo +. (float_of_int i /. 12. *. (log_hi -. log_lo))))
+  in
+  Array.append [| 0. |] spaced
+
+let compute ?(lambdas = default_lambdas) problem =
+  if Array.length lambdas = 0 then invalid_arg "Lambda_path.compute: empty grid";
+  Array.iteri
+    (fun i l ->
+      if l < 0. then invalid_arg "Lambda_path.compute: negative lambda";
+      if i > 0 && l <= lambdas.(i - 1) then
+        invalid_arg "Lambda_path.compute: grid must be strictly ascending")
+    lambdas;
+  let hard = Hard.solve problem in
+  let label_mean = Vec.mean problem.Problem.labels in
+  let points =
+    Array.map
+      (fun lambda ->
+        let scores = if lambda = 0. then Vec.copy hard else Soft.solve ~lambda problem in
+        {
+          lambda;
+          scores;
+          distance_to_hard = Vec.norm_inf (Vec.sub scores hard);
+          distance_to_collapse =
+            Vec.norm_inf (Vec.add_scalar (-.label_mean) scores);
+        })
+      lambdas
+  in
+  { points; hard; label_mean }
+
+let max_step { points; _ } =
+  let worst = ref 0. in
+  for k = 1 to Array.length points - 1 do
+    let step = Vec.norm_inf (Vec.sub points.(k).scores points.(k - 1).scores) in
+    if step > !worst then worst := step
+  done;
+  !worst
+
+let is_monotone_towards_collapse ?(slack = 1e-9) { points; _ } =
+  let ok = ref true in
+  for k = 1 to Array.length points - 1 do
+    if points.(k).distance_to_collapse > points.(k - 1).distance_to_collapse +. slack
+    then ok := false
+  done;
+  !ok

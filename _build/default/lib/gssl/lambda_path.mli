@@ -1,0 +1,33 @@
+(** The solution path λ ↦ f̂(λ).
+
+    The paper's argument after Proposition II.2 leans on continuity:
+    Eq. (4) is continuous in λ, so the prediction "cannot suddenly jump
+    from consistent to extremely inaccurate" — inconsistency at large λ
+    therefore contaminates a whole range of λ.  This module computes the
+    path on a grid (reusing one graph), exposes the endpoints (hard
+    solution at λ=0, label-mean collapse at λ=∞), and measures the
+    modulus of continuity along the grid so the claim can be checked
+    numerically. *)
+
+type point = {
+  lambda : float;
+  scores : Linalg.Vec.t;          (** unlabeled scores at this λ *)
+  distance_to_hard : float;       (** ‖f̂(λ) − f̂_hard‖_∞ *)
+  distance_to_collapse : float;   (** ‖f̂(λ) − ȳ·1‖_∞ *)
+}
+
+type t = { points : point array; hard : Linalg.Vec.t; label_mean : float }
+
+val compute : ?lambdas:float array -> Problem.t -> t
+(** Default grid: 0 plus 13 logarithmically spaced values in [1e-4, 1e3].
+    λ = 0 is solved with {!Hard}; positive values with {!Soft}.  The grid
+    must be sorted ascending and nonnegative — [Invalid_argument]
+    otherwise. *)
+
+val max_step : t -> float
+(** The largest ‖f̂(λ_{k+1}) − f̂(λ_k)‖_∞ along the grid — small values
+    on a fine grid witness the continuity used in the paper's argument. *)
+
+val is_monotone_towards_collapse : ?slack:float -> t -> bool
+(** Whether [distance_to_collapse] is non-increasing in λ (within
+    [slack], default 1e-9) — the qualitative shape of Prop. II.2. *)

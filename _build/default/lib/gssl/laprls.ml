@@ -1,0 +1,63 @@
+module Mat = Linalg.Mat
+module Vec = Linalg.Vec
+
+type model = {
+  points : Vec.t array;
+  n_labeled : int;
+  alpha : Vec.t;
+  kernel : Kernel.Kernel_fn.t;
+  bandwidth : float;
+}
+
+let fit ?(gamma_a = 1e-6) ?(gamma_i = 1.) ~kernel ~bandwidth ~labeled unlabeled =
+  let n = Array.length labeled in
+  if n = 0 then invalid_arg "Laprls.fit: no labeled data";
+  if bandwidth <= 0. then invalid_arg "Laprls.fit: bandwidth must be positive";
+  if gamma_a < 0. || gamma_i < 0. then
+    invalid_arg "Laprls.fit: negative regularizer";
+  let points = Array.append (Array.map fst labeled) unlabeled in
+  let total = Array.length points in
+  let k = Kernel.Similarity.dense ~kernel ~bandwidth points in
+  let graph = Graph.Weighted_graph.of_dense k in
+  let l = Graph.Laplacian.dense graph in
+  (* system: (J K + gamma_A n I + (gamma_I n / total^2) L K) alpha = Y *)
+  let jk = Mat.init total total (fun i j -> if i < n then Mat.get k i j else 0.) in
+  let lk = Mat.mm l k in
+  let nf = float_of_int n in
+  let system =
+    Mat.add_scaled_identity
+      (Mat.add jk (Mat.scale (gamma_i *. nf /. float_of_int (total * total)) lk))
+      (gamma_a *. nf)
+  in
+  let y = Vec.zeros total in
+  Array.iteri (fun i (_, yi) -> y.(i) <- yi) labeled;
+  let alpha =
+    match Linalg.Lu.solve system y with
+    | x -> x
+    | exception Linalg.Lu.Singular _ ->
+        failwith "Laprls.fit: representer system singular (increase gamma_a)"
+  in
+  { points; n_labeled = n; alpha; kernel; bandwidth }
+
+let predict model x =
+  if Array.length model.points = 0 then failwith "Laprls.predict: empty model";
+  if Array.length x <> Array.length model.points.(0) then
+    invalid_arg "Laprls.predict: dimension mismatch";
+  let acc = ref 0. in
+  Array.iteri
+    (fun i p ->
+      acc :=
+        !acc
+        +. (model.alpha.(i)
+            *. Kernel.Kernel_fn.eval model.kernel ~bandwidth:model.bandwidth p x))
+    model.points;
+  !acc
+
+(* in-sample scores on the unlabeled block: evaluate f at each stored
+   unlabeled point (identical to slicing K alpha) *)
+let predict_unlabeled model =
+  let total = Array.length model.points in
+  Array.init (total - model.n_labeled) (fun a ->
+      predict model model.points.(model.n_labeled + a))
+
+let coefficients model = Vec.copy model.alpha

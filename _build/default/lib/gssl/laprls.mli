@@ -1,0 +1,43 @@
+(** Laplacian-regularised least squares (LapRLS) — manifold
+    regularization of Belkin, Niyogi & Sindhwani (JMLR 2006), reference
+    [16] of the paper.
+
+    Unlike the transductive hard/soft criteria, LapRLS is *inductive*: it
+    fits [f(x) = Σ_i α_i K(x, x_i)] over all n+m training inputs by
+    minimising
+
+    {v (1/n) Σ_{i≤n} (Y_i − f(x_i))² + γ_A ‖f‖²_K + (γ_I/(n+m)²) fᵀ L f v}
+
+    whose representer solution is
+    [α = (J K + γ_A n I + (γ_I n/(n+m)²) L K)^{−1} Y] with [J] the
+    labeled-indicator diagonal.  Setting γ_A → 0 and letting γ_I
+    dominate recovers soft-criterion-like behaviour; the in-sample
+    predictions serve as another baseline series in the experiments. *)
+
+type model
+
+val fit :
+  ?gamma_a:float ->
+  ?gamma_i:float ->
+  kernel:Kernel.Kernel_fn.t ->
+  bandwidth:float ->
+  labeled:(Linalg.Vec.t * float) array ->
+  Linalg.Vec.t array ->
+  model
+(** [fit ~kernel ~bandwidth ~labeled unlabeled].
+    Defaults: [gamma_a = 1e-6] (slight ridge for invertibility),
+    [gamma_i = 1.].  Raises [Invalid_argument] on empty labeled data,
+    non-positive bandwidth, or negative regularisers; [Failure] when the
+    representer system is numerically singular. *)
+
+val predict : model -> Linalg.Vec.t -> float
+(** Out-of-sample evaluation [f(x)] — the inductive capability the
+    transductive criteria lack.  Raises [Invalid_argument] on dimension
+    mismatch. *)
+
+val predict_unlabeled : model -> Linalg.Vec.t
+(** In-sample predictions on the unlabeled training block (comparable to
+    {!Hard.solve} / {!Soft.solve} output). *)
+
+val coefficients : model -> Linalg.Vec.t
+(** The expansion coefficients α (length n+m). *)

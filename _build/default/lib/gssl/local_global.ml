@@ -1,0 +1,49 @@
+module Mat = Linalg.Mat
+module Vec = Linalg.Vec
+
+let system_matrix ~alpha problem =
+  let g = problem.Problem.graph in
+  let total = Problem.size problem in
+  let d = Problem.degrees problem in
+  Array.iter
+    (fun v ->
+      if v <= 0. then
+        invalid_arg "Local_global: normalized propagation needs positive degrees")
+    d;
+  (* I - alpha * D^{-1/2} W D^{-1/2} *)
+  Mat.init total total (fun i j ->
+      let s = Graph.Weighted_graph.weight g i j /. sqrt (d.(i) *. d.(j)) in
+      let id = if i = j then 1. else 0. in
+      id -. (alpha *. s))
+
+let propagate ?(alpha = 0.99) problem y0 =
+  if alpha <= 0. || alpha >= 1. then
+    invalid_arg "Local_global.propagate: alpha outside (0,1)";
+  if Array.length y0 <> Problem.size problem then
+    invalid_arg "Local_global.propagate: seed length mismatch";
+  let a = system_matrix ~alpha problem in
+  Vec.scale (1. -. alpha) (Linalg.Cholesky.solve a y0)
+
+let scores ?(alpha = 0.99) problem =
+  Array.iter
+    (fun y ->
+      if y <> 0. && y <> 1. then
+        invalid_arg "Local_global.scores: labels must be in {0,1}")
+    problem.Problem.labels;
+  let n = Problem.n_labeled problem in
+  let total = Problem.size problem in
+  let seed value =
+    Array.init total (fun i ->
+        if i < n && problem.Problem.labels.(i) = value then 1. else 0.)
+  in
+  (* one factorization, two right-hand sides *)
+  if alpha <= 0. || alpha >= 1. then
+    invalid_arg "Local_global.scores: alpha outside (0,1)";
+  let a = system_matrix ~alpha problem in
+  let l = Linalg.Cholesky.factor a in
+  let f1 = Linalg.Cholesky.solve_factored l (seed 1.) in
+  let f0 = Linalg.Cholesky.solve_factored l (seed 0.) in
+  Array.init (total - n) (fun k ->
+      let p1 = f1.(n + k) and p0 = f0.(n + k) in
+      let mass = p0 +. p1 in
+      if mass <= 0. then 0.5 else p1 /. mass)

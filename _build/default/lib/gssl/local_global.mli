@@ -1,0 +1,26 @@
+(** Local and global consistency (Zhou, Bousquet, Lal, Weston &
+    Schölkopf, NIPS 2004) — reference [12] of the paper.
+
+    A cited variant of graph-based learning that the paper explicitly
+    sets aside; implemented here as a baseline.  It propagates class
+    indicator columns through the *symmetric normalized* similarity
+    [S = D^{−1/2} W D^{−1/2}]:
+
+    {v  F_c = (1 − α)(I − αS)^{−1} Y_c ,   α ∈ (0, 1) v}
+
+    and classifies by comparing class columns.  [I − αS] is SPD for
+    α < 1, so the solve is a Cholesky (or CG) like the soft criterion. *)
+
+val propagate : ?alpha:float -> Problem.t -> Linalg.Vec.t -> Linalg.Vec.t
+(** [propagate problem y0] applies [(1−α)(I − αS)^{−1}] to an arbitrary
+    seed vector over all n+m vertices ([alpha] default 0.99, the
+    original paper's setting).  Raises [Invalid_argument] when [alpha]
+    is outside (0,1), the seed has the wrong length, or some vertex has
+    zero degree. *)
+
+val scores : ?alpha:float -> Problem.t -> Linalg.Vec.t
+(** Binary classification scores on the unlabeled block in [0, 1]:
+    class-1 and class-0 indicators are propagated separately and
+    combined as [F₁/(F₀ + F₁)] (0.5 where no mass arrives).  Requires
+    the problem's labels to be in {0, 1} — [Invalid_argument]
+    otherwise. *)

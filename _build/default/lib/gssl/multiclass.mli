@@ -1,0 +1,32 @@
+(** One-vs-rest multiclass extension of the binary criteria.
+
+    The paper's COIL benchmark has 6 underlying classes that it binarises;
+    this module handles the multiclass problem directly: one indicator
+    problem per class sharing a single graph (so the m×m system matrix is
+    factored once for the hard criterion — predictions for all classes
+    come from the same factorization with different right-hand sides),
+    predictions by arg-max of the per-class scores. *)
+
+type t = private {
+  graph : Graph.Weighted_graph.t;
+  class_labels : int array;   (** class of each labeled vertex, in 0 … c−1 *)
+  n_classes : int;
+}
+
+val make : graph:Graph.Weighted_graph.t -> class_labels:int array -> t
+(** Classes must be numbered 0 … c−1 with every class present.  Raises
+    [Invalid_argument] on gaps, negatives, or an empty/oversized label
+    array. *)
+
+val scores : ?criterion:Estimator.criterion -> t -> Linalg.Mat.t
+(** [m × c] matrix of per-class membership scores on the unlabeled
+    vertices (default criterion [Hard]).  Rows of the hard-criterion
+    scores sum to 1 (the per-class indicator vectors sum to the all-ones
+    vector and the solve is linear). *)
+
+val predict : ?criterion:Estimator.criterion -> t -> int array
+(** Arg-max class per unlabeled vertex. *)
+
+val accuracy : truth:int array -> int array -> float
+(** Fraction of agreeing entries.  Raises [Invalid_argument] on length
+    mismatch or empty input. *)

@@ -1,0 +1,27 @@
+let predict ~kernel ~bandwidth ~labeled query =
+  if Array.length labeled = 0 then
+    invalid_arg "Nadaraya_watson.predict: no labeled data";
+  let num = ref 0. and den = ref 0. in
+  Array.iter
+    (fun (x, y) ->
+      let w = Kernel.Kernel_fn.eval kernel ~bandwidth x query in
+      num := !num +. (w *. y);
+      den := !den +. w)
+    labeled;
+  !num /. !den
+
+let predict_many ~kernel ~bandwidth ~labeled queries =
+  Array.map (fun q -> predict ~kernel ~bandwidth ~labeled q) queries
+
+let of_problem problem =
+  let n = Problem.n_labeled problem and m = Problem.n_unlabeled problem in
+  let g = problem.Problem.graph in
+  let y = problem.Problem.labels in
+  Array.init m (fun a ->
+      let num = ref 0. and den = ref 0. in
+      for i = 0 to n - 1 do
+        let w = Graph.Weighted_graph.weight g (n + a) i in
+        num := !num +. (w *. y.(i));
+        den := !den +. w
+      done;
+      !num /. !den)

@@ -1,0 +1,31 @@
+(** The Nadaraya–Watson kernel-regression estimator — Eq. (6).
+
+    [q̂(x) = Σ_{i≤n} w(x, X_i) Y_i / Σ_{i≤n} w(x, X_i)].
+
+    Theorem II.1 proves the hard criterion consistent by showing its
+    solution converges to this estimator; {!Theory.nw_gap} measures the
+    distance between the two on concrete problems.  When an unlabeled
+    point in a {!Problem.t} has zero kernel mass on the labeled set the
+    estimate is [nan] (the classical estimator is undefined there). *)
+
+val predict :
+  kernel:Kernel.Kernel_fn.t ->
+  bandwidth:float ->
+  labeled:(Linalg.Vec.t * float) array ->
+  Linalg.Vec.t ->
+  float
+(** Direct evaluation at one query point.  Raises [Invalid_argument] on
+    empty labeled data, mismatched dimensions, or non-positive
+    bandwidth. *)
+
+val predict_many :
+  kernel:Kernel.Kernel_fn.t ->
+  bandwidth:float ->
+  labeled:(Linalg.Vec.t * float) array ->
+  Linalg.Vec.t array ->
+  Linalg.Vec.t
+
+val of_problem : Problem.t -> Linalg.Vec.t
+(** Evaluate the estimator at each unlabeled vertex of an existing
+    problem, reusing its similarity weights:
+    [q̂_{n+a} = Σ_{i≤n} w_{n+a,i} Y_i / Σ_{i≤n} w_{n+a,i}]. *)

@@ -1,0 +1,54 @@
+(** The random-walk interpretation of the hard criterion.
+
+    Zhu, Ghahramani & Lafferty's harmonic solution has a probabilistic
+    reading: start a random walk at an unlabeled vertex, moving to
+    neighbour [j] with probability [w_ij / Σ_k w_ik], until a labeled
+    vertex is hit; then [f̂_a = E[Y of the absorbing vertex]].  This
+    module computes absorption probabilities exactly (they solve the same
+    linear system) and estimates them by Monte-Carlo simulation — an
+    entirely independent validation path for the solvers, exercised by
+    the property tests. *)
+
+val absorption_scores : Problem.t -> Linalg.Vec.t
+(** Exact expected absorbed label per unlabeled vertex (identical to
+    {!Hard.solve} by the harmonic correspondence; computed here through
+    the transition-matrix formulation for independence). *)
+
+val absorption_matrix : Problem.t -> Linalg.Mat.t
+(** The m×n matrix [B = (D₂₂ − W₂₂)⁻¹ W₂₁] whose entry [(a, i)] is the
+    probability that a walk from unlabeled vertex [n+a] absorbs at
+    labeled vertex [i].  Rows sum to 1 on anchored graphs, and
+    [B·Y = f̂] (the hard solution).  Raises
+    {!Hard.Unanchored_unlabeled} like the solvers. *)
+
+val predictive_std : Problem.t -> Linalg.Vec.t
+(** Per-unlabeled-vertex standard deviation of the harmonic estimate
+    under label noise: treating the observed labels as independent with
+    variance [q̂_i(1−q̂_i)] (binary responses, [q̂_i] the labeled point's
+    own NW smoothing), [Var f̂_a = Σ_i B²_{ai}·Var Y_i].  Vertices whose
+    absorption mass spreads over many labels get small std; vertices
+    hanging off a single noisy label get large std. *)
+
+val simulate :
+  rng:Prng.Rng.t ->
+  walks_per_vertex:int ->
+  ?max_steps:int ->
+  Problem.t ->
+  Linalg.Vec.t
+(** Monte-Carlo estimate: average absorbed label over
+    [walks_per_vertex] independent walks from each unlabeled vertex.
+    Walks that fail to absorb within [max_steps] (default 100_000) are
+    counted with the current labeled mean (and are vanishingly rare on
+    anchored graphs).  Raises [Invalid_argument] when
+    [walks_per_vertex < 1], or if some vertex has zero degree. *)
+
+val hitting_counts :
+  rng:Prng.Rng.t ->
+  walks_per_vertex:int ->
+  ?max_steps:int ->
+  Problem.t ->
+  int array array
+(** [counts.(a).(i)] — how many of vertex [n+a]'s walks were absorbed at
+    labeled vertex [i]; rows sum to at most [walks_per_vertex] (less if
+    walks time out).  The normalised rows estimate the absorption
+    distribution. *)

@@ -1,0 +1,58 @@
+module Vec = Linalg.Vec
+
+let check_anchored problem =
+  let comps = Graph.Connectivity.components problem.Problem.graph in
+  let n = Problem.n_labeled problem in
+  let total = Problem.size problem in
+  let anchored = Hashtbl.create 8 in
+  for i = 0 to n - 1 do
+    Hashtbl.replace anchored comps.(i) ()
+  done;
+  for v = n to total - 1 do
+    if not (Hashtbl.mem anchored comps.(v)) then
+      raise (Hard.Unanchored_unlabeled v)
+  done
+
+let system_csr problem =
+  let n = Problem.n_labeled problem and m = Problem.n_unlabeled problem in
+  let g = problem.Problem.graph in
+  let d = Problem.degrees problem in
+  let y = problem.Problem.labels in
+  let coo = Sparse.Coo.create m m in
+  let rhs = Vec.zeros m in
+  (* diagonal: full degree minus the self-loop weight *)
+  for a = 0 to m - 1 do
+    let v = n + a in
+    Sparse.Coo.add coo a a (d.(v) -. Graph.Weighted_graph.weight g v v)
+  done;
+  (* off-diagonals and right-hand side from the edge list *)
+  Graph.Weighted_graph.iter_edges g (fun i j w ->
+      if i >= n && j >= n then begin
+        Sparse.Coo.add coo (i - n) (j - n) (-.w);
+        Sparse.Coo.add coo (j - n) (i - n) (-.w)
+      end
+      else if i < n && j >= n then rhs.(j - n) <- rhs.(j - n) +. (w *. y.(i))
+      else if j < n && i >= n then rhs.(i - n) <- rhs.(i - n) +. (w *. y.(j)));
+  (Sparse.Csr.of_coo coo, rhs)
+
+let solve ?(tol = 1e-10) ?max_iter problem =
+  if Problem.n_unlabeled problem = 0 then [||]
+  else begin
+    check_anchored problem;
+    let a, b = system_csr problem in
+    Sparse.Cg.solve_exn ~tol ?max_iter (Sparse.Linop.of_csr a) b
+  end
+
+let solve_stationary ?(tol = 1e-10) ?max_iter method_ problem =
+  if Problem.n_unlabeled problem = 0 then [||]
+  else begin
+    check_anchored problem;
+    let a, b = system_csr problem in
+    let out = Sparse.Stationary.solve ~tol ?max_iter method_ a b in
+    if not out.Sparse.Stationary.converged then
+      failwith
+        (Printf.sprintf
+           "Scalable.solve_stationary: no convergence after %d iterations"
+           out.Sparse.Stationary.iterations);
+    out.Sparse.Stationary.solution
+  end

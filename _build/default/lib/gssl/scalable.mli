@@ -1,0 +1,22 @@
+(** Scalable sparse-graph path for the hard criterion.
+
+    {!Hard.solve} materialises a dense m×m system even when the graph is
+    a sparse kNN/ε graph; this module assembles the system directly in
+    CSR form and solves it with (preconditioned) CG, so cost scales with
+    the number of edges instead of m².  Intended for problems built from
+    {!Kernel.Similarity.knn} / {!Kernel.Similarity.epsilon} graphs. *)
+
+val system_csr : Problem.t -> Sparse.Csr.t * Linalg.Vec.t
+(** The m×m CSR system matrix [D₂₂ − W₂₂] and the right-hand side
+    [W₂₁ Y], assembled from the graph's edge list without densifying. *)
+
+val solve : ?tol:float -> ?max_iter:int -> Problem.t -> Linalg.Vec.t
+(** Hard-criterion scores on the unlabeled block via CG on the CSR
+    system ([tol] default 1e-10).  Raises {!Hard.Unanchored_unlabeled}
+    when some unlabeled component carries no label, [Failure] on CG
+    non-convergence. *)
+
+val solve_stationary :
+  ?tol:float -> ?max_iter:int -> Sparse.Stationary.method_ -> Problem.t -> Linalg.Vec.t
+(** Same system solved by a stationary iteration (Jacobi = classic label
+    propagation, Gauss–Seidel, SOR) on the CSR matrix. *)

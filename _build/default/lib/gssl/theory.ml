@@ -1,0 +1,80 @@
+module Mat = Linalg.Mat
+module Vec = Linalg.Vec
+
+let d22_inv_w22 problem =
+  let n = Problem.n_labeled problem and m = Problem.n_unlabeled problem in
+  let g = problem.Problem.graph in
+  let d = Problem.degrees problem in
+  Mat.init m m (fun a b ->
+      Graph.Weighted_graph.weight g (n + a) (n + b) /. d.(n + a))
+
+let tiny_elements_max problem = Mat.max_abs (d22_inv_w22 problem)
+
+let tiny_elements_bound ~k_star ~beta ~s ~n ~h ~d =
+  if k_star <= 0. || beta <= 0. || s <= 0. || n <= 0 || h <= 0. || d <= 0 then
+    invalid_arg "Theory.tiny_elements_bound: parameters must be positive";
+  let m_const = 2. *. k_star /. (s *. beta) in
+  m_const /. (float_of_int n *. (h ** float_of_int d))
+
+let neumann_partial_sum problem l =
+  if l < 1 then invalid_arg "Theory.neumann_partial_sum: need l >= 1";
+  let b = d22_inv_w22 problem in
+  let acc = ref (Mat.copy b) in
+  let power = ref (Mat.copy b) in
+  for _ = 2 to l do
+    power := Mat.mm !power b;
+    acc := Mat.add !acc !power
+  done;
+  !acc
+
+let neumann_converges ?(l = 50) ?(tol = 1e-12) problem =
+  let b = d22_inv_w22 problem in
+  (* ‖S_l − S_{l−1}‖_max = ‖B^l‖_max *)
+  let power = ref (Mat.copy b) in
+  for _ = 2 to l do
+    power := Mat.mm !power b
+  done;
+  Mat.max_abs !power < tol
+
+let nw_gap problem =
+  let hard = Hard.solve problem in
+  let nw = Nadaraya_watson.of_problem problem in
+  Vec.sub hard nw
+
+let g_residuals problem =
+  let n = Problem.n_labeled problem and m = Problem.n_unlabeled problem in
+  let g = problem.Problem.graph in
+  let d = Problem.degrees problem in
+  let y = problem.Problem.labels in
+  Array.init m (fun a ->
+      let labeled_mass = ref 0. in
+      for k = 0 to n - 1 do
+        labeled_mass := !labeled_mass +. Graph.Weighted_graph.weight g (n + a) k
+      done;
+      let acc = ref 0. in
+      for i = 0 to n - 1 do
+        let w = Graph.Weighted_graph.weight g (n + a) i in
+        acc := !acc +. (y.(i) *. ((w /. !labeled_mass) -. (w /. d.(n + a))))
+      done;
+      !acc)
+
+let unlabeled_mass_ratio problem =
+  let n = Problem.n_labeled problem and m = Problem.n_unlabeled problem in
+  let total = Problem.size problem in
+  let g = problem.Problem.graph in
+  let d = Problem.degrees problem in
+  let worst = ref 0. in
+  for a = 0 to m - 1 do
+    let mass = ref 0. in
+    for k = n to total - 1 do
+      mass := !mass +. Graph.Weighted_graph.weight g (n + a) k
+    done;
+    let ratio = !mass /. d.(n + a) in
+    if ratio > !worst then worst := ratio
+  done;
+  !worst
+
+let soft_collapse_error ~lambda problem =
+  let scores = Soft.solve ~lambda problem in
+  let target = Soft.lambda_infinity_limit problem in
+  Vec.norm_inf (Vec.add_scalar (-.target) scores)

@@ -1,0 +1,51 @@
+(** Numerical probes of the quantities appearing in the paper's proofs.
+
+    These make the abstract objects of Section IV concrete so the tests
+    and the consistency demo can check that the asymptotic mechanisms
+    really operate at finite sample sizes:
+
+    - the "tiny elements" bound [‖D₂₂⁻¹W₂₂‖_max ≤ M/(n·h_nᵈ)];
+    - the Neumann series [S_l = Σ_{k≤l} (D₂₂⁻¹W₂₂)ᵏ] whose limit gives
+      [(I − D₂₂⁻¹W₂₂)⁻¹ = I + S];
+    - the residual [g_{n+a}] separating the hard solution from the
+      Nadaraya–Watson estimator;
+    - the λ→∞ collapse of the soft criterion (Proposition II.2). *)
+
+val d22_inv_w22 : Problem.t -> Linalg.Mat.t
+(** The m×m matrix [D₂₂⁻¹W₂₂] from the proof. *)
+
+val tiny_elements_max : Problem.t -> float
+(** [‖D₂₂⁻¹W₂₂‖_max] — should shrink like 1/(n·h_nᵈ) as n grows. *)
+
+val tiny_elements_bound : k_star:float -> beta:float -> s:float -> n:int -> h:float -> d:int -> float
+(** The theoretical bound [M / (n·hᵈ)] with [M = 2k*/(s·β)] (Section IV).
+    Raises [Invalid_argument] on non-positive parameters. *)
+
+val neumann_partial_sum : Problem.t -> int -> Linalg.Mat.t
+(** [S_l] for a given [l ≥ 1].  Raises [Invalid_argument] when [l < 1]. *)
+
+val neumann_converges : ?l:int -> ?tol:float -> Problem.t -> bool
+(** Whether [‖S_{l} − S_{l−1}‖_max < tol] at [l] (default 50, tol 1e-12)
+    — i.e. the geometric series has numerically converged, which the
+    proof guarantees with probability → 1. *)
+
+val nw_gap : Problem.t -> Linalg.Vec.t
+(** Per-unlabeled-vertex difference between the hard-criterion solution
+    and the Nadaraya–Watson estimator; Theorem II.1's argument shows the
+    sup-norm of this vanishes when [m/(n·h_nᵈ) → 0]. *)
+
+val g_residuals : Problem.t -> Linalg.Vec.t
+(** The quantities [g_{n+a} = Σ_i Y_i (w_{i,n+a}/Σ_{k≤n} w_{k,n+a}
+    − w_{i,n+a}/d_{n+a,n+a})] from the proof — the first-order part of
+    {!nw_gap}. *)
+
+val unlabeled_mass_ratio : Problem.t -> float
+(** [max_a (Σ_{k>n} w_{k,n+a}) / d_{n+a}] — the coupling of unlabeled
+    points to each other relative to total degree; bounded by
+    [mM/(n·h_nᵈ)] in the proof, and the driver of the [m = o(n·h_nᵈ)]
+    condition. *)
+
+val soft_collapse_error : lambda:float -> Problem.t -> float
+(** [‖soft(λ) − ȳ·1‖_∞] on the unlabeled block: how close the soft
+    solution is to the Proposition II.2 collapse value.  Decreases to 0
+    as λ→∞ on connected graphs. *)

@@ -1,0 +1,1 @@
+lib/kernel/bandwidth.ml: Array List Stats

@@ -1,0 +1,1 @@
+lib/kernel/bandwidth.mli: Linalg

@@ -1,0 +1,1 @@
+lib/kernel/kernel_fn.ml: Linalg Option Printf Stdlib

@@ -1,0 +1,1 @@
+lib/kernel/kernel_fn.mli: Linalg

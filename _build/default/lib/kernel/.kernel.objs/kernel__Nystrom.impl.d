@@ -1,0 +1,1 @@
+lib/kernel/nystrom.ml: Array Kernel_fn Linalg Prng Stdlib

@@ -1,0 +1,1 @@
+lib/kernel/nystrom.mli: Kernel_fn Linalg Prng

@@ -1,0 +1,1 @@
+lib/kernel/pairwise.ml: Array Linalg

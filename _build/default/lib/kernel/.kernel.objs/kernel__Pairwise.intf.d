@@ -1,0 +1,1 @@
+lib/kernel/pairwise.mli: Linalg

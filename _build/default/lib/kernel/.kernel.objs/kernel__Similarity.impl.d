@@ -1,0 +1,1 @@
+lib/kernel/similarity.ml: Array Kernel_fn Linalg Pairwise Sparse

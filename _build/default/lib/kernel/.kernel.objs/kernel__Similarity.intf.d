@@ -1,0 +1,1 @@
+lib/kernel/similarity.mli: Kernel_fn Linalg Sparse

@@ -1,0 +1,64 @@
+type t =
+  | Fixed of float
+  | Paper_rate of int
+  | Rate of { exponent : float }
+  | Median_heuristic
+  | Silverman of int
+
+let paper_rate ~d n =
+  if n < 2 then invalid_arg "Bandwidth.paper_rate: need n >= 2";
+  if d < 1 then invalid_arg "Bandwidth.paper_rate: need d >= 1";
+  let nf = float_of_int n in
+  (log nf /. nf) ** (1. /. float_of_int d)
+
+let silverman ~d points =
+  let n = Array.length points in
+  if n < 2 then invalid_arg "Bandwidth.select: Silverman needs n >= 2";
+  (* average per-coordinate std, scaled by the classic factor *)
+  let dim = Array.length points.(0) in
+  let stds =
+    Array.init dim (fun j ->
+        Stats.Descriptive.std (Array.map (fun p -> p.(j)) points))
+  in
+  let sigma = Stats.Descriptive.mean stds in
+  let nf = float_of_int n in
+  let df = float_of_int d in
+  sigma *. ((4. /. (df +. 2.)) ** (1. /. (df +. 4.))) *. (nf ** (-1. /. (df +. 4.)))
+
+let select rule points =
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Bandwidth.select: empty data";
+  match rule with
+  | Fixed h ->
+      if h <= 0. then invalid_arg "Bandwidth.select: Fixed bandwidth must be positive";
+      h
+  | Paper_rate d -> paper_rate ~d n
+  | Rate { exponent } ->
+      if n < 1 then invalid_arg "Bandwidth.select: empty data";
+      float_of_int n ** -.exponent
+  | Median_heuristic -> sqrt (Stats.Descriptive.median_of_pairwise_sq_distances points)
+  | Silverman d -> silverman ~d points
+
+let satisfies_consistency_conditions ~d rule =
+  let sizes = [ 100; 1_000; 10_000; 100_000; 1_000_000 ] in
+  let hs = List.map rule sizes in
+  let decreasing =
+    let rec check = function
+      | a :: (b :: _ as rest) -> a > b && check rest
+      | _ -> true
+    in
+    check hs
+  in
+  let nhd_increasing =
+    let values =
+      List.map2
+        (fun n h -> float_of_int n *. (h ** float_of_int d))
+        sizes hs
+    in
+    let rec check = function
+      | a :: (b :: _ as rest) -> b > a && check rest
+      | _ -> true
+    in
+    check values
+  in
+  decreasing && nhd_increasing

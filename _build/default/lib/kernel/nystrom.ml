@@ -1,0 +1,33 @@
+module Mat = Linalg.Mat
+module Vec = Linalg.Vec
+
+type t = { landmarks : int array; c : Mat.t; w_ll_pinv : Mat.t }
+
+let fit ~rng ~kernel ~bandwidth ~landmarks points =
+  let n = Array.length points in
+  if landmarks < 1 || landmarks > n then
+    invalid_arg "Nystrom.fit: landmarks outside [1, n]";
+  let chosen = Prng.Rng.sample_without_replacement rng landmarks n in
+  let c =
+    Mat.init n landmarks (fun i j ->
+        Kernel_fn.eval kernel ~bandwidth points.(i) points.(chosen.(j)))
+  in
+  let w_ll =
+    Mat.init landmarks landmarks (fun i j ->
+        Kernel_fn.eval kernel ~bandwidth points.(chosen.(i)) points.(chosen.(j)))
+  in
+  let w_ll_pinv = Linalg.Svd.pseudo_inverse (Linalg.Svd.decompose w_ll) in
+  { landmarks = chosen; c; w_ll_pinv }
+
+let approx_dense { c; w_ll_pinv; _ } = Mat.mm c (Mat.mm w_ll_pinv (Mat.transpose c))
+
+let multiply { c; w_ll_pinv; _ } x =
+  Mat.mv c (Mat.mv w_ll_pinv (Mat.tmv c x))
+
+let approx_degrees ({ c; _ } as t) =
+  let n = c.Mat.rows in
+  multiply t (Vec.ones n)
+
+let approximation_error t exact =
+  let diff = Mat.sub exact (approx_dense t) in
+  Mat.frobenius_norm diff /. Stdlib.max 1e-300 (Mat.frobenius_norm exact)

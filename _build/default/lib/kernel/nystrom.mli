@@ -1,0 +1,39 @@
+(** Nyström low-rank approximation of similarity matrices.
+
+    For large n the full n×n kernel matrix is the bottleneck of
+    graph-based SSL; the Nyström method samples l ≪ n landmark points and
+    approximates [W ≈ C W_ll⁺ Cᵀ], where [C] is the n×l kernel block
+    against the landmarks.  This module produces the factors and a
+    matrix-free multiply so the CG-based solvers can run without ever
+    materialising W. *)
+
+type t = private {
+  landmarks : int array;        (** indices of the sampled points *)
+  c : Linalg.Mat.t;             (** n×l kernel block *)
+  w_ll_pinv : Linalg.Mat.t;     (** pseudo-inverse of the l×l landmark block *)
+}
+
+val fit :
+  rng:Prng.Rng.t ->
+  kernel:Kernel_fn.t ->
+  bandwidth:float ->
+  landmarks:int ->
+  Linalg.Vec.t array ->
+  t
+(** Sample [landmarks] points uniformly without replacement and build the
+    factors.  Raises [Invalid_argument] when [landmarks] is outside
+    [1, n]. *)
+
+val approx_dense : t -> Linalg.Mat.t
+(** Materialise the approximation [C W_ll⁺ Cᵀ] (for testing / small n). *)
+
+val multiply : t -> Linalg.Vec.t -> Linalg.Vec.t
+(** [W̃ x] in O(n·l) without materialising the n×n matrix. *)
+
+val approx_degrees : t -> Linalg.Vec.t
+(** Row sums of the approximation (degrees of the approximate graph),
+    in O(n·l). *)
+
+val approximation_error : t -> Linalg.Mat.t -> float
+(** Relative Frobenius error [‖W − W̃‖_F / ‖W‖_F] against an exact
+    matrix (testing aid). *)

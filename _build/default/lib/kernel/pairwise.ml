@@ -1,0 +1,51 @@
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+
+let validate points =
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Pairwise: empty data";
+  let d = Array.length points.(0) in
+  Array.iter
+    (fun p -> if Array.length p <> d then invalid_arg "Pairwise: ragged data")
+    points;
+  (n, d)
+
+let sq_distance_matrix points =
+  let n, _d = validate points in
+  let sq_norms = Array.map Vec.norm2_sq points in
+  let m = Mat.zeros n n in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let d2 = sq_norms.(i) +. sq_norms.(j) -. (2. *. Vec.dot points.(i) points.(j)) in
+      let d2 = if d2 > 0. then d2 else 0. in
+      Mat.set m i j d2;
+      Mat.set m j i d2
+    done
+  done;
+  m
+
+let sq_distances_to points query =
+  let n, d = validate points in
+  if Array.length query <> d then invalid_arg "Pairwise.sq_distances_to: dimension mismatch";
+  Array.init n (fun i -> Vec.dist2_sq points.(i) query)
+
+let k_nearest points k i =
+  let n, _ = validate points in
+  if i < 0 || i >= n then invalid_arg "Pairwise.k_nearest: index out of range";
+  if k < 0 || k >= n then invalid_arg "Pairwise.k_nearest: k must be < n";
+  let d2 = sq_distances_to points points.(i) in
+  let order = Array.init n (fun j -> j) in
+  Array.sort (fun a b -> compare d2.(a) d2.(b)) order;
+  (* drop self (distance 0 comes first; with exact duplicates, drop index i
+     wherever it landed) *)
+  let out = Array.make k 0 in
+  let filled = ref 0 and pos = ref 0 in
+  while !filled < k do
+    let j = order.(!pos) in
+    if j <> i then begin
+      out.(!filled) <- j;
+      incr filled
+    end;
+    incr pos
+  done;
+  out

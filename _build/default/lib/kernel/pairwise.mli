@@ -1,0 +1,16 @@
+(** Pairwise-distance computations shared by the similarity builders. *)
+
+val sq_distance_matrix : Linalg.Vec.t array -> Linalg.Mat.t
+(** [n]×[n] matrix of squared Euclidean distances, computed via the
+    Gram-matrix identity [‖x−y‖² = ‖x‖² + ‖y‖² − 2⟨x,y⟩] (O(n²d) with a
+    cache-friendly inner product).  Exact zeros on the diagonal; negative
+    rounding artefacts are clamped to 0.  Raises [Invalid_argument] on
+    empty or ragged input. *)
+
+val sq_distances_to : Linalg.Vec.t array -> Linalg.Vec.t -> Linalg.Vec.t
+(** Squared distances from every row point to one query point. *)
+
+val k_nearest : Linalg.Vec.t array -> int -> int -> int array
+(** [k_nearest points k i] — indices of the [k] nearest neighbours of
+    point [i] (excluding [i] itself), nearest first.  Raises
+    [Invalid_argument] if [k] ≥ number of points or [i] out of range. *)

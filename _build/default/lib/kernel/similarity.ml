@@ -1,0 +1,46 @@
+module Mat = Linalg.Mat
+
+let dense ~kernel ~bandwidth points =
+  let d2 = Pairwise.sq_distance_matrix points in
+  Mat.map (fun v -> Kernel_fn.eval_sq_dist kernel ~bandwidth v) d2
+
+let dense_of_sq_distances ~kernel ~bandwidth d2 =
+  Mat.map (fun v -> Kernel_fn.eval_sq_dist kernel ~bandwidth v) d2
+
+let knn ~kernel ~bandwidth ~k points =
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Similarity.knn: empty data";
+  if k <= 0 || k >= n then invalid_arg "Similarity.knn: k must lie in [1, n-1]";
+  let keep = Array.make_matrix n n false in
+  for i = 0 to n - 1 do
+    keep.(i).(i) <- true;
+    Array.iter
+      (fun j ->
+        keep.(i).(j) <- true;
+        keep.(j).(i) <- true)
+      (Pairwise.k_nearest points k i)
+  done;
+  let coo = Sparse.Coo.create n n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if keep.(i).(j) then
+        Sparse.Coo.add coo i j
+          (Kernel_fn.eval kernel ~bandwidth points.(i) points.(j))
+    done
+  done;
+  Sparse.Csr.of_coo coo
+
+let epsilon ~kernel ~bandwidth ~radius points =
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Similarity.epsilon: empty data";
+  if radius < 0. then invalid_arg "Similarity.epsilon: negative radius";
+  let r2 = radius *. radius in
+  let coo = Sparse.Coo.create n n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let d2 = Linalg.Vec.dist2_sq points.(i) points.(j) in
+      if d2 <= r2 then
+        Sparse.Coo.add coo i j (Kernel_fn.eval_sq_dist kernel ~bandwidth d2)
+    done
+  done;
+  Sparse.Csr.of_coo coo

@@ -1,0 +1,39 @@
+(** Similarity-matrix (weighted-graph) construction.
+
+    [W = [w_ij]] with [w_ij = K((X_i − X_j)/h)] is the object the paper
+    calls the similarity (kernel) matrix.  Self-similarities [w_ii] are
+    K(0) — the paper's RBF gives [w_ii = 1]; they cancel in the Laplacian
+    but matter for [D₂₂], so they are kept.
+
+    Dense construction is O(n²); [knn] and [epsilon] produce sparse
+    (symmetrised) graphs for the ablation benches. *)
+
+val dense :
+  kernel:Kernel_fn.t -> bandwidth:float -> Linalg.Vec.t array -> Linalg.Mat.t
+(** Full symmetric similarity matrix.  Raises [Invalid_argument] on empty
+    or ragged input, or non-positive bandwidth. *)
+
+val dense_of_sq_distances :
+  kernel:Kernel_fn.t -> bandwidth:float -> Linalg.Mat.t -> Linalg.Mat.t
+(** Apply the kernel entrywise to a precomputed squared-distance matrix —
+    used when several bandwidths are swept over one dataset. *)
+
+val knn :
+  kernel:Kernel_fn.t ->
+  bandwidth:float ->
+  k:int ->
+  Linalg.Vec.t array ->
+  Sparse.Csr.t
+(** Mutual-or symmetrised kNN graph: [w_ij] is kept when [j] is among the
+    [k] nearest of [i] *or* vice versa; the matrix is symmetric.  Diagonal
+    entries are kept (self-similarity).  Raises [Invalid_argument] if
+    [k <= 0] or [k >= n]. *)
+
+val epsilon :
+  kernel:Kernel_fn.t ->
+  bandwidth:float ->
+  radius:float ->
+  Linalg.Vec.t array ->
+  Sparse.Csr.t
+(** ε-neighbourhood graph: keep pairs with [‖x_i − x_j‖ ≤ radius].
+    Raises [Invalid_argument] if [radius < 0]. *)

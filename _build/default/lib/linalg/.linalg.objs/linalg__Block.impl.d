@@ -1,0 +1,1 @@
+lib/linalg/block.ml: Lu Mat

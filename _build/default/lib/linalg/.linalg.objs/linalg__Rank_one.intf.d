@@ -1,0 +1,1 @@
+lib/linalg/rank_one.mli: Mat Vec

@@ -1,0 +1,1 @@
+lib/linalg/refine.ml: Array Lu Mat Vec

@@ -1,0 +1,1 @@
+lib/linalg/refine.mli: Mat Vec

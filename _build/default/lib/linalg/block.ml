@@ -1,0 +1,32 @@
+type partitioned = { a11 : Mat.t; a12 : Mat.t; a21 : Mat.t; a22 : Mat.t }
+
+let partition a k =
+  let a11, a12, a21, a22 = Mat.split4 a k in
+  { a11; a12; a21; a22 }
+
+let assemble { a11; a12; a21; a22 } = Mat.assemble4 a11 a12 a21 a22
+
+let schur_complement_11 { a11; a12; a21; a22 } =
+  Mat.sub a11 (Mat.mm a12 (Lu.solve_many a22 a21))
+
+let schur_complement_22 { a11; a12; a21; a22 } =
+  Mat.sub a22 (Mat.mm a21 (Lu.solve_many a11 a12))
+
+let block_inverse p =
+  let s11 = schur_complement_11 p in
+  let s22 = schur_complement_22 p in
+  let s11_inv = Lu.inverse s11 in
+  let s22_inv = Lu.inverse s22 in
+  let a11_inv = Lu.inverse p.a11 in
+  let a22_inv = Lu.inverse p.a22 in
+  {
+    a11 = s11_inv;
+    a12 = Mat.scale (-1.) (Mat.mm s11_inv (Mat.mm p.a12 a22_inv));
+    a21 = Mat.scale (-1.) (Mat.mm s22_inv (Mat.mm p.a21 a11_inv));
+    a22 = s22_inv;
+  }
+
+let lower_left_of_inverse p =
+  let s22 = schur_complement_22 p in
+  let t = Mat.mm p.a21 (Lu.inverse p.a11) in
+  Mat.scale (-1.) (Lu.solve_many s22 t)

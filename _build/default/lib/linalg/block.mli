@@ -1,0 +1,30 @@
+(** 2×2 block-matrix utilities.
+
+    The paper's Eq. (4) computes the soft-criterion solution on the
+    unlabeled block through the inverse of a 2×2 block matrix; this module
+    provides that inverse (via Schur complements) plus the pieces needed to
+    test it against a direct inverse. *)
+
+type partitioned = { a11 : Mat.t; a12 : Mat.t; a21 : Mat.t; a22 : Mat.t }
+
+val partition : Mat.t -> int -> partitioned
+(** [partition a k] splits a square matrix so that [a11] is [k]×[k]. *)
+
+val assemble : partitioned -> Mat.t
+
+val schur_complement_11 : partitioned -> Mat.t
+(** [a11 − a12 a22⁻¹ a21].  Raises {!Lu.Singular} if [a22] is singular. *)
+
+val schur_complement_22 : partitioned -> Mat.t
+(** [a22 − a21 a11⁻¹ a12]. *)
+
+val block_inverse : partitioned -> partitioned
+(** Inverse of the block matrix by the formula quoted in the paper
+    (Section II), expressed with Schur complements.  Requires [a11], [a22]
+    and both Schur complements nonsingular. *)
+
+val lower_left_of_inverse : partitioned -> Mat.t
+(** The (2,1) block of the inverse:
+    [−(a22 − a21 a11⁻¹ a12)⁻¹ a21 a11⁻¹].  This is exactly the operator
+    that maps [Y_n] to [f̂_(n+1):(n+m)] in Eq. (4) (up to sign conventions
+    handled by the caller). *)

@@ -1,0 +1,101 @@
+type factorization = { lu : Mat.t; perm : int array; sign : float }
+
+exception Singular of int
+
+let pivot_tolerance = 1e-13
+
+(* Doolittle elimination with partial pivoting.  The factors overwrite a
+   working copy: strict lower triangle holds L (unit diagonal implied),
+   upper triangle holds U. *)
+let factor a =
+  if not (Mat.is_square a) then invalid_arg "Lu.factor: matrix not square";
+  let n = a.Mat.rows in
+  let lu = Mat.copy a in
+  let d = lu.Mat.data in
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1. in
+  for k = 0 to n - 1 do
+    (* find the pivot row *)
+    let pivot_row = ref k in
+    let pivot_val = ref (abs_float d.((k * n) + k)) in
+    for i = k + 1 to n - 1 do
+      let v = abs_float d.((i * n) + k) in
+      if v > !pivot_val then begin
+        pivot_val := v;
+        pivot_row := i
+      end
+    done;
+    if !pivot_val < pivot_tolerance then raise (Singular k);
+    if !pivot_row <> k then begin
+      let p = !pivot_row in
+      for j = 0 to n - 1 do
+        let tmp = d.((k * n) + j) in
+        d.((k * n) + j) <- d.((p * n) + j);
+        d.((p * n) + j) <- tmp
+      done;
+      let tmp = perm.(k) in
+      perm.(k) <- perm.(p);
+      perm.(p) <- tmp;
+      sign := -. !sign
+    end;
+    let pivot = d.((k * n) + k) in
+    for i = k + 1 to n - 1 do
+      let m = d.((i * n) + k) /. pivot in
+      d.((i * n) + k) <- m;
+      if m <> 0. then
+        for j = k + 1 to n - 1 do
+          d.((i * n) + j) <- d.((i * n) + j) -. (m *. d.((k * n) + j))
+        done
+    done
+  done;
+  { lu; perm; sign = !sign }
+
+let solve_factored { lu; perm; _ } b =
+  let n = lu.Mat.rows in
+  if Array.length b <> n then invalid_arg "Lu.solve_factored: length mismatch";
+  let d = lu.Mat.data in
+  (* apply permutation, then forward substitution L y = P b *)
+  let y = Array.init n (fun i -> b.(perm.(i))) in
+  for i = 1 to n - 1 do
+    let acc = ref y.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (d.((i * n) + j) *. y.(j))
+    done;
+    y.(i) <- !acc
+  done;
+  (* backward substitution U x = y *)
+  for i = n - 1 downto 0 do
+    let acc = ref y.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (d.((i * n) + j) *. y.(j))
+    done;
+    y.(i) <- !acc /. d.((i * n) + i)
+  done;
+  y
+
+let solve a b = solve_factored (factor a) b
+
+let solve_many a b =
+  if a.Mat.rows <> b.Mat.rows then invalid_arg "Lu.solve_many: dimension mismatch";
+  let f = factor a in
+  let x = Mat.zeros a.Mat.cols b.Mat.cols in
+  for j = 0 to b.Mat.cols - 1 do
+    Mat.set_col x j (solve_factored f (Mat.col b j))
+  done;
+  x
+
+let inverse a = solve_many a (Mat.eye a.Mat.rows)
+
+let det a =
+  match factor a with
+  | exception Singular _ -> 0.
+  | { lu; sign; _ } ->
+      let n = lu.Mat.rows in
+      let acc = ref sign in
+      for i = 0 to n - 1 do
+        acc := !acc *. lu.Mat.data.((i * n) + i)
+      done;
+      !acc
+
+let is_singular a =
+  match factor a with exception Singular _ -> true | _ -> false

@@ -1,0 +1,35 @@
+(** LU decomposition with partial pivoting, and the dense linear solves
+    built on it.
+
+    [factor a] computes [P a = L U] with unit lower-triangular [L] and upper
+    triangular [U], stored packed in a single matrix plus a permutation. *)
+
+type factorization = {
+  lu : Mat.t;           (** packed L (strict lower, unit diagonal implied) and U *)
+  perm : int array;     (** row permutation: row [i] of [P a] is row [perm.(i)] of [a] *)
+  sign : float;         (** determinant of the permutation, [+1.] or [-1.] *)
+}
+
+exception Singular of int
+(** Raised when a (near-)zero pivot is met at the given elimination step. *)
+
+val factor : Mat.t -> factorization
+(** Raises [Invalid_argument] if the matrix is not square, [Singular] if it
+    is numerically singular. *)
+
+val solve_factored : factorization -> Vec.t -> Vec.t
+(** Solve [a x = b] given a factorization of [a]. *)
+
+val solve : Mat.t -> Vec.t -> Vec.t
+(** [solve a b] = [solve_factored (factor a) b]. *)
+
+val solve_many : Mat.t -> Mat.t -> Mat.t
+(** [solve_many a b] solves [a x = b] column-by-column (one factorization). *)
+
+val inverse : Mat.t -> Mat.t
+(** Matrix inverse; raises [Singular] on singular input. *)
+
+val det : Mat.t -> float
+(** Determinant via the factorization; [0.] for singular matrices. *)
+
+val is_singular : Mat.t -> bool

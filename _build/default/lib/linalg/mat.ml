@@ -1,0 +1,313 @@
+type t = { rows : int; cols : int; data : float array }
+
+let check_dims name a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg
+      (Printf.sprintf "Mat.%s: dimension mismatch (%dx%d vs %dx%d)" name a.rows
+         a.cols b.rows b.cols)
+
+let check_square name a =
+  if a.rows <> a.cols then
+    invalid_arg (Printf.sprintf "Mat.%s: matrix is %dx%d, not square" name a.rows a.cols)
+
+let create rows cols x =
+  if rows < 0 || cols < 0 then invalid_arg "Mat.create: negative dimension";
+  { rows; cols; data = Array.make (rows * cols) x }
+
+let zeros rows cols = create rows cols 0.
+let ones rows cols = create rows cols 1.
+
+let init rows cols f =
+  if rows < 0 || cols < 0 then invalid_arg "Mat.init: negative dimension";
+  let data = Array.make (rows * cols) 0. in
+  for i = 0 to rows - 1 do
+    let base = i * cols in
+    for j = 0 to cols - 1 do
+      data.(base + j) <- f i j
+    done
+  done;
+  { rows; cols; data }
+
+let eye n = init n n (fun i j -> if i = j then 1. else 0.)
+
+let diag v =
+  let n = Array.length v in
+  init n n (fun i j -> if i = j then v.(i) else 0.)
+
+let of_rows rows_arr =
+  let r = Array.length rows_arr in
+  if r = 0 then invalid_arg "Mat.of_rows: empty";
+  let c = Array.length rows_arr.(0) in
+  Array.iter
+    (fun row ->
+      if Array.length row <> c then invalid_arg "Mat.of_rows: ragged rows")
+    rows_arr;
+  init r c (fun i j -> rows_arr.(i).(j))
+
+let of_cols cols_arr =
+  let c = Array.length cols_arr in
+  if c = 0 then invalid_arg "Mat.of_cols: empty";
+  let r = Array.length cols_arr.(0) in
+  Array.iter
+    (fun col ->
+      if Array.length col <> r then invalid_arg "Mat.of_cols: ragged columns")
+    cols_arr;
+  init r c (fun i j -> cols_arr.(j).(i))
+
+let of_arrays = of_rows
+
+let to_arrays a =
+  Array.init a.rows (fun i -> Array.sub a.data (i * a.cols) a.cols)
+
+let copy a = { a with data = Array.copy a.data }
+
+let get a i j =
+  if i < 0 || i >= a.rows || j < 0 || j >= a.cols then
+    invalid_arg "Mat.get: index out of bounds";
+  a.data.((i * a.cols) + j)
+
+let set a i j x =
+  if i < 0 || i >= a.rows || j < 0 || j >= a.cols then
+    invalid_arg "Mat.set: index out of bounds";
+  a.data.((i * a.cols) + j) <- x
+
+let row a i =
+  if i < 0 || i >= a.rows then invalid_arg "Mat.row: index out of bounds";
+  Array.sub a.data (i * a.cols) a.cols
+
+let col a j =
+  if j < 0 || j >= a.cols then invalid_arg "Mat.col: index out of bounds";
+  Array.init a.rows (fun i -> a.data.((i * a.cols) + j))
+
+let get_diag a =
+  let n = Stdlib.min a.rows a.cols in
+  Array.init n (fun i -> a.data.((i * a.cols) + i))
+
+let dims a = (a.rows, a.cols)
+let is_square a = a.rows = a.cols
+
+let set_row a i v =
+  if i < 0 || i >= a.rows then invalid_arg "Mat.set_row: index out of bounds";
+  if Array.length v <> a.cols then invalid_arg "Mat.set_row: length mismatch";
+  Array.blit v 0 a.data (i * a.cols) a.cols
+
+let set_col a j v =
+  if j < 0 || j >= a.cols then invalid_arg "Mat.set_col: index out of bounds";
+  if Array.length v <> a.rows then invalid_arg "Mat.set_col: length mismatch";
+  for i = 0 to a.rows - 1 do
+    a.data.((i * a.cols) + j) <- v.(i)
+  done
+
+let map f a = { a with data = Array.map f a.data }
+
+let mapij f a =
+  init a.rows a.cols (fun i j -> f i j a.data.((i * a.cols) + j))
+
+let add a b =
+  check_dims "add" a b;
+  { a with data = Array.init (Array.length a.data) (fun k -> a.data.(k) +. b.data.(k)) }
+
+let sub a b =
+  check_dims "sub" a b;
+  { a with data = Array.init (Array.length a.data) (fun k -> a.data.(k) -. b.data.(k)) }
+
+let hadamard a b =
+  check_dims "hadamard" a b;
+  { a with data = Array.init (Array.length a.data) (fun k -> a.data.(k) *. b.data.(k)) }
+
+let scale s a = { a with data = Array.map (fun x -> s *. x) a.data }
+
+let add_scaled_identity a mu =
+  check_square "add_scaled_identity" a;
+  let b = copy a in
+  for i = 0 to a.rows - 1 do
+    b.data.((i * a.cols) + i) <- b.data.((i * a.cols) + i) +. mu
+  done;
+  b
+
+let mv a x =
+  if Array.length x <> a.cols then
+    invalid_arg
+      (Printf.sprintf "Mat.mv: %dx%d matrix times vector of length %d" a.rows
+         a.cols (Array.length x));
+  let y = Array.make a.rows 0. in
+  for i = 0 to a.rows - 1 do
+    let base = i * a.cols in
+    let acc = ref 0. in
+    for j = 0 to a.cols - 1 do
+      acc := !acc +. (a.data.(base + j) *. x.(j))
+    done;
+    y.(i) <- !acc
+  done;
+  y
+
+let tmv a x =
+  if Array.length x <> a.rows then
+    invalid_arg
+      (Printf.sprintf "Mat.tmv: (%dx%d)^T times vector of length %d" a.rows
+         a.cols (Array.length x));
+  let y = Array.make a.cols 0. in
+  for i = 0 to a.rows - 1 do
+    let base = i * a.cols in
+    let xi = x.(i) in
+    if xi <> 0. then
+      for j = 0 to a.cols - 1 do
+        y.(j) <- y.(j) +. (a.data.(base + j) *. xi)
+      done
+  done;
+  y
+
+(* ikj loop order: the inner loop walks both [b] and [c] contiguously, which
+   is substantially faster than the naive ijk order on row-major storage. *)
+let mm a b =
+  if a.cols <> b.rows then
+    invalid_arg
+      (Printf.sprintf "Mat.mm: %dx%d times %dx%d" a.rows a.cols b.rows b.cols);
+  let c = zeros a.rows b.cols in
+  let n = b.cols in
+  for i = 0 to a.rows - 1 do
+    let abase = i * a.cols in
+    let cbase = i * n in
+    for k = 0 to a.cols - 1 do
+      let aik = a.data.(abase + k) in
+      if aik <> 0. then begin
+        let bbase = k * n in
+        for j = 0 to n - 1 do
+          c.data.(cbase + j) <- c.data.(cbase + j) +. (aik *. b.data.(bbase + j))
+        done
+      end
+    done
+  done;
+  c
+
+let transpose a = init a.cols a.rows (fun i j -> a.data.((j * a.cols) + i))
+
+let gram a =
+  let g = zeros a.cols a.cols in
+  for k = 0 to a.rows - 1 do
+    let base = k * a.cols in
+    for i = 0 to a.cols - 1 do
+      let aki = a.data.(base + i) in
+      if aki <> 0. then begin
+        let gbase = i * a.cols in
+        for j = i to a.cols - 1 do
+          g.data.(gbase + j) <- g.data.(gbase + j) +. (aki *. a.data.(base + j))
+        done
+      end
+    done
+  done;
+  (* mirror the upper triangle *)
+  for i = 0 to a.cols - 1 do
+    for j = 0 to i - 1 do
+      g.data.((i * a.cols) + j) <- g.data.((j * a.cols) + i)
+    done
+  done;
+  g
+
+let outer x y =
+  init (Array.length x) (Array.length y) (fun i j -> x.(i) *. y.(j))
+
+let quadratic_form a x =
+  check_square "quadratic_form" a;
+  Vec.dot x (mv a x)
+
+let trace a =
+  check_square "trace" a;
+  let acc = ref 0. in
+  for i = 0 to a.rows - 1 do
+    acc := !acc +. a.data.((i * a.cols) + i)
+  done;
+  !acc
+
+let frobenius_norm a =
+  let acc = ref 0. in
+  Array.iter (fun x -> acc := !acc +. (x *. x)) a.data;
+  sqrt !acc
+
+let max_abs a =
+  let acc = ref 0. in
+  Array.iter
+    (fun x ->
+      let v = abs_float x in
+      if v > !acc then acc := v)
+    a.data;
+  !acc
+
+let row_sums a = Array.init a.rows (fun i -> Vec.sum (row a i))
+let col_sums a = tmv a (Vec.ones a.rows)
+
+let is_symmetric ?(tol = 1e-9) a =
+  is_square a
+  &&
+  let ok = ref true in
+  for i = 0 to a.rows - 1 do
+    for j = i + 1 to a.cols - 1 do
+      if abs_float (a.data.((i * a.cols) + j) -. a.data.((j * a.cols) + i)) > tol
+      then ok := false
+    done
+  done;
+  !ok
+
+let approx_equal ?(tol = 1e-9) a b =
+  a.rows = b.rows && a.cols = b.cols
+  &&
+  let ok = ref true in
+  for k = 0 to Array.length a.data - 1 do
+    if abs_float (a.data.(k) -. b.data.(k)) > tol then ok := false
+  done;
+  !ok
+
+let submatrix a i j r c =
+  if i < 0 || j < 0 || r < 0 || c < 0 || i + r > a.rows || j + c > a.cols then
+    invalid_arg "Mat.submatrix: out of range";
+  init r c (fun p q -> a.data.(((i + p) * a.cols) + j + q))
+
+let blit ~src ~dst i j =
+  if i < 0 || j < 0 || i + src.rows > dst.rows || j + src.cols > dst.cols then
+    invalid_arg "Mat.blit: out of range";
+  for p = 0 to src.rows - 1 do
+    Array.blit src.data (p * src.cols) dst.data (((i + p) * dst.cols) + j)
+      src.cols
+  done
+
+let hcat a b =
+  if a.rows <> b.rows then invalid_arg "Mat.hcat: row mismatch";
+  let c = zeros a.rows (a.cols + b.cols) in
+  blit ~src:a ~dst:c 0 0;
+  blit ~src:b ~dst:c 0 a.cols;
+  c
+
+let vcat a b =
+  if a.cols <> b.cols then invalid_arg "Mat.vcat: column mismatch";
+  let c = zeros (a.rows + b.rows) a.cols in
+  blit ~src:a ~dst:c 0 0;
+  blit ~src:b ~dst:c a.rows 0;
+  c
+
+let split4 a k =
+  check_square "split4" a;
+  if k < 0 || k > a.rows then invalid_arg "Mat.split4: bad split point";
+  let n = a.rows in
+  ( submatrix a 0 0 k k,
+    submatrix a 0 k k (n - k),
+    submatrix a k 0 (n - k) k,
+    submatrix a k k (n - k) (n - k) )
+
+let assemble4 a11 a12 a21 a22 =
+  let top = hcat a11 a12 and bottom = hcat a21 a22 in
+  vcat top bottom
+
+let pp ppf a =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to a.rows - 1 do
+    if i > 0 then Format.fprintf ppf "@,";
+    Format.fprintf ppf "[";
+    for j = 0 to a.cols - 1 do
+      if j > 0 then Format.fprintf ppf " ";
+      Format.fprintf ppf "%10.4g" a.data.((i * a.cols) + j)
+    done;
+    Format.fprintf ppf "]"
+  done;
+  Format.fprintf ppf "@]"
+
+let to_string a = Format.asprintf "%a" pp a

@@ -1,0 +1,127 @@
+(* Householder QR.  We keep the reflectors in the strict lower part of the
+   working matrix plus a separate array of scalars, LAPACK-style. *)
+
+type factorization = {
+  m : int;
+  n : int;
+  work : Mat.t;        (* upper triangle: R; below diagonal: reflector tails *)
+  betas : float array; (* reflector scalings *)
+}
+
+let factor a =
+  let m = a.Mat.rows and n = a.Mat.cols in
+  if m < n then invalid_arg "Qr.factor: need rows >= cols";
+  let work = Mat.copy a in
+  let d = work.Mat.data in
+  let betas = Array.make n 0. in
+  for k = 0 to n - 1 do
+    (* build the Householder vector for column k below the diagonal *)
+    let norm = ref 0. in
+    for i = k to m - 1 do
+      let v = d.((i * n) + k) in
+      norm := !norm +. (v *. v)
+    done;
+    let norm = sqrt !norm in
+    if norm > 0. then begin
+      let akk = d.((k * n) + k) in
+      let alpha = if akk >= 0. then -.norm else norm in
+      (* v = x - alpha e1, stored with v_k implicit after normalisation *)
+      let vk = akk -. alpha in
+      d.((k * n) + k) <- alpha;
+      (* normalise tail by vk so the head becomes the implicit 1 *)
+      if vk <> 0. then begin
+        for i = k + 1 to m - 1 do
+          d.((i * n) + k) <- d.((i * n) + k) /. vk
+        done;
+        betas.(k) <- -.vk /. alpha;
+        (* apply the reflector to the remaining columns *)
+        for j = k + 1 to n - 1 do
+          let s = ref d.((k * n) + j) in
+          for i = k + 1 to m - 1 do
+            s := !s +. (d.((i * n) + k) *. d.((i * n) + j))
+          done;
+          let s = betas.(k) *. !s in
+          d.((k * n) + j) <- d.((k * n) + j) -. s;
+          for i = k + 1 to m - 1 do
+            d.((i * n) + j) <- d.((i * n) + j) -. (s *. d.((i * n) + k))
+          done
+        done
+      end
+    end
+  done;
+  { m; n; work; betas }
+
+let r { n; work; _ } =
+  Mat.init n n (fun i j -> if j >= i then Mat.get work i j else 0.)
+
+(* Apply Qᵀ to a vector of length m, in place. *)
+let apply_qt { m; n; work; betas } b =
+  let d = work.Mat.data in
+  let y = Array.copy b in
+  for k = 0 to n - 1 do
+    if betas.(k) <> 0. then begin
+      let s = ref y.(k) in
+      for i = k + 1 to m - 1 do
+        s := !s +. (d.((i * n) + k) *. y.(i))
+      done;
+      let s = betas.(k) *. !s in
+      y.(k) <- y.(k) -. s;
+      for i = k + 1 to m - 1 do
+        y.(i) <- y.(i) -. (s *. d.((i * n) + k))
+      done
+    end
+  done;
+  y
+
+(* Apply Q to a vector, in place (reflectors in reverse order). *)
+let apply_q { m; n; work; betas } b =
+  let d = work.Mat.data in
+  let y = Array.copy b in
+  for k = n - 1 downto 0 do
+    if betas.(k) <> 0. then begin
+      let s = ref y.(k) in
+      for i = k + 1 to m - 1 do
+        s := !s +. (d.((i * n) + k) *. y.(i))
+      done;
+      let s = betas.(k) *. !s in
+      y.(k) <- y.(k) -. s;
+      for i = k + 1 to m - 1 do
+        y.(i) <- y.(i) -. (s *. d.((i * n) + k))
+      done
+    end
+  done;
+  y
+
+let q ({ m; n; _ } as f) =
+  let cols =
+    Array.init n (fun j ->
+        let e = Array.make m 0. in
+        e.(j) <- 1.;
+        apply_q f e)
+  in
+  Mat.of_cols cols
+
+let back_substitute f y =
+  let n = f.n in
+  let d = f.work.Mat.data in
+  let x = Array.make n 0. in
+  for i = n - 1 downto 0 do
+    let acc = ref y.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (d.((i * n) + j) *. x.(j))
+    done;
+    let rii = d.((i * n) + i) in
+    if abs_float rii < 1e-13 then failwith "Qr: rank-deficient matrix";
+    x.(i) <- !acc /. rii
+  done;
+  x
+
+let solve_least_squares a b =
+  if Array.length b <> a.Mat.rows then
+    invalid_arg "Qr.solve_least_squares: length mismatch";
+  let f = factor a in
+  back_substitute f (apply_qt f b)
+
+let solve a b =
+  if not (Mat.is_square a) then invalid_arg "Qr.solve: matrix not square";
+  solve_least_squares a b

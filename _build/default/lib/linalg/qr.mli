@@ -1,0 +1,24 @@
+(** Householder QR decomposition and least-squares solves.
+
+    Used by the reproduction for well-conditioned least-squares fits (e.g.
+    calibrating logit models in the examples) and as an independent check of
+    the LU/Cholesky solvers in tests. *)
+
+type factorization
+
+val factor : Mat.t -> factorization
+(** QR of an [m]×[n] matrix with [m ≥ n].
+    Raises [Invalid_argument] when [m < n]. *)
+
+val q : factorization -> Mat.t
+(** The thin orthogonal factor ([m]×[n]). *)
+
+val r : factorization -> Mat.t
+(** The upper-triangular factor ([n]×[n]). *)
+
+val solve_least_squares : Mat.t -> Vec.t -> Vec.t
+(** [solve_least_squares a b] minimises [‖a x − b‖₂].
+    Raises [Failure] if [a] is rank-deficient (zero diagonal in R). *)
+
+val solve : Mat.t -> Vec.t -> Vec.t
+(** Square-system solve via QR (an alternative to {!Lu.solve}). *)

@@ -1,0 +1,44 @@
+let check_square_match name a_inv u v =
+  if not (Mat.is_square a_inv) then
+    invalid_arg ("Rank_one." ^ name ^ ": inverse not square");
+  let n = a_inv.Mat.rows in
+  if Array.length u <> n || Array.length v <> n then
+    invalid_arg ("Rank_one." ^ name ^ ": dimension mismatch")
+
+let sherman_morrison_inplace a_inv u v =
+  check_square_match "sherman_morrison" a_inv u v;
+  let n = a_inv.Mat.rows in
+  let ainv_u = Mat.mv a_inv u in
+  let vt_ainv = Mat.tmv a_inv v in
+  let denom = 1. +. Vec.dot v ainv_u in
+  if abs_float denom < 1e-13 then
+    failwith "Rank_one.sherman_morrison: singular update";
+  let d = a_inv.Mat.data in
+  for i = 0 to n - 1 do
+    let scale = ainv_u.(i) /. denom in
+    if scale <> 0. then begin
+      let base = i * n in
+      for j = 0 to n - 1 do
+        d.(base + j) <- d.(base + j) -. (scale *. vt_ainv.(j))
+      done
+    end
+  done
+
+let sherman_morrison a_inv u v =
+  let out = Mat.copy a_inv in
+  sherman_morrison_inplace out u v;
+  out
+
+let symmetric_update a_inv c u = sherman_morrison a_inv (Vec.scale c u) u
+
+let delete_row_col b k =
+  if not (Mat.is_square b) then invalid_arg "Rank_one.delete_row_col: not square";
+  let n = b.Mat.rows in
+  if k < 0 || k >= n then invalid_arg "Rank_one.delete_row_col: bad index";
+  let bkk = Mat.get b k k in
+  if abs_float bkk < 1e-300 then
+    failwith "Rank_one.delete_row_col: zero pivot in inverse";
+  let keep = Array.init (n - 1) (fun i -> if i < k then i else i + 1) in
+  Mat.init (n - 1) (n - 1) (fun i j ->
+      let p = keep.(i) and q = keep.(j) in
+      Mat.get b p q -. (Mat.get b p k *. Mat.get b k q /. bkk))

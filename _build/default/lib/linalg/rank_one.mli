@@ -1,0 +1,24 @@
+(** Rank-one updates of explicit inverses (Sherman–Morrison).
+
+    Supports the incremental SSL solver: when an unlabeled point becomes
+    labeled (or a weight changes), the hard-criterion system changes by a
+    few rank-one terms, so its inverse can be refreshed in O(m²) instead
+    of refactored in O(m³). *)
+
+val sherman_morrison : Mat.t -> Vec.t -> Vec.t -> Mat.t
+(** [sherman_morrison a_inv u v] is [(A + u vᵀ)⁻¹] given [a_inv = A⁻¹]:
+    [A⁻¹ − (A⁻¹u vᵀA⁻¹)/(1 + vᵀA⁻¹u)].
+    Raises [Invalid_argument] on dimension mismatch and [Failure] when
+    the update is singular ([1 + vᵀA⁻¹u ≈ 0]). *)
+
+val sherman_morrison_inplace : Mat.t -> Vec.t -> Vec.t -> unit
+(** Same, updating [a_inv] in place (no allocation beyond two vectors). *)
+
+val symmetric_update : Mat.t -> float -> Vec.t -> Mat.t
+(** [(A + c·u uᵀ)⁻¹] from [A⁻¹] — the symmetric special case. *)
+
+val delete_row_col : Mat.t -> int -> Mat.t
+(** Given [A⁻¹] for an n×n matrix [A], return the inverse of [A] with row
+    and column [k] removed, in O(n²) (block-inverse identity).  Raises
+    [Invalid_argument] on a bad index, [Failure] when the deleted
+    diagonal entry of the inverse is (numerically) zero. *)

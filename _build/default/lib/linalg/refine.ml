@@ -1,0 +1,58 @@
+let refine ?(iterations = 2) a b x0 =
+  if not (Mat.is_square a) then invalid_arg "Refine.refine: matrix not square";
+  if Array.length b <> a.Mat.rows || Array.length x0 <> a.Mat.rows then
+    invalid_arg "Refine.refine: length mismatch";
+  let f = Lu.factor a in
+  let x = Vec.copy x0 in
+  for _ = 1 to iterations do
+    let residual = Vec.sub b (Mat.mv a x) in
+    let correction = Lu.solve_factored f residual in
+    Vec.axpy 1. correction x
+  done;
+  x
+
+let solve_refined ?(iterations = 2) a b =
+  let f = Lu.factor a in
+  let x = Lu.solve_factored f b in
+  for _ = 1 to iterations do
+    let residual = Vec.sub b (Mat.mv a x) in
+    Vec.axpy 1. (Lu.solve_factored f residual) x
+  done;
+  x
+
+let condition_estimate ?(iterations = 30) a =
+  if not (Mat.is_square a) then
+    invalid_arg "Refine.condition_estimate: matrix not square";
+  let n = a.Mat.rows in
+  if n = 0 then invalid_arg "Refine.condition_estimate: empty matrix";
+  match Lu.factor a with
+  | exception Lu.Singular _ -> infinity
+  | f ->
+      (* ||a||_2 via power iteration on a^T a *)
+      let v = ref (Vec.init n (fun i -> 1. +. (0.01 *. float_of_int i))) in
+      Vec.scale_inplace (1. /. Vec.norm2 !v) !v;
+      let sigma_max = ref 0. in
+      for _ = 1 to iterations do
+        let w = Mat.tmv a (Mat.mv a !v) in
+        let norm = Vec.norm2 w in
+        if norm > 0. then begin
+          sigma_max := sqrt norm;
+          v := Vec.scale (1. /. norm) w
+        end
+      done;
+      (* ||a^{-1}||_2 via power iteration on (a^T a)^{-1}:
+         w = a^{-1} (a^{-T} v); factor a^T once for the inner solve *)
+      let ft = Lu.factor (Mat.transpose a) in
+      let transpose_solve b = Lu.solve_factored ft b in
+      let u = ref (Vec.init n (fun i -> 1. -. (0.01 *. float_of_int i))) in
+      Vec.scale_inplace (1. /. Vec.norm2 !u) !u;
+      let sigma_inv = ref 0. in
+      for _ = 1 to iterations do
+        let w = Lu.solve_factored f (transpose_solve !u) in
+        let norm = Vec.norm2 w in
+        if norm > 0. then begin
+          sigma_inv := sqrt norm;
+          u := Vec.scale (1. /. norm) w
+        end
+      done;
+      !sigma_max *. !sigma_inv

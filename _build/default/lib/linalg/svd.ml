@@ -1,0 +1,99 @@
+type t = { u : Mat.t; s : Vec.t; v : Mat.t }
+
+(* One-sided Jacobi: repeatedly rotate column pairs of a working copy of A
+   to make them orthogonal, accumulating the rotations into V.  At
+   convergence the columns of the working matrix are u_i * s_i. *)
+let decompose ?(tol = 1e-12) ?(max_sweeps = 60) a =
+  let m = a.Mat.rows and n = a.Mat.cols in
+  if m < n then invalid_arg "Svd.decompose: need rows >= cols";
+  let w = Mat.copy a in
+  let v = Mat.eye n in
+  let wd = w.Mat.data and vd = v.Mat.data in
+  let col_dot p q =
+    let acc = ref 0. in
+    for i = 0 to m - 1 do
+      acc := !acc +. (wd.((i * n) + p) *. wd.((i * n) + q))
+    done;
+    !acc
+  in
+  let scale = Stdlib.max 1e-300 (Mat.frobenius_norm a) in
+  let sweeps = ref 0 in
+  let converged = ref false in
+  while (not !converged) && !sweeps < max_sweeps do
+    incr sweeps;
+    let off = ref 0. in
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        let apq = col_dot p q in
+        let app = col_dot p p and aqq = col_dot q q in
+        off := Stdlib.max !off (abs_float apq /. (scale *. scale));
+        if abs_float apq > 1e-300 then begin
+          let theta = (aqq -. app) /. (2. *. apq) in
+          let t =
+            let sign = if theta >= 0. then 1. else -1. in
+            sign /. (abs_float theta +. sqrt ((theta *. theta) +. 1.))
+          in
+          let c = 1. /. sqrt ((t *. t) +. 1.) in
+          let s = t *. c in
+          (* rotate columns p and q of W and V *)
+          for i = 0 to m - 1 do
+            let wip = wd.((i * n) + p) and wiq = wd.((i * n) + q) in
+            wd.((i * n) + p) <- (c *. wip) -. (s *. wiq);
+            wd.((i * n) + q) <- (s *. wip) +. (c *. wiq)
+          done;
+          for i = 0 to n - 1 do
+            let vip = vd.((i * n) + p) and viq = vd.((i * n) + q) in
+            vd.((i * n) + p) <- (c *. vip) -. (s *. viq);
+            vd.((i * n) + q) <- (s *. vip) +. (c *. viq)
+          done
+        end
+      done
+    done;
+    if !off < tol then converged := true
+  done;
+  if not !converged then failwith "Svd.decompose: did not converge";
+  (* extract singular values and normalise the columns of W into U *)
+  let s = Array.init n (fun j -> sqrt (Stdlib.max 0. (col_dot j j))) in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> compare s.(j) s.(i)) order;
+  let u = Mat.zeros m n and v_sorted = Mat.zeros n n in
+  let s_sorted = Array.make n 0. in
+  Array.iteri
+    (fun new_j old_j ->
+      s_sorted.(new_j) <- s.(old_j);
+      let inv = if s.(old_j) > 1e-300 then 1. /. s.(old_j) else 0. in
+      for i = 0 to m - 1 do
+        Mat.set u i new_j (wd.((i * n) + old_j) *. inv)
+      done;
+      for i = 0 to n - 1 do
+        Mat.set v_sorted i new_j vd.((i * n) + old_j)
+      done)
+    order;
+  { u; s = s_sorted; v = v_sorted }
+
+let reconstruct { u; s; v } =
+  let n = Array.length s in
+  let us = Mat.init u.Mat.rows n (fun i j -> Mat.get u i j *. s.(j)) in
+  Mat.mm us (Mat.transpose v)
+
+let rank ?(tol = 1e-10) { s; _ } =
+  if Array.length s = 0 then 0
+  else begin
+    let threshold = tol *. s.(0) in
+    let count = ref 0 in
+    Array.iter (fun x -> if x > threshold then incr count) s;
+    !count
+  end
+
+let condition_number { s; _ } =
+  let n = Array.length s in
+  if n = 0 || s.(n - 1) <= 0. then infinity else s.(0) /. s.(n - 1)
+
+let pseudo_inverse ?(tol = 1e-10) { u; s; v } =
+  let n = Array.length s in
+  let threshold = if n = 0 then 0. else tol *. s.(0) in
+  let vs =
+    Mat.init v.Mat.rows n (fun i j ->
+        if s.(j) > threshold then Mat.get v i j /. s.(j) else 0.)
+  in
+  Mat.mm vs (Mat.transpose u)

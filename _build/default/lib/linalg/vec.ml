@@ -1,0 +1,169 @@
+type t = float array
+
+let check_same_dim name x y =
+  if Array.length x <> Array.length y then
+    invalid_arg
+      (Printf.sprintf "Vec.%s: dimension mismatch (%d vs %d)" name
+         (Array.length x) (Array.length y))
+
+let create n x =
+  if n < 0 then invalid_arg "Vec.create: negative length";
+  Array.make n x
+
+let zeros n = create n 0.
+let ones n = create n 1.
+let init = Array.init
+
+let basis n i =
+  if i < 0 || i >= n then invalid_arg "Vec.basis: index out of bounds";
+  let v = zeros n in
+  v.(i) <- 1.;
+  v
+
+let linspace a b n =
+  if n < 2 then invalid_arg "Vec.linspace: need at least two points";
+  let step = (b -. a) /. float_of_int (n - 1) in
+  Array.init n (fun i -> a +. (float_of_int i *. step))
+
+let of_list = Array.of_list
+let to_list = Array.to_list
+let copy = Array.copy
+let dim = Array.length
+let map f v = Array.map f v
+let mapi f v = Array.mapi f v
+
+let map2 f x y =
+  check_same_dim "map2" x y;
+  Array.init (Array.length x) (fun i -> f x.(i) y.(i))
+
+let add x y =
+  check_same_dim "add" x y;
+  Array.init (Array.length x) (fun i -> x.(i) +. y.(i))
+
+let sub x y =
+  check_same_dim "sub" x y;
+  Array.init (Array.length x) (fun i -> x.(i) -. y.(i))
+
+let mul x y =
+  check_same_dim "mul" x y;
+  Array.init (Array.length x) (fun i -> x.(i) *. y.(i))
+
+let div x y =
+  check_same_dim "div" x y;
+  Array.init (Array.length x) (fun i -> x.(i) /. y.(i))
+
+let scale a v = Array.map (fun x -> a *. x) v
+let neg v = Array.map (fun x -> -.x) v
+let add_scalar a v = Array.map (fun x -> a +. x) v
+
+let axpy a x y =
+  check_same_dim "axpy" x y;
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- (a *. x.(i)) +. y.(i)
+  done
+
+let scale_inplace a v =
+  for i = 0 to Array.length v - 1 do
+    v.(i) <- a *. v.(i)
+  done
+
+let fill v x = Array.fill v 0 (Array.length v) x
+
+let dot x y =
+  check_same_dim "dot" x y;
+  let acc = ref 0. in
+  for i = 0 to Array.length x - 1 do
+    acc := !acc +. (x.(i) *. y.(i))
+  done;
+  !acc
+
+let sum v =
+  let acc = ref 0. in
+  for i = 0 to Array.length v - 1 do
+    acc := !acc +. v.(i)
+  done;
+  !acc
+
+let mean v =
+  if Array.length v = 0 then invalid_arg "Vec.mean: empty vector";
+  sum v /. float_of_int (Array.length v)
+
+let norm2_sq v = dot v v
+let norm2 v = sqrt (norm2_sq v)
+
+let norm1 v =
+  let acc = ref 0. in
+  for i = 0 to Array.length v - 1 do
+    acc := !acc +. abs_float v.(i)
+  done;
+  !acc
+
+let norm_inf v =
+  let acc = ref 0. in
+  for i = 0 to Array.length v - 1 do
+    let a = abs_float v.(i) in
+    if a > !acc then acc := a
+  done;
+  !acc
+
+let min v =
+  if Array.length v = 0 then invalid_arg "Vec.min: empty vector";
+  Array.fold_left Stdlib.min v.(0) v
+
+let max v =
+  if Array.length v = 0 then invalid_arg "Vec.max: empty vector";
+  Array.fold_left Stdlib.max v.(0) v
+
+let argmin v =
+  if Array.length v = 0 then invalid_arg "Vec.argmin: empty vector";
+  let best = ref 0 in
+  for i = 1 to Array.length v - 1 do
+    if v.(i) < v.(!best) then best := i
+  done;
+  !best
+
+let argmax v =
+  if Array.length v = 0 then invalid_arg "Vec.argmax: empty vector";
+  let best = ref 0 in
+  for i = 1 to Array.length v - 1 do
+    if v.(i) > v.(!best) then best := i
+  done;
+  !best
+
+let dist2_sq x y =
+  check_same_dim "dist2_sq" x y;
+  let acc = ref 0. in
+  for i = 0 to Array.length x - 1 do
+    let d = x.(i) -. y.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  !acc
+
+let dist2 x y = sqrt (dist2_sq x y)
+
+let approx_equal ?(tol = 1e-9) x y =
+  Array.length x = Array.length y
+  &&
+  let ok = ref true in
+  for i = 0 to Array.length x - 1 do
+    if abs_float (x.(i) -. y.(i)) > tol then ok := false
+  done;
+  !ok
+
+let pp ppf v =
+  Format.fprintf ppf "[|";
+  Array.iteri
+    (fun i x ->
+      if i > 0 then Format.fprintf ppf "; ";
+      Format.fprintf ppf "%g" x)
+    v;
+  Format.fprintf ppf "|]"
+
+let to_string v = Format.asprintf "%a" pp v
+
+let slice v pos len =
+  if pos < 0 || len < 0 || pos + len > Array.length v then
+    invalid_arg "Vec.slice: out of range";
+  Array.sub v pos len
+
+let concat x y = Array.append x y

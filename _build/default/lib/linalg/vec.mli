@@ -1,0 +1,101 @@
+(** Dense vectors of floats.
+
+    A vector is a plain [float array]; this module provides the linear-algebra
+    operations used throughout the reproduction.  Functions ending in
+    [_inplace] mutate their first argument; all others are pure.
+
+    All binary operations raise [Invalid_argument] on dimension mismatch. *)
+
+type t = float array
+
+(** {1 Construction} *)
+
+val create : int -> float -> t
+(** [create n x] is the vector of length [n] filled with [x].
+    Raises [Invalid_argument] if [n < 0]. *)
+
+val zeros : int -> t
+(** [zeros n] is the all-zero vector of length [n]. *)
+
+val ones : int -> t
+(** [ones n] is the all-one vector of length [n]. *)
+
+val init : int -> (int -> float) -> t
+(** [init n f] is [| f 0; …; f (n-1) |]. *)
+
+val basis : int -> int -> t
+(** [basis n i] is the [i]-th standard basis vector of length [n].
+    Raises [Invalid_argument] if [i] is out of bounds. *)
+
+val linspace : float -> float -> int -> t
+(** [linspace a b n] is [n] evenly spaced points from [a] to [b] inclusive.
+    Raises [Invalid_argument] if [n < 2]. *)
+
+val of_list : float list -> t
+val to_list : t -> float list
+val copy : t -> t
+val dim : t -> int
+
+(** {1 Pointwise operations} *)
+
+val map : (float -> float) -> t -> t
+val mapi : (int -> float -> float) -> t -> t
+val map2 : (float -> float -> float) -> t -> t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+(** Hadamard (element-wise) product. *)
+
+val div : t -> t -> t
+val scale : float -> t -> t
+val neg : t -> t
+val add_scalar : float -> t -> t
+
+val axpy : float -> t -> t -> unit
+(** [axpy a x y] performs [y <- a*x + y] in place. *)
+
+val scale_inplace : float -> t -> unit
+val fill : t -> float -> unit
+
+(** {1 Reductions} *)
+
+val dot : t -> t -> float
+val sum : t -> float
+val mean : t -> float
+(** Raises [Invalid_argument] on the empty vector. *)
+
+val norm2 : t -> float
+(** Euclidean norm. *)
+
+val norm2_sq : t -> float
+val norm1 : t -> float
+val norm_inf : t -> float
+val min : t -> float
+val max : t -> float
+(** [min]/[max] raise [Invalid_argument] on the empty vector. *)
+
+val argmin : t -> int
+val argmax : t -> int
+
+val dist2 : t -> t -> float
+(** Euclidean distance. *)
+
+val dist2_sq : t -> t -> float
+(** Squared Euclidean distance (no sqrt). *)
+
+(** {1 Comparison and display} *)
+
+val approx_equal : ?tol:float -> t -> t -> bool
+(** Component-wise comparison with absolute tolerance [tol] (default 1e-9).
+    Vectors of different lengths are never equal. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** {1 Slicing} *)
+
+val slice : t -> int -> int -> t
+(** [slice v pos len] is the sub-vector of [v] of length [len] starting at
+    [pos].  Raises [Invalid_argument] if out of range. *)
+
+val concat : t -> t -> t

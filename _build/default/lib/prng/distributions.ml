@@ -1,0 +1,72 @@
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+
+(* Marsaglia polar method.  We deliberately do not cache the second deviate:
+   caching would make the sample count depend on call history, which breaks
+   the reproducibility contract of substreams. *)
+let standard_normal rng =
+  let rec draw () =
+    let u = Rng.uniform rng (-1.) 1. in
+    let v = Rng.uniform rng (-1.) 1. in
+    let s = (u *. u) +. (v *. v) in
+    if s >= 1. || s = 0. then draw () else u *. sqrt (-2. *. log s /. s)
+  in
+  draw ()
+
+let normal rng ~mean ~std =
+  if std < 0. then invalid_arg "Distributions.normal: negative std";
+  mean +. (std *. standard_normal rng)
+
+let exponential rng ~rate =
+  if rate <= 0. then invalid_arg "Distributions.exponential: rate must be positive";
+  -.log (1. -. Rng.float rng) /. rate
+
+let binomial rng ~n ~p =
+  if n < 0 then invalid_arg "Distributions.binomial: negative n";
+  if p < 0. || p > 1. then invalid_arg "Distributions.binomial: p outside [0,1]";
+  let count = ref 0 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng p then incr count
+  done;
+  !count
+
+let categorical rng weights =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Distributions.categorical: empty weights";
+  let total = ref 0. in
+  Array.iter
+    (fun w ->
+      if w < 0. then invalid_arg "Distributions.categorical: negative weight";
+      total := !total +. w)
+    weights;
+  if !total <= 0. then invalid_arg "Distributions.categorical: all-zero weights";
+  let u = Rng.float rng *. !total in
+  let acc = ref 0. and result = ref (n - 1) in
+  (try
+     for i = 0 to n - 1 do
+       acc := !acc +. weights.(i);
+       if u < !acc then begin
+         result := i;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !result
+
+type mvn = { mean : Vec.t; chol : Mat.t }
+
+let mvn_make ~mean ~cov =
+  if Array.length mean <> cov.Mat.rows then
+    invalid_arg "Distributions.mvn_make: dimension mismatch";
+  { mean; chol = Linalg.Cholesky.factor cov }
+
+let mvn_dim m = Array.length m.mean
+
+let mvn_sample rng m =
+  let d = mvn_dim m in
+  let z = Array.init d (fun _ -> standard_normal rng) in
+  Vec.add m.mean (Mat.mv m.chol z)
+
+let truncated_mvn_sample rng m =
+  let x = mvn_sample rng m in
+  Array.map (fun v -> if v >= 0. && v <= 1. then v else 0.) x

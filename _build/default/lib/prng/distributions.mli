@@ -1,0 +1,45 @@
+(** Samplers for the distributions used by the paper's experiments.
+
+    All samplers take an explicit {!Rng.t}.  The multivariate-normal
+    sampler pre-factors the covariance once ({!mvn_make}) so that the
+    synthetic-data generator can draw thousands of points cheaply. *)
+
+val standard_normal : Rng.t -> float
+(** Marsaglia polar method. *)
+
+val normal : Rng.t -> mean:float -> std:float -> float
+(** Raises [Invalid_argument] if [std < 0]. *)
+
+val exponential : Rng.t -> rate:float -> float
+(** Raises [Invalid_argument] if [rate <= 0]. *)
+
+val binomial : Rng.t -> n:int -> p:float -> int
+(** Sum of [n] Bernoulli trials.  Raises [Invalid_argument] on [n < 0] or
+    [p] outside [0,1]. *)
+
+val categorical : Rng.t -> float array -> int
+(** Sample an index proportionally to the (nonnegative) weights.
+    Raises [Invalid_argument] on empty, negative or all-zero weights. *)
+
+(** {1 Multivariate normal} *)
+
+type mvn
+(** A mean vector plus the Cholesky factor of the covariance. *)
+
+val mvn_make : mean:Linalg.Vec.t -> cov:Linalg.Mat.t -> mvn
+(** Raises [Invalid_argument] on dimension mismatch and
+    {!Linalg.Cholesky.Not_positive_definite} if [cov] is not SPD. *)
+
+val mvn_sample : Rng.t -> mvn -> Linalg.Vec.t
+
+val mvn_dim : mvn -> int
+
+(** {1 The paper's truncated inputs}
+
+    Section V-A: draw [X̃ ~ N(mu, Sigma)] and set each component to 0 when
+    it falls outside [0, 1] — note this is *censoring to zero*, not
+    rejection, exactly as specified ("let X_ik = X̃_ik if X̃_ik ∈ [0,1]
+    and X_ik = 0 otherwise"). *)
+
+val truncated_mvn_sample : Rng.t -> mvn -> Linalg.Vec.t
+(** Every component of the result lies in [0, 1]. *)

@@ -1,0 +1,66 @@
+type t = { gen : Xoshiro256.t; seed : int64 }
+
+let create seed = { gen = Xoshiro256.of_int seed; seed = Int64.of_int seed }
+let create64 seed = { gen = Xoshiro256.create seed; seed }
+let copy t = { t with gen = Xoshiro256.copy t.gen }
+let split t = { t with gen = Xoshiro256.split t.gen }
+
+let substream t k = create64 (Splitmix64.derive t.seed k)
+
+let int64 t = Xoshiro256.next t.gen
+
+(* 53 high bits -> float in [0,1) *)
+let float t =
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let uniform t a b =
+  if a > b then invalid_arg "Rng.uniform: empty interval";
+  a +. ((b -. a) *. float t)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* rejection sampling on the top bits to avoid modulo bias *)
+  let n64 = Int64.of_int n in
+  let rec draw () =
+    let r = Int64.shift_right_logical (int64 t) 1 in
+    (* r uniform in [0, 2^63) *)
+    let limit = Int64.sub Int64.max_int (Int64.rem Int64.max_int n64) in
+    if r >= limit then draw () else Int64.to_int (Int64.rem r n64)
+  in
+  draw ()
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let bernoulli t p =
+  if p < 0. || p > 1. then invalid_arg "Rng.bernoulli: p outside [0,1]";
+  float t < p
+
+let shuffle_inplace t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation t n =
+  let a = Array.init n (fun i -> i) in
+  shuffle_inplace t a;
+  a
+
+let sample_without_replacement t k n =
+  if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement: k outside [0,n]";
+  (* partial Fisher-Yates: O(n) memory, O(n + k) time *)
+  let a = Array.init n (fun i -> i) in
+  for i = 0 to k - 1 do
+    let j = i + int t (n - i) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.sub a 0 k
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int t (Array.length a))

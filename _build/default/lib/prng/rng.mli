@@ -1,0 +1,55 @@
+(** The random-number interface used everywhere in the reproduction.
+
+    A thin stateful wrapper over {!Xoshiro256} with the usual sampling
+    helpers.  There is deliberately no global generator: every function
+    that needs randomness takes an explicit [Rng.t], which is what makes
+    the figure reproductions bit-deterministic. *)
+
+type t
+
+val create : int -> t
+(** [create seed] — any integer seed. *)
+
+val create64 : int64 -> t
+val copy : t -> t
+
+val split : t -> t
+(** Non-overlapping independent stream (2^128 jump). *)
+
+val substream : t -> int -> t
+(** [substream rng k] is a fresh generator for logical stream [k], derived
+    from (not advancing) [rng]'s current state.  Used for replicate [k] of
+    an experiment. *)
+
+val int64 : t -> int64
+(** Raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform in [0, 1) with 53-bit resolution. *)
+
+val uniform : t -> float -> float -> float
+(** [uniform rng a b] — uniform in [a, b).  Raises [Invalid_argument] if
+    [a > b]. *)
+
+val int : t -> int -> int
+(** [int rng n] — uniform in [0, n); unbiased (rejection).  Raises
+    [Invalid_argument] if [n <= 0]. *)
+
+val bool : t -> bool
+val bernoulli : t -> float -> bool
+(** [bernoulli rng p] — true with probability [p].  Raises
+    [Invalid_argument] unless [0 ≤ p ≤ 1]. *)
+
+val shuffle_inplace : t -> 'a array -> unit
+(** Fisher–Yates. *)
+
+val permutation : t -> int -> int array
+(** Uniformly random permutation of [0 … n−1]. *)
+
+val sample_without_replacement : t -> int -> int -> int array
+(** [sample_without_replacement rng k n] — [k] distinct indices from
+    [0 … n−1], in random order.  Raises [Invalid_argument] if [k > n] or
+    [k < 0]. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element.  Raises [Invalid_argument] on an empty array. *)

@@ -1,0 +1,24 @@
+(** xoshiro256++ — the core pseudo-random generator.
+
+    256 bits of state, period 2^256 − 1, excellent statistical quality.
+    Seeded through {!Splitmix64} so that any 64-bit seed yields a
+    well-mixed initial state. *)
+
+type t
+
+val create : int64 -> t
+(** Seed via SplitMix64 expansion. *)
+
+val of_int : int -> t
+val copy : t -> t
+
+val next : t -> int64
+(** Next raw 64-bit output. *)
+
+val jump : t -> unit
+(** Advance by 2^128 steps — produces non-overlapping sequences for
+    parallel streams. *)
+
+val split : t -> t
+(** [split t] returns a copy of [t] jumped ahead by 2^128, leaving [t]
+    itself untouched.  The two generators never overlap. *)

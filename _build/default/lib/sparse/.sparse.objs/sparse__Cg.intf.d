@@ -1,0 +1,1 @@
+lib/sparse/cg.mli: Linalg Linop

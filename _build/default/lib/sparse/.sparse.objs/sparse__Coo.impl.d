@@ -1,0 +1,1 @@
+lib/sparse/coo.ml: Array Linalg Stdlib

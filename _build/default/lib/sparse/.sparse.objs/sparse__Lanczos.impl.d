@@ -1,0 +1,1 @@
+lib/sparse/lanczos.ml: Array Int64 Linalg Linop Stdlib

@@ -1,0 +1,1 @@
+lib/sparse/lanczos.mli: Linalg Linop

@@ -1,0 +1,1 @@
+lib/sparse/linop.ml: Csr Linalg

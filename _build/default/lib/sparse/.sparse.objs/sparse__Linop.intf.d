@@ -1,0 +1,1 @@
+lib/sparse/linop.mli: Csr Linalg

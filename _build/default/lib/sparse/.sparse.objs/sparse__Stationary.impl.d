@@ -1,0 +1,1 @@
+lib/sparse/stationary.ml: Array Csr Linalg Printf

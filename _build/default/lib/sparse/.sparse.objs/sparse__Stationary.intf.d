@@ -1,0 +1,1 @@
+lib/sparse/stationary.mli: Csr Linalg

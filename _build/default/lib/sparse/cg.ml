@@ -1,0 +1,69 @@
+module Vec = Linalg.Vec
+
+type outcome = {
+  solution : Vec.t;
+  iterations : int;
+  residual_norm : float;
+  converged : bool;
+}
+
+let solve ?x0 ?(tol = 1e-10) ?max_iter ?(precondition = true) (op : Linop.t) b =
+  let n = op.Linop.dim in
+  if Array.length b <> n then invalid_arg "Cg.solve: length mismatch";
+  let max_iter = match max_iter with Some k -> k | None -> 10 * n in
+  let x = match x0 with Some v -> Vec.copy v | None -> Vec.zeros n in
+  if Option.is_some x0 && Array.length x <> n then
+    invalid_arg "Cg.solve: x0 length mismatch";
+  let inv_diag =
+    if precondition then
+      Some (Array.map (fun d -> if abs_float d > 1e-300 then 1. /. d else 1.) (op.Linop.diag ()))
+    else None
+  in
+  let apply_precond r =
+    match inv_diag with None -> Vec.copy r | Some m -> Vec.mul m r
+  in
+  let b_norm = Vec.norm2 b in
+  if b_norm = 0. then
+    { solution = Vec.zeros n; iterations = 0; residual_norm = 0.; converged = true }
+  else begin
+    let threshold = tol *. b_norm in
+    (* r = b - A x *)
+    let r = Vec.sub b (op.Linop.apply x) in
+    let z = apply_precond r in
+    let p = ref (Vec.copy z) in
+    let rz = ref (Vec.dot r z) in
+    let iterations = ref 0 in
+    let res = ref (Vec.norm2 r) in
+    while !res > threshold && !iterations < max_iter do
+      incr iterations;
+      let ap = op.Linop.apply !p in
+      let pap = Vec.dot !p ap in
+      if pap <= 0. then
+        (* not SPD along this direction; bail out and report non-convergence *)
+        iterations := max_iter
+      else begin
+        let alpha = !rz /. pap in
+        Vec.axpy alpha !p x;
+        Vec.axpy (-.alpha) ap r;
+        res := Vec.norm2 r;
+        if !res > threshold then begin
+          let z = apply_precond r in
+          let rz' = Vec.dot r z in
+          let beta = rz' /. !rz in
+          rz := rz';
+          let p' = Vec.copy z in
+          Vec.axpy beta !p p';
+          p := p'
+        end
+      end
+    done;
+    { solution = x; iterations = !iterations; residual_norm = !res; converged = !res <= threshold }
+  end
+
+let solve_exn ?x0 ?tol ?max_iter ?precondition op b =
+  let out = solve ?x0 ?tol ?max_iter ?precondition op b in
+  if not out.converged then
+    failwith
+      (Printf.sprintf "Cg.solve_exn: no convergence after %d iterations (residual %g)"
+         out.iterations out.residual_norm);
+  out.solution

@@ -1,0 +1,36 @@
+(** Conjugate gradient for symmetric positive-definite systems.
+
+    The hard-criterion matrix [D₂₂ − W₂₂] and the soft-criterion matrix
+    [V + λL] are SPD, so CG (optionally Jacobi-preconditioned) solves both
+    without any O(n³) factorization. *)
+
+type outcome = {
+  solution : Linalg.Vec.t;
+  iterations : int;
+  residual_norm : float;  (** final [‖b − A x‖₂] as estimated by the recurrence *)
+  converged : bool;
+}
+
+val solve :
+  ?x0:Linalg.Vec.t ->
+  ?tol:float ->
+  ?max_iter:int ->
+  ?precondition:bool ->
+  Linop.t ->
+  Linalg.Vec.t ->
+  outcome
+(** [solve op b] runs (preconditioned) CG on [op x = b].
+    [tol] (default 1e-10) is relative to [‖b‖₂]; [max_iter] defaults to
+    [10 * dim]; [precondition] (default true) enables the Jacobi
+    (diagonal) preconditioner.  Raises [Invalid_argument] on dimension
+    mismatch. *)
+
+val solve_exn :
+  ?x0:Linalg.Vec.t ->
+  ?tol:float ->
+  ?max_iter:int ->
+  ?precondition:bool ->
+  Linop.t ->
+  Linalg.Vec.t ->
+  Linalg.Vec.t
+(** Like {!solve} but raises [Failure] when CG fails to converge. *)

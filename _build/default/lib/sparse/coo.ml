@@ -1,0 +1,57 @@
+type t = {
+  rows : int;
+  cols : int;
+  mutable ri : int array;
+  mutable ci : int array;
+  mutable vs : float array;
+  mutable len : int;
+}
+
+let create rows cols =
+  if rows < 0 || cols < 0 then invalid_arg "Coo.create: negative dimension";
+  { rows; cols; ri = Array.make 16 0; ci = Array.make 16 0; vs = Array.make 16 0.; len = 0 }
+
+let grow t =
+  let cap = Array.length t.ri in
+  let ncap = Stdlib.max 16 (2 * cap) in
+  let ri = Array.make ncap 0 and ci = Array.make ncap 0 and vs = Array.make ncap 0. in
+  Array.blit t.ri 0 ri 0 t.len;
+  Array.blit t.ci 0 ci 0 t.len;
+  Array.blit t.vs 0 vs 0 t.len;
+  t.ri <- ri;
+  t.ci <- ci;
+  t.vs <- vs
+
+let add t i j v =
+  if i < 0 || i >= t.rows || j < 0 || j >= t.cols then
+    invalid_arg "Coo.add: index out of bounds";
+  if v <> 0. then begin
+    if t.len = Array.length t.ri then grow t;
+    t.ri.(t.len) <- i;
+    t.ci.(t.len) <- j;
+    t.vs.(t.len) <- v;
+    t.len <- t.len + 1
+  end
+
+let dims t = (t.rows, t.cols)
+let nnz t = t.len
+
+let iter f t =
+  for k = 0 to t.len - 1 do
+    f t.ri.(k) t.ci.(k) t.vs.(k)
+  done
+
+let of_dense ?(threshold = 0.) m =
+  let t = create m.Linalg.Mat.rows m.Linalg.Mat.cols in
+  for i = 0 to m.Linalg.Mat.rows - 1 do
+    for j = 0 to m.Linalg.Mat.cols - 1 do
+      let v = Linalg.Mat.get m i j in
+      if abs_float v > threshold then add t i j v
+    done
+  done;
+  t
+
+let to_dense t =
+  let m = Linalg.Mat.zeros t.rows t.cols in
+  iter (fun i j v -> Linalg.Mat.set m i j (Linalg.Mat.get m i j +. v)) t;
+  m

@@ -1,0 +1,25 @@
+(** Coordinate-format (triplet) sparse-matrix builder.
+
+    A mutable accumulator of [(row, col, value)] triplets; convert to CSR
+    with {!Csr.of_coo} for fast arithmetic.  Duplicate entries are summed
+    at conversion time. *)
+
+type t
+
+val create : int -> int -> t
+(** [create rows cols] is an empty builder.
+    Raises [Invalid_argument] on negative dimensions. *)
+
+val add : t -> int -> int -> float -> unit
+(** [add t i j v] appends a triplet.  Zero values are ignored.
+    Raises [Invalid_argument] when the index is out of bounds. *)
+
+val dims : t -> int * int
+val nnz : t -> int
+(** Number of stored triplets (before duplicate merging). *)
+
+val iter : (int -> int -> float -> unit) -> t -> unit
+val of_dense : ?threshold:float -> Linalg.Mat.t -> t
+(** Entries with absolute value ≤ [threshold] (default 0.) are dropped. *)
+
+val to_dense : t -> Linalg.Mat.t

@@ -1,0 +1,43 @@
+(** Compressed-sparse-row matrices.
+
+    Immutable after construction.  Within each row, column indices are
+    strictly increasing and duplicates from the COO stage are summed. *)
+
+type t = private {
+  rows : int;
+  cols : int;
+  row_ptr : int array;   (** length [rows + 1] *)
+  col_idx : int array;   (** length [nnz] *)
+  values : float array;  (** length [nnz] *)
+}
+
+val of_coo : Coo.t -> t
+val of_dense : ?threshold:float -> Linalg.Mat.t -> t
+val to_dense : t -> Linalg.Mat.t
+val dims : t -> int * int
+val nnz : t -> int
+
+val get : t -> int -> int -> float
+(** Binary search within the row; 0. when absent.
+    Raises [Invalid_argument] when out of bounds. *)
+
+val mv : t -> Linalg.Vec.t -> Linalg.Vec.t
+(** Sparse matrix–vector product. *)
+
+val tmv : t -> Linalg.Vec.t -> Linalg.Vec.t
+(** [tmv a x = aᵀ x]. *)
+
+val transpose : t -> t
+val scale : float -> t -> t
+val add : t -> t -> t
+val diagonal : t -> Linalg.Vec.t
+val row_sums : t -> Linalg.Vec.t
+
+val map_values : (float -> float) -> t -> t
+(** Apply [f] to every stored value (structure unchanged); entries mapped
+    to 0. are kept as explicit zeros. *)
+
+val iter_row : t -> int -> (int -> float -> unit) -> unit
+(** Iterate over the stored [(col, value)] pairs of one row. *)
+
+val is_symmetric : ?tol:float -> t -> bool

@@ -1,0 +1,63 @@
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+
+type t = { alphas : Vec.t; betas : Vec.t; basis : Vec.t array }
+
+(* small local generator so this library stays independent of lib/prng *)
+let start_vector seed n =
+  let state = ref (Int64.of_int ((seed * 2654435761) + 1)) in
+  Array.init n (fun _ ->
+      state := Int64.add (Int64.mul !state 6364136223846793005L) 1442695040888963407L;
+      let bits = Int64.to_float (Int64.shift_right_logical !state 11) in
+      (bits /. 9007199254740992.) -. 0.5)
+
+let run ?(seed = 0) ~k (op : Linop.t) =
+  let n = op.Linop.dim in
+  if k < 1 || k > n then invalid_arg "Lanczos.run: k outside [1, dim]";
+  let alphas = Vec.zeros k and betas = Vec.zeros (Stdlib.max 0 (k - 1)) in
+  let basis = Array.make k (Vec.zeros n) in
+  let v = start_vector seed n in
+  Vec.scale_inplace (1. /. Vec.norm2 v) v;
+  basis.(0) <- Vec.copy v;
+  let exhausted = ref false in
+  for j = 0 to k - 1 do
+    if not !exhausted then begin
+      let w = op.Linop.apply basis.(j) in
+      alphas.(j) <- Vec.dot w basis.(j);
+      Vec.axpy (-.alphas.(j)) basis.(j) w;
+      if j > 0 then Vec.axpy (-.betas.(j - 1)) basis.(j - 1) w;
+      (* full reorthogonalisation against the whole basis *)
+      for i = 0 to j do
+        Vec.axpy (-.Vec.dot w basis.(i)) basis.(i) w
+      done;
+      if j < k - 1 then begin
+        let norm = Vec.norm2 w in
+        if norm < 1e-12 then exhausted := true
+        else begin
+          betas.(j) <- norm;
+          Vec.scale_inplace (1. /. norm) w;
+          basis.(j + 1) <- w
+        end
+      end
+    end
+  done;
+  { alphas; betas; basis }
+
+let tridiagonal { alphas; betas; _ } =
+  let k = Array.length alphas in
+  Mat.init k k (fun i j ->
+      if i = j then alphas.(i)
+      else if abs (i - j) = 1 then betas.(Stdlib.min i j)
+      else 0.)
+
+let ritz_values t = Linalg.Eigen.eigenvalues (tridiagonal t)
+
+let ritz_pairs t =
+  let { Linalg.Eigen.values; vectors } = Linalg.Eigen.jacobi (tridiagonal t) in
+  let k = Array.length values in
+  let n = Array.length t.basis.(0) in
+  Array.init k (fun j ->
+      let coeffs = Mat.col vectors j in
+      let lifted = Vec.zeros n in
+      Array.iteri (fun i b -> Vec.axpy coeffs.(i) b lifted) t.basis;
+      (values.(j), lifted))

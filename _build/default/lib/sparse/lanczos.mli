@@ -1,0 +1,30 @@
+(** Lanczos iteration for extreme eigenvalues of symmetric operators.
+
+    Runs [k] Lanczos steps with full reorthogonalisation (numerically
+    robust at the small k used here), producing the tridiagonal
+    coefficients; Ritz values approximate the operator's extreme
+    eigenvalues.  Used by spectral clustering to reach the smallest
+    Laplacian eigenvalues of sparse graphs without densifying. *)
+
+type t = {
+  alphas : Linalg.Vec.t;           (** tridiagonal diagonal, length k *)
+  betas : Linalg.Vec.t;            (** off-diagonal, length k−1 *)
+  basis : Linalg.Vec.t array;      (** the k Lanczos vectors *)
+}
+
+val run : ?seed:int -> k:int -> Linop.t -> t
+(** [run ~k op] — [k] must satisfy [1 ≤ k ≤ dim].  The starting vector
+    is pseudo-random from [seed] (default 0).  Stops early (padding with
+    zeros) if the Krylov space is exhausted.  Raises [Invalid_argument]
+    on a bad [k]. *)
+
+val tridiagonal : t -> Linalg.Mat.t
+(** The k×k tridiagonal matrix T. *)
+
+val ritz_values : t -> Linalg.Vec.t
+(** Eigenvalues of T, ascending — approximations of the operator's
+    spectrum (extreme ends converge first). *)
+
+val ritz_pairs : t -> (float * Linalg.Vec.t) array
+(** Ritz values with Ritz vectors lifted back to the original space,
+    ascending by value. *)

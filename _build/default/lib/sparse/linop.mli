@@ -1,0 +1,25 @@
+(** Abstract linear operators.
+
+    The iterative solvers ({!Cg}, {!Stationary}) only need a
+    matrix–vector product, so they accept any [t].  Constructors are
+    provided for dense matrices, CSR matrices, and matrix-free closures —
+    the latter lets the soft-criterion solver apply [V + λL] without ever
+    materialising it. *)
+
+type t = {
+  dim : int;                                (** operator is [dim]×[dim] *)
+  apply : Linalg.Vec.t -> Linalg.Vec.t;     (** y = A x *)
+  diag : unit -> Linalg.Vec.t;              (** the diagonal of A, for preconditioning *)
+}
+
+val of_dense : Linalg.Mat.t -> t
+(** Raises [Invalid_argument] if the matrix is not square. *)
+
+val of_csr : Csr.t -> t
+val of_fun : dim:int -> diag:(unit -> Linalg.Vec.t) -> (Linalg.Vec.t -> Linalg.Vec.t) -> t
+
+val add_scaled : t -> float -> t -> t
+(** [add_scaled a s b] is the operator [x ↦ a x + s (b x)]. *)
+
+val shift : t -> float -> t
+(** [shift a mu] is [A + mu I]. *)

@@ -1,0 +1,66 @@
+module Vec = Linalg.Vec
+
+type method_ = Jacobi | Gauss_seidel | Sor of float
+
+type outcome = {
+  solution : Vec.t;
+  iterations : int;
+  residual_norm : float;
+  converged : bool;
+}
+
+let residual_norm a x b = Vec.norm2 (Vec.sub b (Csr.mv a x))
+
+let check_diagonal a =
+  let d = Csr.diagonal a in
+  Array.iteri
+    (fun i v ->
+      if abs_float v < 1e-300 then
+        invalid_arg (Printf.sprintf "Stationary.solve: zero diagonal at %d" i))
+    d;
+  d
+
+let jacobi_step a d x b =
+  let n = Array.length x in
+  let y = Array.make n 0. in
+  for i = 0 to n - 1 do
+    let acc = ref b.(i) in
+    Csr.iter_row a i (fun j v -> if j <> i then acc := !acc -. (v *. x.(j)));
+    y.(i) <- !acc /. d.(i)
+  done;
+  y
+
+(* Gauss–Seidel and SOR update in place, sweeping forward. *)
+let sor_step omega a d x b =
+  let n = Array.length x in
+  for i = 0 to n - 1 do
+    let acc = ref b.(i) in
+    Csr.iter_row a i (fun j v -> if j <> i then acc := !acc -. (v *. x.(j)));
+    let gs = !acc /. d.(i) in
+    x.(i) <- ((1. -. omega) *. x.(i)) +. (omega *. gs)
+  done
+
+let solve ?x0 ?(tol = 1e-10) ?(max_iter = 10_000) method_ a b =
+  let rows, cols = Csr.dims a in
+  if rows <> cols then invalid_arg "Stationary.solve: matrix not square";
+  if Array.length b <> rows then invalid_arg "Stationary.solve: length mismatch";
+  (match method_ with
+  | Sor omega when omega <= 0. || omega >= 2. ->
+      invalid_arg "Stationary.solve: SOR factor must lie in (0, 2)"
+  | _ -> ());
+  let d = check_diagonal a in
+  let x = ref (match x0 with Some v -> Vec.copy v | None -> Vec.zeros rows) in
+  if Array.length !x <> rows then invalid_arg "Stationary.solve: x0 length mismatch";
+  let b_norm = Vec.norm2 b in
+  let threshold = if b_norm = 0. then tol else tol *. b_norm in
+  let iterations = ref 0 in
+  let res = ref (residual_norm a !x b) in
+  while !res > threshold && !iterations < max_iter do
+    incr iterations;
+    (match method_ with
+    | Jacobi -> x := jacobi_step a d !x b
+    | Gauss_seidel -> sor_step 1. a d !x b
+    | Sor omega -> sor_step omega a d !x b);
+    res := residual_norm a !x b
+  done;
+  { solution = !x; iterations = !iterations; residual_norm = !res; converged = !res <= threshold }

@@ -1,0 +1,30 @@
+(** Stationary iterative solvers: Jacobi, Gauss–Seidel and SOR.
+
+    These operate on CSR matrices directly (they need to separate the
+    diagonal from the off-diagonal part, which a matrix-free operator
+    cannot provide).  The Jacobi iteration on the hard-criterion system is
+    exactly the classic label-propagation update, which is why these live
+    here — {!Gssl.Label_propagation} delegates to them. *)
+
+type method_ = Jacobi | Gauss_seidel | Sor of float
+(** [Sor omega] requires [0 < omega < 2]. *)
+
+type outcome = {
+  solution : Linalg.Vec.t;
+  iterations : int;
+  residual_norm : float;
+  converged : bool;
+}
+
+val solve :
+  ?x0:Linalg.Vec.t ->
+  ?tol:float ->
+  ?max_iter:int ->
+  method_ ->
+  Csr.t ->
+  Linalg.Vec.t ->
+  outcome
+(** [solve m a b] iterates until [‖b − a x‖₂ ≤ tol·‖b‖₂] (tol default
+    1e-10) or [max_iter] (default 10_000).  Raises [Invalid_argument] on a
+    non-square matrix, dimension mismatch, zero diagonal entry, or an SOR
+    factor outside (0, 2). *)

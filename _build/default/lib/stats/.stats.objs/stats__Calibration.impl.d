@@ -1,0 +1,1 @@
+lib/stats/calibration.ml: Array Stdlib

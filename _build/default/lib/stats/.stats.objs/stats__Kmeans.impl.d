@@ -1,0 +1,1 @@
+lib/stats/kmeans.ml: Array Fun Linalg List Prng Stdlib

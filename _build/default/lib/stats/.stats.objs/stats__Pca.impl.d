@@ -1,0 +1,1 @@
+lib/stats/pca.ml: Array Linalg Stdlib

@@ -1,0 +1,28 @@
+type interval = { lower : float; upper : float; point : float }
+
+let percentile_ci ?(resamples = 2000) ?(confidence = 0.95) ~rng statistic data =
+  let n = Array.length data in
+  if n = 0 then invalid_arg "Bootstrap.percentile_ci: empty data";
+  if resamples < 1 then invalid_arg "Bootstrap.percentile_ci: need resamples >= 1";
+  if confidence <= 0. || confidence >= 1. then
+    invalid_arg "Bootstrap.percentile_ci: confidence outside (0,1)";
+  let stats =
+    Array.init resamples (fun _ ->
+        let sample = Array.init n (fun _ -> data.(Prng.Rng.int rng n)) in
+        statistic sample)
+  in
+  let alpha = (1. -. confidence) /. 2. in
+  {
+    lower = Descriptive.quantile stats alpha;
+    upper = Descriptive.quantile stats (1. -. alpha);
+    point = statistic data;
+  }
+
+let mean_ci ?resamples ?confidence ~rng data =
+  percentile_ci ?resamples ?confidence ~rng Descriptive.mean data
+
+let paired_difference_ci ?resamples ?confidence ~rng x y =
+  if Array.length x <> Array.length y then
+    invalid_arg "Bootstrap.paired_difference_ci: length mismatch";
+  let d = Array.init (Array.length x) (fun i -> x.(i) -. y.(i)) in
+  mean_ci ?resamples ?confidence ~rng d

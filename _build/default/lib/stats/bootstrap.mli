@@ -1,0 +1,33 @@
+(** Non-parametric bootstrap confidence intervals.
+
+    Percentile bootstrap over replicate measurements — used to attach
+    intervals to the AUC/RMSE numbers reported in EXPERIMENTS.md. *)
+
+type interval = { lower : float; upper : float; point : float }
+
+val percentile_ci :
+  ?resamples:int ->
+  ?confidence:float ->
+  rng:Prng.Rng.t ->
+  (float array -> float) ->
+  float array ->
+  interval
+(** [percentile_ci ~rng statistic data] — default 2000 resamples, 95%
+    confidence.  [point] is the statistic of the original sample.
+    Raises [Invalid_argument] on empty data, non-positive resamples, or
+    confidence outside (0, 1). *)
+
+val mean_ci :
+  ?resamples:int -> ?confidence:float -> rng:Prng.Rng.t -> float array -> interval
+(** Bootstrap CI of the mean. *)
+
+val paired_difference_ci :
+  ?resamples:int ->
+  ?confidence:float ->
+  rng:Prng.Rng.t ->
+  float array ->
+  float array ->
+  interval
+(** CI of [mean (x − y)] resampling pairs jointly.  A CI excluding 0 is
+    the bootstrap analogue of a significant paired test.  Raises
+    [Invalid_argument] on length mismatch. *)

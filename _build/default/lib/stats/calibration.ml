@@ -1,0 +1,99 @@
+type bin = {
+  lower : float;
+  upper : float;
+  mean_score : float;
+  empirical_rate : float;
+  count : int;
+}
+
+let validate ~truth scores =
+  if Array.length truth <> Array.length scores then
+    invalid_arg "Calibration: length mismatch";
+  if Array.length truth = 0 then invalid_arg "Calibration: empty input";
+  Array.iter
+    (fun s ->
+      if s < -1e-9 || s > 1. +. 1e-9 then
+        invalid_arg "Calibration: scores must lie in [0,1]")
+    scores
+
+let reliability ?(bins = 10) ~truth scores =
+  validate ~truth scores;
+  if bins < 1 then invalid_arg "Calibration.reliability: bins < 1";
+  let score_sum = Array.make bins 0. in
+  let pos = Array.make bins 0 in
+  let count = Array.make bins 0 in
+  Array.iteri
+    (fun i s ->
+      let b = Stdlib.min (bins - 1) (Stdlib.max 0 (int_of_float (s *. float_of_int bins))) in
+      score_sum.(b) <- score_sum.(b) +. s;
+      count.(b) <- count.(b) + 1;
+      if truth.(i) then pos.(b) <- pos.(b) + 1)
+    scores;
+  let out = ref [] in
+  for b = bins - 1 downto 0 do
+    if count.(b) > 0 then
+      out :=
+        {
+          lower = float_of_int b /. float_of_int bins;
+          upper = float_of_int (b + 1) /. float_of_int bins;
+          mean_score = score_sum.(b) /. float_of_int count.(b);
+          empirical_rate = float_of_int pos.(b) /. float_of_int count.(b);
+          count = count.(b);
+        }
+        :: !out
+  done;
+  Array.of_list !out
+
+let expected_calibration_error ?bins ~truth scores =
+  let r = reliability ?bins ~truth scores in
+  let n = float_of_int (Array.length truth) in
+  Array.fold_left
+    (fun acc b ->
+      acc
+      +. (float_of_int b.count /. n *. abs_float (b.mean_score -. b.empirical_rate)))
+    0. r
+
+let maximum_calibration_error ?bins ~truth scores =
+  let r = reliability ?bins ~truth scores in
+  Array.fold_left
+    (fun acc b -> Stdlib.max acc (abs_float (b.mean_score -. b.empirical_rate)))
+    0. r
+
+let brier_score ~truth scores =
+  validate ~truth scores;
+  let acc = ref 0. in
+  Array.iteri
+    (fun i s ->
+      let y = if truth.(i) then 1. else 0. in
+      acc := !acc +. ((s -. y) *. (s -. y)))
+    scores;
+  !acc /. float_of_int (Array.length truth)
+
+type decomposition = {
+  reliability_term : float;
+  resolution : float;
+  uncertainty : float;
+}
+
+let brier_decomposition ?bins ~truth scores =
+  let r = reliability ?bins ~truth scores in
+  let n = float_of_int (Array.length truth) in
+  let base_rate =
+    float_of_int
+      (Array.fold_left (fun acc t -> if t then acc + 1 else acc) 0 truth)
+    /. n
+  in
+  let rel = ref 0. and res = ref 0. in
+  Array.iter
+    (fun b ->
+      let w = float_of_int b.count /. n in
+      let d_cal = b.mean_score -. b.empirical_rate in
+      let d_res = b.empirical_rate -. base_rate in
+      rel := !rel +. (w *. d_cal *. d_cal);
+      res := !res +. (w *. d_res *. d_res))
+    r;
+  {
+    reliability_term = !rel;
+    resolution = !res;
+    uncertainty = base_rate *. (1. -. base_rate);
+  }

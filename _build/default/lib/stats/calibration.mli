@@ -1,0 +1,45 @@
+(** Probability-calibration diagnostics.
+
+    The hard criterion's consistency (Theorem II.1) means its scores
+    converge to the true conditional probability [E[Y|X]] — i.e. they are
+    asymptotically *calibrated*.  The soft criterion's collapse towards
+    the label mean destroys calibration even when ranking (AUC) degrades
+    only mildly.  This module measures that: binned reliability curves
+    and the expected/maximum calibration errors. *)
+
+type bin = {
+  lower : float;           (** bin left edge *)
+  upper : float;
+  mean_score : float;      (** average predicted score inside the bin *)
+  empirical_rate : float;  (** fraction of positives inside the bin *)
+  count : int;
+}
+
+val reliability : ?bins:int -> truth:bool array -> float array -> bin array
+(** [reliability ~truth scores] with equal-width bins over [0, 1]
+    (default 10); empty bins are omitted.  Raises [Invalid_argument] on
+    length mismatch, empty input, [bins < 1], or scores outside
+    [0, 1] (±1e-9). *)
+
+val expected_calibration_error : ?bins:int -> truth:bool array -> float array -> float
+(** ECE: Σ (count/n)·|mean score − empirical rate| over the bins. *)
+
+val maximum_calibration_error : ?bins:int -> truth:bool array -> float array -> float
+(** MCE: the worst bin's |mean score − empirical rate|. *)
+
+val brier_score : truth:bool array -> float array -> float
+(** Mean squared error of the probability forecasts — a proper scoring
+    rule (calibration + refinement). *)
+
+type decomposition = {
+  reliability_term : float;  (** Σ (n_b/n)(s̄_b − r_b)² — lower is better calibrated *)
+  resolution : float;        (** Σ (n_b/n)(r_b − r̄)² — higher is more informative *)
+  uncertainty : float;       (** r̄(1 − r̄), data-only *)
+}
+
+val brier_decomposition : ?bins:int -> truth:bool array -> float array -> decomposition
+(** Murphy's decomposition, [binned Brier ≈ reliability − resolution +
+    uncertainty].  Distinguishes a forecaster that is calibrated *and*
+    informative from one that is calibrated merely by always predicting
+    the base rate (zero resolution) — exactly the difference between the
+    hard criterion and the λ→∞ soft criterion. *)

@@ -1,0 +1,72 @@
+let check_nonempty name x =
+  if Array.length x = 0 then invalid_arg ("Descriptive." ^ name ^ ": empty array")
+
+let mean x =
+  check_nonempty "mean" x;
+  Array.fold_left ( +. ) 0. x /. float_of_int (Array.length x)
+
+let sum_sq_dev x =
+  let m = mean x in
+  Array.fold_left (fun acc v -> acc +. ((v -. m) *. (v -. m))) 0. x
+
+let variance x =
+  if Array.length x < 2 then invalid_arg "Descriptive.variance: need >= 2 points";
+  sum_sq_dev x /. float_of_int (Array.length x - 1)
+
+let population_variance x =
+  check_nonempty "population_variance" x;
+  sum_sq_dev x /. float_of_int (Array.length x)
+
+let std x = sqrt (variance x)
+let standard_error x = std x /. sqrt (float_of_int (Array.length x))
+
+let quantile x p =
+  check_nonempty "quantile" x;
+  if p < 0. || p > 1. then invalid_arg "Descriptive.quantile: p outside [0,1]";
+  let sorted = Array.copy x in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let h = p *. float_of_int (n - 1) in
+  let lo = int_of_float (floor h) in
+  let hi = Stdlib.min (lo + 1) (n - 1) in
+  let frac = h -. float_of_int lo in
+  ((1. -. frac) *. sorted.(lo)) +. (frac *. sorted.(hi))
+
+let median x = quantile x 0.5
+
+let min_max x =
+  check_nonempty "min_max" x;
+  Array.fold_left
+    (fun (lo, hi) v -> (Stdlib.min lo v, Stdlib.max hi v))
+    (x.(0), x.(0)) x
+
+let covariance x y =
+  if Array.length x <> Array.length y then
+    invalid_arg "Descriptive.covariance: length mismatch";
+  if Array.length x < 2 then invalid_arg "Descriptive.covariance: need >= 2 points";
+  let mx = mean x and my = mean y in
+  let acc = ref 0. in
+  for i = 0 to Array.length x - 1 do
+    acc := !acc +. ((x.(i) -. mx) *. (y.(i) -. my))
+  done;
+  !acc /. float_of_int (Array.length x - 1)
+
+let correlation x y =
+  let sx = std x and sy = std y in
+  if sx = 0. || sy = 0. then
+    invalid_arg "Descriptive.correlation: constant input";
+  covariance x y /. (sx *. sy)
+
+let median_of_pairwise_sq_distances points =
+  let n = Array.length points in
+  if n < 2 then
+    invalid_arg "Descriptive.median_of_pairwise_sq_distances: need >= 2 points";
+  let dists = Array.make (n * (n - 1) / 2) 0. in
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      dists.(!k) <- Linalg.Vec.dist2_sq points.(i) points.(j);
+      incr k
+    done
+  done;
+  median dists

@@ -1,0 +1,33 @@
+(** Descriptive statistics on [float array]s.
+
+    Functions that are undefined on the empty array raise
+    [Invalid_argument]. *)
+
+val mean : float array -> float
+val variance : float array -> float
+(** Unbiased (n−1 denominator).  Raises on arrays shorter than 2. *)
+
+val population_variance : float array -> float
+(** Biased (n denominator). *)
+
+val std : float array -> float
+val standard_error : float array -> float
+(** [std x /. sqrt n]. *)
+
+val median : float array -> float
+val quantile : float array -> float -> float
+(** [quantile x p] with linear interpolation (type-7).  Raises
+    [Invalid_argument] unless [0 ≤ p ≤ 1]. *)
+
+val min_max : float array -> float * float
+
+val covariance : float array -> float array -> float
+(** Unbiased.  Raises on mismatch or length < 2. *)
+
+val correlation : float array -> float array -> float
+(** Pearson.  Raises [Invalid_argument] when either input is constant. *)
+
+val median_of_pairwise_sq_distances : Linalg.Vec.t array -> float
+(** The median heuristic used by the paper for the COIL experiment: median
+    of [‖x_i − x_j‖²] over all pairs [i < j].  Raises [Invalid_argument]
+    with fewer than two points. *)

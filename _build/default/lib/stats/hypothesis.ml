@@ -1,0 +1,196 @@
+type result = { statistic : float; p_value : float; df : float }
+
+(* ---------- special functions ---------- *)
+
+(* Lanczos approximation of log Gamma (g = 7, n = 9), |error| < 1e-13. *)
+let log_gamma =
+  let coefficients =
+    [|
+      0.99999999999980993; 676.5203681218851; -1259.1392167224028;
+      771.32342877765313; -176.61502916214059; 12.507343278686905;
+      -0.13857109526572012; 9.9843695780195716e-6; 1.5056327351493116e-7;
+    |]
+  in
+  fun x ->
+    if x <= 0. then invalid_arg "Hypothesis.log_gamma: nonpositive argument";
+    if x < 0.5 then
+      (* reflection *)
+      log (Float.pi /. sin (Float.pi *. x))
+      -. (let rec lg x = if x <= 0. then invalid_arg "log_gamma" else lg_pos x
+          and lg_pos x =
+            let x = x -. 1. in
+            let a = ref coefficients.(0) in
+            let t = x +. 7.5 in
+            for i = 1 to 8 do
+              a := !a +. (coefficients.(i) /. (x +. float_of_int i))
+            done;
+            (0.5 *. log (2. *. Float.pi)) +. ((x +. 0.5) *. log t) -. t +. log !a
+          in
+          lg (1. -. x))
+    else begin
+      let x = x -. 1. in
+      let a = ref coefficients.(0) in
+      let t = x +. 7.5 in
+      for i = 1 to 8 do
+        a := !a +. (coefficients.(i) /. (x +. float_of_int i))
+      done;
+      (0.5 *. log (2. *. Float.pi)) +. ((x +. 0.5) *. log t) -. t +. log !a
+    end
+
+(* Regularised incomplete beta I_x(a,b) by Lentz's continued fraction
+   (Numerical Recipes betacf/betai). *)
+let incomplete_beta ~a ~b x =
+  if x < 0. || x > 1. then invalid_arg "Hypothesis.incomplete_beta: x outside [0,1]";
+  if x = 0. then 0.
+  else if x = 1. then 1.
+  else begin
+    let beta_cf a b x =
+      let max_iter = 200 and eps = 3e-14 and fpmin = 1e-300 in
+      let qab = a +. b and qap = a +. 1. and qam = a -. 1. in
+      let c = ref 1. in
+      let d = ref (1. -. (qab *. x /. qap)) in
+      if abs_float !d < fpmin then d := fpmin;
+      d := 1. /. !d;
+      let h = ref !d in
+      let m = ref 1 in
+      let converged = ref false in
+      while (not !converged) && !m <= max_iter do
+        let mf = float_of_int !m in
+        let m2 = 2. *. mf in
+        let aa = mf *. (b -. mf) *. x /. ((qam +. m2) *. (a +. m2)) in
+        d := 1. +. (aa *. !d);
+        if abs_float !d < fpmin then d := fpmin;
+        c := 1. +. (aa /. !c);
+        if abs_float !c < fpmin then c := fpmin;
+        d := 1. /. !d;
+        h := !h *. !d *. !c;
+        let aa = -.(a +. mf) *. (qab +. mf) *. x /. ((a +. m2) *. (qap +. m2)) in
+        d := 1. +. (aa *. !d);
+        if abs_float !d < fpmin then d := fpmin;
+        c := 1. +. (aa /. !c);
+        if abs_float !c < fpmin then c := fpmin;
+        d := 1. /. !d;
+        let delta = !d *. !c in
+        h := !h *. delta;
+        if abs_float (delta -. 1.) < eps then converged := true;
+        incr m
+      done;
+      !h
+    in
+    let front =
+      exp
+        ((a *. log x) +. (b *. log (1. -. x))
+        +. log_gamma (a +. b) -. log_gamma a -. log_gamma b)
+    in
+    if x < (a +. 1.) /. (a +. b +. 2.) then front *. beta_cf a b x /. a
+    else 1. -. (front *. beta_cf b a (1. -. x) /. b)
+  end
+
+let student_t_cdf ~df t =
+  if df <= 0. then invalid_arg "Hypothesis.student_t_cdf: df must be positive";
+  let x = df /. (df +. (t *. t)) in
+  let tail = 0.5 *. incomplete_beta ~a:(df /. 2.) ~b:0.5 x in
+  if t >= 0. then 1. -. tail else tail
+
+(* Φ via erfc rational approximation (Numerical Recipes), |err| < 1.2e-7 *)
+let normal_cdf x =
+  let z = abs_float x /. sqrt 2. in
+  let t = 1. /. (1. +. (0.5 *. z)) in
+  let poly =
+    -.(z *. z) -. 1.26551223
+    +. (t *. (1.00002368
+        +. t *. (0.37409196
+           +. t *. (0.09678418
+              +. t *. (-0.18628806
+                 +. t *. (0.27886807
+                    +. t *. (-1.13520398
+                       +. t *. (1.48851587
+                          +. t *. (-0.82215223 +. (t *. 0.17087277))))))))))
+  in
+  let erfc = t *. exp poly in
+  let phi = 1. -. (0.5 *. erfc) in
+  if x >= 0. then phi else 1. -. phi
+
+let log_binomial_coefficient n k =
+  if k < 0 || k > n then invalid_arg "Hypothesis.log_binomial_coefficient";
+  log_gamma (float_of_int (n + 1))
+  -. log_gamma (float_of_int (k + 1))
+  -. log_gamma (float_of_int (n - k + 1))
+
+(* ---------- tests ---------- *)
+
+let differences name x y =
+  if Array.length x <> Array.length y then
+    invalid_arg ("Hypothesis." ^ name ^ ": length mismatch");
+  Array.init (Array.length x) (fun i -> x.(i) -. y.(i))
+
+let paired_t_test x y =
+  let d = differences "paired_t_test" x y in
+  let n = Array.length d in
+  if n < 2 then invalid_arg "Hypothesis.paired_t_test: need >= 2 pairs";
+  let mean = Descriptive.mean d in
+  let sd = Descriptive.std d in
+  if sd = 0. then
+    invalid_arg "Hypothesis.paired_t_test: zero variance in differences";
+  let t = mean /. (sd /. sqrt (float_of_int n)) in
+  let df = float_of_int (n - 1) in
+  let p = 2. *. (1. -. student_t_cdf ~df (abs_float t)) in
+  { statistic = t; p_value = Stdlib.min 1. p; df }
+
+let sign_test x y =
+  let d = differences "sign_test" x y in
+  let pos = Array.fold_left (fun acc v -> if v > 0. then acc + 1 else acc) 0 d in
+  let neg = Array.fold_left (fun acc v -> if v < 0. then acc + 1 else acc) 0 d in
+  let n = pos + neg in
+  if n = 0 then invalid_arg "Hypothesis.sign_test: all pairs tie";
+  (* exact two-sided binomial(n, 1/2) tail *)
+  let log_half = log 0.5 in
+  let pmf k = exp (log_binomial_coefficient n k +. (float_of_int n *. log_half)) in
+  let lower = ref 0. and upper = ref 0. in
+  for k = 0 to n do
+    if k <= pos then lower := !lower +. pmf k;
+    if k >= pos then upper := !upper +. pmf k
+  done;
+  let p = Stdlib.min 1. (2. *. Stdlib.min !lower !upper) in
+  { statistic = float_of_int pos; p_value = p; df = nan }
+
+let wilcoxon_signed_rank x y =
+  let d =
+    Array.of_list
+      (List.filter (fun v -> v <> 0.) (Array.to_list (differences "wilcoxon" x y)))
+  in
+  let n = Array.length d in
+  if n = 0 then invalid_arg "Hypothesis.wilcoxon_signed_rank: all pairs tie";
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare (abs_float d.(a)) (abs_float d.(b))) order;
+  let ranks = Array.make n 0. in
+  let tie_correction = ref 0. in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref (!i + 1) in
+    while
+      !j < n && abs_float d.(order.(!j)) = abs_float d.(order.(!i))
+    do
+      incr j
+    done;
+    let avg_rank = float_of_int (!i + !j + 1) /. 2. in
+    let t = float_of_int (!j - !i) in
+    if t > 1. then tie_correction := !tie_correction +. ((t *. t *. t) -. t);
+    for k = !i to !j - 1 do
+      ranks.(order.(k)) <- avg_rank
+    done;
+    i := !j
+  done;
+  let w_plus = ref 0. in
+  Array.iteri (fun k v -> if v > 0. then w_plus := !w_plus +. ranks.(k)) d;
+  let nf = float_of_int n in
+  let mean = nf *. (nf +. 1.) /. 4. in
+  let var =
+    (nf *. (nf +. 1.) *. ((2. *. nf) +. 1.) /. 24.) -. (!tie_correction /. 48.)
+  in
+  if var <= 0. then invalid_arg "Hypothesis.wilcoxon_signed_rank: zero variance";
+  (* continuity-corrected normal approximation *)
+  let z = (abs_float (!w_plus -. mean) -. 0.5) /. sqrt var in
+  let z = Stdlib.max 0. z in
+  let p = Stdlib.min 1. (2. *. (1. -. normal_cdf z)) in
+  { statistic = !w_plus; p_value = p; df = nan }

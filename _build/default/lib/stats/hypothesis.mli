@@ -1,0 +1,35 @@
+(** Paired hypothesis tests.
+
+    Used to back the paper's "the hard criterion constantly outperforms
+    the soft criterion" with significance levels over replicate pairs
+    (each replicate evaluates both criteria on the same data). *)
+
+type result = {
+  statistic : float;
+  p_value : float;   (** two-sided *)
+  df : float;        (** degrees of freedom where applicable, else nan *)
+}
+
+val paired_t_test : float array -> float array -> result
+(** Two-sided paired t-test of mean difference 0.  Raises
+    [Invalid_argument] on mismatch, fewer than 2 pairs, or an
+    identically-zero difference vector (no variance). *)
+
+val sign_test : float array -> float array -> result
+(** Two-sided exact sign test (binomial) on the difference signs; ties
+    are dropped.  [statistic] is the number of positive differences,
+    [df] is [nan].  Raises [Invalid_argument] on mismatch or when every
+    pair ties. *)
+
+val wilcoxon_signed_rank : float array -> float array -> result
+(** Two-sided Wilcoxon signed-rank test with the normal approximation
+    (tie-corrected); [statistic] is W₊.  Raises [Invalid_argument] on
+    mismatch or when every pair ties. *)
+
+(** {1 Distribution helpers (exposed for testing)} *)
+
+val student_t_cdf : df:float -> float -> float
+(** CDF of Student's t via the regularised incomplete beta function. *)
+
+val normal_cdf : float -> float
+val log_binomial_coefficient : int -> int -> float

@@ -1,0 +1,145 @@
+module Vec = Linalg.Vec
+
+type t = {
+  centroids : Vec.t array;
+  assignments : int array;
+  inertia : float;
+  iterations : int;
+}
+
+let nearest centroids x =
+  let best = ref 0 and best_d = ref infinity in
+  Array.iteri
+    (fun j c ->
+      let d = Vec.dist2_sq c x in
+      if d < !best_d then begin
+        best_d := d;
+        best := j
+      end)
+    centroids;
+  (!best, !best_d)
+
+(* k-means++: each next seed drawn with probability proportional to the
+   squared distance to the nearest existing seed *)
+let seed_plus_plus rng ~k points =
+  let n = Array.length points in
+  let centroids = Array.make k points.(0) in
+  centroids.(0) <- points.(Prng.Rng.int rng n);
+  let d2 = Array.map (fun x -> Vec.dist2_sq x centroids.(0)) points in
+  for j = 1 to k - 1 do
+    let total = Array.fold_left ( +. ) 0. d2 in
+    let chosen =
+      if total <= 0. then Prng.Rng.int rng n
+      else begin
+        let u = Prng.Rng.float rng *. total in
+        let acc = ref 0. and pick = ref (n - 1) in
+        (try
+           for i = 0 to n - 1 do
+             acc := !acc +. d2.(i);
+             if u < !acc then begin
+               pick := i;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        !pick
+      end
+    in
+    centroids.(j) <- points.(chosen);
+    Array.iteri
+      (fun i x -> d2.(i) <- Stdlib.min d2.(i) (Vec.dist2_sq x centroids.(j)))
+      points
+  done;
+  centroids
+
+let fit ?(max_iter = 300) ?(tol = 1e-9) ~rng ~k points =
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Kmeans.fit: empty input";
+  if k < 1 || k > n then invalid_arg "Kmeans.fit: k outside [1, n]";
+  let d = Array.length points.(0) in
+  Array.iter
+    (fun p -> if Array.length p <> d then invalid_arg "Kmeans.fit: ragged input")
+    points;
+  let centroids = seed_plus_plus rng ~k points in
+  let assignments = Array.make n 0 in
+  let iterations = ref 0 in
+  let moved = ref infinity in
+  while !moved > tol && !iterations < max_iter do
+    incr iterations;
+    (* assignment step *)
+    Array.iteri
+      (fun i x ->
+        let j, _ = nearest centroids x in
+        assignments.(i) <- j)
+      points;
+    (* update step *)
+    let sums = Array.init k (fun _ -> Vec.zeros d) in
+    let counts = Array.make k 0 in
+    Array.iteri
+      (fun i x ->
+        let j = assignments.(i) in
+        Vec.axpy 1. x sums.(j);
+        counts.(j) <- counts.(j) + 1)
+      points;
+    moved := 0.;
+    Array.iteri
+      (fun j sum ->
+        if counts.(j) > 0 then begin
+          let next = Vec.scale (1. /. float_of_int counts.(j)) sum in
+          moved := Stdlib.max !moved (Vec.norm_inf (Vec.sub next centroids.(j)));
+          centroids.(j) <- next
+        end
+        else begin
+          (* re-seed an empty cluster with the worst-fitted point *)
+          let worst = ref 0 and worst_d = ref (-1.) in
+          Array.iteri
+            (fun i x ->
+              let _, dist = nearest centroids x in
+              if dist > !worst_d then begin
+                worst_d := dist;
+                worst := i
+              end)
+            points;
+          centroids.(j) <- Vec.copy points.(!worst);
+          moved := infinity
+        end)
+      sums
+  done;
+  let inertia =
+    Array.fold_left
+      (fun acc x ->
+        let _, dist = nearest centroids x in
+        acc +. dist)
+      0. points
+  in
+  { centroids; assignments; inertia; iterations = !iterations }
+
+let assign t x = fst (nearest t.centroids x)
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          List.map (fun rest -> x :: rest)
+            (permutations (List.filter (fun y -> y <> x) l)))
+        l
+
+let agreement ~truth predicted =
+  let n = Array.length truth in
+  if n = 0 then invalid_arg "Kmeans.agreement: empty input";
+  if Array.length predicted <> n then invalid_arg "Kmeans.agreement: length mismatch";
+  let k = 1 + Array.fold_left Stdlib.max 0 (Array.append truth predicted) in
+  if k > 8 then invalid_arg "Kmeans.agreement: more than 8 clusters";
+  let labels = List.init k Fun.id in
+  let best = ref 0 in
+  List.iter
+    (fun perm ->
+      let map = Array.of_list perm in
+      let hits = ref 0 in
+      Array.iteri
+        (fun i p -> if map.(p) = truth.(i) then incr hits)
+        predicted;
+      if !hits > !best then best := !hits)
+    (permutations labels);
+  float_of_int !best /. float_of_int n

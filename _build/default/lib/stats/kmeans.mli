@@ -1,0 +1,33 @@
+(** k-means clustering (k-means++ initialisation, Lloyd iterations).
+
+    Substrate for spectral clustering: after embedding graph vertices
+    into the Laplacian eigenspace, k-means recovers the clusters.  Also
+    usable directly on raw features. *)
+
+type t = {
+  centroids : Linalg.Vec.t array;  (** k centroids *)
+  assignments : int array;         (** cluster index per input point *)
+  inertia : float;                 (** Σ ‖x − centroid(x)‖² *)
+  iterations : int;
+}
+
+val fit :
+  ?max_iter:int ->
+  ?tol:float ->
+  rng:Prng.Rng.t ->
+  k:int ->
+  Linalg.Vec.t array ->
+  t
+(** Lloyd's algorithm from a k-means++ seeding.  [max_iter] defaults to
+    300, [tol] (centroid-movement sup-norm) to 1e-9.  Empty clusters are
+    re-seeded with the point farthest from its centroid.  Raises
+    [Invalid_argument] when [k < 1], [k] exceeds the number of points,
+    or the input is empty/ragged. *)
+
+val assign : t -> Linalg.Vec.t -> int
+(** Nearest centroid of a new point. *)
+
+val agreement : truth:int array -> int array -> float
+(** Best-permutation clustering accuracy for up to 8 clusters (exact
+    search over label permutations).  Raises [Invalid_argument] on
+    length mismatch, empty input, or more than 8 distinct labels. *)

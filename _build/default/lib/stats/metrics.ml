@@ -1,0 +1,59 @@
+let check name a b =
+  if Array.length a <> Array.length b then
+    invalid_arg ("Metrics." ^ name ^ ": length mismatch");
+  if Array.length a = 0 then invalid_arg ("Metrics." ^ name ^ ": empty input")
+
+let mse truth pred =
+  check "mse" truth pred;
+  let acc = ref 0. in
+  for i = 0 to Array.length truth - 1 do
+    let d = truth.(i) -. pred.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  !acc /. float_of_int (Array.length truth)
+
+let rmse truth pred = sqrt (mse truth pred)
+
+let mae truth pred =
+  check "mae" truth pred;
+  let acc = ref 0. in
+  for i = 0 to Array.length truth - 1 do
+    acc := !acc +. abs_float (truth.(i) -. pred.(i))
+  done;
+  !acc /. float_of_int (Array.length truth)
+
+type confusion = { tp : int; fp : int; tn : int; fn : int }
+
+let confusion ?(threshold = 0.5) ~truth scores =
+  if Array.length truth <> Array.length scores then
+    invalid_arg "Metrics.confusion: length mismatch";
+  let tp = ref 0 and fp = ref 0 and tn = ref 0 and fn = ref 0 in
+  Array.iteri
+    (fun i t ->
+      let positive = scores.(i) >= threshold in
+      match (t, positive) with
+      | true, true -> incr tp
+      | false, true -> incr fp
+      | false, false -> incr tn
+      | true, false -> incr fn)
+    truth;
+  { tp = !tp; fp = !fp; tn = !tn; fn = !fn }
+
+let total c = c.tp + c.fp + c.tn + c.fn
+
+let safe_div num den = if den = 0. then 0. else num /. den
+
+let accuracy c = safe_div (float_of_int (c.tp + c.tn)) (float_of_int (total c))
+let precision c = safe_div (float_of_int c.tp) (float_of_int (c.tp + c.fp))
+let recall c = safe_div (float_of_int c.tp) (float_of_int (c.tp + c.fn))
+let specificity c = safe_div (float_of_int c.tn) (float_of_int (c.tn + c.fp))
+
+let f1 c =
+  let p = precision c and r = recall c in
+  safe_div (2. *. p *. r) (p +. r)
+
+let mcc c =
+  let tp = float_of_int c.tp and fp = float_of_int c.fp in
+  let tn = float_of_int c.tn and fn = float_of_int c.fn in
+  let den = sqrt ((tp +. fp) *. (tp +. fn) *. (tn +. fp) *. (tn +. fn)) in
+  safe_div ((tp *. tn) -. (fp *. fn)) den

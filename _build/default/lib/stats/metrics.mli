@@ -1,0 +1,29 @@
+(** Prediction-quality metrics.
+
+    The paper's Figures 1–4 report RMSE between the estimated scores and
+    the *true regression function* [q(X)]; Figure 5 reports AUC (see
+    {!Roc}).  Classification metrics operate on [bool array] truths. *)
+
+val mse : float array -> float array -> float
+(** Mean squared error.  Raises [Invalid_argument] on mismatch or empty. *)
+
+val rmse : float array -> float array -> float
+(** Root mean squared error — the paper's synthetic-data metric. *)
+
+val mae : float array -> float array -> float
+
+type confusion = { tp : int; fp : int; tn : int; fn : int }
+
+val confusion : ?threshold:float -> truth:bool array -> float array -> confusion
+(** [confusion ~truth scores] predicts positive when
+    [score >= threshold] (default 0.5). *)
+
+val accuracy : confusion -> float
+val precision : confusion -> float
+val recall : confusion -> float
+(** Sensitivity / true-positive rate. *)
+
+val specificity : confusion -> float
+val f1 : confusion -> float
+val mcc : confusion -> float
+(** Matthews correlation coefficient; 0. when a marginal is empty. *)

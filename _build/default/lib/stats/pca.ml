@@ -1,0 +1,53 @@
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+
+type t = {
+  mean : Vec.t;
+  components : Mat.t;
+  explained_variance : Vec.t;
+  total_variance : float;
+}
+
+let fit ?n_components points =
+  let n = Array.length points in
+  if n < 2 then invalid_arg "Pca.fit: need at least 2 points";
+  let d = Array.length points.(0) in
+  Array.iter
+    (fun p -> if Array.length p <> d then invalid_arg "Pca.fit: ragged input")
+    points;
+  let k = match n_components with None -> d | Some k -> k in
+  if k < 1 || k > d then invalid_arg "Pca.fit: n_components outside [1, d]";
+  let mean =
+    Array.init d (fun j ->
+        let acc = ref 0. in
+        Array.iter (fun p -> acc := !acc +. p.(j)) points;
+        !acc /. float_of_int n)
+  in
+  (* covariance via the Gram matrix of the centred data *)
+  let centred = Mat.init n d (fun i j -> points.(i).(j) -. mean.(j)) in
+  let cov = Mat.scale (1. /. float_of_int (n - 1)) (Mat.gram centred) in
+  let { Linalg.Eigen.values; vectors } = Linalg.Eigen.jacobi cov in
+  (* eigen returns ascending; take the top k in descending order *)
+  let components =
+    Mat.of_cols (Array.init k (fun j -> Mat.col vectors (d - 1 - j)))
+  in
+  let explained_variance =
+    Array.init k (fun j -> Stdlib.max 0. values.(d - 1 - j))
+  in
+  { mean; components; explained_variance; total_variance = Mat.trace cov }
+
+let transform t x =
+  if Array.length x <> Array.length t.mean then
+    invalid_arg "Pca.transform: dimension mismatch";
+  Mat.tmv t.components (Vec.sub x t.mean)
+
+let transform_many t points = Array.map (transform t) points
+
+let inverse_transform t z =
+  if Array.length z <> t.components.Mat.cols then
+    invalid_arg "Pca.inverse_transform: dimension mismatch";
+  Vec.add t.mean (Mat.mv t.components z)
+
+let explained_variance_ratio t =
+  if t.total_variance <= 0. then Vec.zeros (Array.length t.explained_variance)
+  else Vec.scale (1. /. t.total_variance) t.explained_variance

@@ -1,0 +1,31 @@
+(** Principal component analysis.
+
+    Standard preprocessing for image inputs before building similarity
+    graphs (the COIL literature typically PCA-projects the pixel
+    vectors).  Fitted by eigendecomposition of the covariance matrix for
+    d ≤ n, which covers the 256-dimensional image case. *)
+
+type t = {
+  mean : Linalg.Vec.t;          (** feature means *)
+  components : Linalg.Mat.t;    (** d×k, orthonormal columns, leading first *)
+  explained_variance : Linalg.Vec.t;  (** k eigenvalues, descending *)
+  total_variance : float;       (** trace of the full covariance *)
+}
+
+val fit : ?n_components:int -> Linalg.Vec.t array -> t
+(** [fit points] — default keeps all [d] components.  Raises
+    [Invalid_argument] on fewer than 2 points, ragged input, or
+    [n_components] outside [1, d]. *)
+
+val transform : t -> Linalg.Vec.t -> Linalg.Vec.t
+(** Project one point onto the retained components. *)
+
+val transform_many : t -> Linalg.Vec.t array -> Linalg.Vec.t array
+
+val inverse_transform : t -> Linalg.Vec.t -> Linalg.Vec.t
+(** Map a score vector back to the original space (lossy when
+    [n_components < d]). *)
+
+val explained_variance_ratio : t -> Linalg.Vec.t
+(** Fraction of total variance captured per retained component (sums to
+    ≤ 1). *)

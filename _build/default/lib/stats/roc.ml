@@ -1,0 +1,76 @@
+type point = { fpr : float; tpr : float; threshold : float }
+
+let validate ~truth ~scores =
+  if Array.length truth <> Array.length scores then
+    invalid_arg "Roc: length mismatch";
+  let pos = Array.fold_left (fun acc t -> if t then acc + 1 else acc) 0 truth in
+  let neg = Array.length truth - pos in
+  if pos = 0 || neg = 0 then invalid_arg "Roc: need both classes present";
+  (pos, neg)
+
+let curve ~truth ~scores =
+  let pos, neg = validate ~truth ~scores in
+  let n = Array.length truth in
+  let order = Array.init n (fun i -> i) in
+  (* descending by score *)
+  Array.sort (fun a b -> compare scores.(b) scores.(a)) order;
+  let fp = ref 0 and tp = ref 0 in
+  let points = ref [ { fpr = 0.; tpr = 0.; threshold = infinity } ] in
+  let prev_score = ref infinity in
+  Array.iter
+    (fun i ->
+      (* emit a point before processing a new distinct threshold *)
+      if scores.(i) <> !prev_score then begin
+        if !prev_score <> infinity then
+          points :=
+            {
+              fpr = float_of_int !fp /. float_of_int neg;
+              tpr = float_of_int !tp /. float_of_int pos;
+              threshold = !prev_score;
+            }
+            :: !points;
+        prev_score := scores.(i)
+      end;
+      if truth.(i) then incr tp else incr fp)
+    order;
+  points :=
+    {
+      fpr = float_of_int !fp /. float_of_int neg;
+      tpr = float_of_int !tp /. float_of_int pos;
+      threshold = !prev_score;
+    }
+    :: !points;
+  Array.of_list (List.rev !points)
+
+let auc_trapezoid ~truth ~scores =
+  let pts = curve ~truth ~scores in
+  let area = ref 0. in
+  for i = 1 to Array.length pts - 1 do
+    let a = pts.(i - 1) and b = pts.(i) in
+    area := !area +. ((b.fpr -. a.fpr) *. (a.tpr +. b.tpr) /. 2.)
+  done;
+  !area
+
+(* Mann-Whitney via average ranks: AUC = (R_pos - n_pos(n_pos+1)/2)/(n_pos n_neg) *)
+let auc ~truth ~scores =
+  let pos, neg = validate ~truth ~scores in
+  let n = Array.length truth in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare scores.(a) scores.(b)) order;
+  let rank_sum_pos = ref 0. in
+  let i = ref 0 in
+  while !i < n do
+    (* find the tie block [i, j) *)
+    let j = ref (!i + 1) in
+    while !j < n && scores.(order.(!j)) = scores.(order.(!i)) do
+      incr j
+    done;
+    (* average rank of the block; ranks are 1-based *)
+    let avg_rank = float_of_int (!i + !j + 1) /. 2. in
+    for k = !i to !j - 1 do
+      if truth.(order.(k)) then rank_sum_pos := !rank_sum_pos +. avg_rank
+    done;
+    i := !j
+  done;
+  let np = float_of_int pos and nn = float_of_int neg in
+  (!rank_sum_pos -. (np *. (np +. 1.) /. 2.)) /. (np *. nn)

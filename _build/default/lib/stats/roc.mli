@@ -1,0 +1,21 @@
+(** ROC curves and the area under them (AUC).
+
+    Figure 5 of the paper measures classifier quality on the COIL data by
+    AUC.  Two independent computations are provided — the trapezoidal area
+    under the empirical ROC curve and the Mann–Whitney U statistic — which
+    agree exactly when ties are handled with the ½ convention; the test
+    suite exercises that agreement. *)
+
+type point = { fpr : float; tpr : float; threshold : float }
+
+val curve : truth:bool array -> scores:float array -> point array
+(** The empirical ROC curve, one point per distinct score threshold,
+    ordered from (0,0) to (1,1).  Raises [Invalid_argument] on mismatch,
+    or when either class is empty. *)
+
+val auc_trapezoid : truth:bool array -> scores:float array -> float
+(** Area under {!curve} by the trapezoidal rule. *)
+
+val auc : truth:bool array -> scores:float array -> float
+(** Mann–Whitney form: P(score⁺ > score⁻) + ½·P(score⁺ = score⁻),
+    computed in O(N log N).  Raises like {!curve}. *)

@@ -1,0 +1,21 @@
+(** Welford online mean/variance accumulator.
+
+    The experiment sweeps aggregate hundreds of replicate RMSEs without
+    keeping them all; this accumulator does it in O(1) memory with
+    numerically stable updates. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+(** Raises [Invalid_argument] when empty. *)
+
+val variance : t -> float
+(** Unbiased; raises [Invalid_argument] with fewer than 2 observations. *)
+
+val std : t -> float
+val standard_error : t -> float
+val merge : t -> t -> t
+(** Combine two accumulators (parallel Welford / Chan et al.). *)

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Astring Dataset Experiment Float Fun Graph Gssl Kernel Linalg List Prng Sparse Stdlib Test_util

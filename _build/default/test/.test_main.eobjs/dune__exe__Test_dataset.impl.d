@@ -1,0 +1,1 @@
+test/test_dataset.ml: Alcotest Array Dataset Gssl Kernel Linalg List Printf Prng Stats Stdlib Test_util

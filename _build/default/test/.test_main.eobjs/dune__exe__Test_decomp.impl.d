@@ -1,0 +1,1 @@
+test/test_decomp.ml: Alcotest Array Linalg Prng Test_util

@@ -1,0 +1,1 @@
+test/test_experiment.ml: Alcotest Array Astring Dataset Experiment Float Gssl Kernel List Prng Stats String Test_util

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Float Graph Gssl Kernel Linalg List Prng Stdlib Test_util

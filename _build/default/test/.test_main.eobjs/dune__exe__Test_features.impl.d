@@ -1,0 +1,1 @@
+test/test_features.ml: Alcotest Array Astring Dataset Experiment Filename Float Fun Graph Gssl Kernel Linalg List Prng Sys Test_util

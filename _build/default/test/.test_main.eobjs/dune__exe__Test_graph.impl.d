@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Graph Kernel Linalg List Prng Sparse Test_util

@@ -1,0 +1,1 @@
+test/test_gssl.ml: Alcotest Array Graph Gssl Kernel Linalg Prng Test_util

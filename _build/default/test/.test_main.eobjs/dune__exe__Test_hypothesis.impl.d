@@ -1,0 +1,1 @@
+test/test_hypothesis.ml: Alcotest Array Prng Stats Test_util

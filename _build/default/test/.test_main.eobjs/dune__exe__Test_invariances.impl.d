@@ -1,0 +1,1 @@
+test/test_invariances.ml: Array Dataset Graph Gssl Kernel Linalg Prng Test_util

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Array Kernel Linalg List Prng Sparse Test_util

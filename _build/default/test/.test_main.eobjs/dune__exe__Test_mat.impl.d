@@ -1,0 +1,1 @@
+test/test_mat.ml: Alcotest Linalg Prng Test_util

@@ -1,0 +1,1 @@
+test/test_numerics2.ml: Alcotest Array Float Kernel Linalg Prng Stats Stdlib Test_util

@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Linalg Prng Stats Test_util

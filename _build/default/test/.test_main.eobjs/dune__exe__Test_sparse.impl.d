@@ -1,0 +1,1 @@
+test/test_sparse.ml: Alcotest Linalg Prng Sparse Test_util

@@ -1,0 +1,1 @@
+test/test_wave4.ml: Alcotest Array Dataset Experiment Filename Fun Graph Gssl Kernel Linalg List Printf Prng Stats Sys Test_util

@@ -1,0 +1,1 @@
+test/test_wave5.ml: Alcotest Array Dataset Float Graph Gssl Kernel Linalg List Prng Sparse Stats Stdlib Test_util

@@ -1,0 +1,1 @@
+test/test_wave6.ml: Alcotest Array Experiment List Prng Stats Test_util

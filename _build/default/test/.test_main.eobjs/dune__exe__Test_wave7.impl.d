@@ -1,0 +1,1 @@
+test/test_wave7.ml: Alcotest Array Graph Kernel Linalg Prng Test_util

@@ -1,0 +1,278 @@
+(* Synthetic generator, toy example, COIL simulator, splits. *)
+
+open Test_util
+module Syn = Dataset.Synthetic
+module Toy = Dataset.Toy
+module Coil = Dataset.Coil
+module Splits = Dataset.Splits
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+
+(* ---------- synthetic ---------- *)
+
+let test_logit_known_values () =
+  (* at X = 0: logit = -1.35 for both models *)
+  let zero = Vec.zeros 5 in
+  check_float "model1 at 0" (-1.35) (Syn.logit Syn.Model1 zero);
+  check_float "model2 at 0" (-1.35) (Syn.logit Syn.Model2 zero);
+  (* at X = (1,1,1,1,1): model1 = -1.35 + 2 - 1 + 1 - 1 + 2 = 1.65;
+     model2 adds X1X3 + X2X4 = 2 *)
+  let one = Vec.ones 5 in
+  check_float "model1 at 1" 1.65 (Syn.logit Syn.Model1 one);
+  check_float "model2 at 1" 3.65 (Syn.logit Syn.Model2 one);
+  check_raises_invalid "wrong dim" (fun () -> ignore (Syn.logit Syn.Model1 [| 1. |]))
+
+let test_true_q_is_sigmoid () =
+  let x = Vec.create 5 0.5 in
+  let expected = 1. /. (1. +. exp (-.Syn.logit Syn.Model1 x)) in
+  check_float "sigmoid" expected (Syn.true_q Syn.Model1 x);
+  Alcotest.(check bool) "q in (0,1)" true
+    (Syn.true_q Syn.Model2 x > 0. && Syn.true_q Syn.Model2 x < 1.)
+
+let test_inputs_in_unit_box () =
+  let rng = Prng.Rng.create 31 in
+  for _ = 1 to 500 do
+    let x = Syn.sample_input rng in
+    Alcotest.(check int) "dimension" 5 (Array.length x);
+    Array.iter
+      (fun v -> if v < 0. || v > 1. then Alcotest.failf "component %g outside" v)
+      x
+  done
+
+let test_covariance_structure () =
+  check_float "diag" 0.1 (Mat.get Syn.covariance 0 0);
+  check_float "off-diag" 0.05 (Mat.get Syn.covariance 0 3);
+  check_float "mean" 0.5 Syn.mean.(2)
+
+let test_sample_consistency () =
+  let rng = Prng.Rng.create 32 in
+  let s = Syn.sample rng Syn.Model1 in
+  check_float "q matches x" (Syn.true_q Syn.Model1 s.Syn.x) s.Syn.q;
+  Alcotest.(check bool) "y binary" true (s.Syn.y = 0. || s.Syn.y = 1.)
+
+let test_sample_rate_matches_q () =
+  (* empirical P(Y=1) should approximate E[q(X)] *)
+  let rng = Prng.Rng.create 33 in
+  let samples = Syn.sample_many rng Syn.Model1 20_000 in
+  let rate = Stats.Descriptive.mean (Array.map (fun s -> s.Syn.y) samples) in
+  let avg_q = Stats.Descriptive.mean (Array.map (fun s -> s.Syn.q) samples) in
+  check_float ~tol:0.01 "rate = mean q" avg_q rate
+
+let test_to_problem () =
+  let rng = Prng.Rng.create 34 in
+  let samples = Syn.sample_many rng Syn.Model1 30 in
+  let problem, truth =
+    Syn.to_problem ~kernel:Kernel.Kernel_fn.Rbf
+      ~bandwidth:(Kernel.Bandwidth.Fixed 0.7) ~n_labeled:20 samples
+  in
+  Alcotest.(check int) "n" 20 (Gssl.Problem.n_labeled problem);
+  Alcotest.(check int) "m" 10 (Gssl.Problem.n_unlabeled problem);
+  Alcotest.(check int) "truth size" 10 (Array.length truth);
+  check_float "truth matches sample" samples.(20).Syn.q truth.(0);
+  check_raises_invalid "bad n_labeled" (fun () ->
+      ignore
+        (Syn.to_problem ~kernel:Kernel.Kernel_fn.Rbf
+           ~bandwidth:(Kernel.Bandwidth.Fixed 0.7) ~n_labeled:31 samples))
+
+(* ---------- toy ---------- *)
+
+let test_toy_closed_form_prediction () =
+  let labels = [| 1.; 0.; 1.; 1. |] in
+  let p = Toy.problem ~n:4 ~m:3 ~labels in
+  let pred = Gssl.Hard.solve p in
+  let expected = Toy.expected_prediction labels in
+  check_float "ybar" 0.75 expected;
+  Array.iter (fun v -> check_float ~tol:1e-10 "prediction = ybar" expected v) pred
+
+let test_toy_closed_form_inverse () =
+  (* check the explicit (n+1)/(n(m+n)), 1/(n(m+n)) pattern numerically *)
+  List.iter
+    (fun (n, m) ->
+      check_mat ~tol:1e-10
+        (Printf.sprintf "inverse n=%d m=%d" n m)
+        (Toy.expected_inverse ~n ~m)
+        (Toy.system_inverse ~n ~m))
+    [ (1, 1); (2, 3); (5, 2); (10, 10) ]
+
+let test_toy_guards () =
+  check_raises_invalid "n=0" (fun () -> ignore (Toy.problem ~n:0 ~m:1 ~labels:[||]));
+  check_raises_invalid "label mismatch" (fun () ->
+      ignore (Toy.problem ~n:2 ~m:1 ~labels:[| 1. |]))
+
+let prop_toy_soft_also_constant seed =
+  (* on the toy graph the soft solution is constant across unlabeled
+     vertices by symmetry *)
+  let rng = Prng.Rng.create seed in
+  let n = 2 + Prng.Rng.int rng 5 and m = 2 + Prng.Rng.int rng 5 in
+  let labels = Array.init n (fun _ -> if Prng.Rng.bool rng then 1. else 0.) in
+  let p = Toy.problem ~n ~m ~labels in
+  let soft = Gssl.Soft.solve ~lambda:0.5 p in
+  let spread = Vec.max soft -. Vec.min soft in
+  spread < 1e-9
+
+(* ---------- COIL ---------- *)
+
+let test_coil_render_deterministic () =
+  let a = Coil.render ~object_id:3 ~angle_index:10 in
+  let b = Coil.render ~object_id:3 ~angle_index:10 in
+  check_vec "deterministic" a b;
+  Alcotest.(check int) "pixels" 256 (Array.length a);
+  check_raises_invalid "bad object" (fun () ->
+      ignore (Coil.render ~object_id:24 ~angle_index:0));
+  check_raises_invalid "bad angle" (fun () ->
+      ignore (Coil.render ~object_id:0 ~angle_index:72))
+
+let test_coil_pixels_in_range () =
+  for object_id = 0 to 23 do
+    let img = Coil.render ~object_id ~angle_index:(object_id * 3) in
+    Array.iter
+      (fun v -> if v < 0. || v > 1. then Alcotest.failf "pixel %g outside [0,1]" v)
+      img
+  done
+
+let test_coil_rotation_continuity () =
+  (* adjacent angles must be much closer than the farthest view: the
+     rotation-manifold structure the graph methods exploit (shapes with
+     discrete rotational symmetry may have *some* distant angle close, so
+     compare against the farthest one) *)
+  for object_id = 0 to 23 do
+    let at k = Coil.render ~object_id ~angle_index:k in
+    let near = Vec.dist2 (at 0) (at 1) in
+    let far = ref 0. in
+    for k = 2 to 36 do
+      far := Stdlib.max !far (Vec.dist2 (at 0) (at k))
+    done;
+    if near >= 0.5 *. !far then
+      Alcotest.failf "object %d: adjacent angle not close (%g vs max %g)"
+        object_id near !far
+  done
+
+let test_coil_objects_distinct () =
+  (* different objects at the same angle must differ substantially *)
+  let imgs = Array.init 24 (fun o -> Coil.render ~object_id:o ~angle_index:0) in
+  for a = 0 to 23 do
+    for b = a + 1 to 23 do
+      if Vec.dist2 imgs.(a) imgs.(b) < 0.1 then
+        Alcotest.failf "objects %d and %d nearly identical" a b
+    done
+  done
+
+let test_coil_generate_counts () =
+  let rng = Prng.Rng.create 41 in
+  let data = Coil.generate rng in
+  Alcotest.(check int) "1500 images" 1500 (Array.length data.Coil.images);
+  let per_class = Array.make 6 0 in
+  Array.iter
+    (fun img -> per_class.(img.Coil.class_id) <- per_class.(img.Coil.class_id) + 1)
+    data.Coil.images;
+  Array.iteri
+    (fun c k -> Alcotest.(check int) (Printf.sprintf "class %d count" c) 250 k)
+    per_class;
+  (* binary split is balanced 750/750 *)
+  let pos = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 (Coil.labels data) in
+  Alcotest.(check int) "balanced binary" 750 pos
+
+let test_coil_generate_deterministic () =
+  let a = Coil.generate (Prng.Rng.create 42) in
+  let b = Coil.generate (Prng.Rng.create 42) in
+  check_vec "same first image" a.Coil.images.(0).Coil.pixels b.Coil.images.(0).Coil.pixels;
+  Alcotest.(check int) "same object"
+    a.Coil.images.(77).Coil.object_id b.Coil.images.(77).Coil.object_id
+
+let test_coil_noise_guard () =
+  check_raises_invalid "negative noise" (fun () ->
+      ignore (Coil.generate ~noise:(-0.1) (Prng.Rng.create 1)))
+
+let test_coil_class_structure () =
+  let rng = Prng.Rng.create 43 in
+  let data = Coil.generate ~noise:0. rng in
+  Array.iter
+    (fun img ->
+      Alcotest.(check int) "class = object/4" (img.Coil.object_id / 4)
+        img.Coil.class_id;
+      Alcotest.(check bool) "binary label rule" (Coil.binary_label img)
+        (img.Coil.class_id < 3))
+    data.Coil.images
+
+(* ---------- splits ---------- *)
+
+let test_k_folds_partition () =
+  let rng = Prng.Rng.create 51 in
+  let folds = Splits.k_folds rng ~n:103 ~k:5 in
+  Alcotest.(check int) "5 folds" 5 (Array.length folds);
+  Alcotest.(check bool) "is partition" true (Splits.is_partition ~n:103 folds);
+  Array.iter
+    (fun f ->
+      let nt = Array.length f.Splits.test in
+      Alcotest.(check bool) "test size 20 or 21" true (nt = 20 || nt = 21);
+      Alcotest.(check int) "train+test = n" 103
+        (Array.length f.Splits.train + nt))
+    folds
+
+let test_k_folds_disjoint () =
+  let rng = Prng.Rng.create 52 in
+  let folds = Splits.k_folds rng ~n:20 ~k:4 in
+  Array.iter
+    (fun f ->
+      let in_test = Array.make 20 false in
+      Array.iter (fun i -> in_test.(i) <- true) f.Splits.test;
+      Array.iter
+        (fun i -> if in_test.(i) then Alcotest.fail "train/test overlap")
+        f.Splits.train)
+    folds;
+  check_raises_invalid "k=1" (fun () -> ignore (Splits.k_folds rng ~n:10 ~k:1));
+  check_raises_invalid "k>n" (fun () -> ignore (Splits.k_folds rng ~n:3 ~k:4))
+
+let test_inverted () =
+  let f = { Splits.train = [| 0; 1 |]; test = [| 2 |] } in
+  let g = Splits.inverted f in
+  Alcotest.(check (array int)) "train" [| 2 |] g.Splits.train;
+  Alcotest.(check (array int)) "test" [| 0; 1 |] g.Splits.test
+
+let test_ratio_split () =
+  let rng = Prng.Rng.create 53 in
+  let f = Splits.ratio_split rng ~n:100 ~labeled_fraction:0.2 in
+  Alcotest.(check int) "train size" 20 (Array.length f.Splits.train);
+  Alcotest.(check int) "test size" 80 (Array.length f.Splits.test);
+  Alcotest.(check bool) "partition" true (Splits.is_partition ~n:100 [| f |] = false);
+  (* is_partition over both sides *)
+  Alcotest.(check bool) "cover" true
+    (Splits.is_partition ~n:100 [| f; Splits.inverted f |]);
+  check_raises_invalid "bad fraction" (fun () ->
+      ignore (Splits.ratio_split rng ~n:10 ~labeled_fraction:1.2))
+
+let prop_k_folds_always_partition seed =
+  let rng = Prng.Rng.create seed in
+  let n = 4 + Prng.Rng.int rng 60 in
+  let k = 2 + Prng.Rng.int rng (Stdlib.min 8 (n - 2)) in
+  let folds = Splits.k_folds rng ~n ~k in
+  Splits.is_partition ~n folds
+
+let suite =
+  ( "dataset",
+    [
+      case "logit known values" test_logit_known_values;
+      case "true q = sigmoid(logit)" test_true_q_is_sigmoid;
+      case "inputs censored to unit box" test_inputs_in_unit_box;
+      case "covariance structure" test_covariance_structure;
+      case "sample internal consistency" test_sample_consistency;
+      case "P(Y=1) matches E[q]" test_sample_rate_matches_q;
+      case "to_problem split" test_to_problem;
+      case "toy: prediction closed form" test_toy_closed_form_prediction;
+      case "toy: inverse closed form" test_toy_closed_form_inverse;
+      case "toy: guards" test_toy_guards;
+      qprop "toy: soft constant by symmetry" prop_toy_soft_also_constant;
+      case "coil: render deterministic" test_coil_render_deterministic;
+      case "coil: pixels in [0,1]" test_coil_pixels_in_range;
+      case "coil: rotation continuity" test_coil_rotation_continuity;
+      case "coil: objects distinct" test_coil_objects_distinct;
+      case "coil: generate counts" test_coil_generate_counts;
+      case "coil: generate deterministic" test_coil_generate_deterministic;
+      case "coil: noise guard" test_coil_noise_guard;
+      case "coil: class structure" test_coil_class_structure;
+      case "splits: k-fold partition" test_k_folds_partition;
+      case "splits: disjoint" test_k_folds_disjoint;
+      case "splits: inverted" test_inverted;
+      case "splits: ratio split" test_ratio_split;
+      qprop "splits: always a partition" prop_k_folds_always_partition;
+    ] )

@@ -1,0 +1,215 @@
+(* Weighted graphs, Laplacians, connectivity, spectral utilities. *)
+
+open Test_util
+module G = Graph.Weighted_graph
+module L = Graph.Laplacian
+module C = Graph.Connectivity
+module Sp = Graph.Spectral
+module Mat = Linalg.Mat
+module Vec = Linalg.Vec
+
+let path3 =
+  (* path graph 0-1-2 with unit weights *)
+  Mat.of_arrays [| [| 0.; 1.; 0. |]; [| 1.; 0.; 1. |]; [| 0.; 1.; 0. |] |]
+
+let two_components =
+  Mat.of_arrays
+    [|
+      [| 0.; 1.; 0.; 0. |];
+      [| 1.; 0.; 0.; 0. |];
+      [| 0.; 0.; 0.; 1. |];
+      [| 0.; 0.; 1.; 0. |];
+    |]
+
+let random_similarity rng n =
+  let points = Array.init n (fun _ -> random_vec rng 2) in
+  Kernel.Similarity.dense ~kernel:Kernel.Kernel_fn.Rbf ~bandwidth:2. points
+
+let test_graph_validation () =
+  check_raises_invalid "not square" (fun () -> ignore (G.of_dense (Mat.zeros 2 3)));
+  check_raises_invalid "not symmetric" (fun () ->
+      ignore (G.of_dense (Mat.of_arrays [| [| 0.; 1. |]; [| 0.; 0. |] |])));
+  check_raises_invalid "negative weight" (fun () ->
+      ignore (G.of_dense (Mat.of_arrays [| [| 0.; -1. |]; [| -1.; 0. |] |])))
+
+let test_graph_basics () =
+  let g = G.of_dense path3 in
+  Alcotest.(check int) "order" 3 (G.order g);
+  check_float "weight" 1. (G.weight g 0 1);
+  check_float "no edge" 0. (G.weight g 0 2);
+  check_vec "degrees" [| 1.; 2.; 1. |] (G.degrees g);
+  check_float "total weight" 4. (G.total_weight g)
+
+let test_iter_edges () =
+  let g = G.of_dense path3 in
+  let edges = ref [] in
+  G.iter_edges g (fun i j w -> edges := (i, j, w) :: !edges);
+  Alcotest.(check int) "edge count" 2 (List.length !edges);
+  List.iter (fun (i, j, _) -> Alcotest.(check bool) "i<j" true (i < j)) !edges
+
+let test_sparse_graph_agrees () =
+  let g_dense = G.of_dense path3 in
+  let g_sparse = G.of_sparse (Sparse.Csr.of_dense path3) in
+  check_vec "degrees agree" (G.degrees g_dense) (G.degrees g_sparse);
+  check_mat "to_dense agrees" (G.to_dense g_dense) (G.to_dense g_sparse);
+  check_float "weight agrees" (G.weight g_dense 0 1) (G.weight g_sparse 0 1)
+
+let test_unnormalized_laplacian () =
+  let g = G.of_dense path3 in
+  let l = L.dense g in
+  check_mat "L = D - W"
+    (Mat.of_arrays [| [| 1.; -1.; 0. |]; [| -1.; 2.; -1. |]; [| 0.; -1.; 1. |] |])
+    l;
+  check_vec "row sums zero" (Vec.zeros 3) (Mat.row_sums l)
+
+let test_normalized_laplacians () =
+  let g = G.of_dense path3 in
+  let lsym = L.dense ~kind:L.Symmetric_normalized g in
+  Alcotest.(check bool) "sym normalized symmetric" true (Mat.is_symmetric lsym);
+  check_float "diag is 1" 1. (Mat.get lsym 0 0);
+  let lrw = L.dense ~kind:L.Random_walk g in
+  check_vec "rw row sums zero" (Vec.zeros 3) (Mat.row_sums lrw);
+  (* zero-degree vertex rejects normalization *)
+  let isolated = G.of_dense (Mat.zeros 2 2) in
+  check_raises_invalid "zero degree" (fun () ->
+      ignore (L.dense ~kind:L.Symmetric_normalized isolated))
+
+let test_sparse_laplacian_agrees () =
+  let rng = Prng.Rng.create 4 in
+  let w = random_similarity rng 8 in
+  let g = G.of_dense w in
+  List.iter
+    (fun kind ->
+      check_mat ~tol:1e-10 "sparse = dense laplacian" (L.dense ~kind g)
+        (Sparse.Csr.to_dense (L.sparse ~kind g)))
+    [ L.Unnormalized; L.Symmetric_normalized; L.Random_walk ]
+
+let test_quadratic_energy () =
+  let g = G.of_dense path3 in
+  (* f = (0,1,2): sum_ij w_ij (fi-fj)^2 = 2*(1 + 1) = 4 with double counting *)
+  check_float "energy" 4. (L.quadratic_energy g [| 0.; 1.; 2. |]);
+  check_float "constant has zero energy" 0. (L.quadratic_energy g [| 5.; 5.; 5. |]);
+  check_raises_invalid "length mismatch" (fun () ->
+      ignore (L.quadratic_energy g [| 1. |]))
+
+let prop_energy_is_2fLf seed =
+  let rng = Prng.Rng.create seed in
+  let n = 2 + Prng.Rng.int rng 10 in
+  let g = G.of_dense (random_similarity rng n) in
+  let f = random_vec rng n in
+  let lhs = L.quadratic_energy g f in
+  let rhs = 2. *. Mat.quadratic_form (L.dense g) f in
+  abs_float (lhs -. rhs) < 1e-7 *. (1. +. abs_float rhs)
+
+let prop_laplacian_psd seed =
+  let rng = Prng.Rng.create seed in
+  let n = 2 + Prng.Rng.int rng 8 in
+  let g = G.of_dense (random_similarity rng n) in
+  Linalg.Eigen.is_positive_semidefinite (L.dense g)
+
+let prop_laplacian_kernel_contains_ones seed =
+  let rng = Prng.Rng.create seed in
+  let n = 2 + Prng.Rng.int rng 10 in
+  let g = G.of_dense (random_similarity rng n) in
+  Vec.norm_inf (Mat.mv (L.dense g) (Vec.ones n)) < 1e-9
+
+let test_operator_matches_dense () =
+  let rng = Prng.Rng.create 17 in
+  let w = random_similarity rng 7 in
+  let g = G.of_dense w in
+  let lambda = 0.3 and n_labeled = 3 in
+  let op = L.operator ~lambda ~n_labeled g in
+  let dense =
+    let l = L.dense g in
+    Mat.init 7 7 (fun i j ->
+        let v = if i = j && i < n_labeled then 1. else 0. in
+        v +. (lambda *. Mat.get l i j))
+  in
+  let x = random_vec rng 7 in
+  check_vec ~tol:1e-10 "operator apply" (Mat.mv dense x) (op.Sparse.Linop.apply x);
+  check_vec ~tol:1e-10 "operator diag" (Mat.get_diag dense) (op.Sparse.Linop.diag ());
+  check_raises_invalid "negative lambda" (fun () ->
+      ignore (L.operator ~lambda:(-1.) ~n_labeled:1 g));
+  check_raises_invalid "bad n_labeled" (fun () ->
+      ignore (L.operator ~lambda:1. ~n_labeled:8 g))
+
+let test_connectivity () =
+  let g = G.of_dense path3 in
+  Alcotest.(check bool) "path connected" true (C.is_connected g);
+  Alcotest.(check int) "one component" 1 (C.count_components g);
+  let g2 = G.of_dense two_components in
+  Alcotest.(check bool) "two components" false (C.is_connected g2);
+  Alcotest.(check int) "count" 2 (C.count_components g2);
+  let comps = C.components g2 in
+  Alcotest.(check int) "0 and 1 together" comps.(0) comps.(1);
+  Alcotest.(check bool) "0 and 2 apart" true (comps.(0) <> comps.(2))
+
+let test_connectivity_threshold () =
+  let w = Mat.of_arrays [| [| 0.; 0.1 |]; [| 0.1; 0. |] |] in
+  let g = G.of_dense w in
+  Alcotest.(check bool) "connected at 0" true (C.is_connected g);
+  Alcotest.(check bool) "cut at 0.5" false (C.is_connected ~threshold:0.5 g)
+
+let test_bfs () =
+  let g = G.of_dense two_components in
+  let d = C.bfs_distances g 0 in
+  Alcotest.(check (array int)) "distances" [| 0; 1; -1; -1 |] d;
+  check_raises_invalid "bad source" (fun () -> ignore (C.bfs_distances g 9))
+
+let test_spectral () =
+  let g = G.of_dense path3 in
+  let spec = Sp.spectrum g in
+  check_float ~tol:1e-9 "lambda1 = 0" 0. spec.(0);
+  (* path graph P3 unnormalized Laplacian eigenvalues: 0, 1, 3 *)
+  check_float ~tol:1e-9 "lambda2 = 1" 1. spec.(1);
+  check_float ~tol:1e-9 "lambda3 = 3" 3. spec.(2);
+  let fiedler_value, _ = Sp.fiedler g in
+  check_float ~tol:1e-9 "fiedler" 1. fiedler_value;
+  check_float ~tol:1e-9 "gap" 1. (Sp.spectral_gap g)
+
+let test_fiedler_disconnected () =
+  let g = G.of_dense two_components in
+  let fiedler_value, _ = Sp.fiedler g in
+  check_float ~tol:1e-9 "disconnected -> 0 fiedler" 0. fiedler_value
+
+let prop_components_count_eq_kernel_dim seed =
+  (* number of zero Laplacian eigenvalues = number of components *)
+  let rng = Prng.Rng.create seed in
+  let n = 2 + Prng.Rng.int rng 6 in
+  (* random block-diagonal union of two cliques, possibly bridged *)
+  let bridge = Prng.Rng.bool rng in
+  let k = 1 + Prng.Rng.int rng (n - 1) in
+  let w =
+    Mat.init n n (fun i j ->
+        if i = j then 0.
+        else if (i < k && j < k) || (i >= k && j >= k) then 1.
+        else if bridge then 0.5
+        else 0.)
+  in
+  let g = G.of_dense w in
+  let spec = Sp.spectrum g in
+  let zeros = Array.fold_left (fun acc l -> if abs_float l < 1e-8 then acc + 1 else acc) 0 spec in
+  zeros = C.count_components g
+
+let suite =
+  ( "graph",
+    [
+      case "validation" test_graph_validation;
+      case "basics" test_graph_basics;
+      case "iter_edges" test_iter_edges;
+      case "sparse storage agrees" test_sparse_graph_agrees;
+      case "unnormalized laplacian" test_unnormalized_laplacian;
+      case "normalized laplacians" test_normalized_laplacians;
+      case "sparse laplacian agrees" test_sparse_laplacian_agrees;
+      case "quadratic energy" test_quadratic_energy;
+      qprop "energy = 2 f'Lf" prop_energy_is_2fLf;
+      qprop "laplacian PSD" prop_laplacian_psd;
+      qprop "L 1 = 0" prop_laplacian_kernel_contains_ones;
+      case "soft operator matches dense" test_operator_matches_dense;
+      case "connectivity" test_connectivity;
+      case "threshold connectivity" test_connectivity_threshold;
+      case "bfs distances" test_bfs;
+      case "spectral (path graph)" test_spectral;
+      case "fiedler of disconnected" test_fiedler_disconnected;
+      qprop "zero eigenvalues = components" prop_components_count_eq_kernel_dim;
+    ] )

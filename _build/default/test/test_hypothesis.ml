@@ -1,0 +1,204 @@
+(* Hypothesis tests and bootstrap. *)
+
+open Test_util
+module H = Stats.Hypothesis
+module B = Stats.Bootstrap
+
+(* ---------- special functions ---------- *)
+
+let test_normal_cdf_known () =
+  check_float ~tol:1e-6 "phi(0)" 0.5 (H.normal_cdf 0.);
+  check_float ~tol:1e-4 "phi(1.96)" 0.975 (H.normal_cdf 1.96);
+  check_float ~tol:1e-4 "phi(-1.96)" 0.025 (H.normal_cdf (-1.96));
+  check_float ~tol:1e-6 "phi(6)" 1. (H.normal_cdf 6.);
+  Alcotest.(check bool) "symmetry" true
+    (abs_float (H.normal_cdf 0.7 +. H.normal_cdf (-0.7) -. 1.) < 1e-9)
+
+let test_t_cdf_known () =
+  (* t distribution with large df approaches the normal *)
+  check_float ~tol:1e-3 "t(1000) ~ normal" (H.normal_cdf 1.5)
+    (H.student_t_cdf ~df:1000. 1.5);
+  (* t with df=1 is Cauchy: CDF(1) = 3/4 *)
+  check_float ~tol:1e-6 "cauchy at 1" 0.75 (H.student_t_cdf ~df:1. 1.);
+  check_float ~tol:1e-9 "median" 0.5 (H.student_t_cdf ~df:5. 0.);
+  (* classic table value: P(T_10 <= 2.228) = 0.975 *)
+  check_float ~tol:1e-3 "t table df=10" 0.975 (H.student_t_cdf ~df:10. 2.228)
+
+let test_log_binomial () =
+  check_float ~tol:1e-9 "C(5,2)" (log 10.) (H.log_binomial_coefficient 5 2);
+  check_float ~tol:1e-9 "C(10,0)" 0. (H.log_binomial_coefficient 10 0);
+  check_raises_invalid "k > n" (fun () -> ignore (H.log_binomial_coefficient 3 4))
+
+(* ---------- paired t-test ---------- *)
+
+let test_t_test_obvious_difference () =
+  let x = [| 1.; 2.; 3.; 4.; 5. |] in
+  let y = [| 2.1; 2.9; 4.05; 5.02; 5.9 |] in
+  let r = H.paired_t_test x y in
+  Alcotest.(check bool) "tiny p" true (r.H.p_value < 1e-3);
+  Alcotest.(check bool) "negative t" true (r.H.statistic < 0.);
+  check_float "df" 4. r.H.df
+
+let test_t_test_no_difference () =
+  (* differences symmetric around zero *)
+  let x = [| 1.; 2.; 3.; 4. |] in
+  let y = [| 1.5; 1.5; 3.5; 3.5 |] in
+  let r = H.paired_t_test x y in
+  check_float ~tol:1e-9 "t = 0" 0. r.H.statistic;
+  check_float ~tol:1e-9 "p = 1" 1. r.H.p_value
+
+let test_t_test_guards () =
+  check_raises_invalid "mismatch" (fun () ->
+      ignore (H.paired_t_test [| 1. |] [| 1.; 2. |]));
+  check_raises_invalid "too small" (fun () ->
+      ignore (H.paired_t_test [| 1. |] [| 2. |]));
+  check_raises_invalid "zero variance" (fun () ->
+      ignore (H.paired_t_test [| 1.; 2. |] [| 0.; 1. |]))
+
+let test_t_test_known_value () =
+  (* hand-checkable: d = (1,1,1,-1), mean 0.5, sd 1, t = 0.5/(1/2) = 1 *)
+  let x = [| 2.; 2.; 2.; 0. |] and y = [| 1.; 1.; 1.; 1. |] in
+  let r = H.paired_t_test x y in
+  check_float ~tol:1e-9 "t" 1. r.H.statistic;
+  (* p = 2(1 - T_3(1)); T_3(1) ~ 0.80450 *)
+  check_float ~tol:1e-3 "p" 0.391 r.H.p_value
+
+(* ---------- sign test ---------- *)
+
+let test_sign_test_extreme () =
+  let x = Array.make 10 1. and y = Array.make 10 0. in
+  let r = H.sign_test x y in
+  check_float "all positive" 10. r.H.statistic;
+  (* exact: 2 * (1/2)^10 *)
+  check_float ~tol:1e-9 "p exact" (2. /. 1024.) r.H.p_value
+
+let test_sign_test_balanced () =
+  let x = [| 1.; 0.; 1.; 0. |] and y = [| 0.; 1.; 0.; 1. |] in
+  let r = H.sign_test x y in
+  check_float ~tol:1e-9 "p = 1 (2 vs 2)" 1. r.H.p_value
+
+let test_sign_test_ties_dropped () =
+  let x = [| 1.; 5.; 5. |] and y = [| 0.; 5.; 5. |] in
+  let r = H.sign_test x y in
+  check_float "one informative pair" 1. r.H.statistic;
+  check_float ~tol:1e-9 "p with n=1" 1. r.H.p_value;
+  check_raises_invalid "all ties" (fun () ->
+      ignore (H.sign_test [| 1.; 2. |] [| 1.; 2. |]))
+
+(* ---------- wilcoxon ---------- *)
+
+let test_wilcoxon_extreme () =
+  let x = Array.init 20 (fun i -> float_of_int (i + 1)) in
+  let y = Array.make 20 0. in
+  let r = H.wilcoxon_signed_rank x y in
+  check_float "W+ = n(n+1)/2" 210. r.H.statistic;
+  Alcotest.(check bool) "significant" true (r.H.p_value < 0.001)
+
+let test_wilcoxon_symmetric () =
+  let x = [| 1.; -1.; 2.; -2.; 3.; -3. |] in
+  let y = Array.make 6 0. in
+  let r = H.wilcoxon_signed_rank x y in
+  (* perfectly symmetric: W+ = half the total rank sum; p ~ 1 *)
+  check_float ~tol:1e-9 "W+ half" 10.5 r.H.statistic;
+  Alcotest.(check bool) "non-significant" true (r.H.p_value > 0.9)
+
+let test_wilcoxon_guard () =
+  check_raises_invalid "all ties" (fun () ->
+      ignore (H.wilcoxon_signed_rank [| 1. |] [| 1. |]))
+
+let prop_tests_agree_on_strong_signals seed =
+  (* when one sample dominates by a wide margin, all three tests agree on
+     significance at the 5% level (n = 20) *)
+  let rng = Prng.Rng.create seed in
+  let n = 20 in
+  let x = Array.init n (fun _ -> 1. +. Prng.Rng.float rng) in
+  let y = Array.map (fun v -> v -. 2. -. Prng.Rng.float rng) x in
+  H.(paired_t_test x y).H.p_value < 0.05
+  && H.(sign_test x y).H.p_value < 0.05
+  && H.(wilcoxon_signed_rank x y).H.p_value < 0.05
+
+let prop_p_values_in_range seed =
+  let rng = Prng.Rng.create seed in
+  let n = 3 + Prng.Rng.int rng 20 in
+  let x = Array.init n (fun _ -> Prng.Rng.float rng) in
+  let y = Array.init n (fun _ -> Prng.Rng.float rng) in
+  let in01 p = p >= 0. && p <= 1. in
+  let ok_t = match H.paired_t_test x y with r -> in01 r.H.p_value | exception Invalid_argument _ -> true in
+  let ok_s = match H.sign_test x y with r -> in01 r.H.p_value | exception Invalid_argument _ -> true in
+  let ok_w = match H.wilcoxon_signed_rank x y with r -> in01 r.H.p_value | exception Invalid_argument _ -> true in
+  ok_t && ok_s && ok_w
+
+(* ---------- bootstrap ---------- *)
+
+let test_bootstrap_point_estimate () =
+  let rng = Prng.Rng.create 1 in
+  let data = [| 1.; 2.; 3.; 4.; 5. |] in
+  let ci = B.mean_ci ~rng data in
+  check_float "point = mean" 3. ci.B.point;
+  Alcotest.(check bool) "lower <= point" true (ci.B.lower <= ci.B.point);
+  Alcotest.(check bool) "point <= upper" true (ci.B.point <= ci.B.upper)
+
+let test_bootstrap_degenerate () =
+  let rng = Prng.Rng.create 2 in
+  let ci = B.mean_ci ~rng [| 7.; 7.; 7. |] in
+  check_float "constant lower" 7. ci.B.lower;
+  check_float "constant upper" 7. ci.B.upper
+
+let test_bootstrap_guards () =
+  let rng = Prng.Rng.create 3 in
+  check_raises_invalid "empty" (fun () -> ignore (B.mean_ci ~rng [||]));
+  check_raises_invalid "bad confidence" (fun () ->
+      ignore (B.mean_ci ~confidence:1.5 ~rng [| 1. |]));
+  check_raises_invalid "bad resamples" (fun () ->
+      ignore (B.mean_ci ~resamples:0 ~rng [| 1. |]));
+  check_raises_invalid "pair mismatch" (fun () ->
+      ignore (B.paired_difference_ci ~rng [| 1. |] [| 1.; 2. |]))
+
+let test_bootstrap_coverage_sanity () =
+  (* the CI of a clearly-positive-mean sample excludes zero *)
+  let rng = Prng.Rng.create 4 in
+  let data = Array.init 50 (fun _ -> 1. +. Prng.Rng.float rng) in
+  let ci = B.mean_ci ~rng data in
+  Alcotest.(check bool) "excludes zero" true (ci.B.lower > 0.)
+
+let test_bootstrap_paired_difference () =
+  let rng = Prng.Rng.create 5 in
+  let x = Array.init 40 (fun _ -> Prng.Rng.float rng) in
+  let y = Array.map (fun v -> v +. 0.5) x in
+  let ci = B.paired_difference_ci ~rng x y in
+  check_float ~tol:1e-9 "point = -0.5" (-0.5) ci.B.point;
+  Alcotest.(check bool) "tight CI around -0.5" true
+    (ci.B.lower > -0.51 && ci.B.upper < -0.49)
+
+let test_bootstrap_deterministic () =
+  let data = Array.init 20 (fun i -> float_of_int i) in
+  let a = B.mean_ci ~rng:(Prng.Rng.create 9) data in
+  let b = B.mean_ci ~rng:(Prng.Rng.create 9) data in
+  check_float "same lower" a.B.lower b.B.lower;
+  check_float "same upper" a.B.upper b.B.upper
+
+let suite =
+  ( "hypothesis",
+    [
+      case "normal cdf" test_normal_cdf_known;
+      case "student t cdf" test_t_cdf_known;
+      case "log binomial" test_log_binomial;
+      case "t-test: obvious difference" test_t_test_obvious_difference;
+      case "t-test: symmetric null" test_t_test_no_difference;
+      case "t-test: guards" test_t_test_guards;
+      case "t-test: known value" test_t_test_known_value;
+      case "sign test: extreme" test_sign_test_extreme;
+      case "sign test: balanced" test_sign_test_balanced;
+      case "sign test: ties" test_sign_test_ties_dropped;
+      case "wilcoxon: extreme" test_wilcoxon_extreme;
+      case "wilcoxon: symmetric" test_wilcoxon_symmetric;
+      case "wilcoxon: guard" test_wilcoxon_guard;
+      qprop "tests agree on strong signals" prop_tests_agree_on_strong_signals;
+      qprop "p-values in [0,1]" prop_p_values_in_range;
+      case "bootstrap: point estimate" test_bootstrap_point_estimate;
+      case "bootstrap: degenerate data" test_bootstrap_degenerate;
+      case "bootstrap: guards" test_bootstrap_guards;
+      case "bootstrap: excludes zero" test_bootstrap_coverage_sanity;
+      case "bootstrap: paired difference" test_bootstrap_paired_difference;
+      case "bootstrap: deterministic" test_bootstrap_deterministic;
+    ] )

@@ -1,0 +1,181 @@
+(* Cross-cutting invariance properties of the solvers: permutation
+   equivariance, weight-scale invariance, bandwidth limits, and the
+   lambda-path / direct-solver consistency. *)
+
+open Test_util
+module P = Gssl.Problem
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+
+let build_problem points labels =
+  let w =
+    Kernel.Similarity.dense ~kernel:Kernel.Kernel_fn.Rbf ~bandwidth:1.5 points
+  in
+  P.make ~graph:(Graph.Weighted_graph.of_dense w) ~labels
+
+let random_data rng n m =
+  let points =
+    Array.init (n + m) (fun _ ->
+        [| Prng.Rng.uniform rng 0. 2.; Prng.Rng.uniform rng 0. 2. |])
+  in
+  let labels = Array.init n (fun _ -> Prng.Rng.float rng) in
+  (points, labels)
+
+let prop_hard_permutation_equivariant seed =
+  (* permuting the unlabeled points permutes the predictions *)
+  let rng = Prng.Rng.create seed in
+  let n = 2 + Prng.Rng.int rng 6 and m = 2 + Prng.Rng.int rng 6 in
+  let points, labels = random_data rng n m in
+  let base = Gssl.Hard.solve (build_problem points labels) in
+  let perm = Prng.Rng.permutation rng m in
+  let permuted_points =
+    Array.append (Array.sub points 0 n)
+      (Array.init m (fun a -> points.(n + perm.(a))))
+  in
+  let permuted = Gssl.Hard.solve (build_problem permuted_points labels) in
+  let ok = ref true in
+  for a = 0 to m - 1 do
+    if abs_float (permuted.(a) -. base.(perm.(a))) > 1e-8 then ok := false
+  done;
+  !ok
+
+let prop_hard_weight_scale_invariant seed =
+  (* the harmonic solution is invariant to scaling all weights by c > 0 *)
+  let rng = Prng.Rng.create seed in
+  let n = 2 + Prng.Rng.int rng 6 and m = 1 + Prng.Rng.int rng 6 in
+  let points, labels = random_data rng n m in
+  let w =
+    Kernel.Similarity.dense ~kernel:Kernel.Kernel_fn.Rbf ~bandwidth:1.5 points
+  in
+  let c = 0.1 +. (3. *. Prng.Rng.float rng) in
+  let p1 = P.make ~graph:(Graph.Weighted_graph.of_dense w) ~labels in
+  let p2 =
+    P.make ~graph:(Graph.Weighted_graph.of_dense (Mat.scale c w)) ~labels
+  in
+  Vec.approx_equal ~tol:1e-7 (Gssl.Hard.solve p1) (Gssl.Hard.solve p2)
+
+let prop_soft_scale_lambda_tradeoff seed =
+  (* scaling weights by c equals scaling lambda by c:
+     soft(lambda, c*W) = soft(c*lambda, W) *)
+  let rng = Prng.Rng.create seed in
+  let n = 2 + Prng.Rng.int rng 6 and m = 1 + Prng.Rng.int rng 6 in
+  let points, labels = random_data rng n m in
+  let w =
+    Kernel.Similarity.dense ~kernel:Kernel.Kernel_fn.Rbf ~bandwidth:1.5 points
+  in
+  let c = 0.2 +. (2. *. Prng.Rng.float rng) in
+  let lambda = 0.05 +. Prng.Rng.float rng in
+  let p1 =
+    P.make ~graph:(Graph.Weighted_graph.of_dense (Mat.scale c w)) ~labels
+  in
+  let p2 = P.make ~graph:(Graph.Weighted_graph.of_dense w) ~labels in
+  Vec.approx_equal ~tol:1e-7
+    (Gssl.Soft.solve ~lambda p1)
+    (Gssl.Soft.solve ~lambda:(c *. lambda) p2)
+
+let prop_nw_wide_bandwidth_is_mean seed =
+  (* bandwidth -> infinity: every weight -> 1, NW -> label mean *)
+  let rng = Prng.Rng.create seed in
+  let n = 2 + Prng.Rng.int rng 8 in
+  let labeled =
+    Array.init n (fun _ -> (random_vec rng 2, Prng.Rng.float rng))
+  in
+  let q =
+    Gssl.Nadaraya_watson.predict ~kernel:Kernel.Kernel_fn.Rbf ~bandwidth:1e6
+      ~labeled (random_vec rng 2)
+  in
+  let mean = Vec.mean (Array.map snd labeled) in
+  abs_float (q -. mean) < 1e-6
+
+let prop_hard_wide_bandwidth_is_mean seed =
+  (* same limit for the hard criterion (the toy example's mechanism) *)
+  let rng = Prng.Rng.create seed in
+  let n = 2 + Prng.Rng.int rng 6 and m = 1 + Prng.Rng.int rng 6 in
+  let points, labels = random_data rng n m in
+  let w =
+    Kernel.Similarity.dense ~kernel:Kernel.Kernel_fn.Rbf ~bandwidth:1e6 points
+  in
+  let p = P.make ~graph:(Graph.Weighted_graph.of_dense w) ~labels in
+  let scores = Gssl.Hard.solve p in
+  let mean = Vec.mean labels in
+  Array.for_all (fun s -> abs_float (s -. mean) < 1e-4) scores
+
+let prop_lambda_path_matches_direct seed =
+  (* every point on the path equals a direct solve at that lambda *)
+  let rng = Prng.Rng.create seed in
+  let n = 2 + Prng.Rng.int rng 5 and m = 1 + Prng.Rng.int rng 5 in
+  let points, labels = random_data rng n m in
+  let p = build_problem points labels in
+  let grid = [| 0.; 0.03; 0.7; 12. |] in
+  let path = Gssl.Lambda_path.compute ~lambdas:grid p in
+  Array.for_all
+    (fun pt ->
+      let direct =
+        if pt.Gssl.Lambda_path.lambda = 0. then Gssl.Hard.solve p
+        else Gssl.Soft.solve ~lambda:pt.Gssl.Lambda_path.lambda p
+      in
+      Vec.approx_equal ~tol:1e-9 direct pt.Gssl.Lambda_path.scores)
+    path.Gssl.Lambda_path.points
+
+let prop_estimator_affine_labels seed =
+  (* hard criterion commutes with affine relabeling y -> a y + b *)
+  let rng = Prng.Rng.create seed in
+  let n = 2 + Prng.Rng.int rng 6 and m = 1 + Prng.Rng.int rng 6 in
+  let points, labels = random_data rng n m in
+  let a = 0.5 +. Prng.Rng.float rng and b = Prng.Rng.uniform rng (-1.) 1. in
+  let p1 = build_problem points labels in
+  let p2 =
+    build_problem points (Array.map (fun y -> (a *. y) +. b) labels)
+  in
+  let s1 = Gssl.Hard.solve p1 and s2 = Gssl.Hard.solve p2 in
+  Vec.approx_equal ~tol:1e-6 (Array.map (fun s -> (a *. s) +. b) s1) s2
+
+let prop_binomial_is_bernoulli_sum seed =
+  let rng1 = Prng.Rng.create seed and rng2 = Prng.Rng.create seed in
+  let n = Prng.Rng.int (Prng.Rng.create (seed + 1)) 30 in
+  let p = 0.3 in
+  let b = Prng.Distributions.binomial rng1 ~n ~p in
+  let s = ref 0 in
+  for _ = 1 to n do
+    if Prng.Rng.bernoulli rng2 p then incr s
+  done;
+  b = !s
+
+let prop_coil_subsample_labels_match seed =
+  (* the binary label always equals class < 3, under any noise level *)
+  let rng = Prng.Rng.create seed in
+  let noise = Prng.Rng.float rng *. 0.1 in
+  let data = Dataset.Coil.generate ~noise (Prng.Rng.create (seed + 1)) in
+  Array.for_all
+    (fun img ->
+      Dataset.Coil.binary_label img = (img.Dataset.Coil.class_id < 3))
+    data.Dataset.Coil.images
+
+let prop_incremental_full_reveal_recovers_labels seed =
+  (* reveal every unlabeled vertex: nothing remains and labels grow to
+     the full graph *)
+  let rng = Prng.Rng.create seed in
+  let n = 2 + Prng.Rng.int rng 4 and m = 1 + Prng.Rng.int rng 4 in
+  let points, labels = random_data rng n m in
+  let p = build_problem points labels in
+  let solver = Gssl.Incremental.create p in
+  Array.iter
+    (fun v -> Gssl.Incremental.reveal solver ~vertex:v ~label:0.5)
+    (Gssl.Incremental.remaining solver);
+  Gssl.Incremental.n_remaining solver = 0
+  && Array.length (Gssl.Incremental.labels solver) = n + m
+
+let suite =
+  ( "invariances",
+    [
+      qprop "hard: permutation equivariant" prop_hard_permutation_equivariant;
+      qprop "hard: weight-scale invariant" prop_hard_weight_scale_invariant;
+      qprop "soft: cW <-> c*lambda" prop_soft_scale_lambda_tradeoff;
+      qprop "nw: wide bandwidth -> mean" prop_nw_wide_bandwidth_is_mean;
+      qprop ~count:50 "hard: wide bandwidth -> mean" prop_hard_wide_bandwidth_is_mean;
+      qprop ~count:50 "lambda path = direct solves" prop_lambda_path_matches_direct;
+      qprop "hard: affine label equivariance" prop_estimator_affine_labels;
+      qprop "binomial = bernoulli sum" prop_binomial_is_bernoulli_sum;
+      qprop ~count:20 "coil: binary rule invariant" prop_coil_subsample_labels_match;
+      qprop ~count:50 "incremental: full reveal" prop_incremental_full_reveal_recovers_labels;
+    ] )

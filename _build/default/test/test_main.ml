@@ -1,0 +1,25 @@
+let () =
+  Alcotest.run "gssl-repro"
+    [
+      Test_vec.suite;
+      Test_mat.suite;
+      Test_decomp.suite;
+      Test_sparse.suite;
+      Test_prng.suite;
+      Test_stats.suite;
+      Test_kernel.suite;
+      Test_graph.suite;
+      Test_gssl.suite;
+      Test_dataset.suite;
+      Test_numerics2.suite;
+      Test_extensions.suite;
+      Test_features.suite;
+      Test_hypothesis.suite;
+      Test_wave4.suite;
+      Test_wave5.suite;
+      Test_wave6.suite;
+      Test_invariances.suite;
+      Test_wave7.suite;
+      Test_baselines.suite;
+      Test_experiment.suite;
+    ]

@@ -1,0 +1,171 @@
+open Test_util
+module Mat = Linalg.Mat
+module Vec = Linalg.Vec
+
+let m23 = Mat.of_arrays [| [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |] |]
+
+let test_construction () =
+  let a = Mat.create 2 3 1.5 in
+  Alcotest.(check (pair int int)) "dims" (2, 3) (Mat.dims a);
+  check_float "fill value" 1.5 (Mat.get a 1 2);
+  check_mat "eye" (Mat.of_arrays [| [| 1.; 0. |]; [| 0.; 1. |] |]) (Mat.eye 2);
+  check_mat "diag"
+    (Mat.of_arrays [| [| 2.; 0. |]; [| 0.; 3. |] |])
+    (Mat.diag [| 2.; 3. |]);
+  check_raises_invalid "negative dims" (fun () -> Mat.create (-1) 2 0.)
+
+let test_of_rows_cols () =
+  check_mat "of_rows" m23 (Mat.of_rows [| [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |] |]);
+  check_mat "of_cols" m23
+    (Mat.of_cols [| [| 1.; 4. |]; [| 2.; 5. |]; [| 3.; 6. |] |]);
+  check_raises_invalid "ragged" (fun () -> Mat.of_rows [| [| 1. |]; [| 1.; 2. |] |]);
+  check_raises_invalid "empty" (fun () -> Mat.of_rows [||])
+
+let test_get_set () =
+  let a = Mat.zeros 2 2 in
+  Mat.set a 0 1 5.;
+  check_float "set/get" 5. (Mat.get a 0 1);
+  check_raises_invalid "get oob" (fun () -> Mat.get a 2 0);
+  check_raises_invalid "set oob" (fun () -> Mat.set a 0 (-1) 1.)
+
+let test_row_col () =
+  check_vec "row" [| 4.; 5.; 6. |] (Mat.row m23 1);
+  check_vec "col" [| 2.; 5. |] (Mat.col m23 1);
+  check_vec "get_diag" [| 1.; 5. |] (Mat.get_diag m23);
+  let a = Mat.zeros 2 3 in
+  Mat.set_row a 0 [| 1.; 2.; 3. |];
+  Mat.set_col a 0 [| 9.; 8. |];
+  check_float "set_row survives set_col" 2. (Mat.get a 0 1);
+  check_float "set_col" 8. (Mat.get a 1 0)
+
+let test_add_sub_scale () =
+  let a = Mat.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let b = Mat.of_arrays [| [| 5.; 6. |]; [| 7.; 8. |] |] in
+  check_mat "add" (Mat.of_arrays [| [| 6.; 8. |]; [| 10.; 12. |] |]) (Mat.add a b);
+  check_mat "sub" (Mat.of_arrays [| [| -4.; -4. |]; [| -4.; -4. |] |]) (Mat.sub a b);
+  check_mat "hadamard" (Mat.of_arrays [| [| 5.; 12. |]; [| 21.; 32. |] |])
+    (Mat.hadamard a b);
+  check_mat "scale" (Mat.of_arrays [| [| 2.; 4. |]; [| 6.; 8. |] |]) (Mat.scale 2. a);
+  check_mat "shift identity"
+    (Mat.of_arrays [| [| 3.; 2. |]; [| 3.; 6. |] |])
+    (Mat.add_scaled_identity a 2.)
+
+let test_mv_mm () =
+  check_vec "mv" [| 14.; 32. |] (Mat.mv m23 [| 1.; 2.; 3. |]);
+  check_vec "tmv" [| 9.; 12.; 15. |] (Mat.tmv m23 [| 1.; 2. |]);
+  let a = Mat.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let b = Mat.of_arrays [| [| 5.; 6. |]; [| 7.; 8. |] |] in
+  check_mat "mm" (Mat.of_arrays [| [| 19.; 22. |]; [| 43.; 50. |] |]) (Mat.mm a b);
+  check_raises_invalid "mm mismatch" (fun () -> Mat.mm m23 m23);
+  check_raises_invalid "mv mismatch" (fun () -> Mat.mv m23 [| 1. |])
+
+let test_transpose_gram () =
+  let t = Mat.transpose m23 in
+  Alcotest.(check (pair int int)) "transpose dims" (3, 2) (Mat.dims t);
+  check_float "transpose entry" 6. (Mat.get t 2 1);
+  check_mat "gram = AtA" (Mat.mm t m23) (Mat.gram m23);
+  check_mat "outer"
+    (Mat.of_arrays [| [| 2.; 3. |]; [| 4.; 6. |] |])
+    (Mat.outer [| 1.; 2. |] [| 2.; 3. |])
+
+let test_reductions () =
+  let a = Mat.of_arrays [| [| 1.; -2. |]; [| 3.; 4. |] |] in
+  check_float "trace" 5. (Mat.trace a);
+  check_float "frobenius" (sqrt 30.) (Mat.frobenius_norm a);
+  check_float "max_abs" 4. (Mat.max_abs a);
+  check_vec "row_sums" [| -1.; 7. |] (Mat.row_sums a);
+  check_vec "col_sums" [| 4.; 2. |] (Mat.col_sums a)
+
+let test_quadratic_form_value () =
+  (* recompute by hand: A x = (1*1 + -2*2, 3*1 + 4*2) = (-3, 11);
+     x·Ax = 1*(-3) + 2*11 = 19 *)
+  let a = Mat.of_arrays [| [| 1.; -2. |]; [| 3.; 4. |] |] in
+  check_float "quadratic form hand" 19. (Mat.quadratic_form a [| 1.; 2. |])
+
+let test_symmetric () =
+  Alcotest.(check bool) "symmetric" true (Mat.is_symmetric (Mat.eye 3));
+  Alcotest.(check bool) "not symmetric" false
+    (Mat.is_symmetric (Mat.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |]));
+  Alcotest.(check bool) "non-square" false (Mat.is_symmetric m23)
+
+let test_blocks () =
+  let a = Mat.init 4 4 (fun i j -> float_of_int ((i * 4) + j)) in
+  let a11, a12, a21, a22 = Mat.split4 a 2 in
+  check_mat "a11" (Mat.of_arrays [| [| 0.; 1. |]; [| 4.; 5. |] |]) a11;
+  check_mat "a12" (Mat.of_arrays [| [| 2.; 3. |]; [| 6.; 7. |] |]) a12;
+  check_mat "a21" (Mat.of_arrays [| [| 8.; 9. |]; [| 12.; 13. |] |]) a21;
+  check_mat "a22" (Mat.of_arrays [| [| 10.; 11. |]; [| 14.; 15. |] |]) a22;
+  check_mat "assemble4 roundtrip" a (Mat.assemble4 a11 a12 a21 a22);
+  check_mat "submatrix" a12 (Mat.submatrix a 0 2 2 2);
+  check_raises_invalid "submatrix oob" (fun () -> Mat.submatrix a 3 3 2 2)
+
+let test_cat () =
+  let a = Mat.ones 2 1 and b = Mat.zeros 2 2 in
+  Alcotest.(check (pair int int)) "hcat dims" (2, 3) (Mat.dims (Mat.hcat a b));
+  let c = Mat.ones 1 2 and d = Mat.zeros 2 2 in
+  Alcotest.(check (pair int int)) "vcat dims" (3, 2) (Mat.dims (Mat.vcat c d));
+  check_raises_invalid "hcat mismatch" (fun () -> Mat.hcat a c)
+
+let prop_mm_associative seed =
+  let rng = Prng.Rng.create seed in
+  let n = 1 + Prng.Rng.int rng 8 in
+  let a = random_mat rng n n and b = random_mat rng n n and c = random_mat rng n n in
+  Mat.approx_equal ~tol:1e-6 (Mat.mm (Mat.mm a b) c) (Mat.mm a (Mat.mm b c))
+
+let prop_transpose_involution seed =
+  let rng = Prng.Rng.create seed in
+  let r = 1 + Prng.Rng.int rng 8 and c = 1 + Prng.Rng.int rng 8 in
+  let a = random_mat rng r c in
+  Mat.approx_equal a (Mat.transpose (Mat.transpose a))
+
+let prop_mm_transpose seed =
+  let rng = Prng.Rng.create seed in
+  let n = 1 + Prng.Rng.int rng 8 in
+  let a = random_mat rng n n and b = random_mat rng n n in
+  Mat.approx_equal ~tol:1e-8
+    (Mat.transpose (Mat.mm a b))
+    (Mat.mm (Mat.transpose b) (Mat.transpose a))
+
+let prop_mv_matches_mm seed =
+  let rng = Prng.Rng.create seed in
+  let n = 1 + Prng.Rng.int rng 8 in
+  let a = random_mat rng n n and x = random_vec rng n in
+  let as_col = Mat.of_cols [| x |] in
+  Vec.approx_equal ~tol:1e-8 (Mat.mv a x) (Mat.col (Mat.mm a as_col) 0)
+
+let prop_tmv_matches_transpose seed =
+  let rng = Prng.Rng.create seed in
+  let r = 1 + Prng.Rng.int rng 8 and c = 1 + Prng.Rng.int rng 8 in
+  let a = random_mat rng r c and x = random_vec rng r in
+  Vec.approx_equal ~tol:1e-8 (Mat.tmv a x) (Mat.mv (Mat.transpose a) x)
+
+let prop_gram_psd seed =
+  let rng = Prng.Rng.create seed in
+  let n = 1 + Prng.Rng.int rng 6 in
+  let a = random_mat rng n n in
+  let g = Mat.gram a in
+  let x = random_vec rng n in
+  Mat.quadratic_form g x >= -1e-8
+
+let suite =
+  ( "mat",
+    [
+      case "construction" test_construction;
+      case "of_rows/of_cols" test_of_rows_cols;
+      case "get/set bounds" test_get_set;
+      case "row/col/diag access" test_row_col;
+      case "add/sub/scale" test_add_sub_scale;
+      case "mv/tmv/mm" test_mv_mm;
+      case "transpose/gram/outer" test_transpose_gram;
+      case "reductions" test_reductions;
+      case "quadratic form" test_quadratic_form_value;
+      case "symmetry predicate" test_symmetric;
+      case "block split/assemble" test_blocks;
+      case "hcat/vcat" test_cat;
+      qprop "mm associative" prop_mm_associative;
+      qprop "transpose involution" prop_transpose_involution;
+      qprop "(AB)^T = B^T A^T" prop_mm_transpose;
+      qprop "mv consistent with mm" prop_mv_matches_mm;
+      qprop "tmv = transpose mv" prop_tmv_matches_transpose;
+      qprop "gram matrices PSD" prop_gram_psd;
+    ] )

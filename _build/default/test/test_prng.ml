@@ -1,0 +1,217 @@
+(* PRNG and distribution tests.  Statistical checks use fixed seeds and
+   generous tolerances, so they are deterministic. *)
+
+open Test_util
+module Rng = Prng.Rng
+module Dist = Prng.Distributions
+
+let test_splitmix_deterministic () =
+  let a = Prng.Splitmix64.of_int 42 and b = Prng.Splitmix64.of_int 42 in
+  for _ = 1 to 10 do
+    Alcotest.(check int64) "same stream" (Prng.Splitmix64.next a) (Prng.Splitmix64.next b)
+  done
+
+let test_splitmix_mix_nontrivial () =
+  Alcotest.(check bool) "mix changes value" true
+    (Prng.Splitmix64.mix 1L <> 1L);
+  Alcotest.(check bool) "derive separates streams" true
+    (Prng.Splitmix64.derive 7L 0 <> Prng.Splitmix64.derive 7L 1)
+
+let test_xoshiro_deterministic () =
+  let a = Prng.Xoshiro256.of_int 1 and b = Prng.Xoshiro256.of_int 1 in
+  for _ = 1 to 20 do
+    Alcotest.(check int64) "same stream" (Prng.Xoshiro256.next a) (Prng.Xoshiro256.next b)
+  done;
+  let c = Prng.Xoshiro256.of_int 2 in
+  Alcotest.(check bool) "different seeds differ" true
+    (Prng.Xoshiro256.next (Prng.Xoshiro256.of_int 1) <> Prng.Xoshiro256.next c)
+
+let test_xoshiro_copy_and_split () =
+  let a = Prng.Xoshiro256.of_int 3 in
+  let b = Prng.Xoshiro256.copy a in
+  Alcotest.(check int64) "copy replays" (Prng.Xoshiro256.next a) (Prng.Xoshiro256.next b);
+  let c = Prng.Xoshiro256.of_int 3 in
+  let d = Prng.Xoshiro256.split c in
+  Alcotest.(check bool) "split stream differs" true
+    (Prng.Xoshiro256.next c <> Prng.Xoshiro256.next d)
+
+let test_rng_float_range () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let x = Rng.float rng in
+    if x < 0. || x >= 1. then Alcotest.failf "float out of [0,1): %g" x
+  done
+
+let test_rng_uniform_range () =
+  let rng = Rng.create 6 in
+  for _ = 1 to 1000 do
+    let x = Rng.uniform rng (-2.) 3. in
+    if x < -2. || x >= 3. then Alcotest.failf "uniform out of range: %g" x
+  done;
+  check_raises_invalid "empty interval" (fun () -> ignore (Rng.uniform rng 1. 0.))
+
+let test_rng_int_range_and_bias () =
+  let rng = Rng.create 7 in
+  let counts = Array.make 5 0 in
+  for _ = 1 to 50_000 do
+    let k = Rng.int rng 5 in
+    counts.(k) <- counts.(k) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      if c < 9_000 || c > 11_000 then
+        Alcotest.failf "bucket %d count %d outside [9000,11000]" i c)
+    counts;
+  check_raises_invalid "non-positive bound" (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_bernoulli () =
+  let rng = Rng.create 8 in
+  let hits = ref 0 in
+  for _ = 1 to 50_000 do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let p = float_of_int !hits /. 50_000. in
+  check_float ~tol:0.02 "bernoulli rate" 0.3 p;
+  check_raises_invalid "bad p" (fun () -> ignore (Rng.bernoulli rng 1.5))
+
+let test_permutation () =
+  let rng = Rng.create 9 in
+  let p = Rng.permutation rng 100 in
+  let seen = Array.make 100 false in
+  Array.iter (fun i -> seen.(i) <- true) p;
+  Alcotest.(check bool) "is a permutation" true (Array.for_all (fun b -> b) seen)
+
+let test_sample_without_replacement () =
+  let rng = Rng.create 10 in
+  let s = Rng.sample_without_replacement rng 10 50 in
+  Alcotest.(check int) "size" 10 (Array.length s);
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  for i = 1 to 9 do
+    if sorted.(i) = sorted.(i - 1) then Alcotest.fail "duplicate draw"
+  done;
+  Array.iter (fun v -> if v < 0 || v >= 50 then Alcotest.fail "out of range") s;
+  check_raises_invalid "k > n" (fun () ->
+      ignore (Rng.sample_without_replacement rng 51 50));
+  Alcotest.(check int) "k = 0 ok" 0
+    (Array.length (Rng.sample_without_replacement rng 0 5))
+
+let test_substream_independence () =
+  let master = Rng.create 11 in
+  let s0 = Rng.substream master 0 and s0' = Rng.substream master 0 in
+  Alcotest.(check int64) "substream reproducible" (Rng.int64 s0) (Rng.int64 s0');
+  let s1 = Rng.substream master 1 in
+  Alcotest.(check bool) "substreams differ" true
+    (Rng.int64 (Rng.substream master 0) <> Rng.int64 s1)
+
+let test_choose () =
+  let rng = Rng.create 12 in
+  let v = Rng.choose rng [| 42 |] in
+  Alcotest.(check int) "singleton" 42 v;
+  check_raises_invalid "empty" (fun () -> ignore (Rng.choose rng [||]))
+
+(* ---------- distributions ---------- *)
+
+let moments n f =
+  let acc = Stats.Running.create () in
+  for _ = 1 to n do
+    Stats.Running.add acc (f ())
+  done;
+  (Stats.Running.mean acc, Stats.Running.variance acc)
+
+let test_standard_normal_moments () =
+  let rng = Rng.create 21 in
+  let mean, var = moments 100_000 (fun () -> Dist.standard_normal rng) in
+  check_float ~tol:0.02 "mean ~ 0" 0. mean;
+  check_float ~tol:0.03 "variance ~ 1" 1. var
+
+let test_normal_params () =
+  let rng = Rng.create 22 in
+  let mean, var = moments 100_000 (fun () -> Dist.normal rng ~mean:3. ~std:2.) in
+  check_float ~tol:0.05 "mean" 3. mean;
+  check_float ~tol:0.15 "variance" 4. var;
+  check_raises_invalid "negative std" (fun () ->
+      ignore (Dist.normal rng ~mean:0. ~std:(-1.)))
+
+let test_exponential () =
+  let rng = Rng.create 23 in
+  let mean, _ = moments 100_000 (fun () -> Dist.exponential rng ~rate:2.) in
+  check_float ~tol:0.02 "mean = 1/rate" 0.5 mean;
+  check_raises_invalid "bad rate" (fun () -> ignore (Dist.exponential rng ~rate:0.))
+
+let test_binomial () =
+  let rng = Rng.create 24 in
+  let mean, var =
+    moments 20_000 (fun () -> float_of_int (Dist.binomial rng ~n:10 ~p:0.4))
+  in
+  check_float ~tol:0.1 "mean = np" 4. mean;
+  check_float ~tol:0.15 "var = np(1-p)" 2.4 var;
+  Alcotest.(check int) "n=0" 0 (Dist.binomial rng ~n:0 ~p:0.5)
+
+let test_categorical () =
+  let rng = Rng.create 25 in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 30_000 do
+    let k = Dist.categorical rng [| 1.; 2.; 1. |] in
+    counts.(k) <- counts.(k) + 1
+  done;
+  check_float ~tol:0.03 "middle weight" 0.5
+    (float_of_int counts.(1) /. 30_000.);
+  check_raises_invalid "negative weight" (fun () ->
+      ignore (Dist.categorical rng [| 1.; -1. |]));
+  check_raises_invalid "all zero" (fun () -> ignore (Dist.categorical rng [| 0.; 0. |]))
+
+let test_mvn_moments () =
+  let rng = Rng.create 26 in
+  let cov = Linalg.Mat.of_arrays [| [| 2.; 0.5 |]; [| 0.5; 1. |] |] in
+  let mvn = Dist.mvn_make ~mean:[| 1.; -1. |] ~cov in
+  Alcotest.(check int) "dim" 2 (Dist.mvn_dim mvn);
+  let n = 100_000 in
+  let xs = Array.init n (fun _ -> Dist.mvn_sample rng mvn) in
+  let col k = Array.map (fun x -> x.(k)) xs in
+  check_float ~tol:0.03 "mean 0" 1. (Stats.Descriptive.mean (col 0));
+  check_float ~tol:0.03 "mean 1" (-1.) (Stats.Descriptive.mean (col 1));
+  check_float ~tol:0.06 "var 0" 2. (Stats.Descriptive.variance (col 0));
+  check_float ~tol:0.04 "cov" 0.5 (Stats.Descriptive.covariance (col 0) (col 1))
+
+let test_truncated_mvn_in_unit_box () =
+  let rng = Rng.create 27 in
+  let mvn =
+    Dist.mvn_make ~mean:(Linalg.Vec.create 3 0.5)
+      ~cov:(Linalg.Mat.init 3 3 (fun i j -> if i = j then 0.5 else 0.1))
+  in
+  for _ = 1 to 2_000 do
+    let x = Dist.truncated_mvn_sample rng mvn in
+    Array.iter
+      (fun v -> if v < 0. || v > 1. then Alcotest.failf "outside [0,1]: %g" v)
+      x
+  done
+
+let test_mvn_dim_mismatch () =
+  check_raises_invalid "mean/cov mismatch" (fun () ->
+      ignore (Dist.mvn_make ~mean:[| 0. |] ~cov:(Linalg.Mat.eye 2)))
+
+let suite =
+  ( "prng",
+    [
+      case "splitmix deterministic" test_splitmix_deterministic;
+      case "splitmix mix/derive" test_splitmix_mix_nontrivial;
+      case "xoshiro deterministic" test_xoshiro_deterministic;
+      case "xoshiro copy/split" test_xoshiro_copy_and_split;
+      case "float in [0,1)" test_rng_float_range;
+      case "uniform range" test_rng_uniform_range;
+      case "int unbiased" test_rng_int_range_and_bias;
+      case "bernoulli rate" test_rng_bernoulli;
+      case "permutation valid" test_permutation;
+      case "sampling without replacement" test_sample_without_replacement;
+      case "substream independence" test_substream_independence;
+      case "choose" test_choose;
+      case "standard normal moments" test_standard_normal_moments;
+      case "normal with parameters" test_normal_params;
+      case "exponential mean" test_exponential;
+      case "binomial moments" test_binomial;
+      case "categorical frequencies" test_categorical;
+      case "mvn moments" test_mvn_moments;
+      case "truncated mvn in unit box" test_truncated_mvn_in_unit_box;
+      case "mvn dimension guard" test_mvn_dim_mismatch;
+    ] )

@@ -1,0 +1,186 @@
+(* Descriptive statistics, metrics, ROC/AUC, running moments. *)
+
+open Test_util
+module D = Stats.Descriptive
+module M = Stats.Metrics
+module Roc = Stats.Roc
+module Running = Stats.Running
+
+let test_mean_var () =
+  check_float "mean" 2.5 (D.mean [| 1.; 2.; 3.; 4. |]);
+  check_float "variance" (5. /. 3.) (D.variance [| 1.; 2.; 3.; 4. |]);
+  check_float "population variance" 1.25 (D.population_variance [| 1.; 2.; 3.; 4. |]);
+  check_float "std" (sqrt (5. /. 3.)) (D.std [| 1.; 2.; 3.; 4. |]);
+  check_raises_invalid "empty mean" (fun () -> ignore (D.mean [||]));
+  check_raises_invalid "variance singleton" (fun () -> ignore (D.variance [| 1. |]))
+
+let test_median_quantile () =
+  check_float "odd median" 3. (D.median [| 5.; 1.; 3. |]);
+  check_float "even median" 2.5 (D.median [| 1.; 2.; 3.; 4. |]);
+  check_float "q0" 1. (D.quantile [| 1.; 2.; 3. |] 0.);
+  check_float "q1" 3. (D.quantile [| 1.; 2.; 3. |] 1.);
+  check_float "q interpolated" 1.5 (D.quantile [| 1.; 2.; 3. |] 0.25);
+  check_raises_invalid "bad p" (fun () -> ignore (D.quantile [| 1. |] 1.5))
+
+let test_minmax_cov_corr () =
+  Alcotest.(check (pair (float 1e-12) (float 1e-12))) "min_max" (1., 4.)
+    (D.min_max [| 3.; 1.; 4. |]);
+  check_float "covariance" 1.5 (D.covariance [| 1.; 2.; 3.; 4. |] [| 2.; 3.; 3.; 5. |]);
+  check_float "self correlation" 1. (D.correlation [| 1.; 2.; 3. |] [| 1.; 2.; 3. |]);
+  check_float "anti correlation" (-1.) (D.correlation [| 1.; 2.; 3. |] [| 3.; 2.; 1. |]);
+  check_raises_invalid "constant input" (fun () ->
+      ignore (D.correlation [| 1.; 1. |] [| 1.; 2. |]))
+
+let test_median_pairwise () =
+  (* points 0, 3, 6 on a line: squared distances 9, 36, 9 -> median 9 *)
+  let points = [| [| 0. |]; [| 3. |]; [| 6. |] |] in
+  check_float "median pairwise" 9. (D.median_of_pairwise_sq_distances points);
+  check_raises_invalid "single point" (fun () ->
+      ignore (D.median_of_pairwise_sq_distances [| [| 1. |] |]))
+
+let test_rmse_mae () =
+  check_float "mse" 2. (M.mse [| 0.; 0. |] [| 1.; sqrt 3. |]);
+  check_float "rmse" (sqrt 2.) (M.rmse [| 0.; 0. |] [| 1.; sqrt 3. |]);
+  check_float "rmse zero" 0. (M.rmse [| 1.; 2. |] [| 1.; 2. |]);
+  check_float "mae" 1.5 (M.mae [| 0.; 0. |] [| 1.; 2. |]);
+  check_raises_invalid "mismatch" (fun () -> ignore (M.mse [| 1. |] [| 1.; 2. |]));
+  check_raises_invalid "empty" (fun () -> ignore (M.rmse [||] [||]))
+
+let confusion_fixture () =
+  (* truth:  T T T F F ; scores: .9 .8 .2 .7 .1  @0.5 -> tp=2 fn=1 fp=1 tn=1 *)
+  M.confusion ~truth:[| true; true; true; false; false |]
+    [| 0.9; 0.8; 0.2; 0.7; 0.1 |]
+
+let test_confusion () =
+  let c = confusion_fixture () in
+  Alcotest.(check int) "tp" 2 c.M.tp;
+  Alcotest.(check int) "fn" 1 c.M.fn;
+  Alcotest.(check int) "fp" 1 c.M.fp;
+  Alcotest.(check int) "tn" 1 c.M.tn
+
+let test_derived_metrics () =
+  let c = confusion_fixture () in
+  check_float "accuracy" 0.6 (M.accuracy c);
+  check_float "precision" (2. /. 3.) (M.precision c);
+  check_float "recall" (2. /. 3.) (M.recall c);
+  check_float "specificity" 0.5 (M.specificity c);
+  check_float "f1" (2. /. 3.) (M.f1 c);
+  (* MCC by hand: (2*1 - 1*1)/sqrt(3*3*2*2) = 1/6 *)
+  check_float "mcc" (1. /. 6.) (M.mcc c)
+
+let test_metrics_degenerate () =
+  let c = M.confusion ~truth:[| true; true |] [| 0.9; 0.9 |] in
+  check_float "precision defined" 1. (M.precision c);
+  check_float "mcc zero on empty marginal" 0. (M.mcc c)
+
+let test_perfect_auc () =
+  let truth = [| true; true; false; false |] in
+  let scores = [| 0.9; 0.8; 0.3; 0.1 |] in
+  check_float "perfect auc" 1. (Roc.auc ~truth ~scores);
+  check_float "perfect trapezoid" 1. (Roc.auc_trapezoid ~truth ~scores)
+
+let test_random_auc () =
+  (* constant scores: AUC must be exactly 1/2 under the tie convention *)
+  let truth = [| true; false; true; false |] in
+  let scores = [| 0.5; 0.5; 0.5; 0.5 |] in
+  check_float "ties -> 0.5" 0.5 (Roc.auc ~truth ~scores);
+  check_float "trapezoid ties -> 0.5" 0.5 (Roc.auc_trapezoid ~truth ~scores)
+
+let test_inverted_auc () =
+  let truth = [| true; true; false; false |] in
+  let scores = [| 0.1; 0.2; 0.8; 0.9 |] in
+  check_float "inverted auc" 0. (Roc.auc ~truth ~scores)
+
+let test_auc_guards () =
+  check_raises_invalid "single class" (fun () ->
+      ignore (Roc.auc ~truth:[| true; true |] ~scores:[| 0.1; 0.2 |]));
+  check_raises_invalid "mismatch" (fun () ->
+      ignore (Roc.auc ~truth:[| true; false |] ~scores:[| 0.1 |]))
+
+let test_roc_curve_endpoints () =
+  let truth = [| true; false; true; false; true |] in
+  let scores = [| 0.9; 0.7; 0.6; 0.3; 0.2 |] in
+  let pts = Roc.curve ~truth ~scores in
+  let first = pts.(0) and last = pts.(Array.length pts - 1) in
+  check_float "starts at 0 fpr" 0. first.Roc.fpr;
+  check_float "starts at 0 tpr" 0. first.Roc.tpr;
+  check_float "ends at 1 fpr" 1. last.Roc.fpr;
+  check_float "ends at 1 tpr" 1. last.Roc.tpr
+
+let prop_auc_forms_agree seed =
+  let rng = Prng.Rng.create seed in
+  let n = 4 + Prng.Rng.int rng 40 in
+  let truth = Array.init n (fun i -> i mod 2 = 0) in
+  (* coarse scores so ties actually occur *)
+  let scores = Array.init n (fun _ -> float_of_int (Prng.Rng.int rng 5) /. 4.) in
+  let a = Roc.auc ~truth ~scores and b = Roc.auc_trapezoid ~truth ~scores in
+  abs_float (a -. b) < 1e-9
+
+let prop_auc_monotone_invariant seed =
+  let rng = Prng.Rng.create seed in
+  let n = 4 + Prng.Rng.int rng 40 in
+  let truth = Array.init n (fun i -> i mod 2 = 0) in
+  let scores = Array.init n (fun _ -> Prng.Rng.float rng) in
+  let transformed = Array.map (fun s -> exp (3. *. s) +. 1.) scores in
+  abs_float (Roc.auc ~truth ~scores -. Roc.auc ~truth ~scores:transformed) < 1e-9
+
+let prop_auc_complement seed =
+  let rng = Prng.Rng.create seed in
+  let n = 4 + Prng.Rng.int rng 40 in
+  let truth = Array.init n (fun i -> i mod 2 = 0) in
+  let scores = Array.init n (fun _ -> Prng.Rng.float rng) in
+  let flipped = Array.map not truth in
+  abs_float (Roc.auc ~truth ~scores +. Roc.auc ~truth:flipped ~scores -. 1.) < 1e-9
+
+let test_running_matches_batch () =
+  let xs = [| 1.; 4.; 2.; 8.; 5.; 7. |] in
+  let acc = Running.create () in
+  Array.iter (Running.add acc) xs;
+  Alcotest.(check int) "count" 6 (Running.count acc);
+  check_float "mean" (D.mean xs) (Running.mean acc);
+  check_float "variance" (D.variance xs) (Running.variance acc);
+  check_float "stderr" (D.standard_error xs) (Running.standard_error acc)
+
+let test_running_merge () =
+  let xs = [| 1.; 4.; 2. |] and ys = [| 8.; 5.; 7.; 3. |] in
+  let a = Running.create () and b = Running.create () in
+  Array.iter (Running.add a) xs;
+  Array.iter (Running.add b) ys;
+  let m = Running.merge a b in
+  let all = Array.append xs ys in
+  Alcotest.(check int) "merged count" 7 (Running.count m);
+  check_float "merged mean" (D.mean all) (Running.mean m);
+  check_float "merged variance" (D.variance all) (Running.variance m);
+  let empty = Running.create () in
+  check_float "merge with empty" (D.mean xs) (Running.mean (Running.merge a empty));
+  check_float "empty with merge" (D.mean xs) (Running.mean (Running.merge empty a))
+
+let test_running_guards () =
+  let acc = Running.create () in
+  check_raises_invalid "empty mean" (fun () -> ignore (Running.mean acc));
+  Running.add acc 1.;
+  check_raises_invalid "variance needs 2" (fun () -> ignore (Running.variance acc))
+
+let suite =
+  ( "stats",
+    [
+      case "mean/variance" test_mean_var;
+      case "median/quantile" test_median_quantile;
+      case "min_max/cov/corr" test_minmax_cov_corr;
+      case "median pairwise distance" test_median_pairwise;
+      case "mse/rmse/mae" test_rmse_mae;
+      case "confusion counts" test_confusion;
+      case "derived metrics" test_derived_metrics;
+      case "degenerate metrics" test_metrics_degenerate;
+      case "auc: perfect classifier" test_perfect_auc;
+      case "auc: all ties" test_random_auc;
+      case "auc: inverted classifier" test_inverted_auc;
+      case "auc guards" test_auc_guards;
+      case "roc endpoints" test_roc_curve_endpoints;
+      qprop "auc: Mann-Whitney = trapezoid" prop_auc_forms_agree;
+      qprop "auc: monotone invariant" prop_auc_monotone_invariant;
+      qprop "auc: label flip complements" prop_auc_complement;
+      case "running = batch" test_running_matches_batch;
+      case "running merge" test_running_merge;
+      case "running guards" test_running_guards;
+    ] )

@@ -1,0 +1,49 @@
+(* Shared helpers for the test suite. *)
+
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+
+let check_float ?(tol = 1e-9) msg expected actual =
+  if abs_float (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %.12g, got %.12g (tol %g)" msg expected actual tol
+
+let check_vec ?(tol = 1e-9) msg expected actual =
+  if not (Vec.approx_equal ~tol expected actual) then
+    Alcotest.failf "%s: expected %s, got %s" msg (Vec.to_string expected)
+      (Vec.to_string actual)
+
+let check_mat ?(tol = 1e-9) msg expected actual =
+  if not (Mat.approx_equal ~tol expected actual) then
+    Alcotest.failf "%s: matrices differ (max abs diff %g)" msg
+      (Mat.max_abs (Mat.sub expected actual))
+
+let check_raises_invalid msg f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" msg
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* Deterministic pseudo-random builders used across tests. *)
+
+let random_vec rng n = Array.init n (fun _ -> Prng.Rng.uniform rng (-5.) 5.)
+
+let random_mat rng r c =
+  Mat.init r c (fun _ _ -> Prng.Rng.uniform rng (-5.) 5.)
+
+let random_spd rng n =
+  let m = random_mat rng n n in
+  Mat.add_scaled_identity (Mat.gram m) (0.5 +. float_of_int n *. 0.01)
+
+let random_symmetric rng n =
+  let m = random_mat rng n n in
+  Mat.scale 0.5 (Mat.add m (Mat.transpose m))
+
+(* QCheck: generate via an integer seed so cases shrink to small seeds. *)
+let seed_gen = QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 1_000_000)
+
+let qprop ?(count = 100) name prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name seed_gen prop)
+
+let qprop_pair ?(count = 100) name gen2 prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen2 prop)

@@ -1,0 +1,127 @@
+open Test_util
+module Vec = Linalg.Vec
+
+let test_create () =
+  check_vec "create" [| 2.; 2.; 2. |] (Vec.create 3 2.);
+  check_vec "zeros" [| 0.; 0. |] (Vec.zeros 2);
+  check_vec "ones" [| 1. |] (Vec.ones 1);
+  check_raises_invalid "negative length" (fun () -> Vec.create (-1) 0.)
+
+let test_init_basis () =
+  check_vec "init" [| 0.; 1.; 4. |] (Vec.init 3 (fun i -> float_of_int (i * i)));
+  check_vec "basis" [| 0.; 1.; 0. |] (Vec.basis 3 1);
+  check_raises_invalid "basis oob" (fun () -> Vec.basis 3 3);
+  check_raises_invalid "basis neg" (fun () -> Vec.basis 3 (-1))
+
+let test_linspace () =
+  check_vec "linspace" [| 0.; 0.5; 1. |] (Vec.linspace 0. 1. 3);
+  check_float "endpoints" 2. (Vec.linspace (-2.) 2. 5).(4);
+  check_raises_invalid "linspace n=1" (fun () -> Vec.linspace 0. 1. 1)
+
+let test_arithmetic () =
+  let x = [| 1.; 2.; 3. |] and y = [| 4.; 5.; 6. |] in
+  check_vec "add" [| 5.; 7.; 9. |] (Vec.add x y);
+  check_vec "sub" [| -3.; -3.; -3. |] (Vec.sub x y);
+  check_vec "mul" [| 4.; 10.; 18. |] (Vec.mul x y);
+  check_vec "div" [| 0.25; 0.4; 0.5 |] (Vec.div x y);
+  check_vec "scale" [| 2.; 4.; 6. |] (Vec.scale 2. x);
+  check_vec "neg" [| -1.; -2.; -3. |] (Vec.neg x);
+  check_vec "add_scalar" [| 2.; 3.; 4. |] (Vec.add_scalar 1. x);
+  check_raises_invalid "mismatch" (fun () -> Vec.add x [| 1. |])
+
+let test_axpy () =
+  let y = [| 1.; 1.; 1. |] in
+  Vec.axpy 2. [| 1.; 2.; 3. |] y;
+  check_vec "axpy" [| 3.; 5.; 7. |] y
+
+let test_dot_norms () =
+  let x = [| 3.; 4. |] in
+  check_float "dot" 32. (Vec.dot [| 1.; 2.; 3. |] [| 4.; 5.; 6. |]);
+  check_float "norm2" 5. (Vec.norm2 x);
+  check_float "norm2_sq" 25. (Vec.norm2_sq x);
+  check_float "norm1" 7. (Vec.norm1 x);
+  check_float "norm_inf" 4. (Vec.norm_inf x);
+  check_float "norm1 with negatives" 7. (Vec.norm1 [| -3.; 4. |]);
+  check_float "dist2" 5. (Vec.dist2 [| 0.; 0. |] x);
+  check_float "dist2_sq" 25. (Vec.dist2_sq [| 0.; 0. |] x)
+
+let test_reductions () =
+  let x = [| 2.; -1.; 5.; 0. |] in
+  check_float "sum" 6. (Vec.sum x);
+  check_float "mean" 1.5 (Vec.mean x);
+  check_float "min" (-1.) (Vec.min x);
+  check_float "max" 5. (Vec.max x);
+  Alcotest.(check int) "argmin" 1 (Vec.argmin x);
+  Alcotest.(check int) "argmax" 2 (Vec.argmax x);
+  check_raises_invalid "mean empty" (fun () -> Vec.mean [||]);
+  check_raises_invalid "min empty" (fun () -> Vec.min [||])
+
+let test_map () =
+  check_vec "map" [| 1.; 4.; 9. |] (Vec.map (fun v -> v *. v) [| 1.; 2.; 3. |]);
+  check_vec "mapi" [| 0.; 2.; 6. |]
+    (Vec.mapi (fun i v -> float_of_int i *. v) [| 1.; 2.; 3. |]);
+  check_vec "map2" [| 5.; 8. |] (Vec.map2 ( *. ) [| 1.; 2. |] [| 5.; 4. |])
+
+let test_slice_concat () =
+  let x = [| 1.; 2.; 3.; 4.; 5. |] in
+  check_vec "slice" [| 2.; 3. |] (Vec.slice x 1 2);
+  check_vec "slice empty" [||] (Vec.slice x 2 0);
+  check_raises_invalid "slice oob" (fun () -> Vec.slice x 3 4);
+  check_vec "concat" [| 1.; 2.; 3. |] (Vec.concat [| 1. |] [| 2.; 3. |])
+
+let test_approx_equal () =
+  Alcotest.(check bool) "equal" true (Vec.approx_equal [| 1. |] [| 1. +. 1e-12 |]);
+  Alcotest.(check bool) "not equal" false (Vec.approx_equal [| 1. |] [| 1.1 |]);
+  Alcotest.(check bool) "length mismatch" false (Vec.approx_equal [| 1. |] [| 1.; 2. |]);
+  Alcotest.(check bool) "custom tol" true (Vec.approx_equal ~tol:0.2 [| 1. |] [| 1.1 |])
+
+let test_inplace () =
+  let v = [| 1.; 2. |] in
+  Vec.scale_inplace 3. v;
+  check_vec "scale_inplace" [| 3.; 6. |] v;
+  Vec.fill v 7.;
+  check_vec "fill" [| 7.; 7. |] v
+
+let prop_triangle_inequality seed =
+  let rng = Prng.Rng.create seed in
+  let n = 1 + Prng.Rng.int rng 20 in
+  let x = random_vec rng n and y = random_vec rng n in
+  Vec.norm2 (Vec.add x y) <= Vec.norm2 x +. Vec.norm2 y +. 1e-9
+
+let prop_cauchy_schwarz seed =
+  let rng = Prng.Rng.create seed in
+  let n = 1 + Prng.Rng.int rng 20 in
+  let x = random_vec rng n and y = random_vec rng n in
+  abs_float (Vec.dot x y) <= (Vec.norm2 x *. Vec.norm2 y) +. 1e-9
+
+let prop_dot_symmetric seed =
+  let rng = Prng.Rng.create seed in
+  let n = 1 + Prng.Rng.int rng 20 in
+  let x = random_vec rng n and y = random_vec rng n in
+  abs_float (Vec.dot x y -. Vec.dot y x) < 1e-12
+
+let prop_norms_ordered seed =
+  let rng = Prng.Rng.create seed in
+  let n = 1 + Prng.Rng.int rng 20 in
+  let x = random_vec rng n in
+  Vec.norm_inf x <= Vec.norm2 x +. 1e-9 && Vec.norm2 x <= Vec.norm1 x +. 1e-9
+
+let suite =
+  ( "vec",
+    [
+      case "create/zeros/ones" test_create;
+      case "init/basis" test_init_basis;
+      case "linspace" test_linspace;
+      case "pointwise arithmetic" test_arithmetic;
+      case "axpy" test_axpy;
+      case "dot and norms" test_dot_norms;
+      case "reductions" test_reductions;
+      case "map/mapi/map2" test_map;
+      case "slice/concat" test_slice_concat;
+      case "approx_equal" test_approx_equal;
+      case "in-place ops" test_inplace;
+      qprop "triangle inequality" prop_triangle_inequality;
+      qprop "Cauchy-Schwarz" prop_cauchy_schwarz;
+      qprop "dot symmetric" prop_dot_symmetric;
+      qprop "norm ordering inf<=2<=1" prop_norms_ordered;
+    ] )

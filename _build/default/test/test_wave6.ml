@@ -1,0 +1,159 @@
+(* Wave-6 tests: calibration diagnostics and the future-work studies. *)
+
+open Test_util
+module C = Stats.Calibration
+
+let test_reliability_perfect () =
+  (* scores equal to the class rates per group: perfectly calibrated *)
+  let truth = [| true; false; true; true; false; false |] in
+  let scores = [| 0.65; 0.65; 0.65; 0.15; 0.15; 0.15 |] in
+  (* group 1 (0.65): 2/3 positive is not exact; craft exact instead *)
+  ignore (truth, scores);
+  let truth = [| true; false; true; false |] in
+  let scores = [| 0.55; 0.55; 0.55; 0.55 |] in
+  (* one bin, mean score 0.55, rate 0.5 -> ECE = 0.05 *)
+  check_float ~tol:1e-12 "ece single bin" 0.05
+    (C.expected_calibration_error ~truth scores)
+
+let test_reliability_bins () =
+  let truth = [| true; false; true; false |] in
+  let scores = [| 0.95; 0.92; 0.08; 0.05 |] in
+  let bins = C.reliability ~bins:10 ~truth scores in
+  Alcotest.(check int) "two occupied bins" 2 (Array.length bins);
+  let low = bins.(0) and high = bins.(1) in
+  check_float "low bin rate" 0.5 low.C.empirical_rate;
+  check_float "high bin rate" 0.5 high.C.empirical_rate;
+  Alcotest.(check int) "low count" 2 low.C.count;
+  check_float ~tol:1e-12 "low mean score" 0.065 low.C.mean_score
+
+let test_calibration_guards () =
+  check_raises_invalid "mismatch" (fun () ->
+      ignore (C.reliability ~truth:[| true |] [| 0.5; 0.5 |]));
+  check_raises_invalid "empty" (fun () -> ignore (C.reliability ~truth:[||] [||]));
+  check_raises_invalid "score out of range" (fun () ->
+      ignore (C.reliability ~truth:[| true |] [| 1.5 |]));
+  check_raises_invalid "bins 0" (fun () ->
+      ignore (C.reliability ~bins:0 ~truth:[| true |] [| 0.5 |]))
+
+let test_brier_known () =
+  let truth = [| true; false |] in
+  check_float "brier" ((0.01 +. 0.04) /. 2.) (C.brier_score ~truth [| 0.9; 0.2 |]);
+  check_float "perfect" 0. (C.brier_score ~truth [| 1.; 0. |]);
+  check_float "worst" 1. (C.brier_score ~truth [| 0.; 1. |])
+
+let test_brier_decomposition_constant_forecast () =
+  (* forecasting the base rate: zero resolution, zero reliability term *)
+  let truth = [| true; true; false; false |] in
+  let scores = [| 0.5; 0.5; 0.5; 0.5 |] in
+  let d = C.brier_decomposition ~truth scores in
+  check_float ~tol:1e-12 "reliability 0" 0. d.C.reliability_term;
+  check_float ~tol:1e-12 "resolution 0" 0. d.C.resolution;
+  check_float ~tol:1e-12 "uncertainty" 0.25 d.C.uncertainty
+
+let test_brier_decomposition_perfect_forecast () =
+  let truth = [| true; true; false; false |] in
+  let scores = [| 0.999; 0.999; 0.001; 0.001 |] in
+  let d = C.brier_decomposition ~truth scores in
+  (* perfect separation: resolution = uncertainty *)
+  check_float ~tol:1e-9 "resolution = uncertainty" d.C.uncertainty d.C.resolution;
+  Alcotest.(check bool) "tiny reliability term" true (d.C.reliability_term < 1e-5)
+
+let prop_brier_identity seed =
+  (* binned identity: Brier of bin-mean-rounded scores = REL - RES + UNC.
+     With raw scores the identity holds approximately (within-bin
+     variance); we check the decomposition terms are consistent bounds. *)
+  let rng = Prng.Rng.create seed in
+  let n = 10 + Prng.Rng.int rng 50 in
+  let truth = Array.init n (fun _ -> Prng.Rng.bool rng) in
+  let scores = Array.init n (fun _ -> Prng.Rng.float rng) in
+  let d = C.brier_decomposition ~truth scores in
+  let brier = C.brier_score ~truth scores in
+  d.C.reliability_term >= 0. && d.C.resolution >= 0.
+  && d.C.uncertainty >= 0. && d.C.uncertainty <= 0.25 +. 1e-12
+  (* Brier >= REL - RES + UNC - (small slack): binning only removes
+     within-bin variance, so the decomposed value lower-bounds Brier up
+     to numerical slack *)
+  && brier +. 1e-9 >= d.C.reliability_term -. d.C.resolution +. d.C.uncertainty -. 0.1
+
+let prop_ece_bounds seed =
+  let rng = Prng.Rng.create seed in
+  let n = 2 + Prng.Rng.int rng 50 in
+  let truth = Array.init n (fun i -> i mod 2 = 0) in
+  let scores = Array.init n (fun _ -> Prng.Rng.float rng) in
+  let ece = C.expected_calibration_error ~truth scores in
+  let mce = C.maximum_calibration_error ~truth scores in
+  ece >= 0. && mce >= ece -. 1e-12 && mce <= 1. +. 1e-12
+
+(* ---------- future-work studies (smoke + shape) ---------- *)
+
+let test_indicator_study_shapes () =
+  let auc, acc, mcc =
+    Experiment.Future_work.indicator_study ~reps:1 ~seed:71 ~dataset_size:200 ()
+  in
+  List.iter
+    (fun fig ->
+      match fig.Experiment.Sweep.series with
+      | [ s ] ->
+          (* lambda = 0 weakly best for every indicator *)
+          let at0 = s.Experiment.Sweep.means.(0) in
+          Array.iter
+            (fun v ->
+              Alcotest.(check bool)
+                (fig.Experiment.Sweep.ylabel ^ ": hard best")
+                true (at0 >= v -. 1e-9))
+            s.Experiment.Sweep.means
+      | _ -> Alcotest.fail "expected one series")
+    [ auc; acc; mcc ]
+
+let test_auc_consistency_oracle_dominates () =
+  let fig =
+    Experiment.Future_work.auc_consistency_study ~reps:3 ~seed:72 ~ns:[ 80; 300 ]
+      ~m:60 ()
+  in
+  match fig.Experiment.Sweep.series with
+  | [ hard; _soft; oracle ] ->
+      (* the oracle AUC is (weakly) the ceiling for the hard criterion *)
+      Array.iteri
+        (fun i o ->
+          Alcotest.(check bool) "oracle >= hard - noise" true
+            (o >= hard.Experiment.Sweep.means.(i) -. 0.05))
+        oracle.Experiment.Sweep.means
+  | _ -> Alcotest.fail "expected 3 series"
+
+let test_calibration_study_soft_has_no_resolution () =
+  let fig =
+    Experiment.Future_work.calibration_study ~reps:3 ~seed:73 ~ns:[ 100; 400 ]
+      ~m:80 ()
+  in
+  match fig.Experiment.Sweep.series with
+  | [ brier_hard; brier_soft; res_hard; res_soft ] ->
+      Array.iteri
+        (fun i bh ->
+          Alcotest.(check bool) "hard brier <= soft brier" true
+            (bh <= brier_soft.Experiment.Sweep.means.(i) +. 1e-9);
+          Alcotest.(check bool) "hard resolution > soft resolution" true
+            (res_hard.Experiment.Sweep.means.(i)
+             > res_soft.Experiment.Sweep.means.(i) -. 1e-9))
+        brier_hard.Experiment.Sweep.means;
+      (* soft(5) collapses to a near-constant: essentially zero resolution *)
+      Array.iter
+        (fun v ->
+          Alcotest.(check bool) "soft resolution ~ 0" true (v < 0.01))
+        res_soft.Experiment.Sweep.means
+  | _ -> Alcotest.fail "expected 4 series"
+
+let suite =
+  ( "wave6",
+    [
+      case "reliability: single bin" test_reliability_perfect;
+      case "reliability: binning" test_reliability_bins;
+      case "calibration guards" test_calibration_guards;
+      case "brier known values" test_brier_known;
+      case "decomposition: constant forecast" test_brier_decomposition_constant_forecast;
+      case "decomposition: perfect forecast" test_brier_decomposition_perfect_forecast;
+      qprop "decomposition: term bounds" prop_brier_identity;
+      qprop "ece/mce bounds" prop_ece_bounds;
+      case "future: indicators ordered" test_indicator_study_shapes;
+      case "future: oracle AUC ceiling" test_auc_consistency_oracle_dominates;
+      case "future: soft has no resolution" test_calibration_study_soft_has_no_resolution;
+    ] )

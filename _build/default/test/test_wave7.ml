@@ -1,0 +1,213 @@
+(* Wave-7 tests: effective resistance and iterative refinement /
+   conditioning (incl. the classic Hilbert-matrix stress test). *)
+
+open Test_util
+module R = Graph.Resistance
+module Gen = Graph.Generators
+module Refine = Linalg.Refine
+module Mat = Linalg.Mat
+module Vec = Linalg.Vec
+
+(* ---------- effective resistance ---------- *)
+
+let test_resistance_path_graph () =
+  (* unit-conductance path: R(u,v) = hop distance (series circuit) *)
+  let r = R.make (Gen.path 5) in
+  check_float ~tol:1e-8 "adjacent" 1. (R.effective_resistance r 0 1);
+  check_float ~tol:1e-8 "two hops" 2. (R.effective_resistance r 0 2);
+  check_float ~tol:1e-8 "end to end" 4. (R.effective_resistance r 0 4);
+  check_float ~tol:1e-10 "self" 0. (R.effective_resistance r 2 2)
+
+let test_resistance_complete_graph () =
+  (* K_n: R(u,v) = 2/n for every pair *)
+  let n = 6 in
+  let r = R.make (Gen.complete n) in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      check_float ~tol:1e-8 "K6 pair" (2. /. float_of_int n)
+        (R.effective_resistance r u v)
+    done
+  done
+
+let test_resistance_cycle () =
+  (* cycle C_4: R between opposite vertices = parallel of 2+2 = 1 *)
+  let r = R.make (Gen.cycle 4) in
+  check_float ~tol:1e-8 "opposite on C4" 1. (R.effective_resistance r 0 2);
+  (* adjacent: parallel of 1 and 3 -> 3/4 *)
+  check_float ~tol:1e-8 "adjacent on C4" 0.75 (R.effective_resistance r 0 1)
+
+let test_resistance_parallel_edges () =
+  (* two vertices joined by weight 2 (= two unit resistors in parallel):
+     R = 1/2 *)
+  let w = Mat.of_arrays [| [| 0.; 2. |]; [| 2.; 0. |] |] in
+  let r = R.make (Graph.Weighted_graph.of_dense w) in
+  check_float ~tol:1e-10 "conductance 2" 0.5 (R.effective_resistance r 0 1)
+
+let test_resistance_guards () =
+  check_raises_invalid "disconnected" (fun () ->
+      ignore
+        (R.make
+           (Graph.Weighted_graph.of_dense
+              (Mat.of_arrays
+                 [| [| 0.; 1.; 0. |]; [| 1.; 0.; 0. |]; [| 0.; 0.; 0. |] |]))));
+  check_raises_invalid "single vertex" (fun () ->
+      ignore (R.make (Gen.complete 1)));
+  let r = R.make (Gen.path 3) in
+  check_raises_invalid "vertex range" (fun () ->
+      ignore (R.effective_resistance r 0 3))
+
+let test_commute_time_path () =
+  (* path P2 (a single edge): commute time = 2 (one step each way);
+     volume = 2 *)
+  let r = R.make (Gen.path 2) in
+  check_float ~tol:1e-9 "P2 commute" 2. (R.commute_time r 0 1)
+
+let prop_resistance_is_metric seed =
+  let rng = Prng.Rng.create seed in
+  let n = 3 + Prng.Rng.int rng 6 in
+  let points = Array.init n (fun _ -> random_vec rng 2) in
+  let g =
+    Graph.Weighted_graph.of_dense
+      (Kernel.Similarity.dense ~kernel:Kernel.Kernel_fn.Rbf ~bandwidth:2. points)
+  in
+  match R.make g with
+  | exception Invalid_argument _ ->
+      true (* numerically disconnected graphs are (correctly) refused *)
+  | r ->
+  let ok = ref true in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      let ruv = R.effective_resistance r u v in
+      if u = v then begin
+        if abs_float ruv > 1e-8 then ok := false
+      end
+      else if ruv < -1e-8 then ok := false
+      (* near-duplicate points can drive R to ~0, so only require
+         nonnegativity up to the pseudoinverse's numerical tolerance *);
+      (* symmetry (exact by construction) *)
+      if ruv <> R.effective_resistance r v u then ok := false;
+      (* triangle inequality, with slack scaled to the magnitudes *)
+      for w = 0 to n - 1 do
+        let via = R.effective_resistance r u w +. R.effective_resistance r w v in
+        if ruv > via +. (1e-7 *. (1. +. via)) then ok := false
+      done
+    done
+  done;
+  !ok
+
+let prop_kirchhoff_index_consistent seed =
+  let rng = Prng.Rng.create seed in
+  let n = 3 + Prng.Rng.int rng 5 in
+  let points = Array.init n (fun _ -> random_vec rng 2) in
+  let g =
+    Graph.Weighted_graph.of_dense
+      (Kernel.Similarity.dense ~kernel:Kernel.Kernel_fn.Rbf ~bandwidth:2. points)
+  in
+  match R.make g with
+  | exception Invalid_argument _ -> true
+  | r ->
+  let direct = ref 0. in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      direct := !direct +. R.effective_resistance r u v
+    done
+  done;
+  abs_float (!direct -. R.total_resistance r) < 1e-6 *. (1. +. !direct)
+
+(* ---------- refinement & conditioning ---------- *)
+
+let hilbert n =
+  Mat.init n n (fun i j -> 1. /. float_of_int (i + j + 1))
+
+let test_refinement_improves_hilbert_solve () =
+  (* Hilbert matrices are famously ill-conditioned; refinement must not
+     make the residual worse, and should leave it at roundoff level *)
+  let n = 8 in
+  let a = hilbert n in
+  let x_true = Vec.init n (fun i -> float_of_int (i mod 3) -. 1.) in
+  let b = Mat.mv a x_true in
+  let x0 = Linalg.Lu.solve a b in
+  let x1 = Refine.solve_refined ~iterations:3 a b in
+  let resid x = Vec.norm2 (Vec.sub (Mat.mv a x) b) in
+  Alcotest.(check bool) "refined residual <= direct" true
+    (resid x1 <= resid x0 +. 1e-15);
+  Alcotest.(check bool) "refined residual tiny" true (resid x1 < 1e-12)
+
+let prop_refine_no_worse seed =
+  let rng = Prng.Rng.create seed in
+  let n = 2 + Prng.Rng.int rng 10 in
+  let a = random_spd rng n in
+  let b = random_vec rng n in
+  let x0 = Linalg.Lu.solve a b in
+  let x1 = Refine.refine a b x0 in
+  let resid x = Vec.norm2 (Vec.sub (Mat.mv a x) b) in
+  resid x1 <= resid x0 +. 1e-12
+
+let prop_refine_fixes_perturbed_start seed =
+  (* start from a deliberately corrupted solution: refinement restores it *)
+  let rng = Prng.Rng.create seed in
+  let n = 2 + Prng.Rng.int rng 8 in
+  let a = random_spd rng n in
+  let b = random_vec rng n in
+  let exact = Linalg.Lu.solve a b in
+  let corrupted = Array.map (fun v -> v +. Prng.Rng.uniform rng (-0.5) 0.5) exact in
+  let fixed = Refine.refine ~iterations:3 a b corrupted in
+  Vec.approx_equal ~tol:1e-6 exact fixed
+
+let test_condition_identity () =
+  check_float ~tol:1e-6 "cond(I) = 1" 1. (Refine.condition_estimate (Mat.eye 5))
+
+let test_condition_diagonal () =
+  let a = Mat.diag [| 10.; 1.; 0.1 |] in
+  check_float ~tol:1e-3 "cond = ratio" 100. (Refine.condition_estimate a)
+
+let test_condition_singular () =
+  let a = Mat.of_arrays [| [| 1.; 2. |]; [| 2.; 4. |] |] in
+  Alcotest.(check bool) "singular -> infinity" true
+    (Refine.condition_estimate a = infinity)
+
+let test_condition_hilbert_large () =
+  (* cond(Hilbert 8) ~ 1.5e10: the estimate must recognise severe
+     ill-conditioning *)
+  Alcotest.(check bool) "hilbert badly conditioned" true
+    (Refine.condition_estimate (hilbert 8) > 1e8)
+
+let prop_condition_at_least_one seed =
+  let rng = Prng.Rng.create seed in
+  let n = 1 + Prng.Rng.int rng 8 in
+  let a = random_mat rng n n in
+  let c = Refine.condition_estimate a in
+  c >= 1. -. 1e-6
+
+let prop_condition_matches_svd seed =
+  let rng = Prng.Rng.create seed in
+  let n = 2 + Prng.Rng.int rng 6 in
+  let a = random_mat rng n n in
+  let est = Refine.condition_estimate a in
+  if est = infinity then true
+  else begin
+    let exact = Linalg.Svd.condition_number (Linalg.Svd.decompose a) in
+    abs_float (est -. exact) < 0.05 *. exact
+  end
+
+let suite =
+  ( "wave7",
+    [
+      case "resistance: path graph" test_resistance_path_graph;
+      case "resistance: complete graph" test_resistance_complete_graph;
+      case "resistance: cycle circuit laws" test_resistance_cycle;
+      case "resistance: parallel conductance" test_resistance_parallel_edges;
+      case "resistance: guards" test_resistance_guards;
+      case "resistance: commute time" test_commute_time_path;
+      qprop ~count:30 "resistance: metric axioms" prop_resistance_is_metric;
+      qprop ~count:30 "resistance: Kirchhoff index" prop_kirchhoff_index_consistent;
+      case "refine: Hilbert system" test_refinement_improves_hilbert_solve;
+      qprop "refine: never worse" prop_refine_no_worse;
+      qprop "refine: repairs corrupted start" prop_refine_fixes_perturbed_start;
+      case "condition: identity" test_condition_identity;
+      case "condition: diagonal ratio" test_condition_diagonal;
+      case "condition: singular" test_condition_singular;
+      case "condition: Hilbert blow-up" test_condition_hilbert_large;
+      qprop "condition: >= 1" prop_condition_at_least_one;
+      qprop ~count:50 "condition: matches SVD" prop_condition_matches_svd;
+    ] )
