@@ -1,0 +1,31 @@
+# Convenience targets; everything funnels through dune.
+
+.PHONY: build test test-random bench-smoke bench ci clean
+
+build:
+	dune build
+
+# Deterministic suite (QCHECK_SEED pinned to 42 in test/dune).
+test:
+	dune runtest
+
+# Same suite under a fresh QCheck seed each run, to catch properties that
+# only hold at the pinned seed. Never picks 42, so it is always distinct
+# from the deterministic run.
+test-random:
+	@seed=$$(( ($$(date +%N | sed 's/^0*//') % 999983) + 43 )); \
+	echo "QCHECK_SEED=$$seed"; \
+	QCHECK_SEED=$$seed dune exec test/test_main.exe
+
+# Profile-mode bench run that emits the per-phase JSON report and
+# self-validates it (parse + required fields + nonzero solver counters).
+bench-smoke:
+	dune build @bench-smoke
+
+bench:
+	dune exec bench/main.exe
+
+ci: build test test-random bench-smoke
+
+clean:
+	dune clean

@@ -7,7 +7,14 @@
    choices called out in DESIGN.md §5 (solver backends, soft methods,
    kernel choice, dense vs kNN-sparsified graphs).
 
-   Run with:  dune exec bench/main.exe *)
+   Run with:  dune exec bench/main.exe
+
+   Two extra modes use the telemetry subsystem instead of bechamel:
+     --profile   per-phase JSON report (wall_ms, matvecs, solver
+                 iterations, and all nonzero counters) for the hard and
+                 soft solve paths at representative sizes
+     --smoke     small --profile run that re-parses its own JSON output
+                 and asserts the expected fields are present (CI guard) *)
 
 open Bechamel
 module Mat = Linalg.Mat
@@ -315,6 +322,155 @@ let baseline_benches =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* telemetry profile: --profile / --smoke                              *)
+(* ------------------------------------------------------------------ *)
+
+module Profile = struct
+  module T = Telemetry
+
+  (* One phase = one instrumented solve on a fresh registry, so every
+     counter in the report is attributable to that phase alone. *)
+  let run_phase name f =
+    T.Registry.reset ();
+    T.Span.with_ name (fun () -> ignore (Sys.opaque_identity (f ())));
+    let wall_ms = T.Span.total_ms name in
+    let matvecs = T.Counter.get "sparse.matvecs" + T.Counter.get "linalg.gemv" in
+    let iterations =
+      T.Counter.get "cg.iterations" + T.Counter.get "stationary.iterations"
+    in
+    let counters =
+      List.filter (fun (_, v) -> v <> 0) (T.Counter.snapshot ())
+    in
+    let residual_trace = T.Trace.get "cg.residual" in
+    T.Export.(
+      Obj
+        [
+          ("name", Str name);
+          ("wall_ms", Num wall_ms);
+          ("matvecs", Num (float_of_int matvecs));
+          ("iterations", Num (float_of_int iterations));
+          ( "counters",
+            Obj (List.map (fun (k, v) -> (k, Num (float_of_int v))) counters) );
+          ( "cg_residual_trace_points",
+            Num (float_of_int (Array.length residual_trace)) );
+        ])
+
+  let knn_problem ~seed ~count ~n_labeled ~k =
+    let rng = Prng.Rng.create seed in
+    let samples =
+      Dataset.Synthetic.sample_many rng Dataset.Synthetic.Model1 count
+    in
+    let points = Array.map (fun s -> s.Dataset.Synthetic.x) samples in
+    let labels =
+      Array.init n_labeled (fun i -> samples.(i).Dataset.Synthetic.y)
+    in
+    let h = Kernel.Bandwidth.paper_rate ~d:5 n_labeled in
+    let w =
+      Kernel.Similarity.knn ~kernel:Kernel.Kernel_fn.Rbf ~bandwidth:h ~k points
+    in
+    Gssl.Problem.make ~graph:(Graph.Weighted_graph.of_sparse w) ~labels
+
+  let report ~smoke () =
+    let n, m, knn_count, knn_k =
+      if smoke then (40, 40, 150, 10) else (150, 150, 800, 12)
+    in
+    (* fixtures are built before telemetry is enabled *)
+    let dense_problem =
+      synthetic_problem ~seed:90 ~model:Dataset.Synthetic.Model1 ~n ~m
+    in
+    let sparse_problem =
+      knn_problem ~seed:91 ~count:knn_count ~n_labeled:(knn_count / 4) ~k:knn_k
+    in
+    T.Registry.enable ();
+    let phases =
+      [
+        run_phase "hard_direct" (fun () ->
+            Gssl.Hard.solve ~solver:Gssl.Hard.Cholesky dense_problem);
+        run_phase "hard_cg" (fun () ->
+            Gssl.Scalable.solve ~tol:1e-9 sparse_problem);
+        run_phase "hard_gauss_seidel" (fun () ->
+            Gssl.Scalable.solve_stationary ~tol:1e-9
+              Sparse.Stationary.Gauss_seidel sparse_problem);
+        run_phase "soft_direct" (fun () ->
+            Gssl.Soft.solve ~method_:Gssl.Soft.Full_cholesky ~lambda:0.1
+              dense_problem);
+        run_phase "soft_cg" (fun () ->
+            Gssl.Soft.solve ~method_:(Gssl.Soft.Cg { tol = 1e-9 }) ~lambda:0.1
+              sparse_problem);
+        run_phase "lambda_path" (fun () ->
+            Gssl.Lambda_path.compute dense_problem);
+      ]
+    in
+    T.Registry.disable ();
+    T.Registry.reset ();
+    T.Export.(
+      render
+        (Obj
+           [
+             ("report", Str "gssl-bench-profile");
+             ("mode", Str (if smoke then "smoke" else "profile"));
+             ( "sizes",
+               Obj
+                 [
+                   ("n", Num (float_of_int n));
+                   ("m", Num (float_of_int m));
+                   ("knn_points", Num (float_of_int knn_count));
+                   ("knn_k", Num (float_of_int knn_k));
+                 ] );
+             ("phases", Arr phases);
+           ]))
+
+  (* The smoke contract: the report must parse back, cover the hard and
+     soft paths, expose {wall_ms, matvecs, iterations} per phase, and the
+     iterative hard path must show nonzero matvec/iteration counters. *)
+  let validate json_text =
+    let open T.Export in
+    let json = parse json_text in
+    let phases =
+      match member "phases" json with
+      | Some (Arr l) when l <> [] -> l
+      | _ -> failwith "bench smoke: missing or empty phases array"
+    in
+    let field name phase =
+      match member name phase with
+      | Some (Num v) -> v
+      | _ ->
+          failwith
+            (Printf.sprintf "bench smoke: phase lacks numeric field %S" name)
+    in
+    let phase_name p =
+      match member "name" p with Some (Str s) -> s | _ -> "?"
+    in
+    List.iter
+      (fun p ->
+        ignore (field "wall_ms" p);
+        ignore (field "matvecs" p);
+        ignore (field "iterations" p))
+      phases;
+    let find name =
+      match List.find_opt (fun p -> phase_name p = name) phases with
+      | Some p -> p
+      | None -> failwith (Printf.sprintf "bench smoke: phase %S missing" name)
+    in
+    List.iter
+      (fun name -> ignore (find name))
+      [ "hard_direct"; "hard_cg"; "soft_direct"; "soft_cg" ];
+    let hard_cg = find "hard_cg" in
+    if field "matvecs" hard_cg <= 0. then
+      failwith "bench smoke: hard_cg reported zero matvecs";
+    if field "iterations" hard_cg <= 0. then
+      failwith "bench smoke: hard_cg reported zero iterations"
+
+  let run ~smoke () =
+    let text = report ~smoke () in
+    print_endline text;
+    if smoke then begin
+      validate text;
+      prerr_endline "bench smoke ok: profile JSON parses and is complete"
+    end
+end
+
+(* ------------------------------------------------------------------ *)
 (* run & report                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -345,7 +501,7 @@ let benchmark test =
   let raw = Benchmark.all cfg instances test in
   Analyze.all ols Toolkit.Instance.monotonic_clock raw
 
-let () =
+let run_bechamel () =
   print_string "Benchmarks: per-figure work units, Prop II.1 complexity, ablations\n";
   print_string "(time per run; see DESIGN.md section 3 and 5 for the mapping)\n\n";
   Printf.printf "%-52s  %14s\n" "benchmark" "time/run";
@@ -374,3 +530,12 @@ let () =
           | _ -> Printf.printf "%-52s  %14s\n%!" name "n/a")
         results)
     all_tests
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: [] -> run_bechamel ()
+  | _ :: [ "--profile" ] -> Profile.run ~smoke:false ()
+  | _ :: [ "--smoke" ] -> Profile.run ~smoke:true ()
+  | _ ->
+      prerr_endline "usage: bench/main.exe [--profile | --smoke]";
+      exit 2

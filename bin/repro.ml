@@ -8,6 +8,47 @@ let setup_logs () =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some Logs.Warning)
 
+(* --profile / --profile-json: run the command with the telemetry
+   subsystem enabled and report where the time and the solver work went. *)
+
+let profile_arg =
+  let doc =
+    "Enable the telemetry subsystem (timers, counters, solver traces) and \
+     print a per-phase timing/counter report after the run."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
+let profile_json_arg =
+  let doc =
+    "Like $(b,--profile), but additionally write the full telemetry \
+     snapshot as JSON to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "profile-json" ] ~docv:"FILE" ~doc)
+
+let with_profile profile json_path f =
+  if (not profile) && json_path = None then f ()
+  else begin
+    Telemetry.Registry.enable ();
+    Telemetry.Registry.reset ();
+    Fun.protect
+      ~finally:(fun () ->
+        (match json_path with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (Telemetry.Export.to_json ());
+            output_char oc '\n';
+            close_out oc;
+            Printf.printf "(telemetry json written to %s)\n" path);
+        if profile then begin
+          print_newline ();
+          print_string (Telemetry.Export.to_text ())
+        end;
+        Telemetry.Registry.disable ();
+        Telemetry.Registry.reset ())
+      f
+  end
+
 let print_figure ~markdown ~plot ~svg fig =
   if markdown then print_string (Experiment.Report.figure_markdown fig)
   else begin
@@ -56,17 +97,18 @@ let domains_arg =
 
 let resolve_domains d = if d = 0 then Domain.recommended_domain_count () else d
 
-let run_synthetic make reps seed domains markdown no_plot svg =
+let run_synthetic make reps seed domains markdown no_plot svg profile profile_json =
   setup_logs ();
-  print_figure ~markdown ~plot:(not no_plot) ~svg
-    (make ~domains:(resolve_domains domains) ~reps ~seed ())
+  with_profile profile profile_json (fun () ->
+      print_figure ~markdown ~plot:(not no_plot) ~svg
+        (make ~domains:(resolve_domains domains) ~reps ~seed ()))
 
 let synthetic_cmd name default_seed make ~doc =
   let term =
     Term.(
       const (run_synthetic (fun ~domains ~reps ~seed () -> make ~domains ~reps ~seed ()))
       $ reps_arg 10 $ seed_arg default_seed $ domains_arg $ markdown_arg
-      $ no_plot_arg $ svg_arg)
+      $ no_plot_arg $ svg_arg $ profile_arg $ profile_json_arg)
   in
   Cmd.v (Cmd.info name ~doc) term
 
@@ -97,15 +139,16 @@ let fig5_cmd =
     in
     Arg.(value & opt int 1500 & info [ "size" ] ~docv:"N" ~doc)
   in
-  let run reps seed size markdown no_plot svg =
+  let run reps seed size markdown no_plot svg profile profile_json =
     setup_logs ();
-    print_figure ~markdown ~plot:(not no_plot) ~svg
-      (Experiment.Figures.fig5 ~reps ~seed ~dataset_size:size ())
+    with_profile profile profile_json (fun () ->
+        print_figure ~markdown ~plot:(not no_plot) ~svg
+          (Experiment.Figures.fig5 ~reps ~seed ~dataset_size:size ()))
   in
   let term =
     Term.(
       const run $ reps_arg 1 $ seed_arg 5 $ size_arg $ markdown_arg $ no_plot_arg
-      $ svg_arg)
+      $ svg_arg $ profile_arg $ profile_json_arg)
   in
   Cmd.v
     (Cmd.info "fig5"
@@ -117,34 +160,43 @@ let fig5_cmd =
 let toy_cmd =
   let n_arg = Arg.(value & opt int 20 & info [ "n" ] ~docv:"N" ~doc:"Labeled count.") in
   let m_arg = Arg.(value & opt int 10 & info [ "m" ] ~docv:"M" ~doc:"Unlabeled count.") in
-  let run n m seed =
+  let run n m seed profile profile_json =
     setup_logs ();
-    print_string (Experiment.Figures.toy_demo ~n ~m ~seed)
+    with_profile profile profile_json (fun () ->
+        print_string (Experiment.Figures.toy_demo ~n ~m ~seed))
   in
-  let term = Term.(const run $ n_arg $ m_arg $ seed_arg 42) in
+  let term =
+    Term.(const run $ n_arg $ m_arg $ seed_arg 42 $ profile_arg $ profile_json_arg)
+  in
   Cmd.v
     (Cmd.info "toy"
        ~doc:"Section III toy example: closed-form checks on constant inputs.")
     term
 
 let consistency_cmd =
-  let run seed markdown no_plot svg =
+  let run seed markdown no_plot svg profile profile_json =
     setup_logs ();
-    print_figure ~markdown ~plot:(not no_plot) ~svg
-      (Experiment.Figures.consistency_demo ~seed ())
+    with_profile profile profile_json (fun () ->
+        print_figure ~markdown ~plot:(not no_plot) ~svg
+          (Experiment.Figures.consistency_demo ~seed ()))
   in
-  let term = Term.(const run $ seed_arg 11 $ markdown_arg $ no_plot_arg $ svg_arg) in
+  let term =
+    Term.(
+      const run $ seed_arg 11 $ markdown_arg $ no_plot_arg $ svg_arg
+      $ profile_arg $ profile_json_arg)
+  in
   Cmd.v
     (Cmd.info "consistency"
        ~doc:"Theorem II.1 probe: sup-norm errors of hard / NW / soft as n grows.")
     term
 
 let complexity_cmd =
-  let run seed =
+  let run seed profile profile_json =
     setup_logs ();
-    print_string (Experiment.Figures.complexity_table ~seed ())
+    with_profile profile profile_json (fun () ->
+        print_string (Experiment.Figures.complexity_table ~seed ()))
   in
-  let term = Term.(const run $ seed_arg 13) in
+  let term = Term.(const run $ seed_arg 13 $ profile_arg $ profile_json_arg) in
   Cmd.v
     (Cmd.info "complexity"
        ~doc:
@@ -163,17 +215,18 @@ let ablation_conv =
       ("active", Active);
     ]
 
-let run_ablation which reps seed markdown no_plot svg =
+let run_ablation which reps seed markdown no_plot svg profile profile_json =
   setup_logs ();
-  let fig =
-    match which with
-    | Kernel -> Experiment.Ablations.kernel_study ~reps ~seed ()
-    | Regime -> Experiment.Ablations.regime_study ~reps ~seed ()
-    | Cv -> Experiment.Ablations.cv_study ~reps ~seed ()
-    | Nystrom -> Experiment.Ablations.nystrom_study ~seed ()
-    | Active -> Experiment.Ablations.active_study ~reps ~seed ()
-  in
-  print_figure ~markdown ~plot:(not no_plot) ~svg fig
+  with_profile profile profile_json (fun () ->
+      let fig =
+        match which with
+        | Kernel -> Experiment.Ablations.kernel_study ~reps ~seed ()
+        | Regime -> Experiment.Ablations.regime_study ~reps ~seed ()
+        | Cv -> Experiment.Ablations.cv_study ~reps ~seed ()
+        | Nystrom -> Experiment.Ablations.nystrom_study ~seed ()
+        | Active -> Experiment.Ablations.active_study ~reps ~seed ()
+      in
+      print_figure ~markdown ~plot:(not no_plot) ~svg fig)
 
 let ablation_cmd =
   let which_arg =
@@ -186,7 +239,7 @@ let ablation_cmd =
   let term =
     Term.(
       const run_ablation $ which_arg $ reps_arg 10 $ seed_arg 21 $ markdown_arg
-      $ no_plot_arg $ svg_arg)
+      $ no_plot_arg $ svg_arg $ profile_arg $ profile_json_arg)
   in
   Cmd.v
     (Cmd.info "ablation"
@@ -196,21 +249,24 @@ let ablation_cmd =
     term
 
 let baselines_cmd =
-  let run reps seed markdown no_plot svg =
+  let run reps seed markdown no_plot svg profile profile_json =
     setup_logs ();
-    print_string (Experiment.Baselines.two_moons_report ~seed:(seed + 2) ());
-    print_newline ();
-    print_string (Experiment.Baselines.multiclass_report ~seed:(seed + 3) ());
-    print_newline ();
-    print_figure ~markdown ~plot:(not no_plot) ~svg
-      (Experiment.Baselines.method_comparison ~reps ~seed ());
-    print_string
-      (Experiment.Baselines.significance_report ~reps:(Stdlib.max 10 (3 * reps))
-         ~seed:(seed + 1) ())
+    with_profile profile profile_json (fun () ->
+        print_string (Experiment.Baselines.two_moons_report ~seed:(seed + 2) ());
+        print_newline ();
+        print_string (Experiment.Baselines.multiclass_report ~seed:(seed + 3) ());
+        print_newline ();
+        print_figure ~markdown ~plot:(not no_plot) ~svg
+          (Experiment.Baselines.method_comparison ~reps ~seed ());
+        print_string
+          (Experiment.Baselines.significance_report
+             ~reps:(Stdlib.max 10 (3 * reps))
+             ~seed:(seed + 1) ()))
   in
   let term =
     Term.(
-      const run $ reps_arg 10 $ seed_arg 41 $ markdown_arg $ no_plot_arg $ svg_arg)
+      const run $ reps_arg 10 $ seed_arg 41 $ markdown_arg $ no_plot_arg $ svg_arg
+      $ profile_arg $ profile_json_arg)
   in
   Cmd.v
     (Cmd.info "baselines"
@@ -221,19 +277,24 @@ let baselines_cmd =
     term
 
 let future_cmd =
-  let run reps seed markdown no_plot svg =
+  let run reps seed markdown no_plot svg profile profile_json =
     setup_logs ();
-    let show = print_figure ~markdown ~plot:(not no_plot) ~svg in
-    let auc, acc, mcc = Experiment.Future_work.indicator_study ~reps ~seed () in
-    show auc;
-    show acc;
-    show mcc;
-    show (Experiment.Future_work.auc_consistency_study ~reps ~seed:(seed + 1) ());
-    show (Experiment.Future_work.calibration_study ~reps ~seed:(seed + 2) ())
+    with_profile profile profile_json (fun () ->
+        let show = print_figure ~markdown ~plot:(not no_plot) ~svg in
+        let auc, acc, mcc =
+          Experiment.Future_work.indicator_study ~reps ~seed ()
+        in
+        show auc;
+        show acc;
+        show mcc;
+        show
+          (Experiment.Future_work.auc_consistency_study ~reps ~seed:(seed + 1) ());
+        show (Experiment.Future_work.calibration_study ~reps ~seed:(seed + 2) ()))
   in
   let term =
     Term.(
-      const run $ reps_arg 5 $ seed_arg 61 $ markdown_arg $ no_plot_arg $ svg_arg)
+      const run $ reps_arg 5 $ seed_arg 61 $ markdown_arg $ no_plot_arg $ svg_arg
+      $ profile_arg $ profile_json_arg)
   in
   Cmd.v
     (Cmd.info "future"
@@ -273,21 +334,29 @@ let artifacts_cmd =
     term
 
 let all_cmd =
-  let run reps seed markdown no_plot =
+  let run reps seed markdown no_plot profile profile_json =
     setup_logs ();
-    let plot = not no_plot in
-    let show = print_figure ~markdown ~plot ~svg:None in
-    print_string (Experiment.Figures.toy_demo ~n:20 ~m:10 ~seed:42);
-    print_newline ();
-    show (Experiment.Figures.fig1 ~reps ~seed ());
-    show (Experiment.Figures.fig2 ~reps ~seed:(seed + 1) ());
-    show (Experiment.Figures.fig3 ~reps ~seed:(seed + 2) ());
-    show (Experiment.Figures.fig4 ~reps ~seed:(seed + 3) ());
-    show (Experiment.Figures.fig5 ~reps:(Stdlib.max 1 (reps / 10)) ~seed:(seed + 4) ());
-    show (Experiment.Figures.consistency_demo ~seed:(seed + 5) ());
-    print_string (Experiment.Figures.complexity_table ~seed:(seed + 6) ())
+    with_profile profile profile_json (fun () ->
+        let plot = not no_plot in
+        let show = print_figure ~markdown ~plot ~svg:None in
+        print_string (Experiment.Figures.toy_demo ~n:20 ~m:10 ~seed:42);
+        print_newline ();
+        show (Experiment.Figures.fig1 ~reps ~seed ());
+        show (Experiment.Figures.fig2 ~reps ~seed:(seed + 1) ());
+        show (Experiment.Figures.fig3 ~reps ~seed:(seed + 2) ());
+        show (Experiment.Figures.fig4 ~reps ~seed:(seed + 3) ());
+        show
+          (Experiment.Figures.fig5
+             ~reps:(Stdlib.max 1 (reps / 10))
+             ~seed:(seed + 4) ());
+        show (Experiment.Figures.consistency_demo ~seed:(seed + 5) ());
+        print_string (Experiment.Figures.complexity_table ~seed:(seed + 6) ()))
   in
-  let term = Term.(const run $ reps_arg 10 $ seed_arg 1 $ markdown_arg $ no_plot_arg) in
+  let term =
+    Term.(
+      const run $ reps_arg 10 $ seed_arg 1 $ markdown_arg $ no_plot_arg
+      $ profile_arg $ profile_json_arg)
+  in
   Cmd.v (Cmd.info "all" ~doc:"Run every reproduction in sequence.") term
 
 let () =

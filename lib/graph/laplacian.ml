@@ -3,6 +3,8 @@ module Vec = Linalg.Vec
 
 type kind = Unnormalized | Symmetric_normalized | Random_walk
 
+let c_operator_applies = Telemetry.Counter.make "graph.laplacian_applies"
+
 let check_degrees kind d =
   match kind with
   | Unnormalized -> ()
@@ -83,6 +85,7 @@ let operator ~lambda ~n_labeled g =
   in
   let apply f =
     if Array.length f <> n then invalid_arg "Laplacian.operator: length mismatch";
+    Telemetry.Counter.incr c_operator_applies;
     let wf = apply_w f in
     Array.init n (fun i ->
         let v_part = if i < n_labeled then f.(i) else 0. in

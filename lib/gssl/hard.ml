@@ -5,6 +5,8 @@ type solver = Cholesky | Lu | Cg of { tol : float }
 
 exception Unanchored_unlabeled of int
 
+let c_solves = Telemetry.Counter.make "gssl.hard_solves"
+
 let system_matrix problem =
   let n = Problem.n_labeled problem and m = Problem.n_unlabeled problem in
   let d = Problem.degrees problem in
@@ -41,6 +43,8 @@ let rhs problem =
       !acc)
 
 let solve ?(solver = Cholesky) problem =
+  Telemetry.Span.with_ "gssl.hard_solve" @@ fun () ->
+  Telemetry.Counter.incr c_solves;
   let m = Problem.n_unlabeled problem in
   if m = 0 then [||]
   else begin

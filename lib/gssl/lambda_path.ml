@@ -9,6 +9,8 @@ type point = {
 
 type t = { points : point array; hard : Vec.t; label_mean : float }
 
+let c_points = Telemetry.Counter.make "gssl.lambda_path_points"
+
 let default_lambdas =
   let log_lo = log 1e-4 and log_hi = log 1e3 in
   let spaced =
@@ -25,6 +27,8 @@ let compute ?(lambdas = default_lambdas) problem =
       if i > 0 && l <= lambdas.(i - 1) then
         invalid_arg "Lambda_path.compute: grid must be strictly ascending")
     lambdas;
+  Telemetry.Span.with_ "gssl.lambda_path" @@ fun () ->
+  Telemetry.Counter.add c_points (Array.length lambdas);
   let hard = Hard.solve problem in
   let label_mean = Vec.mean problem.Problem.labels in
   let points =

@@ -1,5 +1,8 @@
 module Vec = Linalg.Vec
 
+let c_solves = Telemetry.Counter.make "gssl.scalable_solves"
+let c_stationary_solves = Telemetry.Counter.make "gssl.scalable_stationary_solves"
+
 let check_anchored problem =
   let comps = Graph.Connectivity.components problem.Problem.graph in
   let n = Problem.n_labeled problem in
@@ -36,6 +39,8 @@ let system_csr problem =
   (Sparse.Csr.of_coo coo, rhs)
 
 let solve ?(tol = 1e-10) ?max_iter problem =
+  Telemetry.Span.with_ "gssl.scalable_solve" @@ fun () ->
+  Telemetry.Counter.incr c_solves;
   if Problem.n_unlabeled problem = 0 then [||]
   else begin
     check_anchored problem;
@@ -44,6 +49,8 @@ let solve ?(tol = 1e-10) ?max_iter problem =
   end
 
 let solve_stationary ?(tol = 1e-10) ?max_iter method_ problem =
+  Telemetry.Span.with_ "gssl.scalable_stationary_solve" @@ fun () ->
+  Telemetry.Counter.incr c_stationary_solves;
   if Problem.n_unlabeled problem = 0 then [||]
   else begin
     check_anchored problem;

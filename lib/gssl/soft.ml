@@ -3,6 +3,8 @@ module Vec = Linalg.Vec
 
 type method_ = Full_cholesky | Block | Cg of { tol : float }
 
+let c_solves = Telemetry.Counter.make "gssl.soft_solves"
+
 let check_lambda lambda =
   if lambda <= 0. then
     invalid_arg
@@ -74,6 +76,8 @@ let slice_unlabeled problem full =
 
 let solve_full ?(method_ = Full_cholesky) ~lambda problem =
   check_lambda lambda;
+  Telemetry.Span.with_ "gssl.soft_solve_full" @@ fun () ->
+  Telemetry.Counter.incr c_solves;
   match method_ with
   | Full_cholesky -> solve_full_cholesky ~lambda problem
   | Cg { tol } -> solve_full_cg ~tol ~lambda problem
@@ -99,6 +103,8 @@ let solve_full ?(method_ = Full_cholesky) ~lambda problem =
 
 let solve ?(method_ = Full_cholesky) ~lambda problem =
   check_lambda lambda;
+  Telemetry.Span.with_ "gssl.soft_solve" @@ fun () ->
+  Telemetry.Counter.incr c_solves;
   match method_ with
   | Block -> solve_block ~lambda problem
   | Full_cholesky -> slice_unlabeled problem (solve_full_cholesky ~lambda problem)

@@ -1,9 +1,15 @@
 exception Not_positive_definite of int
 
+let c_factor = Telemetry.Counter.make "linalg.cholesky_factor"
+let c_solve = Telemetry.Counter.make "linalg.cholesky_solve"
+let c_flops = Telemetry.Counter.make "linalg.flops"
+
 (* Cholesky–Banachiewicz: row-by-row construction of the lower factor. *)
 let factor a =
   if not (Mat.is_square a) then invalid_arg "Cholesky.factor: matrix not square";
   let n = a.Mat.rows in
+  Telemetry.Counter.incr c_factor;
+  Telemetry.Counter.add c_flops (n * n * n / 3);
   let l = Mat.zeros n n in
   let ad = a.Mat.data and ld = l.Mat.data in
   for i = 0 to n - 1 do
@@ -25,6 +31,8 @@ let solve_factored l b =
   let n = l.Mat.rows in
   if Array.length b <> n then
     invalid_arg "Cholesky.solve_factored: length mismatch";
+  Telemetry.Counter.incr c_solve;
+  Telemetry.Counter.add c_flops (2 * n * n);
   let ld = l.Mat.data in
   (* forward: l y = b *)
   let y = Array.copy b in

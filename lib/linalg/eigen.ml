@@ -1,5 +1,8 @@
 type decomposition = { values : Vec.t; vectors : Mat.t }
 
+let c_jacobi = Telemetry.Counter.make "linalg.eigen_jacobi"
+let c_sweeps = Telemetry.Counter.make "linalg.eigen_sweeps"
+
 let off_diag_norm a =
   let n = a.Mat.rows in
   let acc = ref 0. in
@@ -60,6 +63,8 @@ let jacobi ?(tol = 1e-12) ?(max_sweeps = 100) m =
       done
     done
   done;
+  Telemetry.Counter.incr c_jacobi;
+  Telemetry.Counter.add c_sweeps !sweeps;
   if off_diag_norm a > tol *. scale *. 1e3 then
     failwith "Eigen.jacobi: did not converge";
   (* sort eigenpairs ascending *)

@@ -2,6 +2,10 @@ type factorization = { lu : Mat.t; perm : int array; sign : float }
 
 exception Singular of int
 
+let c_factor = Telemetry.Counter.make "linalg.lu_factor"
+let c_solve = Telemetry.Counter.make "linalg.lu_solve"
+let c_flops = Telemetry.Counter.make "linalg.flops"
+
 let pivot_tolerance = 1e-13
 
 (* Doolittle elimination with partial pivoting.  The factors overwrite a
@@ -10,6 +14,8 @@ let pivot_tolerance = 1e-13
 let factor a =
   if not (Mat.is_square a) then invalid_arg "Lu.factor: matrix not square";
   let n = a.Mat.rows in
+  Telemetry.Counter.incr c_factor;
+  Telemetry.Counter.add c_flops (2 * n * n * n / 3);
   let lu = Mat.copy a in
   let d = lu.Mat.data in
   let perm = Array.init n (fun i -> i) in
@@ -53,6 +59,8 @@ let factor a =
 let solve_factored { lu; perm; _ } b =
   let n = lu.Mat.rows in
   if Array.length b <> n then invalid_arg "Lu.solve_factored: length mismatch";
+  Telemetry.Counter.incr c_solve;
+  Telemetry.Counter.add c_flops (2 * n * n);
   let d = lu.Mat.data in
   (* apply permutation, then forward substitution L y = P b *)
   let y = Array.init n (fun i -> b.(perm.(i))) in

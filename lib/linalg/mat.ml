@@ -1,5 +1,11 @@
 type t = { rows : int; cols : int; data : float array }
 
+(* telemetry probes: one branch per *call* (never per element), so the
+   disabled-mode cost is invisible next to the O(n^2)/O(n^3) body *)
+let c_gemv = Telemetry.Counter.make "linalg.gemv"
+let c_gemm = Telemetry.Counter.make "linalg.gemm"
+let c_flops = Telemetry.Counter.make "linalg.flops"
+
 let check_dims name a b =
   if a.rows <> b.rows || a.cols <> b.cols then
     invalid_arg
@@ -130,6 +136,8 @@ let mv a x =
     invalid_arg
       (Printf.sprintf "Mat.mv: %dx%d matrix times vector of length %d" a.rows
          a.cols (Array.length x));
+  Telemetry.Counter.incr c_gemv;
+  Telemetry.Counter.add c_flops (2 * a.rows * a.cols);
   let y = Array.make a.rows 0. in
   for i = 0 to a.rows - 1 do
     let base = i * a.cols in
@@ -146,6 +154,8 @@ let tmv a x =
     invalid_arg
       (Printf.sprintf "Mat.tmv: (%dx%d)^T times vector of length %d" a.rows
          a.cols (Array.length x));
+  Telemetry.Counter.incr c_gemv;
+  Telemetry.Counter.add c_flops (2 * a.rows * a.cols);
   let y = Array.make a.cols 0. in
   for i = 0 to a.rows - 1 do
     let base = i * a.cols in
@@ -163,6 +173,8 @@ let mm a b =
   if a.cols <> b.rows then
     invalid_arg
       (Printf.sprintf "Mat.mm: %dx%d times %dx%d" a.rows a.cols b.rows b.cols);
+  Telemetry.Counter.incr c_gemm;
+  Telemetry.Counter.add c_flops (2 * a.rows * a.cols * b.cols);
   let c = zeros a.rows b.cols in
   let n = b.cols in
   for i = 0 to a.rows - 1 do
@@ -183,6 +195,8 @@ let mm a b =
 let transpose a = init a.cols a.rows (fun i j -> a.data.((j * a.cols) + i))
 
 let gram a =
+  Telemetry.Counter.incr c_gemm;
+  Telemetry.Counter.add c_flops (a.rows * a.cols * a.cols);
   let g = zeros a.cols a.cols in
   for k = 0 to a.rows - 1 do
     let base = k * a.cols in

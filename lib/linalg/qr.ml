@@ -8,9 +8,14 @@ type factorization = {
   betas : float array; (* reflector scalings *)
 }
 
+let c_factor = Telemetry.Counter.make "linalg.qr_factor"
+let c_flops = Telemetry.Counter.make "linalg.flops"
+
 let factor a =
   let m = a.Mat.rows and n = a.Mat.cols in
   if m < n then invalid_arg "Qr.factor: need rows >= cols";
+  Telemetry.Counter.incr c_factor;
+  Telemetry.Counter.add c_flops ((2 * m * n * n) - (2 * n * n * n / 3));
   let work = Mat.copy a in
   let d = work.Mat.data in
   let betas = Array.make n 0. in

@@ -1,5 +1,8 @@
 type t = { u : Mat.t; s : Vec.t; v : Mat.t }
 
+let c_decompose = Telemetry.Counter.make "linalg.svd"
+let c_sweeps = Telemetry.Counter.make "linalg.svd_sweeps"
+
 (* One-sided Jacobi: repeatedly rotate column pairs of a working copy of A
    to make them orthogonal, accumulating the rotations into V.  At
    convergence the columns of the working matrix are u_i * s_i. *)
@@ -51,6 +54,8 @@ let decompose ?(tol = 1e-12) ?(max_sweeps = 60) a =
     done;
     if !off < tol then converged := true
   done;
+  Telemetry.Counter.incr c_decompose;
+  Telemetry.Counter.add c_sweeps !sweeps;
   if not !converged then failwith "Svd.decompose: did not converge";
   (* extract singular values and normalise the columns of W into U *)
   let s = Array.init n (fun j -> sqrt (Stdlib.max 0. (col_dot j j))) in

@@ -7,13 +7,26 @@ type outcome = {
   converged : bool;
 }
 
-let solve ?x0 ?(tol = 1e-10) ?max_iter ?(precondition = true) (op : Linop.t) b =
+let c_solves = Telemetry.Counter.make "cg.solves"
+let c_iterations = Telemetry.Counter.make "cg.iterations"
+let c_matvecs = Telemetry.Counter.make "cg.matvecs"
+let c_converged = Telemetry.Counter.make "cg.converged"
+
+(* operator application, counted so the telemetry report can explain a
+   solve's cost in matvecs rather than wall-clock alone *)
+let apply (op : Linop.t) x =
+  Telemetry.Counter.incr c_matvecs;
+  op.Linop.apply x
+
+let solve_impl ?x0 ?(tol = 1e-10) ?max_iter ?(precondition = true)
+    (op : Linop.t) b =
   let n = op.Linop.dim in
   if Array.length b <> n then invalid_arg "Cg.solve: length mismatch";
   let max_iter = match max_iter with Some k -> k | None -> 10 * n in
   let x = match x0 with Some v -> Vec.copy v | None -> Vec.zeros n in
   if Option.is_some x0 && Array.length x <> n then
     invalid_arg "Cg.solve: x0 length mismatch";
+  Telemetry.Counter.incr c_solves;
   let inv_diag =
     if precondition then
       Some (Array.map (fun d -> if abs_float d > 1e-300 then 1. /. d else 1.) (op.Linop.diag ()))
@@ -23,20 +36,24 @@ let solve ?x0 ?(tol = 1e-10) ?max_iter ?(precondition = true) (op : Linop.t) b =
     match inv_diag with None -> Vec.copy r | Some m -> Vec.mul m r
   in
   let b_norm = Vec.norm2 b in
-  if b_norm = 0. then
+  if b_norm = 0. then begin
+    Telemetry.Counter.incr c_converged;
     { solution = Vec.zeros n; iterations = 0; residual_norm = 0.; converged = true }
+  end
   else begin
     let threshold = tol *. b_norm in
     (* r = b - A x *)
-    let r = Vec.sub b (op.Linop.apply x) in
+    let r = Vec.sub b (apply op x) in
     let z = apply_precond r in
     let p = ref (Vec.copy z) in
     let rz = ref (Vec.dot r z) in
     let iterations = ref 0 in
     let res = ref (Vec.norm2 r) in
+    Telemetry.Trace.record "cg.residual" !res;
     while !res > threshold && !iterations < max_iter do
       incr iterations;
-      let ap = op.Linop.apply !p in
+      Telemetry.Counter.incr c_iterations;
+      let ap = apply op !p in
       let pap = Vec.dot !p ap in
       if pap <= 0. then
         (* not SPD along this direction; bail out and report non-convergence *)
@@ -46,6 +63,7 @@ let solve ?x0 ?(tol = 1e-10) ?max_iter ?(precondition = true) (op : Linop.t) b =
         Vec.axpy alpha !p x;
         Vec.axpy (-.alpha) ap r;
         res := Vec.norm2 r;
+        Telemetry.Trace.record "cg.residual" !res;
         if !res > threshold then begin
           let z = apply_precond r in
           let rz' = Vec.dot r z in
@@ -57,8 +75,14 @@ let solve ?x0 ?(tol = 1e-10) ?max_iter ?(precondition = true) (op : Linop.t) b =
         end
       end
     done;
-    { solution = x; iterations = !iterations; residual_norm = !res; converged = !res <= threshold }
+    let converged = !res <= threshold in
+    if converged then Telemetry.Counter.incr c_converged;
+    { solution = x; iterations = !iterations; residual_norm = !res; converged }
   end
+
+let solve ?x0 ?tol ?max_iter ?precondition op b =
+  Telemetry.Span.with_ "cg.solve" (fun () ->
+      solve_impl ?x0 ?tol ?max_iter ?precondition op b)
 
 let solve_exn ?x0 ?tol ?max_iter ?precondition op b =
   let out = solve ?x0 ?tol ?max_iter ?precondition op b in

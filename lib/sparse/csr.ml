@@ -90,8 +90,13 @@ let get t i j =
   done;
   !result
 
+let c_matvec = Telemetry.Counter.make "sparse.matvecs"
+let c_flops = Telemetry.Counter.make "sparse.flops"
+
 let mv t x =
   if Array.length x <> t.cols then invalid_arg "Csr.mv: length mismatch";
+  Telemetry.Counter.incr c_matvec;
+  Telemetry.Counter.add c_flops (2 * nnz t);
   let y = Array.make t.rows 0. in
   for i = 0 to t.rows - 1 do
     let acc = ref 0. in
@@ -104,6 +109,8 @@ let mv t x =
 
 let tmv t x =
   if Array.length x <> t.rows then invalid_arg "Csr.tmv: length mismatch";
+  Telemetry.Counter.incr c_matvec;
+  Telemetry.Counter.add c_flops (2 * nnz t);
   let y = Array.make t.cols 0. in
   for i = 0 to t.rows - 1 do
     let xi = x.(i) in

@@ -3,6 +3,9 @@ module Mat = Linalg.Mat
 
 type t = { alphas : Vec.t; betas : Vec.t; basis : Vec.t array }
 
+let c_runs = Telemetry.Counter.make "lanczos.runs"
+let c_matvecs = Telemetry.Counter.make "lanczos.matvecs"
+
 (* small local generator so this library stays independent of lib/prng *)
 let start_vector seed n =
   let state = ref (Int64.of_int ((seed * 2654435761) + 1)) in
@@ -14,6 +17,8 @@ let start_vector seed n =
 let run ?(seed = 0) ~k (op : Linop.t) =
   let n = op.Linop.dim in
   if k < 1 || k > n then invalid_arg "Lanczos.run: k outside [1, dim]";
+  Telemetry.Counter.incr c_runs;
+  Telemetry.Span.with_ "lanczos.run" @@ fun () ->
   let alphas = Vec.zeros k and betas = Vec.zeros (Stdlib.max 0 (k - 1)) in
   let basis = Array.make k (Vec.zeros n) in
   let v = start_vector seed n in
@@ -22,6 +27,7 @@ let run ?(seed = 0) ~k (op : Linop.t) =
   let exhausted = ref false in
   for j = 0 to k - 1 do
     if not !exhausted then begin
+      Telemetry.Counter.incr c_matvecs;
       let w = op.Linop.apply basis.(j) in
       alphas.(j) <- Vec.dot w basis.(j);
       Vec.axpy (-.alphas.(j)) basis.(j) w;

@@ -9,6 +9,9 @@ type outcome = {
   converged : bool;
 }
 
+let c_solves = Telemetry.Counter.make "stationary.solves"
+let c_iterations = Telemetry.Counter.make "stationary.iterations"
+
 let residual_norm a x b = Vec.norm2 (Vec.sub b (Csr.mv a x))
 
 let check_diagonal a =
@@ -41,6 +44,8 @@ let sor_step omega a d x b =
   done
 
 let solve ?x0 ?(tol = 1e-10) ?(max_iter = 10_000) method_ a b =
+  Telemetry.Span.with_ "stationary.solve" @@ fun () ->
+  Telemetry.Counter.incr c_solves;
   let rows, cols = Csr.dims a in
   if rows <> cols then invalid_arg "Stationary.solve: matrix not square";
   if Array.length b <> rows then invalid_arg "Stationary.solve: length mismatch";
@@ -57,6 +62,7 @@ let solve ?x0 ?(tol = 1e-10) ?(max_iter = 10_000) method_ a b =
   let res = ref (residual_norm a !x b) in
   while !res > threshold && !iterations < max_iter do
     incr iterations;
+    Telemetry.Counter.incr c_iterations;
     (match method_ with
     | Jacobi -> x := jacobi_step a d !x b
     | Gauss_seidel -> sor_step 1. a d !x b

@@ -1,0 +1,29 @@
+type t = { name : string; mutable value : int }
+
+let table : (string, t) Hashtbl.t = Hashtbl.create 64
+
+let reset_all () = Hashtbl.iter (fun _ c -> c.value <- 0) table
+let () = Registry.on_reset reset_all
+
+(* [make] is idempotent: instrumented modules call it at initialisation
+   time and hold the handle, so the hot path is a field update with no
+   hashtable lookup. *)
+let make name =
+  match Hashtbl.find_opt table name with
+  | Some c -> c
+  | None ->
+      let c = { name; value = 0 } in
+      Hashtbl.add table name c;
+      c
+
+let add c k = if !Registry.enabled then c.value <- c.value + k
+let incr c = add c 1
+let name c = c.name
+let value c = c.value
+
+let get name =
+  match Hashtbl.find_opt table name with Some c -> c.value | None -> 0
+
+let snapshot () =
+  Hashtbl.fold (fun _ c acc -> (c.name, c.value) :: acc) table []
+  |> List.sort compare

@@ -1,0 +1,26 @@
+(** Named monotonic counters (flops, matvecs, solver iterations, ...).
+
+    Handles are created once at module-initialisation time with {!make};
+    incrementing through a handle is a branch plus an integer store, and a
+    no-op while {!Registry.is_enabled} is false. *)
+
+type t
+
+val make : string -> t
+(** Find-or-create the counter with this name (idempotent: two [make]s of
+    the same name share one cell). *)
+
+val incr : t -> unit
+val add : t -> int -> unit
+val name : t -> string
+
+val value : t -> int
+(** Current value (reads are always live, even when disabled). *)
+
+val get : string -> int
+(** Value by name; 0 when no such counter has been created. *)
+
+val snapshot : unit -> (string * int) list
+(** All counters, sorted by name. *)
+
+val reset_all : unit -> unit

@@ -1,0 +1,28 @@
+(** Global telemetry switch and registry.
+
+    Telemetry is off by default; every probe in the codebase
+    ({!Counter.add}, {!Span.with_}, {!Trace.record}) degrades to a single
+    branch on {!is_enabled} when disabled, so instrumented code runs at
+    full speed unless a caller opts in. *)
+
+val enabled : bool ref
+(** Exposed so probes can inline the check; treat as read-only outside
+    this library and use {!enable}/{!disable} to flip it. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val is_enabled : unit -> bool
+
+val reset : unit -> unit
+(** Zero every counter, span statistic, and trace. *)
+
+val on_reset : (unit -> unit) -> unit
+(** Register a hook run by {!reset}.  Used by the sibling modules; user
+    code rarely needs it. *)
+
+val with_enabled : (unit -> 'a) -> 'a
+(** Run the thunk with telemetry enabled, restoring the previous state
+    afterwards (also on exceptions).  Does not reset any metric. *)
+
+val with_disabled : (unit -> 'a) -> 'a
+(** Dual of {!with_enabled}: temporarily silence all probes. *)

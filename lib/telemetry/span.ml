@@ -1,0 +1,55 @@
+type stat = { mutable count : int; mutable total_ns : float; mutable max_ns : float }
+
+let table : (string, stat) Hashtbl.t = Hashtbl.create 32
+
+(* Stack of *full paths* of the spans currently open; the head is the
+   parent path for the next [with_].  Nesting "solve" inside "bench"
+   therefore records under "bench/solve". *)
+let stack : string list ref = ref []
+
+let () =
+  Registry.on_reset (fun () ->
+      Hashtbl.reset table;
+      stack := [])
+
+let now_ns () = Unix.gettimeofday () *. 1e9
+
+let find_or_create path =
+  match Hashtbl.find_opt table path with
+  | Some s -> s
+  | None ->
+      let s = { count = 0; total_ns = 0.; max_ns = 0. } in
+      Hashtbl.add table path s;
+      s
+
+let with_ name f =
+  if not !Registry.enabled then f ()
+  else begin
+    let path =
+      match !stack with [] -> name | parent :: _ -> parent ^ "/" ^ name
+    in
+    stack := path :: !stack;
+    let t0 = now_ns () in
+    let finish () =
+      (* guard against a [Registry.reset] that emptied the stack mid-span *)
+      (match !stack with [] -> () | _ :: tl -> stack := tl);
+      let dt = Float.max 0. (now_ns () -. t0) in
+      let s = find_or_create path in
+      s.count <- s.count + 1;
+      s.total_ns <- s.total_ns +. dt;
+      if dt > s.max_ns then s.max_ns <- dt
+    in
+    Fun.protect ~finally:finish f
+  end
+
+let stat path = Hashtbl.find_opt table path
+let count path = match stat path with Some s -> s.count | None -> 0
+let total_ns path = match stat path with Some s -> s.total_ns | None -> 0.
+let total_ms path = total_ns path /. 1e6
+
+let snapshot () =
+  Hashtbl.fold
+    (fun path s acc ->
+      (path, { count = s.count; total_ns = s.total_ns; max_ns = s.max_ns }) :: acc)
+    table []
+  |> List.sort compare

@@ -1,0 +1,28 @@
+(** Hierarchical wall-clock spans.
+
+    [with_ "solve" f] times [f] and accumulates {count, total, max} under
+    the span's path.  Paths nest: a span opened while another is running
+    records under ["outer/inner"], so a report shows where time went
+    layer by layer.  Durations are clamped to be non-negative, and when
+    {!Registry.is_enabled} is false [with_ name f] is exactly [f ()]. *)
+
+type stat = {
+  mutable count : int;
+  mutable total_ns : float;
+  mutable max_ns : float;
+}
+
+val with_ : string -> (unit -> 'a) -> 'a
+(** Time the thunk under the given span name (exceptions still close and
+    record the span). *)
+
+val stat : string -> stat option
+(** Look up accumulated statistics by full path, e.g. ["outer/inner"].
+    The returned record is a copy-free alias; treat it as read-only. *)
+
+val count : string -> int
+val total_ns : string -> float
+val total_ms : string -> float
+
+val snapshot : unit -> (string * stat) list
+(** All spans, sorted by path; the stats are copies. *)

@@ -1,0 +1,28 @@
+(* Named series of floats, stored newest-first internally. *)
+
+let table : (string, float list ref) Hashtbl.t = Hashtbl.create 16
+
+let () = Registry.on_reset (fun () -> Hashtbl.reset table)
+
+let record name v =
+  if !Registry.enabled then
+    match Hashtbl.find_opt table name with
+    | Some l -> l := v :: !l
+    | None -> Hashtbl.add table name (ref [ v ])
+
+let get name =
+  match Hashtbl.find_opt table name with
+  | Some l -> Array.of_list (List.rev !l)
+  | None -> [||]
+
+let length name =
+  match Hashtbl.find_opt table name with Some l -> List.length !l | None -> 0
+
+let last name =
+  match Hashtbl.find_opt table name with
+  | Some { contents = v :: _ } -> Some v
+  | _ -> None
+
+let snapshot () =
+  Hashtbl.fold (fun name l acc -> (name, Array.of_list (List.rev !l)) :: acc) table []
+  |> List.sort compare

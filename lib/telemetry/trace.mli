@@ -1,0 +1,10 @@
+(** Named float series — e.g. the per-iteration CG residual trace.
+
+    [record] is a no-op while telemetry is disabled; readers always see
+    the recorded values in chronological order. *)
+
+val record : string -> float -> unit
+val get : string -> float array
+val length : string -> int
+val last : string -> float option
+val snapshot : unit -> (string * float array) list

@@ -213,6 +213,53 @@ let prop_soft_lambda_large_collapses seed =
   let ybar = Soft.lambda_infinity_limit p in
   Vec.norm_inf (Vec.add_scalar (-.ybar) soft) < 1e-4
 
+(* Deterministic regression pins of the two propositions: fixed seeds,
+   every solver method, so a numerical regression in any backend trips
+   them even if the randomized properties happen to miss it. *)
+let regression_seeds = [ 1; 2; 3; 7; 42 ]
+
+let test_prop_ii1_regression () =
+  List.iter
+    (fun seed ->
+      let rng = Prng.Rng.create seed in
+      let n = 3 + Prng.Rng.int rng 6 and m = 2 + Prng.Rng.int rng 6 in
+      let p = random_problem rng n m in
+      let hard = Hard.solve p in
+      List.iter
+        (fun (name, method_) ->
+          let soft = Soft.solve ~method_ ~lambda:1e-9 p in
+          check_vec ~tol:1e-5
+            (Printf.sprintf "Prop II.1 seed %d, %s" seed name)
+            hard soft)
+        [
+          ("block", Soft.Block);
+          ("full cholesky", Soft.Full_cholesky);
+          ("cg", Soft.Cg { tol = 1e-13 });
+        ])
+    regression_seeds
+
+let test_prop_ii2_regression () =
+  List.iter
+    (fun seed ->
+      let rng = Prng.Rng.create seed in
+      let n = 3 + Prng.Rng.int rng 6 and m = 2 + Prng.Rng.int rng 6 in
+      let p = random_problem rng n m in
+      let ybar = Soft.lambda_infinity_limit p in
+      check_float ~tol:1e-12 "collapse target is the labeled mean"
+        (Vec.mean p.P.labels) ybar;
+      let err = Vec.norm_inf (Vec.add_scalar (-.ybar) (Soft.solve ~lambda:1e8 p)) in
+      if err > 1e-5 then
+        Alcotest.failf "Prop II.2 seed %d: sup distance to label mean %g" seed err;
+      (* the collapse is monotone in lambda along the way *)
+      let dist lambda =
+        Vec.norm_inf (Vec.add_scalar (-.ybar) (Soft.solve ~lambda p))
+      in
+      let d1 = dist 1. and d2 = dist 100. and d3 = dist 1e4 in
+      if not (d2 <= d1 +. 1e-9 && d3 <= d2 +. 1e-9) then
+        Alcotest.failf "Prop II.2 seed %d: collapse not monotone (%g, %g, %g)"
+          seed d1 d2 d3)
+    regression_seeds
+
 let prop_soft_minimizes_objective seed =
   let rng = Prng.Rng.create seed in
   let n = 2 + Prng.Rng.int rng 6 and m = 1 + Prng.Rng.int rng 6 in
@@ -449,6 +496,8 @@ let suite =
       qprop "soft: full methods agree" prop_soft_full_methods_agree;
       qprop "Prop II.1: soft(0+) = hard" prop_soft_lambda_to_zero_is_hard;
       qprop "Prop II.2: soft(inf) = label mean" prop_soft_lambda_large_collapses;
+      case "Prop II.1 regression (fixed seeds, all methods)" test_prop_ii1_regression;
+      case "Prop II.2 regression (fixed seeds, monotone collapse)" test_prop_ii2_regression;
       qprop "soft: minimizes objective" prop_soft_minimizes_objective;
       qprop "soft: training error grows in lambda"
         prop_soft_training_error_grows_with_lambda;

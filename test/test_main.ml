@@ -22,4 +22,5 @@ let () =
       Test_wave7.suite;
       Test_baselines.suite;
       Test_experiment.suite;
+      Test_telemetry.suite;
     ]

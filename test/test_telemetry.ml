@@ -1,0 +1,238 @@
+(* Tests of the telemetry subsystem (counters, spans, traces, JSON
+   export/parse) plus the differential property pinning the sparse
+   CSR+CG hard solver to the dense direct one, with the telemetry
+   iteration counters as a side-channel check. *)
+
+open Test_util
+module T_registry = Telemetry.Registry
+module T_counter = Telemetry.Counter
+module T_span = Telemetry.Span
+module T_trace = Telemetry.Trace
+module T_export = Telemetry.Export
+module Vec = Linalg.Vec
+
+(* run [f] with a clean, enabled registry, restoring the disabled default *)
+let with_clean_registry f =
+  T_registry.with_enabled (fun () ->
+      T_registry.reset ();
+      Fun.protect ~finally:T_registry.reset f)
+
+(* burn a measurable amount of wall-clock (timer resolution is ~1us) *)
+let busy_work () =
+  let acc = ref 0. in
+  for i = 1 to 200_000 do
+    acc := !acc +. sqrt (float_of_int i)
+  done;
+  ignore (Sys.opaque_identity !acc)
+
+(* ---------- counters ---------- *)
+
+let test_counter_semantics () =
+  with_clean_registry (fun () ->
+      let c = T_counter.make "test.counter_semantics" in
+      Alcotest.(check int) "starts at zero" 0 (T_counter.value c);
+      T_counter.incr c;
+      T_counter.add c 41;
+      Alcotest.(check int) "incr + add" 42 (T_counter.value c);
+      (* make is idempotent: the same name shares one cell *)
+      let c' = T_counter.make "test.counter_semantics" in
+      T_counter.incr c';
+      Alcotest.(check int) "same cell via second handle" 43 (T_counter.value c);
+      Alcotest.(check int) "lookup by name" 43 (T_counter.get "test.counter_semantics");
+      Alcotest.(check int) "unknown name reads 0" 0 (T_counter.get "test.nope");
+      T_registry.reset ();
+      Alcotest.(check int) "reset zeroes" 0 (T_counter.value c))
+
+let test_counter_disabled_noop () =
+  T_registry.reset ();
+  T_registry.disable ();
+  let c = T_counter.make "test.disabled_counter" in
+  T_counter.incr c;
+  T_counter.add c 100;
+  Alcotest.(check int) "disabled increments are dropped" 0 (T_counter.value c)
+
+(* ---------- spans ---------- *)
+
+let test_span_nesting_and_monotonicity () =
+  with_clean_registry (fun () ->
+      let result =
+        T_span.with_ "outer" (fun () ->
+            busy_work ();
+            T_span.with_ "inner" (fun () ->
+                busy_work ();
+                17))
+      in
+      Alcotest.(check int) "with_ returns the thunk's value" 17 result;
+      Alcotest.(check int) "outer recorded once" 1 (T_span.count "outer");
+      Alcotest.(check int) "inner nests under outer" 1 (T_span.count "outer/inner");
+      Alcotest.(check int) "no top-level inner" 0 (T_span.count "inner");
+      let outer = T_span.total_ns "outer" and inner = T_span.total_ns "outer/inner" in
+      Alcotest.(check bool) "inner time positive" true (inner > 0.);
+      Alcotest.(check bool) "outer >= inner (monotone nesting)" true (outer >= inner))
+
+let test_span_exception_unwinds () =
+  with_clean_registry (fun () ->
+      (try
+         T_span.with_ "boom" (fun () -> failwith "expected")
+       with Failure _ -> ());
+      Alcotest.(check int) "span recorded despite exception" 1 (T_span.count "boom");
+      (* the stack unwound: the next span is top-level, not under "boom" *)
+      T_span.with_ "after" (fun () -> ());
+      Alcotest.(check int) "stack popped" 1 (T_span.count "after"))
+
+let test_span_disabled_noop () =
+  T_registry.reset ();
+  T_registry.disable ();
+  let calls = ref 0 in
+  let v =
+    T_span.with_ "test.disabled_span" (fun () ->
+        incr calls;
+        "ok")
+  in
+  Alcotest.(check string) "value passes through" "ok" v;
+  Alcotest.(check int) "thunk ran exactly once" 1 !calls;
+  Alcotest.(check int) "nothing recorded" 0 (T_span.count "test.disabled_span");
+  Alcotest.(check int) "snapshot empty" 0 (List.length (T_span.snapshot ()))
+
+let test_registry_with_enabled_restores () =
+  T_registry.disable ();
+  let inside = T_registry.with_enabled (fun () -> T_registry.is_enabled ()) in
+  Alcotest.(check bool) "enabled inside" true inside;
+  Alcotest.(check bool) "restored after" false (T_registry.is_enabled ());
+  (try T_registry.with_enabled (fun () -> failwith "x") with Failure _ -> ());
+  Alcotest.(check bool) "restored after exception" false (T_registry.is_enabled ())
+
+(* ---------- traces ---------- *)
+
+let test_trace_order_and_disabled () =
+  with_clean_registry (fun () ->
+      T_trace.record "test.trace" 3.;
+      T_trace.record "test.trace" 2.;
+      T_trace.record "test.trace" 1.;
+      check_vec ~tol:0. "chronological order" [| 3.; 2.; 1. |] (T_trace.get "test.trace");
+      Alcotest.(check int) "length" 3 (T_trace.length "test.trace");
+      Alcotest.(check (option (float 0.))) "last" (Some 1.) (T_trace.last "test.trace"));
+  T_registry.disable ();
+  T_trace.record "test.trace" 9.;
+  Alcotest.(check int) "disabled record dropped" 0 (T_trace.length "test.trace")
+
+(* ---------- JSON export ---------- *)
+
+let test_json_roundtrip () =
+  with_clean_registry (fun () ->
+      let c = T_counter.make "test.json_counter" in
+      T_counter.add c 7;
+      T_span.with_ "test.json_span" busy_work;
+      T_trace.record "test.json_trace" 0.5;
+      T_trace.record "test.json_trace" 0.25;
+      let json = T_export.parse (T_export.to_json ()) in
+      let counters = Option.get (T_export.member "counters" json) in
+      Alcotest.(check (option int)) "counter survives round-trip" (Some 7)
+        (Option.bind (T_export.member "test.json_counter" counters) T_export.to_int);
+      let spans = Option.get (T_export.member "spans" json) in
+      let span = Option.get (T_export.member "test.json_span" spans) in
+      Alcotest.(check (option int)) "span count" (Some 1)
+        (Option.bind (T_export.member "count" span) T_export.to_int);
+      let total_ms =
+        Option.get (Option.bind (T_export.member "total_ms" span) T_export.to_float)
+      in
+      Alcotest.(check bool) "span total_ms positive" true (total_ms > 0.);
+      let traces = Option.get (T_export.member "traces" json) in
+      (match T_export.member "test.json_trace" traces with
+      | Some (T_export.Arr [ T_export.Num a; T_export.Num b ]) ->
+          check_float ~tol:0. "trace[0]" 0.5 a;
+          check_float ~tol:0. "trace[1]" 0.25 b
+      | _ -> Alcotest.fail "trace missing or malformed"))
+
+let test_json_renders_escapes_and_parses () =
+  let open T_export in
+  let v =
+    Obj
+      [
+        ("quote\"back\\slash", Str "line\nbreak\ttab");
+        ("nums", Arr [ Num 1.; Num (-2.5); Num 1e15; Null; Bool true ]);
+        ("empty_obj", Obj []);
+        ("empty_arr", Arr []);
+      ]
+  in
+  let round = parse (render v) in
+  Alcotest.(check bool) "escaped keys/values round-trip" true (round = v)
+
+let test_json_parse_errors () =
+  let bad = [ ""; "{"; "[1,2"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2" ] in
+  List.iter
+    (fun s ->
+      match T_export.parse s with
+      | exception T_export.Parse_error _ -> ()
+      | _ -> Alcotest.failf "parse accepted malformed input %S" s)
+    bad
+
+let test_text_report_mentions_metrics () =
+  with_clean_registry (fun () ->
+      T_counter.add (T_counter.make "test.text_counter") 5;
+      T_span.with_ "test.text_span" (fun () -> ());
+      let text = T_export.to_text () in
+      let contains needle =
+        Astring.String.find_sub ~sub:needle text <> None
+      in
+      Alcotest.(check bool) "counter listed" true (contains "test.text_counter");
+      Alcotest.(check bool) "span listed" true (contains "test.text_span"))
+
+(* ---------- differential property: Scalable (CSR+CG) vs dense Hard ---------- *)
+
+let random_knn_problem rng =
+  let n = 3 + Prng.Rng.int rng 6 and m = 2 + Prng.Rng.int rng 10 in
+  let points =
+    Array.init (n + m) (fun _ ->
+        [| Prng.Rng.uniform rng 0. 2.; Prng.Rng.uniform rng 0. 2. |])
+  in
+  let labels =
+    Array.init n (fun _ -> if Prng.Rng.bernoulli rng 0.5 then 1. else 0.)
+  in
+  let k = min (n + m - 1) (4 + Prng.Rng.int rng 4) in
+  let w =
+    Kernel.Similarity.knn ~kernel:Kernel.Kernel_fn.Rbf ~bandwidth:1.5 ~k points
+  in
+  Gssl.Problem.make ~graph:(Graph.Weighted_graph.of_sparse w) ~labels
+
+let prop_scalable_matches_hard seed =
+  let rng = Prng.Rng.create seed in
+  let p = random_knn_problem rng in
+  let max_iter = 2000 in
+  match
+    with_clean_registry (fun () ->
+        let sparse = Gssl.Scalable.solve ~tol:1e-12 ~max_iter p in
+        let dense = Gssl.Hard.solve ~solver:Gssl.Hard.Cholesky p in
+        ( sparse,
+          dense,
+          T_counter.get "cg.iterations",
+          T_counter.get "sparse.matvecs" ))
+  with
+  | exception Gssl.Hard.Unanchored_unlabeled _ ->
+      (* the random kNN graph left an unlabeled component: vacuous case *)
+      true
+  | sparse, dense, iterations, matvecs ->
+      (* a constant-label draw gives rhs = 0: CG legitimately converges in
+         0 iterations, so only demand work when the solution is nontrivial *)
+      let nontrivial = Vec.norm_inf dense > 1e-12 in
+      Vec.approx_equal ~tol:1e-6 sparse dense
+      && iterations <= max_iter
+      && ((not nontrivial) || (iterations > 0 && matvecs > 0))
+
+let suite =
+  ( "telemetry",
+    [
+      case "counter semantics" test_counter_semantics;
+      case "counter disabled no-op" test_counter_disabled_noop;
+      case "span nesting + monotone timing" test_span_nesting_and_monotonicity;
+      case "span exception unwinds" test_span_exception_unwinds;
+      case "span disabled no-op" test_span_disabled_noop;
+      case "with_enabled restores state" test_registry_with_enabled_restores;
+      case "trace order + disabled no-op" test_trace_order_and_disabled;
+      case "json export round-trip" test_json_roundtrip;
+      case "json escapes round-trip" test_json_renders_escapes_and_parses;
+      case "json parse rejects malformed" test_json_parse_errors;
+      case "text report lists metrics" test_text_report_mentions_metrics;
+      qprop ~count:60 "scalable csr+cg = dense hard (1e-6), iters <= max_iter"
+        prop_scalable_matches_hard;
+    ] )
