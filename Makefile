@@ -1,6 +1,6 @@
 # Convenience targets; everything funnels through dune.
 
-.PHONY: build test test-random bench-smoke bench ci clean
+.PHONY: build test test-random fault-smoke bench-smoke bench ci clean
 
 build:
 	dune build
@@ -17,6 +17,11 @@ test-random:
 	echo "QCHECK_SEED=$$seed"; \
 	QCHECK_SEED=$$seed dune exec test/test_main.exe
 
+# Fault-injection smoke: only the robustness suite (Check / Solve /
+# Fault / Resilient), under a fresh QCheck seed each run.
+fault-smoke:
+	dune build @fault-smoke
+
 # Profile-mode bench run that emits the per-phase JSON report and
 # self-validates it (parse + required fields + nonzero solver counters).
 bench-smoke:
@@ -25,7 +30,7 @@ bench-smoke:
 bench:
 	dune exec bench/main.exe
 
-ci: build test test-random bench-smoke
+ci: build test test-random fault-smoke bench-smoke
 
 clean:
 	dune clean

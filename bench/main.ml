@@ -341,6 +341,16 @@ module Profile = struct
     let counters =
       List.filter (fun (_, v) -> v <> 0) (T.Counter.snapshot ())
     in
+    (* every fallback-chain counter, zeros included: "no escalation" is a
+       claim the profile should make explicitly, not by omission *)
+    let fallback_prefix = "robust.fallback." in
+    let fallback =
+      List.filter
+        (fun (k, _) ->
+          String.length k >= String.length fallback_prefix
+          && String.sub k 0 (String.length fallback_prefix) = fallback_prefix)
+        (T.Counter.snapshot ())
+    in
     let residual_trace = T.Trace.get "cg.residual" in
     T.Export.(
       Obj
@@ -351,6 +361,8 @@ module Profile = struct
           ("iterations", Num (float_of_int iterations));
           ( "counters",
             Obj (List.map (fun (k, v) -> (k, Num (float_of_int v))) counters) );
+          ( "fallback",
+            Obj (List.map (fun (k, v) -> (k, Num (float_of_int v))) fallback) );
           ( "cg_residual_trace_points",
             Num (float_of_int (Array.length residual_trace)) );
         ])
@@ -399,6 +411,12 @@ module Profile = struct
               sparse_problem);
         run_phase "lambda_path" (fun () ->
             Gssl.Lambda_path.compute dense_problem);
+        (* resilient layer: a clean solve must stay on the first rung
+           (all fallback counters 0), a CG budget of 1 must escalate *)
+        run_phase "resilient_hard_clean" (fun () ->
+            Gssl.Resilient.solve_hard dense_problem);
+        run_phase "resilient_hard_capped" (fun () ->
+            Gssl.Resilient.solve_hard ~cg_max_iter:1 sparse_problem);
       ]
     in
     T.Registry.disable ();
@@ -454,12 +472,45 @@ module Profile = struct
     in
     List.iter
       (fun name -> ignore (find name))
-      [ "hard_direct"; "hard_cg"; "soft_direct"; "soft_cg" ];
+      [
+        "hard_direct"; "hard_cg"; "soft_direct"; "soft_cg";
+        "resilient_hard_clean"; "resilient_hard_capped";
+      ];
     let hard_cg = find "hard_cg" in
     if field "matvecs" hard_cg <= 0. then
       failwith "bench smoke: hard_cg reported zero matvecs";
     if field "iterations" hard_cg <= 0. then
-      failwith "bench smoke: hard_cg reported zero iterations"
+      failwith "bench smoke: hard_cg reported zero iterations";
+    let fallback_fields p =
+      match member "fallback" p with
+      | Some (Obj kvs) ->
+          List.map
+            (fun (k, v) ->
+              match v with
+              | Num x -> (k, x)
+              | _ ->
+                  failwith
+                    (Printf.sprintf
+                       "bench smoke: fallback counter %S is not numeric" k))
+            kvs
+      | _ -> failwith "bench smoke: phase lacks fallback object"
+    in
+    let clean_fb = fallback_fields (find "resilient_hard_clean") in
+    if clean_fb = [] then
+      failwith "bench smoke: no robust.fallback.* counters registered";
+    List.iter
+      (fun (k, v) ->
+        if v <> 0. then
+          failwith
+            (Printf.sprintf
+               "bench smoke: clean resilient solve escalated (%s = %g)" k v))
+      clean_fb;
+    let capped_total =
+      List.fold_left (fun acc (_, v) -> acc +. v) 0.
+        (fallback_fields (find "resilient_hard_capped"))
+    in
+    if capped_total <= 0. then
+      failwith "bench smoke: capped resilient solve triggered no fallback"
 
   let run ~smoke () =
     let text = report ~smoke () in

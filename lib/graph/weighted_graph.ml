@@ -5,22 +5,24 @@ type storage = Dense of Mat.t | Sparse of Sparse.Csr.t
 
 type t = { storage : storage; order : int; mutable degrees : Vec.t option }
 
+(* NaN slips through both the symmetry check (any comparison with NaN is
+   false) and the sign check, so finiteness must be tested explicitly. *)
+let check_weight v =
+  if not (Float.is_finite v) then invalid_arg "Weighted_graph: non-finite weight";
+  if v < 0. then invalid_arg "Weighted_graph: negative weight"
+
 let validate_dense m =
   if not (Mat.is_square m) then invalid_arg "Weighted_graph: matrix not square";
   if not (Mat.is_symmetric ~tol:1e-9 m) then
     invalid_arg "Weighted_graph: matrix not symmetric";
-  Array.iter
-    (fun v -> if v < 0. then invalid_arg "Weighted_graph: negative weight")
-    m.Mat.data
+  Array.iter check_weight m.Mat.data
 
 let validate_sparse c =
   let rows, cols = Sparse.Csr.dims c in
   if rows <> cols then invalid_arg "Weighted_graph: matrix not square";
   if not (Sparse.Csr.is_symmetric ~tol:1e-9 c) then
     invalid_arg "Weighted_graph: matrix not symmetric";
-  Array.iter
-    (fun v -> if v < 0. then invalid_arg "Weighted_graph: negative weight")
-    c.Sparse.Csr.values
+  Array.iter check_weight c.Sparse.Csr.values
 
 let of_dense m =
   validate_dense m;
@@ -29,6 +31,15 @@ let of_dense m =
 let of_sparse c =
   validate_sparse c;
   { storage = Sparse c; order = fst (Sparse.Csr.dims c); degrees = None }
+
+let of_dense_unchecked m =
+  if not (Mat.is_square m) then invalid_arg "Weighted_graph: matrix not square";
+  { storage = Dense m; order = m.Mat.rows; degrees = None }
+
+let of_sparse_unchecked c =
+  let rows, cols = Sparse.Csr.dims c in
+  if rows <> cols then invalid_arg "Weighted_graph: matrix not square";
+  { storage = Sparse c; order = rows; degrees = None }
 
 let order t = t.order
 

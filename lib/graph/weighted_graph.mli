@@ -12,10 +12,19 @@ type t
 
 val of_dense : Linalg.Mat.t -> t
 (** Raises [Invalid_argument] unless the matrix is square, symmetric
-    (tol 1e-9) and entrywise ≥ 0. *)
+    (tol 1e-9) and entrywise finite and ≥ 0. *)
 
 val of_sparse : Sparse.Csr.t -> t
 (** Same validation. *)
+
+val of_dense_unchecked : Linalg.Mat.t -> t
+(** Like {!of_dense} but skips the symmetry/positivity/finiteness
+    validation (squareness is still enforced).  For the fault-injection
+    harness and for rebuilding already-sanitised graphs; the caller owns
+    the symmetry invariant. *)
+
+val of_sparse_unchecked : Sparse.Csr.t -> t
+(** Sparse counterpart of {!of_dense_unchecked}. *)
 
 val order : t -> int
 (** Number of vertices. *)

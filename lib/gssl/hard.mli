@@ -33,6 +33,10 @@ val solve_full : ?solver:solver -> Problem.t -> Linalg.Vec.t
 val system_matrix : Problem.t -> Linalg.Mat.t
 (** [D₂₂ − W₂₂] — exposed for tests and the theory diagnostics. *)
 
+val rhs : Problem.t -> Linalg.Vec.t
+(** [W₂₁ Y] — the right-hand side matching {!system_matrix}; exposed so
+    {!Resilient} can assemble per-component systems. *)
+
 val energy : Problem.t -> Linalg.Vec.t -> float
 (** The objective [Σ_ij w_ij (f_i − f_j)²] of a full score vector — the
     hard solution minimises this among all vectors agreeing with the

@@ -8,6 +8,18 @@ let make ~graph ~labels =
   if n = 0 then invalid_arg "Problem.make: no labeled data";
   if n > Graph.Weighted_graph.order graph then
     invalid_arg "Problem.make: more labels than vertices";
+  Array.iteri
+    (fun i v ->
+      if not (Float.is_finite v) then
+        invalid_arg (Printf.sprintf "Problem.make: non-finite label at index %d" i))
+    labels;
+  { graph; labels }
+
+let make_unchecked ~graph ~labels =
+  let n = Array.length labels in
+  if n = 0 then invalid_arg "Problem.make_unchecked: no labeled data";
+  if n > Graph.Weighted_graph.order graph then
+    invalid_arg "Problem.make_unchecked: more labels than vertices";
   { graph; labels }
 
 let of_points ~kernel ~bandwidth ~labeled ~unlabeled =

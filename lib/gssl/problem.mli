@@ -12,8 +12,15 @@ type t = private {
 }
 
 val make : graph:Graph.Weighted_graph.t -> labels:Linalg.Vec.t -> t
-(** Raises [Invalid_argument] when there are more labels than vertices or
-    no labels at all.  [m = 0] (no unlabeled data) is allowed. *)
+(** Raises [Invalid_argument] when there are more labels than vertices,
+    no labels at all, or any label is NaN/infinite (a single non-finite
+    response would otherwise propagate into every prediction).
+    [m = 0] (no unlabeled data) is allowed. *)
+
+val make_unchecked : graph:Graph.Weighted_graph.t -> labels:Linalg.Vec.t -> t
+(** Like {!make} but skips the label-finiteness check.  Intended for the
+    fault-injection harness and {!Resilient}, which accept degenerate
+    inputs on purpose; counting invariants are still enforced. *)
 
 val of_points :
   kernel:Kernel.Kernel_fn.t ->

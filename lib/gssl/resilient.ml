@@ -1,0 +1,221 @@
+module Mat = Linalg.Mat
+module Vec = Linalg.Vec
+module Wg = Graph.Weighted_graph
+module Check = Robust.Check
+module Rsolve = Robust.Solve
+
+type report = {
+  predictions : Vec.t;
+  diagnostics : Check.diagnostic list;
+  imputed : int array;
+  n_components : int;
+  n_anchored : int;
+  rungs : (int * string) list;
+}
+
+let c_hard = Telemetry.Counter.make "gssl.resilient_hard_solves"
+let c_soft = Telemetry.Counter.make "gssl.resilient_soft_solves"
+let c_imputed = Telemetry.Counter.make "gssl.resilient_imputed_vertices"
+
+(* Mean of the finite labels — the λ→∞ constant of Proposition II.2 and
+   the value used for every imputation.  0 when no label is usable. *)
+let finite_mean y =
+  let sum = ref 0. and count = ref 0 in
+  Array.iter
+    (fun v ->
+      if Float.is_finite v then begin
+        sum := !sum +. v;
+        incr count
+      end)
+    y;
+  if !count = 0 then 0. else !sum /. float_of_int !count
+
+let sanitize_weight w = if Float.is_finite w && w > 0. then w else 0.
+
+(* Weights that are NaN, infinite or negative become absent edges, which
+   matches how Connectivity.components already treats them — so the
+   component partition and the solves see the same graph. *)
+let sanitize_graph g =
+  match Wg.storage g with
+  | Wg.Dense m ->
+      Wg.of_dense_unchecked
+        (Mat.init m.Mat.rows m.Mat.cols (fun i j -> sanitize_weight (Mat.get m i j)))
+  | Wg.Sparse c -> Wg.of_sparse_unchecked (Sparse.Csr.map_values sanitize_weight c)
+
+let sanitize_labels mean y =
+  Array.map (fun v -> if Float.is_finite v then v else mean) y
+
+(* Group vertices by component id, split at the labeled boundary.
+   Returns (comp id, labeled globals, unlabeled globals) in component
+   order, each member list ascending. *)
+let partition comps n =
+  let total = Array.length comps in
+  let n_comp = Array.fold_left (fun acc c -> max acc (c + 1)) 0 comps in
+  let labeled = Array.make n_comp [] and unlabeled = Array.make n_comp [] in
+  for v = total - 1 downto 0 do
+    let c = comps.(v) in
+    if v < n then labeled.(c) <- v :: labeled.(c)
+    else unlabeled.(c) <- v :: unlabeled.(c)
+  done;
+  List.init n_comp (fun c -> (c, labeled.(c), unlabeled.(c)))
+
+(* Restriction of a sparse graph to [verts] (globals, in local order),
+   as a local CSR.  Only intra-component edges exist in a sanitised
+   graph, so no weight is lost. *)
+let sub_csr csr verts =
+  let s = Array.length verts in
+  let local = Hashtbl.create (2 * s) in
+  Array.iteri (fun p v -> Hashtbl.replace local v p) verts;
+  let coo = Sparse.Coo.create s s in
+  Array.iteri
+    (fun p v ->
+      Sparse.Csr.iter_row csr v (fun col w ->
+          if w <> 0. then
+            match Hashtbl.find_opt local col with
+            | Some q -> Sparse.Coo.add coo p q w
+            | None -> ()))
+    verts;
+  Sparse.Csr.of_coo coo
+
+(* Hard criterion on one anchored component: assemble the component's
+   (D − W) system in the same storage as the input and run the matching
+   fallback chain. *)
+let solve_hard_component ?cg_max_iter g y_clean verts n_lab =
+  let sub_labels = Array.init n_lab (fun p -> y_clean.(verts.(p))) in
+  match Wg.storage g with
+  | Wg.Dense _ ->
+      let s = Array.length verts in
+      let w = Mat.init s s (fun p q -> Wg.weight g verts.(p) verts.(q)) in
+      let sub =
+        Problem.make_unchecked ~graph:(Wg.of_dense_unchecked w) ~labels:sub_labels
+      in
+      let out = Rsolve.solve_dense (Hard.system_matrix sub) (Hard.rhs sub) in
+      (out.Rsolve.solution, Rsolve.dense_rung_name out.Rsolve.rung,
+       out.Rsolve.escalations)
+  | Wg.Sparse csr ->
+      let sub =
+        Problem.make_unchecked
+          ~graph:(Wg.of_sparse_unchecked (sub_csr csr verts))
+          ~labels:sub_labels
+      in
+      let a, b = Scalable.system_csr sub in
+      let out = Rsolve.solve_sparse ?cg_max_iter a b in
+      (out.Rsolve.solution, Rsolve.sparse_rung_name out.Rsolve.rung,
+       out.Rsolve.escalations)
+
+(* Soft criterion on one anchored component: the component block of
+   (V + λL), solved over all component vertices; the unlabeled slice is
+   the prediction.  Degrees come from the sanitised full graph — equal
+   to component degrees since no edge crosses components. *)
+let solve_soft_component ?cg_max_iter ~lambda g y_clean verts n_lab =
+  let s = Array.length verts in
+  let d = Wg.degrees g in
+  let rhs =
+    Array.init s (fun p -> if p < n_lab then y_clean.(verts.(p)) else 0.)
+  in
+  let slice_unlabeled (solution : Vec.t) = Vec.slice solution n_lab (s - n_lab) in
+  match Wg.storage g with
+  | Wg.Dense _ ->
+      let a =
+        Mat.init s s (fun p q ->
+            let gp = verts.(p) in
+            let w = Wg.weight g gp verts.(q) in
+            let lap = if p = q then d.(gp) -. w else -.w in
+            let v = if p = q && p < n_lab then 1. else 0. in
+            v +. (lambda *. lap))
+      in
+      let out = Rsolve.solve_dense a rhs in
+      (slice_unlabeled out.Rsolve.solution,
+       Rsolve.dense_rung_name out.Rsolve.rung, out.Rsolve.escalations)
+  | Wg.Sparse csr ->
+      let local = Hashtbl.create (2 * s) in
+      Array.iteri (fun p v -> Hashtbl.replace local v p) verts;
+      let coo = Sparse.Coo.create s s in
+      Array.iteri
+        (fun p v ->
+          let diag =
+            (if p < n_lab then 1. else 0.)
+            +. (lambda *. (d.(v) -. Wg.weight g v v))
+          in
+          Sparse.Coo.add coo p p diag;
+          Sparse.Csr.iter_row csr v (fun col w ->
+              if w <> 0. && col <> v then
+                match Hashtbl.find_opt local col with
+                | Some q -> Sparse.Coo.add coo p q (-.(lambda *. w))
+                | None -> ()))
+        verts;
+      let out = Rsolve.solve_sparse ?cg_max_iter (Sparse.Csr.of_coo coo) rhs in
+      (slice_unlabeled out.Rsolve.solution,
+       Rsolve.sparse_rung_name out.Rsolve.rung, out.Rsolve.escalations)
+
+let solve_impl ?suspect_threshold ~kind ~component_solver problem =
+  let g0 = problem.Problem.graph in
+  let y0 = problem.Problem.labels in
+  let n = Problem.n_labeled problem in
+  let m = Problem.n_unlabeled problem in
+  let scan = Check.scan ?suspect_threshold g0 y0 in
+  let mean = finite_mean y0 in
+  let y_clean = sanitize_labels mean y0 in
+  let g = sanitize_graph g0 in
+  let comps = Graph.Connectivity.components g in
+  let groups = partition comps n in
+  let n_components = List.length groups in
+  let n_anchored =
+    List.length (List.filter (fun (_, labeled, _) -> labeled <> []) groups)
+  in
+  let predictions = Vec.create m mean in
+  let extra = ref [] in
+  let imputed = ref [] in
+  let rungs = ref [] in
+  let impute v =
+    predictions.(v - n) <- mean;
+    imputed := v :: !imputed;
+    Telemetry.Counter.incr c_imputed;
+    extra := Check.Imputed_prediction { vertex = v; value = mean } :: !extra
+  in
+  List.iter
+    (fun (c, labeled, unlabeled) ->
+      match (labeled, unlabeled) with
+      | _, [] -> ()
+      | [], _ -> List.iter impute unlabeled
+      | _ ->
+          let n_lab = List.length labeled in
+          let verts = Array.of_list (labeled @ unlabeled) in
+          let solution, rung, escalations =
+            component_solver g y_clean verts n_lab
+          in
+          rungs := (c, rung) :: !rungs;
+          List.iter
+            (fun { Rsolve.abandoned; reason } ->
+              extra :=
+                Check.Solver_fallback
+                  { system = Printf.sprintf "%s component %d" kind c;
+                    abandoned; reason }
+                :: !extra)
+            escalations;
+          List.iteri
+            (fun p v ->
+              let x = solution.(p) in
+              if Float.is_finite x then predictions.(v - n) <- x else impute v)
+            unlabeled)
+    groups;
+  { predictions;
+    diagnostics = scan @ List.rev !extra;
+    imputed = Array.of_list (List.rev !imputed);
+    n_components;
+    n_anchored;
+    rungs = List.rev !rungs }
+
+let solve_hard ?suspect_threshold ?cg_max_iter problem =
+  Telemetry.Span.with_ "gssl.resilient_hard" @@ fun () ->
+  Telemetry.Counter.incr c_hard;
+  solve_impl ?suspect_threshold ~kind:"hard"
+    ~component_solver:(solve_hard_component ?cg_max_iter) problem
+
+let solve_soft ?suspect_threshold ?cg_max_iter ~lambda problem =
+  if lambda <= 0. then
+    invalid_arg "Resilient.solve_soft: lambda must be strictly positive";
+  Telemetry.Span.with_ "gssl.resilient_soft" @@ fun () ->
+  Telemetry.Counter.incr c_soft;
+  solve_impl ?suspect_threshold ~kind:"soft"
+    ~component_solver:(solve_soft_component ?cg_max_iter ~lambda) problem

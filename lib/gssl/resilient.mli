@@ -1,0 +1,55 @@
+(** Total front-end for the hard and soft criteria.
+
+    {!Hard.solve} raises on unanchored components, {!Soft.solve} fails on
+    numerically singular systems, and both silently propagate NaN from
+    poisoned inputs.  This module makes the solve total: it scans the
+    input ({!Robust.Check.scan}), sanitises non-finite labels and
+    non-finite/negative weights, partitions the graph into connected
+    components, solves each anchored component independently through the
+    {!Robust.Solve} fallback chains, and fills unanchored components with
+    the global labeled mean — the soft criterion's λ→∞ limit
+    (Proposition II.2), i.e. the best constant prediction available when
+    no label can reach a vertex.
+
+    Every repair and degradation is reported in the returned
+    {!report}: input faults and imputations as diagnostics, solver
+    escalations as [Solver_fallback] diagnostics (also visible as
+    [robust.fallback.*] telemetry counters). *)
+
+type report = {
+  predictions : Linalg.Vec.t;
+      (** Scores on the unlabeled vertices in graph order [n … n+m−1]
+          (same convention as {!Hard.solve}); always entrywise finite. *)
+  diagnostics : Robust.Check.diagnostic list;
+      (** Input-scan findings followed by solve-time events, in order. *)
+  imputed : int array;
+      (** Global vertex ids whose prediction is the labeled mean rather
+          than a solver output (unanchored, or clamped non-finite). *)
+  n_components : int;  (** connected components over sanitised weights *)
+  n_anchored : int;    (** components containing at least one label *)
+  rungs : (int * string) list;
+      (** For each solved component id, the fallback-chain rung that
+          produced its solution (e.g. ["cholesky"], ["cg"],
+          ["dense_direct:qr"]). *)
+}
+
+val solve_hard :
+  ?suspect_threshold:float -> ?cg_max_iter:int -> Problem.t -> report
+(** Hard-criterion scores.  Never raises on degenerate data: NaN/infinite
+    or negative weights are treated as absent edges, non-finite labels as
+    missing (excluded from the mean, their vertices still constrained by
+    the remaining labels' graph structure), and unanchored vertices are
+    imputed.  [suspect_threshold] enables the leave-one-out label scan
+    (see {!Robust.Check.scan}); [cg_max_iter] caps each CG attempt on
+    sparse graphs, forcing the chain to escalate when too small. *)
+
+val solve_soft :
+  ?suspect_threshold:float ->
+  ?cg_max_iter:int ->
+  lambda:float ->
+  Problem.t ->
+  report
+(** Soft-criterion scores on the unlabeled block, component-wise.
+    Raises [Invalid_argument] when [lambda <= 0] — API misuse, not a
+    data fault (Proposition II.1 identifies λ→0 with the hard
+    criterion; use {!solve_hard}). *)

@@ -1,0 +1,56 @@
+(** Deterministic fault injection for solver problems.
+
+    Each fault class perturbs a (graph, labels) pair the way a broken
+    production pipeline would, and is constructed so that the
+    perturbation leaves a signature {!Check.scan} (or the resilient
+    solver's fallback chain) is guaranteed to detect — this is what lets
+    the qcheck harness assert "the diagnostics name every injected fault
+    class" rather than merely "nothing raised".  All randomness flows
+    through the supplied {!Prng.Rng.t}; selections are prefix-stable in
+    [count] (the same seed with a larger count perturbs a superset), so
+    monotone-degradation properties are meaningful. *)
+
+type t =
+  | Weight_jitter of { amplitude : float }
+      (** Multiplies every edge weight by [1 + u], [u ~ U(-amplitude,
+          amplitude)], and forces one randomly chosen edge negative (a
+          corrupted similarity entry).  Detected as [Negative_weight]. *)
+  | Edge_drop of { fraction : float }
+      (** Drops each edge with probability [fraction] and additionally
+          severs every edge incident to one randomly chosen unlabeled
+          vertex.  Detected as [Unanchored_vertex]. *)
+  | Label_flip of { count : int }
+      (** Reflects [count] labels across the observed label range
+          ([y ← min + max − y]; the class flip for 0/1 or ±1 labels).
+          Detected as [Suspect_label] when scanning with a threshold. *)
+  | Nan_poison_weight of { count : int }
+      (** Sets [count] edges to NaN.  Detected as [Non_finite_weight]. *)
+  | Nan_poison_label of { count : int }
+      (** Sets [count] labels to NaN.  Detected as [Non_finite_label]. *)
+  | Cg_cap of { max_iter : int }
+      (** Caps every CG attempt at [max_iter] iterations (an operator
+          budget).  Leaves the data untouched; detected as
+          [Solver_fallback] once the capped CG fails to converge. *)
+
+type injected = {
+  graph : Graph.Weighted_graph.t;   (** same storage kind as the input *)
+  labels : Linalg.Vec.t;
+  cg_max_iter : int option;         (** set by {!Cg_cap}, else [None] *)
+  applied : t list;
+}
+
+val class_name : t -> string
+
+val inject :
+  Prng.Rng.t ->
+  n_labeled:int ->
+  t list ->
+  Graph.Weighted_graph.t ->
+  Linalg.Vec.t ->
+  injected
+(** Applies the faults in order.  The input graph and labels are not
+    mutated.  The result may violate every Weighted_graph/Problem
+    invariant — rebuild it with the [_unchecked] constructors. *)
+
+val detects : t -> Check.diagnostic -> bool
+(** [detects fault d] — does diagnostic [d] name [fault]'s class? *)

@@ -1,0 +1,182 @@
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+
+type dense_rung = Cholesky | Lu_refined | Qr | Ridge
+
+type sparse_rung =
+  | Cg
+  | Cg_restarted
+  | Gauss_seidel
+  | Dense_direct of dense_rung
+
+type escalation = { abandoned : string; reason : string }
+
+type 'rung outcome = {
+  solution : Vec.t;
+  rung : 'rung;
+  escalations : escalation list;
+}
+
+(* One counter per fallback rung, incremented when the rung is entered as
+   a fallback (never for the first rung of a chain), so a clean solve
+   leaves every robust.fallback.* counter at zero. *)
+let c_dense_lu = Telemetry.Counter.make "robust.fallback.dense_lu"
+let c_dense_qr = Telemetry.Counter.make "robust.fallback.dense_qr"
+let c_dense_ridge = Telemetry.Counter.make "robust.fallback.dense_ridge"
+let c_cg_restart = Telemetry.Counter.make "robust.fallback.cg_restart"
+let c_gauss_seidel = Telemetry.Counter.make "robust.fallback.gauss_seidel"
+let c_dense_direct = Telemetry.Counter.make "robust.fallback.dense_direct"
+
+let dense_rung_name = function
+  | Cholesky -> "cholesky"
+  | Lu_refined -> "lu_refined"
+  | Qr -> "qr"
+  | Ridge -> "ridge"
+
+let sparse_rung_name = function
+  | Cg -> "cg"
+  | Cg_restarted -> "cg_restarted"
+  | Gauss_seidel -> "gauss_seidel"
+  | Dense_direct r -> "dense_direct:" ^ dense_rung_name r
+
+let all_finite = Array.for_all Float.is_finite
+
+let solve_dense ?(cond_threshold = 1e12) a b =
+  if not (Mat.is_square a) then
+    invalid_arg "Robust.Solve.solve_dense: matrix not square";
+  if Array.length b <> a.Mat.rows then
+    invalid_arg "Robust.Solve.solve_dense: length mismatch";
+  let escalations = ref [] in
+  let note abandoned reason =
+    escalations := { abandoned; reason } :: !escalations
+  in
+  let finish rung solution =
+    { solution; rung; escalations = List.rev !escalations }
+  in
+  let ridge () =
+    Telemetry.Counter.incr c_dense_ridge;
+    let n = a.Mat.rows in
+    let scale =
+      Array.fold_left
+        (fun acc v -> if Float.is_finite v then Stdlib.max acc (abs_float v) else acc)
+        1. (Mat.get_diag a)
+    in
+    let rec attempt eps tries =
+      if tries = 0 then Vec.zeros n
+      else
+        match Linalg.Cholesky.solve (Mat.add_scaled_identity a eps) b with
+        | x when all_finite x -> x
+        | _ -> attempt (eps *. 1e3) (tries - 1)
+        | exception _ -> attempt (eps *. 1e3) (tries - 1)
+    in
+    attempt (1e-10 *. scale) 7
+  in
+  let qr () =
+    Telemetry.Counter.incr c_dense_qr;
+    match Linalg.Qr.solve_least_squares a b with
+    | x when all_finite x -> finish Qr x
+    | _ ->
+        note "qr" "least-squares solution not finite";
+        finish Ridge (ridge ())
+    | exception e ->
+        note "qr" (Printexc.to_string e);
+        finish Ridge (ridge ())
+  in
+  let lu () =
+    match Linalg.Refine.condition_estimate a with
+    | cond when Float.is_finite cond && cond < cond_threshold -> begin
+        Telemetry.Counter.incr c_dense_lu;
+        match Linalg.Refine.solve_refined a b with
+        | x when all_finite x -> finish Lu_refined x
+        | _ ->
+            note "lu_refined" "refined solution not finite";
+            qr ()
+        | exception e ->
+            note "lu_refined" (Printexc.to_string e);
+            qr ()
+      end
+    | cond ->
+        note "lu_refined"
+          (Printf.sprintf "condition estimate %.3g at or above %.3g" cond
+             cond_threshold);
+        qr ()
+    | exception e ->
+        note "lu_refined" (Printexc.to_string e);
+        qr ()
+  in
+  match Linalg.Cholesky.solve a b with
+  | x when all_finite x -> finish Cholesky x
+  | _ ->
+      note "cholesky" "solution not finite";
+      lu ()
+  | exception Linalg.Cholesky.Not_positive_definite k ->
+      note "cholesky" (Printf.sprintf "non-positive pivot at column %d" k);
+      lu ()
+  | exception e ->
+      note "cholesky" (Printexc.to_string e);
+      lu ()
+
+let describe_cg (out : Sparse.Cg.outcome) =
+  if out.Sparse.Cg.breakdown then
+    Printf.sprintf "non-SPD curvature (p'Ap <= 0) after %d iterations"
+      out.Sparse.Cg.iterations
+  else
+    Printf.sprintf "no convergence after %d iterations (residual %.3g)"
+      out.Sparse.Cg.iterations out.Sparse.Cg.residual_norm
+
+let solve_sparse ?(tol = 1e-10) ?cg_max_iter (a : Sparse.Csr.t) b =
+  let rows, cols = Sparse.Csr.dims a in
+  if rows <> cols then invalid_arg "Robust.Solve.solve_sparse: matrix not square";
+  if Array.length b <> rows then
+    invalid_arg "Robust.Solve.solve_sparse: length mismatch";
+  let op = Sparse.Linop.of_csr a in
+  let escalations = ref [] in
+  let note abandoned reason =
+    escalations := { abandoned; reason } :: !escalations
+  in
+  let finish rung solution =
+    { solution; rung; escalations = List.rev !escalations }
+  in
+  let dense_direct () =
+    Telemetry.Counter.incr c_dense_direct;
+    let inner = solve_dense (Sparse.Csr.to_dense a) b in
+    escalations := List.rev_append inner.escalations !escalations;
+    finish (Dense_direct inner.rung) inner.solution
+  in
+  let gauss_seidel () =
+    Telemetry.Counter.incr c_gauss_seidel;
+    match Sparse.Stationary.solve ~tol Sparse.Stationary.Gauss_seidel a b with
+    | out
+      when out.Sparse.Stationary.converged
+           && all_finite out.Sparse.Stationary.solution ->
+        finish Gauss_seidel out.Sparse.Stationary.solution
+    | out ->
+        note "gauss_seidel"
+          (Printf.sprintf "no convergence after %d sweeps (residual %.3g)"
+             out.Sparse.Stationary.iterations out.Sparse.Stationary.residual_norm);
+        dense_direct ()
+    | exception Invalid_argument msg ->
+        note "gauss_seidel" msg;
+        dense_direct ()
+  in
+  let rec restart_loop k x0 =
+    let out = Sparse.Cg.solve ?x0 ~precondition:true ~tol ?max_iter:cg_max_iter op b in
+    if out.Sparse.Cg.converged && all_finite out.Sparse.Cg.solution then
+      finish Cg_restarted out.Sparse.Cg.solution
+    else if out.Sparse.Cg.breakdown || k <= 1 then begin
+      note "cg_restarted" (describe_cg out);
+      gauss_seidel ()
+    end
+    else restart_loop (k - 1) (Some out.Sparse.Cg.solution)
+  in
+  let out = Sparse.Cg.solve ~precondition:false ~tol ?max_iter:cg_max_iter op b in
+  if out.Sparse.Cg.converged && all_finite out.Sparse.Cg.solution then
+    finish Cg out.Sparse.Cg.solution
+  else begin
+    note "cg" (describe_cg out);
+    if out.Sparse.Cg.breakdown then gauss_seidel ()
+    else begin
+      Telemetry.Counter.incr c_cg_restart;
+      restart_loop 3 (Some out.Sparse.Cg.solution)
+    end
+  end

@@ -1,0 +1,57 @@
+(** Total linear solves via fallback chains.
+
+    Every rung failure escalates to a cheaper-assumption (more expensive
+    or less accurate) method and is recorded both in the returned
+    [escalations] list and in a [robust.fallback.*] telemetry counter,
+    so degradation is visible in [--profile] output.  Neither entry
+    point raises on degenerate systems: the dense chain bottoms out in a
+    ridge-regularised solve (zeros as the absolute last resort), the
+    sparse chain bottoms out in the dense chain.
+
+    Chains:
+    - dense:  Cholesky → LU + iterative refinement (gated by
+      {!Linalg.Refine.condition_estimate}) → QR least-squares → ridge
+    - sparse: CG → restarted Jacobi-preconditioned CG → Gauss–Seidel →
+      dense direct
+
+    CG breakdown (non-SPD curvature [pᵀAp ≤ 0], reported by
+    {!Sparse.Cg}) skips the restart rung: restarting cannot repair an
+    indefinite system. *)
+
+type dense_rung = Cholesky | Lu_refined | Qr | Ridge
+
+type sparse_rung =
+  | Cg
+  | Cg_restarted
+  | Gauss_seidel
+  | Dense_direct of dense_rung
+
+type escalation = { abandoned : string; reason : string }
+
+type 'rung outcome = {
+  solution : Linalg.Vec.t;
+  rung : 'rung;  (** the rung that produced [solution] *)
+  escalations : escalation list;  (** rungs abandoned on the way, in order *)
+}
+
+val dense_rung_name : dense_rung -> string
+val sparse_rung_name : sparse_rung -> string
+
+val solve_dense :
+  ?cond_threshold:float -> Linalg.Mat.t -> Linalg.Vec.t -> dense_rung outcome
+(** [solve_dense a b] solves [a x = b], escalating on factorization
+    failure or non-finite output.  The LU rung is skipped (straight to
+    QR) when the condition estimate is at or above [cond_threshold]
+    (default 1e12).  Raises [Invalid_argument] only on dimension
+    mismatch — API misuse, not a data fault. *)
+
+val solve_sparse :
+  ?tol:float ->
+  ?cg_max_iter:int ->
+  Sparse.Csr.t ->
+  Linalg.Vec.t ->
+  sparse_rung outcome
+(** [solve_sparse a b] solves the CSR system [a x = b] with relative
+    tolerance [tol] (default 1e-10).  [cg_max_iter] caps each CG attempt
+    (the plain rung and every restart individually), modelling an
+    operator-imposed iteration budget. *)

@@ -5,6 +5,7 @@ type outcome = {
   iterations : int;
   residual_norm : float;
   converged : bool;
+  breakdown : bool;
 }
 
 let c_solves = Telemetry.Counter.make "cg.solves"
@@ -38,7 +39,8 @@ let solve_impl ?x0 ?(tol = 1e-10) ?max_iter ?(precondition = true)
   let b_norm = Vec.norm2 b in
   if b_norm = 0. then begin
     Telemetry.Counter.incr c_converged;
-    { solution = Vec.zeros n; iterations = 0; residual_norm = 0.; converged = true }
+    { solution = Vec.zeros n; iterations = 0; residual_norm = 0.; converged = true;
+      breakdown = false }
   end
   else begin
     let threshold = tol *. b_norm in
@@ -49,15 +51,18 @@ let solve_impl ?x0 ?(tol = 1e-10) ?max_iter ?(precondition = true)
     let rz = ref (Vec.dot r z) in
     let iterations = ref 0 in
     let res = ref (Vec.norm2 r) in
+    let breakdown = ref false in
     Telemetry.Trace.record "cg.residual" !res;
-    while !res > threshold && !iterations < max_iter do
+    while (not !breakdown) && !res > threshold && !iterations < max_iter do
       incr iterations;
       Telemetry.Counter.incr c_iterations;
       let ap = apply op !p in
       let pap = Vec.dot !p ap in
-      if pap <= 0. then
-        (* not SPD along this direction; bail out and report non-convergence *)
-        iterations := max_iter
+      if pap <= 0. || not (Float.is_finite pap) then
+        (* pᵀAp ≤ 0 (or NaN): the operator is not SPD along this search
+           direction, so the α update would diverge — stop and report the
+           breakdown distinctly from plain non-convergence *)
+        breakdown := true
       else begin
         let alpha = !rz /. pap in
         Vec.axpy alpha !p x;
@@ -75,9 +80,10 @@ let solve_impl ?x0 ?(tol = 1e-10) ?max_iter ?(precondition = true)
         end
       end
     done;
-    let converged = !res <= threshold in
+    let converged = (not !breakdown) && !res <= threshold in
     if converged then Telemetry.Counter.incr c_converged;
-    { solution = x; iterations = !iterations; residual_norm = !res; converged }
+    { solution = x; iterations = !iterations; residual_norm = !res; converged;
+      breakdown = !breakdown }
   end
 
 let solve ?x0 ?tol ?max_iter ?precondition op b =
@@ -86,8 +92,15 @@ let solve ?x0 ?tol ?max_iter ?precondition op b =
 
 let solve_exn ?x0 ?tol ?max_iter ?precondition op b =
   let out = solve ?x0 ?tol ?max_iter ?precondition op b in
-  if not out.converged then
+  if not out.converged then begin
+    let cause =
+      if out.breakdown then "non-SPD breakdown (p^T A p <= 0)"
+      else "no convergence"
+    in
+    let n = op.Linop.dim in
     failwith
-      (Printf.sprintf "Cg.solve_exn: no convergence after %d iterations (residual %g)"
-         out.iterations out.residual_norm);
+      (Printf.sprintf
+         "Cg.solve_exn: %s on %dx%d system after %d iteration(s) (final residual %g, rhs norm %g)"
+         cause n n out.iterations out.residual_norm (Vec.norm2 b))
+  end;
   out.solution

@@ -9,6 +9,10 @@ type outcome = {
   iterations : int;
   residual_norm : float;  (** final [‖b − A x‖₂] as estimated by the recurrence *)
   converged : bool;
+  breakdown : bool;
+      (** [pᵀAp ≤ 0] (or NaN) was observed: the operator is not SPD along
+          some search direction.  Distinct from running out of iterations —
+          restarting cannot fix a breakdown, only a different solver can. *)
 }
 
 val solve :
@@ -33,4 +37,7 @@ val solve_exn :
   Linop.t ->
   Linalg.Vec.t ->
   Linalg.Vec.t
-(** Like {!solve} but raises [Failure] when CG fails to converge. *)
+(** Like {!solve} but raises [Failure] when CG fails to converge.  The
+    message reports the system dimension, iteration count, final residual
+    norm and ‖b‖, and distinguishes non-SPD breakdown from plain
+    non-convergence. *)

@@ -23,4 +23,5 @@ let () =
       Test_baselines.suite;
       Test_experiment.suite;
       Test_telemetry.suite;
+      Test_robust.suite;
     ]
