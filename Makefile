@@ -1,6 +1,10 @@
 # Convenience targets; everything funnels through dune.
 
-.PHONY: build test test-random fault-smoke bench-smoke bench ci clean
+.PHONY: build test test-random fault-smoke bench-smoke bench bench-check \
+	bench-snapshot trace-smoke ci clean
+
+# Baseline report for the bench regression gate (see bench-check).
+BASELINE ?= BENCH_baseline.json
 
 build:
 	dune build
@@ -30,7 +34,30 @@ bench-smoke:
 bench:
 	dune exec bench/main.exe
 
-ci: build test test-random fault-smoke bench-smoke
+# Regression gate: run the smoke-size bench, then compare its per-phase
+# wall times against the committed baseline (threshold 3x — the gate is
+# for order-of-magnitude slips, not scheduler noise).  Override the
+# baseline with BASELINE=path.
+bench-check:
+	dune build bench/main.exe bench/compare.exe
+	./_build/default/bench/main.exe --smoke --out /tmp/gssl_bench_current.json > /dev/null
+	./_build/default/bench/compare.exe $(BASELINE) /tmp/gssl_bench_current.json --threshold 3
+
+# Refresh the committed baseline (or snapshot the current revision as a
+# BENCH_<rev>.json artifact: make bench-snapshot BASELINE=BENCH_$$(git rev-parse --short HEAD).json).
+bench-snapshot:
+	dune build bench/main.exe
+	./_build/default/bench/main.exe --smoke --out $(BASELINE) > /dev/null
+	@echo "wrote $(BASELINE)"
+
+# Chrome-trace smoke: capture a --trace-out file from the toy run and
+# structurally validate it (>= 1 complete span event).
+trace-smoke:
+	dune build bin/repro.exe bench/compare.exe
+	./_build/default/bin/repro.exe toy --trace-out /tmp/gssl_trace.json > /dev/null
+	./_build/default/bench/compare.exe --check-trace /tmp/gssl_trace.json
+
+ci: build test test-random fault-smoke bench-smoke bench-check trace-smoke
 
 clean:
 	dune clean

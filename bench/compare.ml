@@ -1,0 +1,67 @@
+(* Regression gate CLI over two `bench --profile --out` JSON reports.
+
+   Usage:
+     compare.exe BASELINE.json CURRENT.json [--threshold R]
+       exit 0 when no phase regressed beyond the threshold, 1 otherwise
+     compare.exe --check-trace TRACE.json
+       exit 0 when the file is a structurally valid Chrome trace with at
+       least one complete span event, 1 otherwise
+
+   The comparison logic lives in Obs.Bench_compare (unit-tested); this
+   file is only argument handling and I/O. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_report path =
+  match Telemetry.Export.parse (read_file path) with
+  | json -> json
+  | exception Telemetry.Export.Parse_error msg ->
+      Printf.eprintf "compare: %s does not parse as JSON: %s\n" path msg;
+      exit 2
+  | exception Sys_error msg ->
+      Printf.eprintf "compare: cannot read %s: %s\n" path msg;
+      exit 2
+
+let check_trace path =
+  match Obs.Chrome_trace.validate (parse_report path) with
+  | Ok k ->
+      Printf.printf "trace ok: %s holds %d complete span event(s)\n" path k;
+      exit 0
+  | Error reason ->
+      Printf.eprintf "trace INVALID: %s: %s\n" path reason;
+      exit 1
+
+let compare_files ~threshold baseline current =
+  let verdicts =
+    try
+      Obs.Bench_compare.compare_reports ~threshold
+        ~baseline:(parse_report baseline) ~current:(parse_report current) ()
+    with Obs.Bench_compare.Malformed msg ->
+      Printf.eprintf "compare: malformed report: %s\n" msg;
+      exit 2
+  in
+  print_string (Obs.Bench_compare.to_text ~threshold verdicts);
+  exit (if Obs.Bench_compare.ok verdicts then 0 else 1)
+
+let usage () =
+  prerr_endline
+    "usage: compare.exe BASELINE.json CURRENT.json [--threshold R]\n\
+    \       compare.exe --check-trace TRACE.json";
+  exit 2
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: [ "--check-trace"; path ] -> check_trace path
+  | _ :: [ baseline; current ] -> compare_files ~threshold:3. baseline current
+  | _ :: [ baseline; current; "--threshold"; r ] -> (
+      match float_of_string_opt r with
+      | Some threshold when threshold > 0. ->
+          compare_files ~threshold baseline current
+      | _ ->
+          prerr_endline "compare: --threshold expects a positive number";
+          exit 2)
+  | _ -> usage ()

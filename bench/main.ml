@@ -352,11 +352,15 @@ module Profile = struct
         (T.Counter.snapshot ())
     in
     let residual_trace = T.Trace.get "cg.residual" in
+    (* per-span latency percentiles for this phase (the registry was
+       fresh at phase start, so every histogram belongs to it) *)
+    let quantiles = Obs.Histogram.quantiles_json () in
     T.Export.(
       Obj
         [
           ("name", Str name);
           ("wall_ms", Num wall_ms);
+          ("span_ms_quantiles", quantiles);
           ("matvecs", Num (float_of_int matvecs));
           ("iterations", Num (float_of_int iterations));
           ( "counters",
@@ -393,11 +397,17 @@ module Profile = struct
     let sparse_problem =
       knn_problem ~seed:91 ~count:knn_count ~n_labeled:(knn_count / 4) ~k:knn_k
     in
+    Obs.Histogram.attach_to_spans ();
     T.Registry.enable ();
     let phases =
       [
         run_phase "hard_direct" (fun () ->
             Gssl.Hard.solve ~solver:Gssl.Hard.Cholesky dense_problem);
+        (* same solve with health certification on, so the report tracks
+           the overhead of the observability layer itself *)
+        run_phase "hard_direct_observed" (fun () ->
+            Gssl.Hard.solve ~solver:Gssl.Hard.Cholesky ~observe:true
+              dense_problem);
         run_phase "hard_cg" (fun () ->
             Gssl.Scalable.solve ~tol:1e-9 sparse_problem);
         run_phase "hard_gauss_seidel" (fun () ->
@@ -463,7 +473,14 @@ module Profile = struct
       (fun p ->
         ignore (field "wall_ms" p);
         ignore (field "matvecs" p);
-        ignore (field "iterations" p))
+        ignore (field "iterations" p);
+        match member "span_ms_quantiles" p with
+        | Some (Obj _) -> ()
+        | _ ->
+            failwith
+              (Printf.sprintf
+                 "bench smoke: phase %S lacks span_ms_quantiles object"
+                 (phase_name p)))
       phases;
     let find name =
       match List.find_opt (fun p -> phase_name p = name) phases with
@@ -473,8 +490,8 @@ module Profile = struct
     List.iter
       (fun name -> ignore (find name))
       [
-        "hard_direct"; "hard_cg"; "soft_direct"; "soft_cg";
-        "resilient_hard_clean"; "resilient_hard_capped";
+        "hard_direct"; "hard_direct_observed"; "hard_cg"; "soft_direct";
+        "soft_cg"; "resilient_hard_clean"; "resilient_hard_capped";
       ];
     let hard_cg = find "hard_cg" in
     if field "matvecs" hard_cg <= 0. then
@@ -512,9 +529,19 @@ module Profile = struct
     if capped_total <= 0. then
       failwith "bench smoke: capped resilient solve triggered no fallback"
 
-  let run ~smoke () =
+  let run ?out ~smoke () =
     let text = report ~smoke () in
     print_endline text;
+    (match out with
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            output_string oc text;
+            output_char oc '\n');
+        Printf.eprintf "bench report written to %s\n%!" path
+    | None -> ());
     if smoke then begin
       validate text;
       prerr_endline "bench smoke ok: profile JSON parses and is complete"
@@ -587,6 +614,9 @@ let () =
   | _ :: [] -> run_bechamel ()
   | _ :: [ "--profile" ] -> Profile.run ~smoke:false ()
   | _ :: [ "--smoke" ] -> Profile.run ~smoke:true ()
+  | _ :: [ "--profile"; "--out"; path ] -> Profile.run ~out:path ~smoke:false ()
+  | _ :: [ "--smoke"; "--out"; path ] -> Profile.run ~out:path ~smoke:true ()
   | _ ->
-      prerr_endline "usage: bench/main.exe [--profile | --smoke]";
+      prerr_endline
+        "usage: bench/main.exe [--profile | --smoke] [--out report.json]";
       exit 2

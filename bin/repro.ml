@@ -25,13 +25,30 @@ let profile_json_arg =
   in
   Arg.(value & opt (some string) None & info [ "profile-json" ] ~docv:"FILE" ~doc)
 
-let with_profile profile json_path f =
-  if (not profile) && json_path = None then f ()
+let trace_out_arg =
+  let doc =
+    "Capture every completed telemetry span as a Chrome trace-event JSON \
+     file at $(docv) (open it in chrome://tracing or Perfetto).  Implies \
+     enabling the telemetry subsystem."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let write_trace path =
+  Obs.Chrome_trace.write path;
+  Printf.printf "(chrome trace written to %s; %d span event(s))\n" path
+    (Obs.Chrome_trace.n_events ());
+  Obs.Chrome_trace.stop ()
+
+let with_profile profile json_path trace_out f =
+  if (not profile) && json_path = None && trace_out = None then f ()
   else begin
     Telemetry.Registry.enable ();
     Telemetry.Registry.reset ();
+    if profile then Obs.Histogram.attach_to_spans ();
+    if trace_out <> None then Obs.Chrome_trace.start ();
     Fun.protect
       ~finally:(fun () ->
+        (match trace_out with None -> () | Some path -> write_trace path);
         (match json_path with
         | None -> ()
         | Some path ->
@@ -42,7 +59,8 @@ let with_profile profile json_path f =
             Printf.printf "(telemetry json written to %s)\n" path);
         if profile then begin
           print_newline ();
-          print_string (Telemetry.Export.to_text ())
+          print_string (Telemetry.Export.to_text ());
+          print_string (Obs.Histogram.to_text ())
         end;
         Telemetry.Registry.disable ();
         Telemetry.Registry.reset ())
@@ -97,9 +115,9 @@ let domains_arg =
 
 let resolve_domains d = if d = 0 then Domain.recommended_domain_count () else d
 
-let run_synthetic make reps seed domains markdown no_plot svg profile profile_json =
+let run_synthetic make reps seed domains markdown no_plot svg profile profile_json trace_out =
   setup_logs ();
-  with_profile profile profile_json (fun () ->
+  with_profile profile profile_json trace_out (fun () ->
       print_figure ~markdown ~plot:(not no_plot) ~svg
         (make ~domains:(resolve_domains domains) ~reps ~seed ()))
 
@@ -108,7 +126,7 @@ let synthetic_cmd name default_seed make ~doc =
     Term.(
       const (run_synthetic (fun ~domains ~reps ~seed () -> make ~domains ~reps ~seed ()))
       $ reps_arg 10 $ seed_arg default_seed $ domains_arg $ markdown_arg
-      $ no_plot_arg $ svg_arg $ profile_arg $ profile_json_arg)
+      $ no_plot_arg $ svg_arg $ profile_arg $ profile_json_arg $ trace_out_arg)
   in
   Cmd.v (Cmd.info name ~doc) term
 
@@ -139,16 +157,16 @@ let fig5_cmd =
     in
     Arg.(value & opt int 1500 & info [ "size" ] ~docv:"N" ~doc)
   in
-  let run reps seed size markdown no_plot svg profile profile_json =
+  let run reps seed size markdown no_plot svg profile profile_json trace_out =
     setup_logs ();
-    with_profile profile profile_json (fun () ->
+    with_profile profile profile_json trace_out (fun () ->
         print_figure ~markdown ~plot:(not no_plot) ~svg
           (Experiment.Figures.fig5 ~reps ~seed ~dataset_size:size ()))
   in
   let term =
     Term.(
       const run $ reps_arg 1 $ seed_arg 5 $ size_arg $ markdown_arg $ no_plot_arg
-      $ svg_arg $ profile_arg $ profile_json_arg)
+      $ svg_arg $ profile_arg $ profile_json_arg $ trace_out_arg)
   in
   Cmd.v
     (Cmd.info "fig5"
@@ -160,13 +178,13 @@ let fig5_cmd =
 let toy_cmd =
   let n_arg = Arg.(value & opt int 20 & info [ "n" ] ~docv:"N" ~doc:"Labeled count.") in
   let m_arg = Arg.(value & opt int 10 & info [ "m" ] ~docv:"M" ~doc:"Unlabeled count.") in
-  let run n m seed profile profile_json =
+  let run n m seed profile profile_json trace_out =
     setup_logs ();
-    with_profile profile profile_json (fun () ->
+    with_profile profile profile_json trace_out (fun () ->
         print_string (Experiment.Figures.toy_demo ~n ~m ~seed))
   in
   let term =
-    Term.(const run $ n_arg $ m_arg $ seed_arg 42 $ profile_arg $ profile_json_arg)
+    Term.(const run $ n_arg $ m_arg $ seed_arg 42 $ profile_arg $ profile_json_arg $ trace_out_arg)
   in
   Cmd.v
     (Cmd.info "toy"
@@ -174,16 +192,16 @@ let toy_cmd =
     term
 
 let consistency_cmd =
-  let run seed markdown no_plot svg profile profile_json =
+  let run seed markdown no_plot svg profile profile_json trace_out =
     setup_logs ();
-    with_profile profile profile_json (fun () ->
+    with_profile profile profile_json trace_out (fun () ->
         print_figure ~markdown ~plot:(not no_plot) ~svg
           (Experiment.Figures.consistency_demo ~seed ()))
   in
   let term =
     Term.(
       const run $ seed_arg 11 $ markdown_arg $ no_plot_arg $ svg_arg
-      $ profile_arg $ profile_json_arg)
+      $ profile_arg $ profile_json_arg $ trace_out_arg)
   in
   Cmd.v
     (Cmd.info "consistency"
@@ -191,12 +209,12 @@ let consistency_cmd =
     term
 
 let complexity_cmd =
-  let run seed profile profile_json =
+  let run seed profile profile_json trace_out =
     setup_logs ();
-    with_profile profile profile_json (fun () ->
+    with_profile profile profile_json trace_out (fun () ->
         print_string (Experiment.Figures.complexity_table ~seed ()))
   in
-  let term = Term.(const run $ seed_arg 13 $ profile_arg $ profile_json_arg) in
+  let term = Term.(const run $ seed_arg 13 $ profile_arg $ profile_json_arg $ trace_out_arg) in
   Cmd.v
     (Cmd.info "complexity"
        ~doc:
@@ -215,9 +233,9 @@ let ablation_conv =
       ("active", Active);
     ]
 
-let run_ablation which reps seed markdown no_plot svg profile profile_json =
+let run_ablation which reps seed markdown no_plot svg profile profile_json trace_out =
   setup_logs ();
-  with_profile profile profile_json (fun () ->
+  with_profile profile profile_json trace_out (fun () ->
       let fig =
         match which with
         | Kernel -> Experiment.Ablations.kernel_study ~reps ~seed ()
@@ -239,7 +257,7 @@ let ablation_cmd =
   let term =
     Term.(
       const run_ablation $ which_arg $ reps_arg 10 $ seed_arg 21 $ markdown_arg
-      $ no_plot_arg $ svg_arg $ profile_arg $ profile_json_arg)
+      $ no_plot_arg $ svg_arg $ profile_arg $ profile_json_arg $ trace_out_arg)
   in
   Cmd.v
     (Cmd.info "ablation"
@@ -249,9 +267,9 @@ let ablation_cmd =
     term
 
 let baselines_cmd =
-  let run reps seed markdown no_plot svg profile profile_json =
+  let run reps seed markdown no_plot svg profile profile_json trace_out =
     setup_logs ();
-    with_profile profile profile_json (fun () ->
+    with_profile profile profile_json trace_out (fun () ->
         print_string (Experiment.Baselines.two_moons_report ~seed:(seed + 2) ());
         print_newline ();
         print_string (Experiment.Baselines.multiclass_report ~seed:(seed + 3) ());
@@ -266,7 +284,7 @@ let baselines_cmd =
   let term =
     Term.(
       const run $ reps_arg 10 $ seed_arg 41 $ markdown_arg $ no_plot_arg $ svg_arg
-      $ profile_arg $ profile_json_arg)
+      $ profile_arg $ profile_json_arg $ trace_out_arg)
   in
   Cmd.v
     (Cmd.info "baselines"
@@ -277,9 +295,9 @@ let baselines_cmd =
     term
 
 let future_cmd =
-  let run reps seed markdown no_plot svg profile profile_json =
+  let run reps seed markdown no_plot svg profile profile_json trace_out =
     setup_logs ();
-    with_profile profile profile_json (fun () ->
+    with_profile profile profile_json trace_out (fun () ->
         let show = print_figure ~markdown ~plot:(not no_plot) ~svg in
         let auc, acc, mcc =
           Experiment.Future_work.indicator_study ~reps ~seed ()
@@ -294,7 +312,7 @@ let future_cmd =
   let term =
     Term.(
       const run $ reps_arg 5 $ seed_arg 61 $ markdown_arg $ no_plot_arg $ svg_arg
-      $ profile_arg $ profile_json_arg)
+      $ profile_arg $ profile_json_arg $ trace_out_arg)
   in
   Cmd.v
     (Cmd.info "future"
@@ -400,9 +418,9 @@ let robust_cmd =
          (Array.to_list
             (Array.map (Printf.sprintf " %.3f") r.Gssl.Resilient.predictions)))
   in
-  let run seed faults sparse lambda profile profile_json =
+  let run seed faults sparse lambda profile profile_json trace_out =
     setup_logs ();
-    with_profile profile profile_json (fun () ->
+    with_profile profile profile_json trace_out (fun () ->
         let rng = Prng.Rng.create seed in
         (* two RBF clusters, 6 labeled + 6 unlabeled points each *)
         let point cx cy () =
@@ -462,7 +480,7 @@ let robust_cmd =
   let term =
     Term.(
       const run $ seed_arg 33 $ faults_arg $ sparse_arg $ lambda_arg
-      $ profile_arg $ profile_json_arg)
+      $ profile_arg $ profile_json_arg $ trace_out_arg)
   in
   Cmd.v
     (Cmd.info "robust"
@@ -472,10 +490,124 @@ let robust_cmd =
           solver's diagnostics, fallback rungs, and imputations.")
     term
 
-let all_cmd =
-  let run reps seed markdown no_plot profile profile_json =
+(* numerical-health certificates on the paper's synthetic models *)
+
+let health_cmd =
+  let cap_arg =
+    let doc =
+      "CG iteration budget for the starved rerun (injected through the \
+       fault harness; small values force the fallback chain to escalate)."
+    in
+    Arg.(value & opt int 2 & info [ "cg-cap" ] ~docv:"K" ~doc)
+  in
+  let lambda_arg =
+    let doc = "Lambda for the Model 2 soft-criterion solve." in
+    Arg.(value & opt float 0.1 & info [ "lambda" ] ~docv:"L" ~doc)
+  in
+  let run seed cap lambda trace_out =
     setup_logs ();
-    with_profile profile profile_json (fun () ->
+    Telemetry.Registry.enable ();
+    Telemetry.Registry.reset ();
+    if trace_out <> None then Obs.Chrome_trace.start ();
+    Fun.protect
+      ~finally:(fun () ->
+        (match trace_out with None -> () | Some path -> write_trace path);
+        Telemetry.Registry.disable ();
+        Telemetry.Registry.reset ())
+      (fun () ->
+        let rng = Prng.Rng.create seed in
+        let make_problem model =
+          let samples = Dataset.Synthetic.sample_many rng model 100 in
+          let problem, _ =
+            Dataset.Synthetic.to_problem ~kernel:Kernel.Kernel_fn.Rbf
+              ~bandwidth:
+                (Kernel.Bandwidth.Paper_rate Dataset.Synthetic.dimension)
+              ~n_labeled:60 samples
+          in
+          problem
+        in
+        let show_last title =
+          Printf.printf "== %s ==\n" title;
+          (match Obs.Health.last () with
+          | Some c -> print_string (Obs.Health.describe c)
+          | None -> print_endline "  (no certificate recorded)");
+          print_newline ()
+        in
+        let p1 = make_problem Dataset.Synthetic.Model1 in
+        let (_ : Linalg.Vec.t) = Gssl.Hard.solve ~observe:true p1 in
+        show_last "Model 1 / hard criterion (dense Cholesky)";
+        let p2 = make_problem Dataset.Synthetic.Model2 in
+        let (_ : Linalg.Vec.t) = Gssl.Soft.solve ~observe:true ~lambda p2 in
+        show_last
+          (Printf.sprintf "Model 2 / soft criterion (lambda = %g)" lambda);
+        (* The same Model 1 solve, starved: sparse storage so the fallback
+           chain starts at CG, with the fault harness capping every CG
+           attempt.  The certificate must flag stagnation and the flight
+           recorder must show the escalation sequence. *)
+        let sparse_graph =
+          Graph.Weighted_graph.of_sparse
+            (Sparse.Csr.of_dense ~threshold:1e-8
+               (Graph.Weighted_graph.to_dense p1.Gssl.Problem.graph))
+        in
+        let inj =
+          Robust.Fault.inject rng ~n_labeled:(Gssl.Problem.n_labeled p1)
+            [ Robust.Fault.Cg_cap { max_iter = cap } ]
+            sparse_graph p1.Gssl.Problem.labels
+        in
+        let starved =
+          Gssl.Problem.make_unchecked ~graph:inj.Robust.Fault.graph
+            ~labels:inj.Robust.Fault.labels
+        in
+        let report =
+          Gssl.Resilient.solve_hard ~observe:true
+            ?cg_max_iter:inj.Robust.Fault.cg_max_iter starved
+        in
+        Printf.printf
+          "== Model 1 / hard criterion starved (CG capped at %d iteration(s)) \
+           ==\n"
+          cap;
+        List.iter
+          (fun (c, rung) ->
+            Printf.printf "component %d solved via %s\n" c rung)
+          report.Gssl.Resilient.rungs;
+        List.iter
+          (fun (c, cert) ->
+            Printf.printf "component %d certificate:\n%s" c
+              (Obs.Health.describe cert))
+          report.Gssl.Resilient.certificates;
+        print_newline ();
+        let events = Obs.Event.recent () in
+        let quiet, notable =
+          List.partition
+            (fun e ->
+              match e.Obs.Event.severity with
+              | Obs.Event.Debug | Obs.Event.Info -> true
+              | Obs.Event.Warning | Obs.Event.Error -> false)
+            events
+        in
+        Printf.printf
+          "== Flight recorder: %d event(s) (%d dropped, %d info/debug \
+           suppressed) ==\n"
+          (List.length events) (Obs.Event.dropped ()) (List.length quiet);
+        List.iter (fun e -> print_endline (Obs.Event.describe e)) notable)
+  in
+  let term =
+    Term.(const run $ seed_arg 7 $ cap_arg $ lambda_arg $ trace_out_arg)
+  in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:
+         "Numerical-health certificates: solve the paper's Model 1 (hard) \
+          and Model 2 (soft) synthetic problems with observation enabled, \
+          print the recomputed-residual certificates, then starve CG via \
+          the fault harness and show the stagnation certificate plus the \
+          flight-recorder escalation sequence.")
+    term
+
+let all_cmd =
+  let run reps seed markdown no_plot profile profile_json trace_out =
+    setup_logs ();
+    with_profile profile profile_json trace_out (fun () ->
         let plot = not no_plot in
         let show = print_figure ~markdown ~plot ~svg:None in
         print_string (Experiment.Figures.toy_demo ~n:20 ~m:10 ~seed:42);
@@ -494,7 +626,7 @@ let all_cmd =
   let term =
     Term.(
       const run $ reps_arg 10 $ seed_arg 1 $ markdown_arg $ no_plot_arg
-      $ profile_arg $ profile_json_arg)
+      $ profile_arg $ profile_json_arg $ trace_out_arg)
   in
   Cmd.v (Cmd.info "all" ~doc:"Run every reproduction in sequence.") term
 
@@ -510,7 +642,7 @@ let () =
       [
         fig1_cmd; fig2_cmd; fig3_cmd; fig4_cmd; fig5_cmd; toy_cmd; consistency_cmd;
         complexity_cmd; ablation_cmd; baselines_cmd; future_cmd; robust_cmd;
-        artifacts_cmd; all_cmd;
+        health_cmd; artifacts_cmd; all_cmd;
       ]
   in
   exit (Cmd.eval group)

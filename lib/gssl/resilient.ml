@@ -11,6 +11,7 @@ type report = {
   n_components : int;
   n_anchored : int;
   rungs : (int * string) list;
+  certificates : (int * Obs.Health.t) list;
 }
 
 let c_hard = Telemetry.Counter.make "gssl.resilient_hard_solves"
@@ -77,10 +78,54 @@ let sub_csr csr verts =
     verts;
   Sparse.Csr.of_coo coo
 
+(* Summarise every CG attempt of a sparse fallback chain into one
+   convergence record: total iterations, the last attempt's final
+   residual, the best residual any attempt reached.  A chain whose last
+   CG attempt failed is flagged as stagnated even when a later rung
+   (Gauss-Seidel, dense direct) produced the answer — the flag explains
+   *why* the fallback happened. *)
+let convergence_of_attempts = function
+  | [] -> None
+  | attempts ->
+      let total =
+        List.fold_left
+          (fun acc (o : Sparse.Cg.outcome) -> acc + o.Sparse.Cg.iterations)
+          0 attempts
+      in
+      let last = List.nth attempts (List.length attempts - 1) in
+      let best =
+        List.fold_left
+          (fun acc (o : Sparse.Cg.outcome) ->
+            Float.min acc o.Sparse.Cg.best_residual)
+          Float.infinity attempts
+      in
+      Some
+        (Obs.Health.convergence ~iterations:total
+           ~final_residual:last.Sparse.Cg.residual_norm ~best_residual:best
+           ~converged:last.Sparse.Cg.converged)
+
+let dense_cert ~system ~rung a b solution =
+  Obs.Health.certify ~system ~rung
+    ~cond:(Linalg.Refine.condition_estimate a)
+    ~apply:(Mat.mv a) ~b solution
+
+let sparse_cert ~system ~rung ~attempts a b solution =
+  let op = Sparse.Linop.of_csr a in
+  let cond =
+    Obs.Health.cond_estimate ~dim:(Array.length b)
+      ~apply:op.Sparse.Linop.apply
+      ~solve:(fun v ->
+        (Sparse.Cg.solve ~precondition:true op v).Sparse.Cg.solution)
+      ()
+  in
+  Obs.Health.certify ~system ~rung ~cond
+    ?convergence:(convergence_of_attempts attempts)
+    ~apply:op.Sparse.Linop.apply ~b solution
+
 (* Hard criterion on one anchored component: assemble the component's
    (D − W) system in the same storage as the input and run the matching
    fallback chain. *)
-let solve_hard_component ?cg_max_iter g y_clean verts n_lab =
+let solve_hard_component ?cg_max_iter ~observe g y_clean verts n_lab =
   let sub_labels = Array.init n_lab (fun p -> y_clean.(verts.(p))) in
   match Wg.storage g with
   | Wg.Dense _ ->
@@ -89,9 +134,15 @@ let solve_hard_component ?cg_max_iter g y_clean verts n_lab =
       let sub =
         Problem.make_unchecked ~graph:(Wg.of_dense_unchecked w) ~labels:sub_labels
       in
-      let out = Rsolve.solve_dense (Hard.system_matrix sub) (Hard.rhs sub) in
-      (out.Rsolve.solution, Rsolve.dense_rung_name out.Rsolve.rung,
-       out.Rsolve.escalations)
+      let a = Hard.system_matrix sub and b = Hard.rhs sub in
+      let out = Rsolve.solve_dense a b in
+      let rung = Rsolve.dense_rung_name out.Rsolve.rung in
+      let cert =
+        if observe then
+          Some (dense_cert ~system:"resilient.hard" ~rung a b out.Rsolve.solution)
+        else None
+      in
+      (out.Rsolve.solution, rung, out.Rsolve.escalations, cert)
   | Wg.Sparse csr ->
       let sub =
         Problem.make_unchecked
@@ -100,14 +151,21 @@ let solve_hard_component ?cg_max_iter g y_clean verts n_lab =
       in
       let a, b = Scalable.system_csr sub in
       let out = Rsolve.solve_sparse ?cg_max_iter a b in
-      (out.Rsolve.solution, Rsolve.sparse_rung_name out.Rsolve.rung,
-       out.Rsolve.escalations)
+      let rung = Rsolve.sparse_rung_name out.Rsolve.rung in
+      let cert =
+        if observe then
+          Some
+            (sparse_cert ~system:"resilient.hard" ~rung
+               ~attempts:out.Rsolve.cg_attempts a b out.Rsolve.solution)
+        else None
+      in
+      (out.Rsolve.solution, rung, out.Rsolve.escalations, cert)
 
 (* Soft criterion on one anchored component: the component block of
    (V + λL), solved over all component vertices; the unlabeled slice is
    the prediction.  Degrees come from the sanitised full graph — equal
    to component degrees since no edge crosses components. *)
-let solve_soft_component ?cg_max_iter ~lambda g y_clean verts n_lab =
+let solve_soft_component ?cg_max_iter ~observe ~lambda g y_clean verts n_lab =
   let s = Array.length verts in
   let d = Wg.degrees g in
   let rhs =
@@ -125,8 +183,13 @@ let solve_soft_component ?cg_max_iter ~lambda g y_clean verts n_lab =
             v +. (lambda *. lap))
       in
       let out = Rsolve.solve_dense a rhs in
-      (slice_unlabeled out.Rsolve.solution,
-       Rsolve.dense_rung_name out.Rsolve.rung, out.Rsolve.escalations)
+      let rung = Rsolve.dense_rung_name out.Rsolve.rung in
+      let cert =
+        if observe then
+          Some (dense_cert ~system:"resilient.soft" ~rung a rhs out.Rsolve.solution)
+        else None
+      in
+      (slice_unlabeled out.Rsolve.solution, rung, out.Rsolve.escalations, cert)
   | Wg.Sparse csr ->
       let local = Hashtbl.create (2 * s) in
       Array.iteri (fun p v -> Hashtbl.replace local v p) verts;
@@ -144,9 +207,17 @@ let solve_soft_component ?cg_max_iter ~lambda g y_clean verts n_lab =
                 | Some q -> Sparse.Coo.add coo p q (-.(lambda *. w))
                 | None -> ()))
         verts;
-      let out = Rsolve.solve_sparse ?cg_max_iter (Sparse.Csr.of_coo coo) rhs in
-      (slice_unlabeled out.Rsolve.solution,
-       Rsolve.sparse_rung_name out.Rsolve.rung, out.Rsolve.escalations)
+      let a = Sparse.Csr.of_coo coo in
+      let out = Rsolve.solve_sparse ?cg_max_iter a rhs in
+      let rung = Rsolve.sparse_rung_name out.Rsolve.rung in
+      let cert =
+        if observe then
+          Some
+            (sparse_cert ~system:"resilient.soft" ~rung
+               ~attempts:out.Rsolve.cg_attempts a rhs out.Rsolve.solution)
+        else None
+      in
+      (slice_unlabeled out.Rsolve.solution, rung, out.Rsolve.escalations, cert)
 
 let solve_impl ?suspect_threshold ~kind ~component_solver problem =
   let g0 = problem.Problem.graph in
@@ -167,10 +238,13 @@ let solve_impl ?suspect_threshold ~kind ~component_solver problem =
   let extra = ref [] in
   let imputed = ref [] in
   let rungs = ref [] in
+  let certificates = ref [] in
   let impute v =
     predictions.(v - n) <- mean;
     imputed := v :: !imputed;
     Telemetry.Counter.incr c_imputed;
+    Obs.Event.emit ~severity:Obs.Event.Warning "resilient.impute"
+      [ ("vertex", Obs.Event.Int v); ("value", Obs.Event.Float mean) ];
     extra := Check.Imputed_prediction { vertex = v; value = mean } :: !extra
   in
   List.iter
@@ -181,10 +255,15 @@ let solve_impl ?suspect_threshold ~kind ~component_solver problem =
       | _ ->
           let n_lab = List.length labeled in
           let verts = Array.of_list (labeled @ unlabeled) in
-          let solution, rung, escalations =
+          let solution, rung, escalations, cert =
             component_solver g y_clean verts n_lab
           in
           rungs := (c, rung) :: !rungs;
+          (match cert with
+          | Some cert ->
+              Obs.Health.record cert;
+              certificates := (c, cert) :: !certificates
+          | None -> ());
           List.iter
             (fun { Rsolve.abandoned; reason } ->
               extra :=
@@ -204,18 +283,19 @@ let solve_impl ?suspect_threshold ~kind ~component_solver problem =
     imputed = Array.of_list (List.rev !imputed);
     n_components;
     n_anchored;
-    rungs = List.rev !rungs }
+    rungs = List.rev !rungs;
+    certificates = List.rev !certificates }
 
-let solve_hard ?suspect_threshold ?cg_max_iter problem =
+let solve_hard ?suspect_threshold ?cg_max_iter ?(observe = false) problem =
   Telemetry.Span.with_ "gssl.resilient_hard" @@ fun () ->
   Telemetry.Counter.incr c_hard;
   solve_impl ?suspect_threshold ~kind:"hard"
-    ~component_solver:(solve_hard_component ?cg_max_iter) problem
+    ~component_solver:(solve_hard_component ?cg_max_iter ~observe) problem
 
-let solve_soft ?suspect_threshold ?cg_max_iter ~lambda problem =
+let solve_soft ?suspect_threshold ?cg_max_iter ?(observe = false) ~lambda problem =
   if lambda <= 0. then
     invalid_arg "Resilient.solve_soft: lambda must be strictly positive";
   Telemetry.Span.with_ "gssl.resilient_soft" @@ fun () ->
   Telemetry.Counter.incr c_soft;
   solve_impl ?suspect_threshold ~kind:"soft"
-    ~component_solver:(solve_soft_component ?cg_max_iter ~lambda) problem
+    ~component_solver:(solve_soft_component ?cg_max_iter ~observe ~lambda) problem

@@ -31,21 +31,37 @@ type report = {
       (** For each solved component id, the fallback-chain rung that
           produced its solution (e.g. ["cholesky"], ["cg"],
           ["dense_direct:qr"]). *)
+  certificates : (int * Obs.Health.t) list;
+      (** With [~observe:true]: one health certificate per solved
+          component, in solve order — recomputed residual against the
+          component system, condition estimate, and the CG
+          convergence/stagnation summary of the fallback chain (a chain
+          whose last CG attempt failed is flagged stagnated even when a
+          later rung produced the answer).  Empty otherwise. *)
 }
 
 val solve_hard :
-  ?suspect_threshold:float -> ?cg_max_iter:int -> Problem.t -> report
+  ?suspect_threshold:float ->
+  ?cg_max_iter:int ->
+  ?observe:bool ->
+  Problem.t ->
+  report
 (** Hard-criterion scores.  Never raises on degenerate data: NaN/infinite
     or negative weights are treated as absent edges, non-finite labels as
     missing (excluded from the mean, their vertices still constrained by
     the remaining labels' graph structure), and unanchored vertices are
     imputed.  [suspect_threshold] enables the leave-one-out label scan
     (see {!Robust.Check.scan}); [cg_max_iter] caps each CG attempt on
-    sparse graphs, forcing the chain to escalate when too small. *)
+    sparse graphs, forcing the chain to escalate when too small.
+    [~observe:true] (default false) records an [Obs.Health] certificate
+    per solved component (returned in [certificates] and appended to
+    the global certificate log); imputations additionally emit
+    ["resilient.impute"] flight-recorder events. *)
 
 val solve_soft :
   ?suspect_threshold:float ->
   ?cg_max_iter:int ->
+  ?observe:bool ->
   lambda:float ->
   Problem.t ->
   report

@@ -38,14 +38,41 @@ let system_csr problem =
       else if j < n && i >= n then rhs.(i - n) <- rhs.(i - n) +. (w *. y.(j)));
   (Sparse.Csr.of_coo coo, rhs)
 
-let solve ?(tol = 1e-10) ?max_iter problem =
+let solve ?(tol = 1e-10) ?max_iter ?(observe = false) problem =
   Telemetry.Span.with_ "gssl.scalable_solve" @@ fun () ->
   Telemetry.Counter.incr c_solves;
   if Problem.n_unlabeled problem = 0 then [||]
   else begin
     check_anchored problem;
     let a, b = system_csr problem in
-    Sparse.Cg.solve_exn ~tol ?max_iter (Sparse.Linop.of_csr a) b
+    let op = Sparse.Linop.of_csr a in
+    if not observe then Sparse.Cg.solve_exn ~tol ?max_iter op b
+    else begin
+      let out = Sparse.Cg.solve ~tol ?max_iter op b in
+      let convergence =
+        Obs.Health.convergence ~iterations:out.Sparse.Cg.iterations
+          ~final_residual:out.Sparse.Cg.residual_norm
+          ~best_residual:out.Sparse.Cg.best_residual
+          ~converged:out.Sparse.Cg.converged
+      in
+      let cond =
+        (* matrix-free estimate: power iteration on the operator and on
+           its inverse through an uncapped preconditioned CG solve *)
+        Obs.Health.cond_estimate ~dim:(Vec.dim b) ~apply:op.Sparse.Linop.apply
+          ~solve:(fun v ->
+            (Sparse.Cg.solve ~precondition:true op v).Sparse.Cg.solution)
+          ()
+      in
+      let cert =
+        Obs.Health.certify ~system:"gssl.scalable" ~rung:"cg" ~cond
+          ~convergence ~apply:op.Sparse.Linop.apply ~b out.Sparse.Cg.solution
+      in
+      Obs.Health.record cert;
+      (* certificate recorded even when the solve failed; then enforce
+         the same contract as the unobserved path *)
+      Sparse.Cg.ensure_converged op b out;
+      out.Sparse.Cg.solution
+    end
   end
 
 let solve_stationary ?(tol = 1e-10) ?max_iter method_ problem =

@@ -10,11 +10,17 @@ val system_csr : Problem.t -> Sparse.Csr.t * Linalg.Vec.t
 (** The m×m CSR system matrix [D₂₂ − W₂₂] and the right-hand side
     [W₂₁ Y], assembled from the graph's edge list without densifying. *)
 
-val solve : ?tol:float -> ?max_iter:int -> Problem.t -> Linalg.Vec.t
+val solve :
+  ?tol:float -> ?max_iter:int -> ?observe:bool -> Problem.t -> Linalg.Vec.t
 (** Hard-criterion scores on the unlabeled block via CG on the CSR
     system ([tol] default 1e-10).  Raises {!Hard.Unanchored_unlabeled}
     when some unlabeled component carries no label, [Failure] on CG
-    non-convergence. *)
+    non-convergence.
+
+    [~observe:true] (default false) records an [Obs.Health] certificate
+    (recomputed residual, matrix-free condition estimate, CG convergence
+    summary) — on a failed solve the certificate is recorded {e before}
+    the [Failure] is raised, so the stagnation evidence survives. *)
 
 val solve_stationary :
   ?tol:float -> ?max_iter:int -> Sparse.Stationary.method_ -> Problem.t -> Linalg.Vec.t

@@ -37,12 +37,12 @@ let solve_full_cholesky ~lambda problem =
   | exception Linalg.Cholesky.Not_positive_definite _ ->
       failwith "Soft.solve: system not positive definite (disconnected graph?)"
 
+let full_operator ~lambda problem =
+  Graph.Laplacian.operator ~lambda ~n_labeled:(Problem.n_labeled problem)
+    problem.Problem.graph
+
 let solve_full_cg ~tol ~lambda problem =
-  let op =
-    Graph.Laplacian.operator ~lambda ~n_labeled:(Problem.n_labeled problem)
-      problem.Problem.graph
-  in
-  Sparse.Cg.solve_exn ~tol op (padded_labels problem)
+  Sparse.Cg.solve_exn ~tol (full_operator ~lambda problem) (padded_labels problem)
 
 (* Eq. (4): f_U = (D22 - W22 - λ W21 (I + λD11 - λW11)^{-1} W12)^{-1}
                   · W21 (I + λD11 - λW11)^{-1} Y_n.                        *)
@@ -74,10 +74,12 @@ let slice_unlabeled problem full =
   let n = Problem.n_labeled problem in
   Vec.slice full n (Problem.size problem - n)
 
-let solve_full ?(method_ = Full_cholesky) ~lambda problem =
-  check_lambda lambda;
-  Telemetry.Span.with_ "gssl.soft_solve_full" @@ fun () ->
-  Telemetry.Counter.incr c_solves;
+let method_name = function
+  | Full_cholesky -> "cholesky"
+  | Block -> "block"
+  | Cg _ -> "cg"
+
+let solve_full_plain ~method_ ~lambda problem =
   match method_ with
   | Full_cholesky -> solve_full_cholesky ~lambda problem
   | Cg { tol } -> solve_full_cg ~tol ~lambda problem
@@ -101,14 +103,61 @@ let solve_full ?(method_ = Full_cholesky) ~lambda problem =
       let f_l = Linalg.Lu.solve top rhs in
       Vec.concat f_l f_u
 
-let solve ?(method_ = Full_cholesky) ~lambda problem =
+let solve_full ?(method_ = Full_cholesky) ?(observe = false) ~lambda problem =
+  check_lambda lambda;
+  Telemetry.Span.with_ "gssl.soft_solve_full" @@ fun () ->
+  Telemetry.Counter.incr c_solves;
+  if not observe then solve_full_plain ~method_ ~lambda problem
+  else begin
+    (* observed path: same full (n+m) solve of (V + λL) f = (Y; 0), plus
+       a health certificate recomputed against the matrix-free operator *)
+    let op = full_operator ~lambda problem in
+    let b = padded_labels problem in
+    let x, convergence, cg_failure =
+      match method_ with
+      | Cg { tol } ->
+          let out = Sparse.Cg.solve ~tol op b in
+          let conv =
+            Obs.Health.convergence ~iterations:out.Sparse.Cg.iterations
+              ~final_residual:out.Sparse.Cg.residual_norm
+              ~best_residual:out.Sparse.Cg.best_residual
+              ~converged:out.Sparse.Cg.converged
+          in
+          ( out.Sparse.Cg.solution,
+            Some conv,
+            if out.Sparse.Cg.converged then None
+            else Some (fun () -> Sparse.Cg.ensure_converged op b out) )
+      | Full_cholesky | Block ->
+          (solve_full_plain ~method_ ~lambda problem, None, None)
+    in
+    let cond =
+      Obs.Health.cond_estimate ~dim:(Vec.dim b) ~apply:op.Sparse.Linop.apply
+        ~solve:(fun v ->
+          (Sparse.Cg.solve ~precondition:true op v).Sparse.Cg.solution)
+        ()
+    in
+    let cert =
+      Obs.Health.certify ~system:"gssl.soft" ~rung:(method_name method_) ~cond
+        ?convergence ~apply:op.Sparse.Linop.apply ~b x
+    in
+    Obs.Health.record cert;
+    (match cg_failure with Some raise_it -> raise_it () | None -> ());
+    x
+  end
+
+let solve ?(method_ = Full_cholesky) ?(observe = false) ~lambda problem =
   check_lambda lambda;
   Telemetry.Span.with_ "gssl.soft_solve" @@ fun () ->
   Telemetry.Counter.incr c_solves;
-  match method_ with
-  | Block -> solve_block ~lambda problem
-  | Full_cholesky -> slice_unlabeled problem (solve_full_cholesky ~lambda problem)
-  | Cg { tol } -> slice_unlabeled problem (solve_full_cg ~tol ~lambda problem)
+  if observe then
+    (* route through the full system so the certificate covers the whole
+       (V + λL) solve; Block's unlabeled slice is identical by Eq. (4) *)
+    slice_unlabeled problem (solve_full ~method_ ~observe:true ~lambda problem)
+  else
+    match method_ with
+    | Block -> solve_block ~lambda problem
+    | Full_cholesky -> slice_unlabeled problem (solve_full_cholesky ~lambda problem)
+    | Cg { tol } -> slice_unlabeled problem (solve_full_cg ~tol ~lambda problem)
 
 let objective ~lambda problem f =
   if Array.length f <> Problem.size problem then

@@ -1,0 +1,114 @@
+(* Regression gate over two `bench --profile` JSON reports.
+
+   The comparison is per phase on wall_ms with a generous multiplicative
+   threshold plus an additive floor: ratio = (cur + min_ms) / (base +
+   min_ms).  The floor keeps sub-millisecond phases from tripping the
+   gate on scheduler noise while leaving real phases (tens of ms)
+   essentially governed by the raw ratio.  A phase present in the
+   baseline but missing from the current report is a failure (a silently
+   dropped phase must not pass the gate); new phases are reported but
+   never fail. *)
+
+type phase = { name : string; wall_ms : float }
+
+type verdict = {
+  name : string;
+  baseline_ms : float option;
+  current_ms : float option;
+  ratio : float;
+  regressed : bool;
+}
+
+exception Malformed of string
+
+let phases_of_report json =
+  match Telemetry.Export.member "phases" json with
+  | Some (Telemetry.Export.Arr entries) ->
+      List.map
+        (fun entry ->
+          match
+            ( Telemetry.Export.member "name" entry,
+              Option.bind
+                (Telemetry.Export.member "wall_ms" entry)
+                Telemetry.Export.to_float )
+          with
+          | Some (Telemetry.Export.Str name), Some wall_ms ->
+              if not (Float.is_finite wall_ms) || wall_ms < 0. then
+                raise
+                  (Malformed
+                     (Printf.sprintf "phase %S has invalid wall_ms" name));
+              { name; wall_ms }
+          | _ -> raise (Malformed "phase entry missing name/wall_ms"))
+        entries
+  | Some _ -> raise (Malformed "\"phases\" is not an array")
+  | None -> raise (Malformed "report has no \"phases\" field")
+
+let compare_reports ?(threshold = 3.) ?(min_ms = 0.5) ~baseline ~current () =
+  if threshold <= 0. then
+    invalid_arg "Obs.Bench_compare: threshold must be positive";
+  if min_ms < 0. then invalid_arg "Obs.Bench_compare: min_ms must be >= 0";
+  let base = phases_of_report baseline in
+  let cur = phases_of_report current in
+  let find name (ps : phase list) =
+    List.find_opt (fun (p : phase) -> p.name = name) ps
+  in
+  let of_base (b : phase) =
+    match find b.name cur with
+    | None ->
+        {
+          name = b.name;
+          baseline_ms = Some b.wall_ms;
+          current_ms = None;
+          ratio = Float.infinity;
+          regressed = true;
+        }
+    | Some c ->
+        let ratio = (c.wall_ms +. min_ms) /. (b.wall_ms +. min_ms) in
+        {
+          name = b.name;
+          baseline_ms = Some b.wall_ms;
+          current_ms = Some c.wall_ms;
+          ratio;
+          regressed = ratio > threshold;
+        }
+  in
+  let new_phases =
+    List.filter_map
+      (fun (c : phase) ->
+        if find c.name base = None then
+          Some
+            {
+              name = c.name;
+              baseline_ms = None;
+              current_ms = Some c.wall_ms;
+              ratio = 1.;
+              regressed = false;
+            }
+        else None)
+      cur
+  in
+  List.map of_base base @ new_phases
+
+let ok verdicts = not (List.exists (fun v -> v.regressed) verdicts)
+
+let describe_verdict v =
+  let ms = function Some v -> Printf.sprintf "%9.3f" v | None -> "  missing" in
+  Printf.sprintf "  %-28s base %s ms  cur %s ms  ratio %5.2f  %s" v.name
+    (ms v.baseline_ms) (ms v.current_ms) v.ratio
+    (if v.regressed then "REGRESSED"
+     else if v.baseline_ms = None then "new"
+     else "ok")
+
+let to_text ?(threshold = 3.) verdicts =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "bench comparison (threshold %.2fx):\n" threshold);
+  List.iter
+    (fun v ->
+      Buffer.add_string buf (describe_verdict v);
+      Buffer.add_char buf '\n')
+    verdicts;
+  Buffer.add_string buf
+    (if ok verdicts then "PASS: no phase regressed\n"
+     else "FAIL: at least one phase regressed\n");
+  Buffer.contents buf

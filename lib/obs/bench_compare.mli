@@ -1,0 +1,43 @@
+(** Performance-regression gate over two [bench --profile] JSON reports.
+
+    Compares per-phase [wall_ms] using
+    [ratio = (current + min_ms) / (baseline + min_ms)]: the additive
+    floor (default 0.5 ms) absorbs scheduler noise on sub-millisecond
+    phases, while real phases are governed by the raw ratio against the
+    multiplicative [threshold] (default 3x — generous on purpose, the
+    gate exists to catch order-of-magnitude slips, not 10% drift).
+
+    A phase present in the baseline but absent from the current report
+    counts as a regression; phases only present in the current report
+    are listed as ["new"] and never fail. *)
+
+type phase = { name : string; wall_ms : float }
+
+type verdict = {
+  name : string;
+  baseline_ms : float option;
+  current_ms : float option;
+  ratio : float;
+  regressed : bool;
+}
+
+exception Malformed of string
+
+val phases_of_report : Telemetry.Export.json -> phase list
+(** Extract [{name; wall_ms}] from a parsed report.
+    Raises {!Malformed} when the shape is wrong. *)
+
+val compare_reports :
+  ?threshold:float ->
+  ?min_ms:float ->
+  baseline:Telemetry.Export.json ->
+  current:Telemetry.Export.json ->
+  unit ->
+  verdict list
+(** One verdict per baseline phase (in baseline order) followed by the
+    current-only phases.  Raises {!Malformed} on bad reports and
+    [Invalid_argument] on non-positive [threshold] / negative [min_ms]. *)
+
+val ok : verdict list -> bool
+val describe_verdict : verdict -> string
+val to_text : ?threshold:float -> verdict list -> string

@@ -1,0 +1,99 @@
+(* Chrome trace-event exporter.
+
+   Captures span completions (via [Telemetry.Span.on_complete]) while a
+   capture is active and renders them as "complete" ("ph":"X") events in
+   the Trace Event Format understood by chrome://tracing and Perfetto:
+   one event per span execution with microsecond timestamp and duration.
+
+   The capture buffer is intentionally NOT hooked to [Registry.reset]:
+   profiling drivers reset the registry between phases, and the trace
+   should keep accumulating across those resets until [stop]. *)
+
+type event = { name : string; start_ns : float; dur_ns : float }
+
+let max_events = 100_000
+let capturing = ref false
+let buf : event list ref = ref [] (* newest first *)
+let n = ref 0
+let installed = ref false
+
+let install () =
+  if not !installed then begin
+    installed := true;
+    Telemetry.Span.on_complete (fun name start_ns dur_ns ->
+        if !capturing && !n < max_events then begin
+          buf := { name; start_ns; dur_ns } :: !buf;
+          incr n
+        end)
+  end
+
+let start () =
+  install ();
+  buf := [];
+  n := 0;
+  capturing := true
+
+let stop () = capturing := false
+let n_events () = !n
+let events () = List.rev !buf
+
+let event_json e =
+  Telemetry.Export.Obj
+    [
+      ("name", Telemetry.Export.Str e.name);
+      ("cat", Telemetry.Export.Str "span");
+      ("ph", Telemetry.Export.Str "X");
+      ("ts", Telemetry.Export.Num (e.start_ns /. 1e3));
+      ("dur", Telemetry.Export.Num (Float.max 0. e.dur_ns /. 1e3));
+      ("pid", Telemetry.Export.Num 1.);
+      ("tid", Telemetry.Export.Num 1.);
+    ]
+
+let to_json_value () =
+  Telemetry.Export.Obj
+    [
+      ( "traceEvents",
+        Telemetry.Export.Arr (List.map event_json (events ())) );
+      ("displayTimeUnit", Telemetry.Export.Str "ms");
+    ]
+
+let to_json () = Telemetry.Export.render (to_json_value ())
+
+let write path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_json ());
+      output_char oc '\n')
+
+(* Structural validation: used by tests and the `compare --check-trace`
+   smoke target.  A valid trace has a traceEvents array in which every
+   entry is a complete ("X") event with a string name and numeric
+   ts/dur, and there is at least one such entry. *)
+let validate json =
+  let is_num j = match Telemetry.Export.to_float j with Some _ -> None | None -> Some "non-numeric" in
+  let check_event j =
+    let open Telemetry.Export in
+    match j with
+    | Obj _ -> (
+        match (member "ph" j, member "name" j, member "ts" j, member "dur" j) with
+        | Some (Str "X"), Some (Str _), Some ts, Some dur -> (
+            match (is_num ts, is_num dur) with
+            | None, None -> None
+            | _ -> Some "event with non-numeric ts/dur")
+        | Some (Str ph), _, _, _ when ph <> "X" ->
+            Some (Printf.sprintf "unsupported event phase %S" ph)
+        | _ -> Some "event missing ph/name/ts/dur")
+    | _ -> Some "traceEvents entry is not an object"
+  in
+  match Telemetry.Export.member "traceEvents" json with
+  | Some (Telemetry.Export.Arr evs) -> (
+      match List.filter_map check_event evs with
+      | err :: _ -> Error err
+      | [] ->
+          let k = List.length evs in
+          if k >= 1 then Ok k
+          else Error "trace contains no complete span events")
+  | Some _ -> Error "traceEvents is not an array"
+  | None -> Error "missing traceEvents field"

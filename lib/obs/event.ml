@@ -1,0 +1,117 @@
+(* Flight recorder: a bounded ring buffer of structured events.
+
+   Emission is gated on [Telemetry.Registry.enabled] (one branch when
+   off, like every other probe) and the buffer is cleared by
+   [Registry.reset], so the recorder composes with the existing
+   enable/reset discipline.  When more events are emitted than the
+   buffer holds, the oldest are overwritten — the recorder keeps the
+   most recent window, which is what a post-mortem wants. *)
+
+type severity = Debug | Info | Warning | Error
+
+type value = Bool of bool | Int of int | Float of float | Str of string
+
+type t = {
+  seq : int;  (* 0-based emission index since the last clear *)
+  time_ns : float;
+  severity : severity;
+  name : string;
+  fields : (string * value) list;
+}
+
+let default_capacity = 512
+let cap = ref default_capacity
+let buffer : t option array ref = ref (Array.make default_capacity None)
+
+(* total events emitted since the last clear (>= capacity once wrapped) *)
+let emitted_count = ref 0
+
+let clear () =
+  Array.fill !buffer 0 (Array.length !buffer) None;
+  emitted_count := 0
+
+let () = Telemetry.Registry.on_reset clear
+
+let capacity () = !cap
+
+let set_capacity n =
+  if n <= 0 then invalid_arg "Obs.Event.set_capacity: capacity must be positive";
+  cap := n;
+  buffer := Array.make n None;
+  emitted_count := 0
+
+let emit ?(severity = Info) name fields =
+  if !Telemetry.Registry.enabled then begin
+    let e =
+      {
+        seq = !emitted_count;
+        time_ns = Telemetry.Span.now_ns ();
+        severity;
+        name;
+        fields;
+      }
+    in
+    !buffer.(!emitted_count mod !cap) <- Some e;
+    incr emitted_count
+  end
+
+let emitted () = !emitted_count
+let dropped () = max 0 (!emitted_count - !cap)
+
+let recent () =
+  let total = !emitted_count in
+  let start = max 0 (total - !cap) in
+  List.init (total - start) (fun i ->
+      match !buffer.((start + i) mod !cap) with
+      | Some e -> e
+      | None -> assert false)
+
+let last () =
+  if !emitted_count = 0 then None
+  else !buffer.((!emitted_count - 1) mod !cap)
+
+let severity_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let value_text = function
+  | Bool b -> string_of_bool b
+  | Int i -> string_of_int i
+  | Float v -> Printf.sprintf "%.6g" v
+  | Str s -> s
+
+let describe e =
+  let fields =
+    match e.fields with
+    | [] -> ""
+    | fs ->
+        " "
+        ^ String.concat " "
+            (List.map (fun (k, v) -> k ^ "=" ^ value_text v) fs)
+  in
+  Printf.sprintf "#%d [%s] %s%s" e.seq (severity_name e.severity) e.name fields
+
+let field e key = List.assoc_opt key e.fields
+
+let value_json = function
+  | Bool b -> Telemetry.Export.Bool b
+  | Int i -> Telemetry.Export.Num (float_of_int i)
+  | Float v -> Telemetry.Export.Num v
+  | Str s -> Telemetry.Export.Str s
+
+let to_json_value e =
+  Telemetry.Export.Obj
+    [
+      ("seq", Telemetry.Export.Num (float_of_int e.seq));
+      ("time_ns", Telemetry.Export.Num e.time_ns);
+      ("severity", Telemetry.Export.Str (severity_name e.severity));
+      ("name", Telemetry.Export.Str e.name);
+      ( "fields",
+        Telemetry.Export.Obj
+          (List.map (fun (k, v) -> (k, value_json v)) e.fields) );
+    ]
+
+let events_json () =
+  Telemetry.Export.Arr (List.map to_json_value (recent ()))

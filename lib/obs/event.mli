@@ -1,0 +1,52 @@
+(** Flight recorder: bounded ring buffer of structured events.
+
+    Solver layers emit cheap structured events — fallback escalations,
+    CG breakdowns, imputations, scan diagnostics, health certificates —
+    into one global sink.  Emission is a single branch while telemetry
+    is disabled; the buffer holds the most recent {!capacity} events
+    (older ones are overwritten) and is cleared by
+    [Telemetry.Registry.reset].
+
+    Event schema (also the JSON shape from {!to_json_value}):
+    [{seq; time_ns; severity; name; fields}] where [fields] is an
+    ordered association list of typed key/value pairs. *)
+
+type severity = Debug | Info | Warning | Error
+type value = Bool of bool | Int of int | Float of float | Str of string
+
+type t = {
+  seq : int;  (** 0-based emission index since the last reset *)
+  time_ns : float;  (** wall-clock timestamp from the span clock *)
+  severity : severity;
+  name : string;  (** dotted event class, e.g. ["robust.escalate"] *)
+  fields : (string * value) list;
+}
+
+val emit : ?severity:severity -> string -> (string * value) list -> unit
+(** Record an event (no-op while telemetry is disabled).
+    [severity] defaults to [Info]. *)
+
+val recent : unit -> t list
+(** Buffered events, oldest first (at most {!capacity} of them). *)
+
+val last : unit -> t option
+val emitted : unit -> int
+(** Total events emitted since the last reset, including overwritten ones. *)
+
+val dropped : unit -> int
+(** How many of the emitted events have been overwritten. *)
+
+val capacity : unit -> int
+val set_capacity : int -> unit
+(** Resize the ring buffer (clearing it).
+    Raises [Invalid_argument] on a non-positive capacity. *)
+
+val field : t -> string -> value option
+val severity_name : severity -> string
+val value_text : value -> string
+val describe : t -> string
+(** One-line rendering: ["#seq [severity] name k=v k=v"]. *)
+
+val to_json_value : t -> Telemetry.Export.json
+val events_json : unit -> Telemetry.Export.json
+(** All buffered events as a JSON array, oldest first. *)

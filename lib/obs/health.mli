@@ -1,0 +1,89 @@
+(** Per-solve numerical-health certificates.
+
+    Certificate fields:
+    - [system]: which solve produced it, e.g. ["gssl.hard"].
+    - [dim]: dimension of the linear system.
+    - [rung]: fallback rung that produced the answer, when known.
+    - [true_residual]: ‖b − A x‖₂ {e recomputed} by re-applying the
+      operator to the returned solution (never the CG recurrence value).
+    - [rel_residual]: [true_residual / ‖b‖₂] (or the absolute residual
+      when [b = 0]).
+    - [cond_estimate]: power-iteration estimate of κ₂(A), when computed.
+    - [convergence]: CG convergence-curve summary, when an iterative
+      rung ran: iteration count, final vs. best residual, and a
+      stagnation flag (set when the solver gave up before converging or
+      finished far above its own best residual).
+
+    Certificates are appended to a bounded global log ({!record} /
+    {!recent} / {!last}) and mirrored as ["health.certificate"] events
+    in the flight recorder.  The log is cleared by
+    [Telemetry.Registry.reset].
+
+    All operators are passed as [Vec.t -> Vec.t] closures so this
+    module stays below [sparse]/[gssl] in the dependency order. *)
+
+type convergence = {
+  iterations : int;
+  final_residual : float;
+  best_residual : float;
+  stagnated : bool;
+}
+
+type t = {
+  system : string;
+  dim : int;
+  rung : string option;
+  true_residual : float;
+  rel_residual : float;
+  cond_estimate : float option;
+  convergence : convergence option;
+}
+
+val convergence :
+  iterations:int ->
+  final_residual:float ->
+  best_residual:float ->
+  converged:bool ->
+  convergence
+(** Build a convergence summary; [stagnated] is derived (not converged,
+    or final residual more than 10x the best residual reached). *)
+
+val certify :
+  system:string ->
+  ?rung:string ->
+  ?cond:float ->
+  ?convergence:convergence ->
+  apply:(Linalg.Vec.t -> Linalg.Vec.t) ->
+  b:Linalg.Vec.t ->
+  Linalg.Vec.t ->
+  t
+(** [certify ~system ~apply ~b x] recomputes the true residual of [x]
+    for the system [apply ≡ A], [b].  Costs one operator application.
+    Raises [Invalid_argument] on dimension mismatch. *)
+
+val healthy : ?rel_tol:float -> t -> bool
+(** Finite residual, relative residual within [rel_tol] (default 1e-6),
+    and no stagnation. *)
+
+val cond_estimate :
+  ?iterations:int ->
+  dim:int ->
+  apply:(Linalg.Vec.t -> Linalg.Vec.t) ->
+  solve:(Linalg.Vec.t -> Linalg.Vec.t) ->
+  unit ->
+  float
+(** κ₂ estimate by power iteration (default 12 steps each) on [apply]
+    (largest eigenvalue) and on [solve ≡ A⁻¹·] (reciprocal of the
+    smallest).  Returns [infinity] when either estimate degenerates. *)
+
+val record : t -> unit
+(** Append to the global certificate log (kept even while telemetry is
+    disabled — the caller already opted in via an [~observe] flag) and
+    emit a ["health.certificate"] flight-recorder event. *)
+
+val last : unit -> t option
+val recent : unit -> t list
+(** Logged certificates, oldest first (bounded). *)
+
+val describe : t -> string
+(** Multi-line human-readable rendering. *)

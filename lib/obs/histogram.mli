@@ -1,0 +1,54 @@
+(** Log-bucketed value/latency histograms with percentile export.
+
+    Buckets grow geometrically (ratio 2^¼ ≈ 1.19), so percentile
+    estimates carry ~19% relative error regardless of the value range,
+    and storage is proportional to the number of occupied buckets, not
+    the range.
+
+    Besides standalone histograms ({!create}/{!add}), a global named
+    table ({!observe}) mirrors the telemetry counter style: gated on
+    [Telemetry.Registry.enabled], cleared by [Registry.reset].
+    {!attach_to_spans} subscribes the table to span completions so every
+    span path accumulates a duration histogram in milliseconds — that is
+    how [bench --profile] and [repro --profile] report p50/p90/p99. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+(** Record a value; non-finite values are ignored, values [<= 0] land in
+    a dedicated zero bucket. *)
+
+val count : t -> int
+val sum : t -> float
+val mean : t -> float
+val min_value : t -> float
+val max_value : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [0..100]; geometric-midpoint estimate
+    clamped to the observed range.  [nan] on an empty histogram. *)
+
+val p50 : t -> float
+val p90 : t -> float
+val p99 : t -> float
+
+val observe : string -> float -> unit
+(** Record into the global named histogram (no-op while telemetry is
+    disabled). *)
+
+val find : string -> t option
+val snapshot : unit -> (string * t) list
+(** All named histograms, sorted by name. *)
+
+val attach_to_spans : unit -> unit
+(** Subscribe the named table to [Telemetry.Span.on_complete]: each
+    completed span records its duration (ms) under its path.
+    Idempotent; the listener is permanent but inert while telemetry is
+    disabled. *)
+
+val quantiles_json : unit -> Telemetry.Export.json
+(** [{path: {count, p50, p90, p99, max}}] for every named histogram. *)
+
+val to_text : unit -> string
+(** Human-readable table; empty string when nothing was recorded. *)

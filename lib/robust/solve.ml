@@ -15,7 +15,19 @@ type 'rung outcome = {
   solution : Vec.t;
   rung : 'rung;
   escalations : escalation list;
+  cg_attempts : Sparse.Cg.outcome list;
 }
+
+(* Satellite of the flight recorder: every escalation also lands as a
+   structured event carrying the failure reason of the abandoned rung,
+   so a post-mortem can read the rung sequence in order. *)
+let emit_escalation ~chain abandoned reason =
+  Obs.Event.emit ~severity:Obs.Event.Warning "robust.escalate"
+    [
+      ("chain", Obs.Event.Str chain);
+      ("abandoned", Obs.Event.Str abandoned);
+      ("reason", Obs.Event.Str reason);
+    ]
 
 (* One counter per fallback rung, incremented when the rung is entered as
    a fallback (never for the first rung of a chain), so a clean solve
@@ -48,10 +60,11 @@ let solve_dense ?(cond_threshold = 1e12) a b =
     invalid_arg "Robust.Solve.solve_dense: length mismatch";
   let escalations = ref [] in
   let note abandoned reason =
+    emit_escalation ~chain:"dense" abandoned reason;
     escalations := { abandoned; reason } :: !escalations
   in
   let finish rung solution =
-    { solution; rung; escalations = List.rev !escalations }
+    { solution; rung; escalations = List.rev !escalations; cg_attempts = [] }
   in
   let ridge () =
     Telemetry.Counter.incr c_dense_ridge;
@@ -132,10 +145,19 @@ let solve_sparse ?(tol = 1e-10) ?cg_max_iter (a : Sparse.Csr.t) b =
   let op = Sparse.Linop.of_csr a in
   let escalations = ref [] in
   let note abandoned reason =
+    emit_escalation ~chain:"sparse" abandoned reason;
     escalations := { abandoned; reason } :: !escalations
   in
+  (* every CG outcome along the chain, oldest first, so callers can
+     summarise the convergence curve in a health certificate *)
+  let attempts = ref [] in
+  let attempt out =
+    attempts := out :: !attempts;
+    out
+  in
   let finish rung solution =
-    { solution; rung; escalations = List.rev !escalations }
+    { solution; rung; escalations = List.rev !escalations;
+      cg_attempts = List.rev !attempts }
   in
   let dense_direct () =
     Telemetry.Counter.incr c_dense_direct;
@@ -160,7 +182,9 @@ let solve_sparse ?(tol = 1e-10) ?cg_max_iter (a : Sparse.Csr.t) b =
         dense_direct ()
   in
   let rec restart_loop k x0 =
-    let out = Sparse.Cg.solve ?x0 ~precondition:true ~tol ?max_iter:cg_max_iter op b in
+    let out =
+      attempt (Sparse.Cg.solve ?x0 ~precondition:true ~tol ?max_iter:cg_max_iter op b)
+    in
     if out.Sparse.Cg.converged && all_finite out.Sparse.Cg.solution then
       finish Cg_restarted out.Sparse.Cg.solution
     else if out.Sparse.Cg.breakdown || k <= 1 then begin
@@ -169,7 +193,7 @@ let solve_sparse ?(tol = 1e-10) ?cg_max_iter (a : Sparse.Csr.t) b =
     end
     else restart_loop (k - 1) (Some out.Sparse.Cg.solution)
   in
-  let out = Sparse.Cg.solve ~precondition:false ~tol ?max_iter:cg_max_iter op b in
+  let out = attempt (Sparse.Cg.solve ~precondition:false ~tol ?max_iter:cg_max_iter op b) in
   if out.Sparse.Cg.converged && all_finite out.Sparse.Cg.solution then
     finish Cg out.Sparse.Cg.solution
   else begin

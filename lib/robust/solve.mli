@@ -1,9 +1,11 @@
 (** Total linear solves via fallback chains.
 
     Every rung failure escalates to a cheaper-assumption (more expensive
-    or less accurate) method and is recorded both in the returned
-    [escalations] list and in a [robust.fallback.*] telemetry counter,
-    so degradation is visible in [--profile] output.  Neither entry
+    or less accurate) method and is recorded in the returned
+    [escalations] list, in a [robust.fallback.*] telemetry counter, and
+    as a ["robust.escalate"] flight-recorder event carrying the
+    abandoned rung and its failure reason, so degradation is visible
+    both in [--profile] output and in [Obs.Event.recent ()].  Neither entry
     point raises on degenerate systems: the dense chain bottoms out in a
     ridge-regularised solve (zeros as the absolute last resort), the
     sparse chain bottoms out in the dense chain.
@@ -32,6 +34,10 @@ type 'rung outcome = {
   solution : Linalg.Vec.t;
   rung : 'rung;  (** the rung that produced [solution] *)
   escalations : escalation list;  (** rungs abandoned on the way, in order *)
+  cg_attempts : Sparse.Cg.outcome list;
+      (** every CG outcome along the sparse chain (plain rung, then each
+          restart), oldest first; empty for the dense chain.  Used to
+          build [Obs.Health] convergence summaries. *)
 }
 
 val dense_rung_name : dense_rung -> string

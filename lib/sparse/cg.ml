@@ -4,6 +4,8 @@ type outcome = {
   solution : Vec.t;
   iterations : int;
   residual_norm : float;
+  best_residual : float;
+  true_residual : float option;
   converged : bool;
   breakdown : bool;
 }
@@ -18,6 +20,13 @@ let c_converged = Telemetry.Counter.make "cg.converged"
 let apply (op : Linop.t) x =
   Telemetry.Counter.incr c_matvecs;
   op.Linop.apply x
+
+(* The recurrence residual can drift from the truth in finite precision;
+   when stats are on we pay one extra matvec to recompute it honestly.
+   [Obs.Health] certificates and the qcheck drift property read it. *)
+let recompute_true_residual op b x =
+  if !Telemetry.Registry.enabled then Some (Vec.norm2 (Vec.sub b (apply op x)))
+  else None
 
 let solve_impl ?x0 ?(tol = 1e-10) ?max_iter ?(precondition = true)
     (op : Linop.t) b =
@@ -39,8 +48,9 @@ let solve_impl ?x0 ?(tol = 1e-10) ?max_iter ?(precondition = true)
   let b_norm = Vec.norm2 b in
   if b_norm = 0. then begin
     Telemetry.Counter.incr c_converged;
-    { solution = Vec.zeros n; iterations = 0; residual_norm = 0.; converged = true;
-      breakdown = false }
+    { solution = Vec.zeros n; iterations = 0; residual_norm = 0.;
+      best_residual = 0.; true_residual = (if !Telemetry.Registry.enabled then Some 0. else None);
+      converged = true; breakdown = false }
   end
   else begin
     let threshold = tol *. b_norm in
@@ -51,6 +61,7 @@ let solve_impl ?x0 ?(tol = 1e-10) ?max_iter ?(precondition = true)
     let rz = ref (Vec.dot r z) in
     let iterations = ref 0 in
     let res = ref (Vec.norm2 r) in
+    let best = ref !res in
     let breakdown = ref false in
     Telemetry.Trace.record "cg.residual" !res;
     while (not !breakdown) && !res > threshold && !iterations < max_iter do
@@ -68,6 +79,7 @@ let solve_impl ?x0 ?(tol = 1e-10) ?max_iter ?(precondition = true)
         Vec.axpy alpha !p x;
         Vec.axpy (-.alpha) ap r;
         res := Vec.norm2 r;
+        if !res < !best then best := !res;
         Telemetry.Trace.record "cg.residual" !res;
         if !res > threshold then begin
           let z = apply_precond r in
@@ -82,16 +94,23 @@ let solve_impl ?x0 ?(tol = 1e-10) ?max_iter ?(precondition = true)
     done;
     let converged = (not !breakdown) && !res <= threshold in
     if converged then Telemetry.Counter.incr c_converged;
-    { solution = x; iterations = !iterations; residual_norm = !res; converged;
-      breakdown = !breakdown }
+    if !breakdown then
+      Obs.Event.emit ~severity:Obs.Event.Warning "cg.breakdown"
+        [
+          ("dim", Obs.Event.Int n);
+          ("iterations", Obs.Event.Int !iterations);
+          ("residual", Obs.Event.Float !res);
+        ];
+    { solution = x; iterations = !iterations; residual_norm = !res;
+      best_residual = !best; true_residual = recompute_true_residual op b x;
+      converged; breakdown = !breakdown }
   end
 
 let solve ?x0 ?tol ?max_iter ?precondition op b =
   Telemetry.Span.with_ "cg.solve" (fun () ->
       solve_impl ?x0 ?tol ?max_iter ?precondition op b)
 
-let solve_exn ?x0 ?tol ?max_iter ?precondition op b =
-  let out = solve ?x0 ?tol ?max_iter ?precondition op b in
+let ensure_converged op b (out : outcome) =
   if not out.converged then begin
     let cause =
       if out.breakdown then "non-SPD breakdown (p^T A p <= 0)"
@@ -102,5 +121,9 @@ let solve_exn ?x0 ?tol ?max_iter ?precondition op b =
       (Printf.sprintf
          "Cg.solve_exn: %s on %dx%d system after %d iteration(s) (final residual %g, rhs norm %g)"
          cause n n out.iterations out.residual_norm (Vec.norm2 b))
-  end;
+  end
+
+let solve_exn ?x0 ?tol ?max_iter ?precondition op b =
+  let out = solve ?x0 ?tol ?max_iter ?precondition op b in
+  ensure_converged op b out;
   out.solution

@@ -8,11 +8,20 @@ type outcome = {
   solution : Linalg.Vec.t;
   iterations : int;
   residual_norm : float;  (** final [‖b − A x‖₂] as estimated by the recurrence *)
+  best_residual : float;
+      (** smallest recurrence residual seen along the iteration — a final
+          residual far above it flags a stagnating/oscillating solve *)
+  true_residual : float option;
+      (** [‖b − A x‖₂] {e recomputed} with one extra matvec on the returned
+          solution.  Only computed while telemetry is enabled (the existing
+          stats path); [None] otherwise, so default solves pay nothing. *)
   converged : bool;
   breakdown : bool;
       (** [pᵀAp ≤ 0] (or NaN) was observed: the operator is not SPD along
           some search direction.  Distinct from running out of iterations —
-          restarting cannot fix a breakdown, only a different solver can. *)
+          restarting cannot fix a breakdown, only a different solver can.
+          Breakdowns are also reported as ["cg.breakdown"] events in the
+          [Obs.Event] flight recorder. *)
 }
 
 val solve :
@@ -41,3 +50,8 @@ val solve_exn :
     message reports the system dimension, iteration count, final residual
     norm and ‖b‖, and distinguishes non-SPD breakdown from plain
     non-convergence. *)
+
+val ensure_converged : Linop.t -> Linalg.Vec.t -> outcome -> unit
+(** Raise the same [Failure] {!solve_exn} would for an unconverged
+    outcome; no-op on a converged one.  Lets callers inspect the outcome
+    (e.g. record a health certificate) before enforcing convergence. *)

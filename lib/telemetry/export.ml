@@ -21,7 +21,11 @@ let escape buf s =
       | '\n' -> Buffer.add_string buf "\\n"
       | '\r' -> Buffer.add_string buf "\\r"
       | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
+      | c when Char.code c < 0x20 || Char.code c >= 0x7f ->
+          (* Control bytes must be escaped; bytes >= 0x7f are escaped too
+             so arbitrary (possibly non-UTF-8) name bytes still yield
+             pure-ASCII, always-valid JSON.  The parser below reverses
+             the mapping for codes < 256. *)
           Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
       | c -> Buffer.add_char buf c)
     s
@@ -120,9 +124,11 @@ let parse s =
                   try int_of_string ("0x" ^ hex)
                   with _ -> fail "bad \\u escape"
                 in
-                (* ASCII only; everything else becomes '?' (our emitter
-                   never produces non-ASCII names) *)
-                Buffer.add_char buf (if code < 128 then Char.chr code else '?');
+                (* Codes up to 0xff decode back to the raw byte (the
+                   emitter writes every byte >= 0x7f as \u00XX, so this
+                   makes arbitrary byte strings round-trip); higher code
+                   points become '?'. *)
+                Buffer.add_char buf (if code < 256 then Char.chr code else '?');
                 pos := !pos + 4
             | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
             advance ();

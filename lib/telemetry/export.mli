@@ -16,10 +16,15 @@ type json =
 exception Parse_error of string
 
 val render : json -> string
-(** Compact (single-line) JSON. *)
+(** Compact (single-line) JSON.  Output is pure ASCII: control bytes and
+    every byte >= 0x7f in strings are escaped as [\u00XX], so names
+    containing quotes, backslashes, or arbitrary non-ASCII bytes always
+    produce valid JSON. *)
 
 val parse : string -> json
-(** Raises {!Parse_error} on malformed input. *)
+(** Raises {!Parse_error} on malformed input.  [\uXXXX] escapes with
+    code < 256 decode to the raw byte (making {!render} round-trip
+    exactly); higher code points decode to ['?']. *)
 
 val member : string -> json -> json option
 (** Field lookup on an [Obj]; [None] on other constructors. *)

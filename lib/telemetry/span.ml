@@ -12,7 +12,27 @@ let () =
       Hashtbl.reset table;
       stack := [])
 
-let now_ns () = Unix.gettimeofday () *. 1e9
+(* Wall clock, not monotonic: an NTP step can make a later reading
+   smaller than an earlier one, which is why durations are clamped to
+   zero below.  The source is swappable so tests can simulate exactly
+   that backwards jump. *)
+let system_now_ns () = Unix.gettimeofday () *. 1e9
+let time_source = ref system_now_ns
+
+let set_time_source = function
+  | Some f -> time_source := f
+  | None -> time_source := system_now_ns
+
+let now_ns () = !time_source ()
+
+(* Completion listeners receive (path, start_ns, duration_ns) for every
+   recorded span; they power the Chrome-trace capture and the latency
+   histograms without either living in this module. *)
+let listeners : (string -> float -> float -> unit) list ref = ref []
+let on_complete f = listeners := f :: !listeners
+
+let notify path t0 dt =
+  List.iter (fun f -> try f path t0 dt with _ -> ()) !listeners
 
 let find_or_create path =
   match Hashtbl.find_opt table path with
@@ -37,7 +57,8 @@ let with_ name f =
       let s = find_or_create path in
       s.count <- s.count + 1;
       s.total_ns <- s.total_ns +. dt;
-      if dt > s.max_ns then s.max_ns <- dt
+      if dt > s.max_ns then s.max_ns <- dt;
+      notify path t0 dt
     in
     Fun.protect ~finally:finish f
   end

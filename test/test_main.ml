@@ -23,5 +23,6 @@ let () =
       Test_baselines.suite;
       Test_experiment.suite;
       Test_telemetry.suite;
+      Test_obs.suite;
       Test_robust.suite;
     ]

@@ -452,6 +452,54 @@ let prop_monotone_edge_drop seed =
   let i1 = imputed 0.1 and i2 = imputed 0.4 and i3 = imputed 0.8 in
   i1 >= 1 && i1 <= i2 && i2 <= i3
 
+(* With ~observe the chain narrates itself: a starved CG solve must leave
+   an ordered robust.escalate trail in the flight recorder (the abandoned
+   rung of each escalation, oldest first) and per-component certificates
+   whose convergence summary flags stagnation. *)
+let test_resilient_observed_starved_event_trail () =
+  let w, labels = two_cluster (Prng.Rng.create 29) in
+  let p = Gssl.Problem.make ~graph:(sparse_graph_of w) ~labels in
+  Telemetry.Registry.reset ();
+  let report, escalations =
+    Telemetry.Registry.with_enabled (fun () ->
+        let report = Resilient.solve_hard ~observe:true ~cg_max_iter:1 p in
+        let escalations =
+          List.filter_map
+            (fun e ->
+              if e.Obs.Event.name = "robust.escalate" then
+                match Obs.Event.field e "abandoned" with
+                | Some (Obs.Event.Str rung) -> Some rung
+                | _ -> None
+              else None)
+            (Obs.Event.recent ())
+        in
+        (report, escalations))
+  in
+  Telemetry.Registry.reset ();
+  Alcotest.(check bool) "finite predictions" true
+    (Array.for_all Float.is_finite report.Resilient.predictions);
+  (match escalations with
+  | "cg" :: "cg_restarted" :: _ -> ()
+  | other ->
+      Alcotest.failf "escalation trail not in chain order: [%s]"
+        (String.concat "; " other));
+  Alcotest.(check bool) "certificate per solved component" true
+    (List.length report.Resilient.certificates
+    = List.length report.Resilient.rungs);
+  (* the all-zero-label component solves trivially (b = 0, zero CG
+     iterations); the component that escalated must carry a stagnation
+     flag in its convergence summary *)
+  let stagnated =
+    List.filter
+      (fun (_, (cert : Obs.Health.t)) ->
+        match cert.Obs.Health.convergence with
+        | Some conv -> conv.Obs.Health.stagnated
+        | None -> false)
+      report.Resilient.certificates
+  in
+  Alcotest.(check bool) "a starved component is flagged stagnated" true
+    (stagnated <> [])
+
 let suite =
   ( "robust",
     [
@@ -481,6 +529,8 @@ let suite =
         test_resilient_clean_sparse_matches_scalable;
       case "resilient: clean soft = soft; lambda guard"
         test_resilient_clean_soft_matches_soft;
+      case "resilient observed: starved cg leaves ordered event trail"
+        test_resilient_observed_starved_event_trail;
       qprop ~count:210 "any single fault: sparse resilient never raises, names it"
         prop_fault_sparse;
       qprop ~count:200 "any single fault: dense resilient never raises, names it"

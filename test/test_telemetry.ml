@@ -70,6 +70,25 @@ let test_span_nesting_and_monotonicity () =
       Alcotest.(check bool) "inner time positive" true (inner > 0.);
       Alcotest.(check bool) "outer >= inner (monotone nesting)" true (outer >= inner))
 
+let test_span_backwards_clock_clamps () =
+  with_clean_registry (fun () ->
+      (* a clock that runs backwards: every read is earlier than the last,
+         so the span's raw duration is negative and must clamp to zero *)
+      let t = ref 1_000_000_000. in
+      T_span.set_time_source
+        (Some
+           (fun () ->
+             t := !t -. 100_000.;
+             !t));
+      Fun.protect
+        ~finally:(fun () -> T_span.set_time_source None)
+        (fun () ->
+          T_span.with_ "backwards" (fun () -> ());
+          Alcotest.(check int) "span still recorded" 1
+            (T_span.count "backwards");
+          check_float "negative duration clamps to zero" 0.
+            (T_span.total_ns "backwards")))
+
 let test_span_exception_unwinds () =
   with_clean_registry (fun () ->
       (try
@@ -219,18 +238,51 @@ let prop_scalable_matches_hard seed =
       && iterations <= max_iter
       && ((not nontrivial) || (iterations > 0 && matvecs > 0))
 
+(* metric names carrying quotes, backslashes, and raw non-ASCII bytes
+   must still render as valid (pure-ASCII) JSON and parse back intact *)
+let test_json_weird_metric_names_roundtrip () =
+  with_clean_registry (fun () ->
+      let name = "weird.\"name\"\\with\xc3\xa9\x7fbytes" in
+      T_counter.add (T_counter.make name) 7;
+      T_span.with_ name (fun () -> ());
+      let rendered = T_export.to_json () in
+      String.iter
+        (fun c ->
+          if Char.code c >= 0x80 then
+            Alcotest.fail "rendered JSON must be pure ASCII")
+        rendered;
+      let parsed = T_export.parse rendered in
+      let member_exn what key json =
+        match T_export.member key json with
+        | Some v -> v
+        | None -> Alcotest.failf "%s lost in round-trip" what
+      in
+      let counter =
+        member_exn "counter name" name (member_exn "counters" "counters" parsed)
+      in
+      Alcotest.(check (option int)) "counter value" (Some 7)
+        (T_export.to_int counter);
+      let stats =
+        member_exn "span name" name (member_exn "spans" "spans" parsed)
+      in
+      Alcotest.(check (option int)) "span count" (Some 1)
+        (T_export.to_int (member_exn "span stats" "count" stats)))
+
 let suite =
   ( "telemetry",
     [
       case "counter semantics" test_counter_semantics;
       case "counter disabled no-op" test_counter_disabled_noop;
       case "span nesting + monotone timing" test_span_nesting_and_monotonicity;
+      case "span backwards clock clamps to 0" test_span_backwards_clock_clamps;
       case "span exception unwinds" test_span_exception_unwinds;
       case "span disabled no-op" test_span_disabled_noop;
       case "with_enabled restores state" test_registry_with_enabled_restores;
       case "trace order + disabled no-op" test_trace_order_and_disabled;
       case "json export round-trip" test_json_roundtrip;
       case "json escapes round-trip" test_json_renders_escapes_and_parses;
+      case "json weird metric names round-trip"
+        test_json_weird_metric_names_roundtrip;
       case "json parse rejects malformed" test_json_parse_errors;
       case "text report lists metrics" test_text_report_mentions_metrics;
       qprop ~count:60 "scalable csr+cg = dense hard (1e-6), iters <= max_iter"
