@@ -1,7 +1,7 @@
 # Convenience targets; everything funnels through dune.
 
-.PHONY: build test test-random fault-smoke bench-smoke bench bench-check \
-	bench-snapshot trace-smoke ci clean
+.PHONY: build test test-random test-domains1 fault-smoke bench-smoke \
+	bench-par bench bench-check bench-snapshot trace-smoke ci clean
 
 # Baseline report for the bench regression gate (see bench-check).
 BASELINE ?= BENCH_baseline.json
@@ -21,6 +21,13 @@ test-random:
 	echo "QCHECK_SEED=$$seed"; \
 	QCHECK_SEED=$$seed dune exec test/test_main.exe
 
+# Full deterministic suite with the parallel pool pinned to one domain
+# (GSSL_DOMAINS=1): every kernel takes its inline path, so a pass here
+# plus a pass of `test` witnesses the serial/parallel equivalence on the
+# whole suite, not just the dedicated qcheck properties.
+test-domains1:
+	QCHECK_SEED=42 GSSL_DOMAINS=1 dune exec test/test_main.exe
+
 # Fault-injection smoke: only the robustness suite (Check / Solve /
 # Fault / Resilient), under a fresh QCheck seed each run.
 fault-smoke:
@@ -30,6 +37,15 @@ fault-smoke:
 # self-validates it (parse + required fields + nonzero solver counters).
 bench-smoke:
 	dune build @bench-smoke
+
+# Serial-vs-parallel kernel phases (gemm / pairwise / spmv / lambda
+# path) on a >= 2-domain pool: asserts the parallel legs are
+# bit-identical to serial, validates the profile JSON, and prints the
+# per-kernel speedup (expect >= 1.5x on multicore hardware; around or
+# below 1x on a single hardware thread).
+bench-par:
+	dune build bench/main.exe
+	./_build/default/bench/main.exe --par-smoke > /dev/null
 
 bench:
 	dune exec bench/main.exe
@@ -57,7 +73,8 @@ trace-smoke:
 	./_build/default/bin/repro.exe toy --trace-out /tmp/gssl_trace.json > /dev/null
 	./_build/default/bench/compare.exe --check-trace /tmp/gssl_trace.json
 
-ci: build test test-random fault-smoke bench-smoke bench-check trace-smoke
+ci: build test test-domains1 test-random fault-smoke bench-smoke bench-par \
+	bench-check trace-smoke
 
 clean:
 	dune clean

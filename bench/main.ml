@@ -390,12 +390,65 @@ module Profile = struct
     let n, m, knn_count, knn_k =
       if smoke then (40, 40, 150, 10) else (150, 150, 800, 12)
     in
+    (* serial-vs-parallel kernel phases: run both legs over one fixture,
+       assert the parallel leg is bit-identical to the serial one, and
+       report the wall-clock ratio (meaningful only on multicore boxes;
+       on a single hardware thread it hovers around or below 1). *)
+    let gemm_n = if smoke then 160 else 512 in
+    let pair_n = if smoke then 300 else 1500 in
+    let spmv_n = if smoke then 300 else 800 in
+    let spmv_reps = 40 in
+    let par_domains = Stdlib.max 2 (Parallel.Pool.default_domain_count ()) in
     (* fixtures are built before telemetry is enabled *)
     let dense_problem =
       synthetic_problem ~seed:90 ~model:Dataset.Synthetic.Model1 ~n ~m
     in
     let sparse_problem =
       knn_problem ~seed:91 ~count:knn_count ~n_labeled:(knn_count / 4) ~k:knn_k
+    in
+    let krng = Prng.Rng.create 97 in
+    let gemm_a = Mat.init gemm_n gemm_n (fun _ _ -> Prng.Rng.float krng) in
+    let gemm_b = Mat.init gemm_n gemm_n (fun _ _ -> Prng.Rng.float krng) in
+    let pair_points =
+      Array.map
+        (fun s -> s.Dataset.Synthetic.x)
+        (synthetic_samples ~seed:98 ~model:Dataset.Synthetic.Model1 ~count:pair_n)
+    in
+    let spmv_w =
+      let points =
+        Array.map
+          (fun s -> s.Dataset.Synthetic.x)
+          (synthetic_samples ~seed:99 ~model:Dataset.Synthetic.Model1
+             ~count:spmv_n)
+      in
+      let h = Kernel.Bandwidth.paper_rate ~d:5 spmv_n in
+      Kernel.Similarity.knn ~kernel:Kernel.Kernel_fn.Rbf ~bandwidth:h ~k:12
+        points
+    in
+    let spmv_x = Array.init spmv_n (fun i -> sin (float_of_int i)) in
+    let spmv_loop () =
+      let out = ref spmv_x in
+      for _ = 1 to spmv_reps do
+        out := Sparse.Csr.mv spmv_w spmv_x
+      done;
+      !out
+    in
+    (* bit-identity references, computed serially and untimed *)
+    let gemm_ref = Parallel.Pool.sequential (fun () -> Mat.mm gemm_a gemm_b) in
+    let pair_ref =
+      Parallel.Pool.sequential (fun () ->
+          Kernel.Pairwise.sq_distance_matrix pair_points)
+    in
+    let spmv_ref = Parallel.Pool.sequential spmv_loop in
+    let assert_identical kernel ok =
+      if not ok then
+        failwith
+          (Printf.sprintf
+             "bench: %s parallel result is not bit-identical to serial" kernel)
+    in
+    let par name f =
+      run_phase name (fun () ->
+          Parallel.Pool.with_default_domains par_domains f)
     in
     Obs.Histogram.attach_to_spans ();
     T.Registry.enable ();
@@ -421,6 +474,27 @@ module Profile = struct
               sparse_problem);
         run_phase "lambda_path" (fun () ->
             Gssl.Lambda_path.compute dense_problem);
+        run_phase "lambda_path_naive" (fun () ->
+            Gssl.Lambda_path.compute ~strategy:Gssl.Lambda_path.Naive
+              dense_problem);
+        run_phase "gemm_serial" (fun () ->
+            Parallel.Pool.sequential (fun () -> Mat.mm gemm_a gemm_b));
+        par "gemm_par" (fun () ->
+            let r = Mat.mm gemm_a gemm_b in
+            assert_identical "gemm" (r = gemm_ref);
+            r);
+        run_phase "pairwise_serial" (fun () ->
+            Parallel.Pool.sequential (fun () ->
+                Kernel.Pairwise.sq_distance_matrix pair_points));
+        par "pairwise_par" (fun () ->
+            let r = Kernel.Pairwise.sq_distance_matrix pair_points in
+            assert_identical "pairwise" (r = pair_ref);
+            r);
+        run_phase "spmv_serial" (fun () -> Parallel.Pool.sequential spmv_loop);
+        par "spmv_par" (fun () ->
+            let r = spmv_loop () in
+            assert_identical "spmv" (r = spmv_ref);
+            r);
         (* resilient layer: a clean solve must stay on the first rung
            (all fallback counters 0), a CG budget of 1 must escalate *)
         run_phase "resilient_hard_clean" (fun () ->
@@ -431,22 +505,49 @@ module Profile = struct
     in
     T.Registry.disable ();
     T.Registry.reset ();
-    T.Export.(
-      render
-        (Obj
-           [
-             ("report", Str "gssl-bench-profile");
-             ("mode", Str (if smoke then "smoke" else "profile"));
-             ( "sizes",
-               Obj
-                 [
-                   ("n", Num (float_of_int n));
-                   ("m", Num (float_of_int m));
-                   ("knn_points", Num (float_of_int knn_count));
-                   ("knn_k", Num (float_of_int knn_k));
-                 ] );
-             ("phases", Arr phases);
-           ]))
+    let open T.Export in
+    let wall name =
+      let is_phase p =
+        match member "name" p with Some (Str s) -> s = name | _ -> false
+      in
+      match List.find_opt is_phase phases with
+      | Some p -> (
+          match member "wall_ms" p with Some (Num v) -> v | _ -> 0.)
+      | None -> 0.
+    in
+    let ratio serial par =
+      let s = wall serial and p = wall par in
+      if p > 0. then s /. p else 0.
+    in
+    let speedup =
+      Obj
+        [
+          ("gemm", Num (ratio "gemm_serial" "gemm_par"));
+          ("pairwise", Num (ratio "pairwise_serial" "pairwise_par"));
+          ("spmv", Num (ratio "spmv_serial" "spmv_par"));
+          ("lambda_path", Num (ratio "lambda_path_naive" "lambda_path"));
+        ]
+    in
+    render
+      (Obj
+         [
+           ("report", Str "gssl-bench-profile");
+           ("mode", Str (if smoke then "smoke" else "profile"));
+           ( "sizes",
+             Obj
+               [
+                 ("n", Num (float_of_int n));
+                 ("m", Num (float_of_int m));
+                 ("knn_points", Num (float_of_int knn_count));
+                 ("knn_k", Num (float_of_int knn_k));
+                 ("gemm_n", Num (float_of_int gemm_n));
+                 ("pairwise_points", Num (float_of_int pair_n));
+                 ("spmv_points", Num (float_of_int spmv_n));
+               ] );
+           ("domains", Num (float_of_int par_domains));
+           ("speedup", speedup);
+           ("phases", Arr phases);
+         ])
 
   (* The smoke contract: the report must parse back, cover the hard and
      soft paths, expose {wall_ms, matvecs, iterations} per phase, and the
@@ -492,7 +593,48 @@ module Profile = struct
       [
         "hard_direct"; "hard_direct_observed"; "hard_cg"; "soft_direct";
         "soft_cg"; "resilient_hard_clean"; "resilient_hard_capped";
+        "lambda_path"; "lambda_path_naive"; "gemm_serial"; "gemm_par";
+        "pairwise_serial"; "pairwise_par"; "spmv_serial"; "spmv_par";
       ];
+    let counter p name =
+      match member "counters" p with
+      | Some (Obj kvs) -> (
+          match List.assoc_opt name kvs with Some (Num v) -> v | _ -> 0.)
+      | _ -> failwith "bench smoke: phase lacks counters object"
+    in
+    (* the parallel legs must actually have gone through the pool *)
+    List.iter
+      (fun name ->
+        if counter (find name) "parallel.pool.tasks" <= 0. then
+          failwith
+            (Printf.sprintf
+               "bench smoke: phase %S submitted no pool tasks" name))
+      [ "gemm_par"; "pairwise_par"; "spmv_par" ];
+    (* the factorized lambda path must share its factorizations across
+       the grid (1 Cholesky for the hard endpoint + 1 for L22), while the
+       naive path pays one per positive grid point *)
+    let path_chol = counter (find "lambda_path") "linalg.cholesky_factor" in
+    if path_chol > 2. then
+      failwith
+        (Printf.sprintf
+           "bench smoke: factorized lambda_path ran %g Cholesky factorizations"
+           path_chol);
+    if counter (find "lambda_path") "gssl.lambda_path_factorized" < 1. then
+      failwith "bench smoke: lambda_path did not take the factorized road";
+    if counter (find "lambda_path_naive") "linalg.cholesky_factor" < 13. then
+      failwith
+        "bench smoke: naive lambda_path shared factorizations unexpectedly";
+    (match member "speedup" json with
+    | Some (Obj kvs) ->
+        List.iter
+          (fun k ->
+            match List.assoc_opt k kvs with
+            | Some (Num _) -> ()
+            | _ ->
+                failwith
+                  (Printf.sprintf "bench smoke: speedup lacks field %S" k))
+          [ "gemm"; "pairwise"; "spmv"; "lambda_path" ]
+    | _ -> failwith "bench smoke: missing speedup object");
     let hard_cg = find "hard_cg" in
     if field "matvecs" hard_cg <= 0. then
       failwith "bench smoke: hard_cg reported zero matvecs";
@@ -529,7 +671,7 @@ module Profile = struct
     if capped_total <= 0. then
       failwith "bench smoke: capped resilient solve triggered no fallback"
 
-  let run ?out ~smoke () =
+  let run ?out ?(par_focus = false) ~smoke () =
     let text = report ~smoke () in
     print_endline text;
     (match out with
@@ -545,7 +687,18 @@ module Profile = struct
     if smoke then begin
       validate text;
       prerr_endline "bench smoke ok: profile JSON parses and is complete"
-    end
+    end;
+    if par_focus then
+      T.Export.(
+        match member "speedup" (parse text) with
+        | Some (Obj kvs) ->
+            List.iter
+              (fun (k, v) ->
+                match v with
+                | Num x -> Printf.eprintf "speedup %-12s %.2fx\n%!" k x
+                | _ -> ())
+              kvs
+        | _ -> ())
 end
 
 (* ------------------------------------------------------------------ *)
@@ -614,9 +767,13 @@ let () =
   | _ :: [] -> run_bechamel ()
   | _ :: [ "--profile" ] -> Profile.run ~smoke:false ()
   | _ :: [ "--smoke" ] -> Profile.run ~smoke:true ()
+  | _ :: [ "--par-smoke" ] -> Profile.run ~smoke:true ~par_focus:true ()
   | _ :: [ "--profile"; "--out"; path ] -> Profile.run ~out:path ~smoke:false ()
   | _ :: [ "--smoke"; "--out"; path ] -> Profile.run ~out:path ~smoke:true ()
+  | _ :: [ "--par-smoke"; "--out"; path ] ->
+      Profile.run ~out:path ~smoke:true ~par_focus:true ()
   | _ ->
       prerr_endline
-        "usage: bench/main.exe [--profile | --smoke] [--out report.json]";
+        "usage: bench/main.exe [--profile | --smoke | --par-smoke] [--out \
+         report.json]";
       exit 2

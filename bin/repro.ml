@@ -108,12 +108,23 @@ let svg_arg =
 
 let domains_arg =
   let doc =
-    "Run the replication grid on $(docv) OCaml domains (results are \
-     bit-identical regardless of the count; 0 = auto-detect)."
+    "Run the replication grid and the parallel compute kernels on $(docv) \
+     OCaml domains (results are bit-identical regardless of the count; 0 = \
+     auto-detect)."
   in
-  Arg.(value & opt int 1 & info [ "domains"; "j" ] ~docv:"D" ~doc)
+  Arg.(
+    value
+    & opt int 1
+    & info [ "domains"; "j" ] ~docv:"D" ~doc
+        ~env:(Cmd.Env.info "GSSL_DOMAINS"))
 
-let resolve_domains d = if d = 0 then Domain.recommended_domain_count () else d
+(* One knob steers both layers: the sweep grid gets the count explicitly,
+   and the default pool (used by gemm / spmv / pairwise / Jacobi) is
+   resized to match. *)
+let resolve_domains d =
+  let d = if d = 0 then Domain.recommended_domain_count () else d in
+  Parallel.Pool.set_default_domains d;
+  d
 
 let run_synthetic make reps seed domains markdown no_plot svg profile profile_json trace_out =
   setup_logs ();

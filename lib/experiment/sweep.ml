@@ -68,35 +68,24 @@ let grid ~seed ~reps ~xs ~labels f =
     accs
 
 let grid_parallel ?domains ~seed ~reps ~xs ~labels f =
-  let domains =
-    match domains with
-    | Some d ->
-        if d < 1 then invalid_arg "Sweep.grid_parallel: need domains >= 1";
-        d
-    | None -> Domain.recommended_domain_count ()
-  in
-  if domains = 1 then grid ~seed ~reps ~xs ~labels f
-  else begin
-    if reps < 1 then invalid_arg "Sweep.grid_parallel: need reps >= 1";
+  (match domains with
+  | Some d when d < 1 -> invalid_arg "Sweep.grid_parallel: need domains >= 1"
+  | _ -> ());
+  if reps < 1 then invalid_arg "Sweep.grid_parallel: need reps >= 1";
+  let run_on pool =
     let master = Prng.Rng.create seed in
     let xs_arr = Array.of_list xs in
     let n_x = Array.length xs_arr in
     let n_tasks = n_x * reps in
-    (* each cell is written by exactly one domain, so the plain array is
+    (* each cell is written by exactly one task, so the plain array is
        race-free; results are merged afterwards in a fixed order *)
     let results : float list option array = Array.make n_tasks None in
-    let run_slice d () =
-      let t = ref d in
-      while !t < n_tasks do
-        let i = !t / reps and k = !t mod reps in
-        let rng = Prng.Rng.substream master ((i * 1_000_003) + k) in
-        results.(!t) <- Some (f ~x:xs_arr.(i) rng);
-        t := !t + domains
-      done
-    in
-    let workers = Array.init (domains - 1) (fun d -> Domain.spawn (run_slice (d + 1))) in
-    run_slice 0 ();
-    Array.iter Domain.join workers;
+    Parallel.Pool.parallel_for ~grain:1 pool n_tasks (fun lo hi ->
+        for t = lo to hi - 1 do
+          let i = t / reps and k = t mod reps in
+          let rng = Prng.Rng.substream master ((i * 1_000_003) + k) in
+          results.(t) <- Some (f ~x:xs_arr.(i) rng)
+        done);
     (* merge in the same (i, k) order as the sequential grid *)
     let accs =
       List.map (fun l -> (l, Array.init n_x (fun _ -> Stats.Running.create ()))) labels
@@ -126,4 +115,11 @@ let grid_parallel ?domains ~seed ~reps ~xs ~labels f =
               row;
         })
       accs
-  end
+  in
+  match domains with
+  | Some 1 -> grid ~seed ~reps ~xs ~labels f
+  | Some d -> Parallel.Pool.with_pool ~domains:d run_on
+  | None ->
+      let pool = Parallel.Pool.get_default () in
+      if Parallel.Pool.size pool = 1 then grid ~seed ~reps ~xs ~labels f
+      else run_on pool

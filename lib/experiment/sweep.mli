@@ -50,9 +50,13 @@ val grid_parallel :
   labels:string list ->
   (x:float -> Prng.Rng.t -> float list) ->
   series list
-(** Same grid evaluated on [domains] OCaml 5 domains ([domains] defaults
-    to the machine's recommended domain count).  Because every (grid
-    point, replicate) cell has its own derived stream and the merge
-    order is fixed, the result is bit-identical to {!grid} regardless of
-    [domains].  The measurement closure must not touch shared mutable
-    state.  Raises [Invalid_argument] when [domains < 1]. *)
+(** Same grid evaluated on the {!Parallel.Pool}: [Some d] runs on a
+    fresh [d]-domain pool, [None] (the default) borrows the process-wide
+    default pool (sized by [GSSL_DOMAINS] / the CLI [--domains] knob).
+    Because every (grid point, replicate) cell has its own derived
+    stream and the merge order is fixed, the result is bit-identical to
+    {!grid} regardless of [domains] — and because the work goes through
+    the pool, sweeps over solvers that themselves parallelize cannot
+    oversubscribe the machine (nested [parallel_for] runs inline).  The
+    measurement closure must not touch shared mutable state.  Raises
+    [Invalid_argument] when [domains < 1]. *)

@@ -1,4 +1,5 @@
 module Vec = Linalg.Vec
+module Mat = Linalg.Mat
 
 type point = {
   lambda : float;
@@ -9,7 +10,11 @@ type point = {
 
 type t = { points : point array; hard : Vec.t; label_mean : float }
 
+type strategy = Factorized | Naive
+
 let c_points = Telemetry.Counter.make "gssl.lambda_path_points"
+let c_factorized = Telemetry.Counter.make "gssl.lambda_path_factorized"
+let c_naive = Telemetry.Counter.make "gssl.lambda_path_naive"
 
 let default_lambdas =
   let log_lo = log 1e-4 and log_hi = log 1e3 in
@@ -19,7 +24,71 @@ let default_lambdas =
   in
   Array.append [| 0. |] spaced
 
-let compute ?(lambdas = default_lambdas) problem =
+(* The full soft system is (V + λL) f = (y; 0) with V = diag(1 on the
+   labeled block).  Eliminating the unlabeled block gives, for every
+   λ > 0 at once,
+
+     (I_n + λ S) f_L = y        with  S = L11 − L12 L22⁻¹ L21
+     f_U = −L22⁻¹ L21 f_L
+
+   so one Cholesky of L22 (the O(m³) piece, shared with the hard
+   criterion) plus one eigendecomposition S = Q Λ Qᵀ (n×n, n = labeled
+   count) turn every grid point into O(n² + nm) work:
+
+     f_L(λ) = Q diag(1 / (1 + λΛᵢ)) Qᵀ y.
+
+   Λᵢ ≥ 0 (S is a Schur complement of the PSD Laplacian), so the
+   per-point diagonal never vanishes — the factorized path is defined
+   exactly when L22 is positive definite, i.e. when the hard criterion
+   itself is solvable. *)
+let factorized_scores problem lambdas =
+  let n = Problem.n_labeled problem and m = Problem.n_unlabeled problem in
+  let w11, w12, w21, w22 = Problem.blocks problem in
+  let d = Problem.degrees problem in
+  let y = problem.Problem.labels in
+  let l11 =
+    Mat.init n n (fun i j ->
+        (if i = j then d.(i) else 0.) -. Mat.get w11 i j)
+  in
+  let l12 = Mat.init n m (fun i a -> -.Mat.get w12 i a) in
+  let l21 = Mat.init m n (fun a i -> -.Mat.get w21 a i) in
+  let l22 =
+    Mat.init m m (fun a b ->
+        (if a = b then d.(n + a) else 0.) -. Mat.get w22 a b)
+  in
+  (* may raise Not_positive_definite (unanchored component): caller
+     falls back to the naive per-point path, which fails the same way
+     Soft.solve would *)
+  let chol = if m = 0 then Mat.zeros 0 0 else Linalg.Cholesky.factor l22 in
+  (* B = L22⁻¹ L21 (m×n): n triangular-solve pairs against one factor *)
+  let b =
+    if m = 0 then Mat.zeros 0 n
+    else
+      Mat.of_cols
+        (Array.init n (fun j ->
+             Linalg.Cholesky.solve_factored chol (Mat.col l21 j)))
+  in
+  let s_raw = Mat.sub l11 (Mat.mm l12 b) in
+  (* symmetrise: the solves leave S symmetric only up to rounding *)
+  let s =
+    Mat.init n n (fun i j -> 0.5 *. (Mat.get s_raw i j +. Mat.get s_raw j i))
+  in
+  let { Linalg.Eigen.values; vectors } = Linalg.Eigen.jacobi s in
+  let values = Array.map (fun l -> Stdlib.max 0. l) values in
+  let qty = Mat.tmv vectors y in
+  Array.map
+    (fun lambda ->
+      let coeffs =
+        Array.init n (fun i -> qty.(i) /. (1. +. (lambda *. values.(i))))
+      in
+      let f_l = Mat.mv vectors coeffs in
+      Vec.scale (-1.) (Mat.mv b f_l))
+    lambdas
+
+let naive_scores problem lambdas =
+  Array.map (fun lambda -> Soft.solve ~lambda problem) lambdas
+
+let compute ?(strategy = Factorized) ?(lambdas = default_lambdas) problem =
   if Array.length lambdas = 0 then invalid_arg "Lambda_path.compute: empty grid";
   Array.iteri
     (fun i l ->
@@ -31,10 +100,35 @@ let compute ?(lambdas = default_lambdas) problem =
   Telemetry.Counter.add c_points (Array.length lambdas);
   let hard = Hard.solve problem in
   let label_mean = Vec.mean problem.Problem.labels in
+  let positive = Array.of_list (List.filter (fun l -> l > 0.) (Array.to_list lambdas)) in
+  let positive_scores =
+    match strategy with
+    | Naive ->
+        Telemetry.Counter.incr c_naive;
+        naive_scores problem positive
+    | Factorized -> (
+        match factorized_scores problem positive with
+        | scores ->
+            Telemetry.Counter.incr c_factorized;
+            scores
+        | exception (Linalg.Cholesky.Not_positive_definite _ | Failure _) ->
+            (* degenerate geometry (or a Jacobi stall): take the robust
+               one-solve-per-point road instead of failing the path *)
+            Telemetry.Counter.incr c_naive;
+            naive_scores problem positive)
+  in
+  let next = ref 0 in
   let points =
     Array.map
       (fun lambda ->
-        let scores = if lambda = 0. then Vec.copy hard else Soft.solve ~lambda problem in
+        let scores =
+          if lambda = 0. then Vec.copy hard
+          else begin
+            let s = positive_scores.(!next) in
+            incr next;
+            s
+          end
+        in
         {
           lambda;
           scores;

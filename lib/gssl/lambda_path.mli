@@ -18,11 +18,25 @@ type point = {
 
 type t = { points : point array; hard : Linalg.Vec.t; label_mean : float }
 
-val compute : ?lambdas:float array -> Problem.t -> t
+type strategy =
+  | Factorized
+      (** Eliminate the unlabeled block once: one Cholesky of [L22] plus
+          one eigendecomposition of the n×n Schur complement
+          [S = L11 − L12 L22⁻¹ L21] are shared by every grid point, each
+          of which then costs O(n² + nm) — against O((n+m)³) per point
+          for the naive path.  Falls back to [Naive] automatically when
+          [L22] is not positive definite (exactly the cases where the
+          hard criterion is unsolvable too). *)
+  | Naive  (** One full [Soft.solve] per positive grid point. *)
+
+val compute : ?strategy:strategy -> ?lambdas:float array -> Problem.t -> t
 (** Default grid: 0 plus 13 logarithmically spaced values in [1e-4, 1e3].
-    λ = 0 is solved with {!Hard}; positive values with {!Soft}.  The grid
-    must be sorted ascending and nonnegative — [Invalid_argument]
-    otherwise. *)
+    λ = 0 is solved with {!Hard}; positive values via [strategy]
+    (default {!Factorized}; both strategies agree to solver tolerance —
+    property-tested).  The grid must be sorted ascending and nonnegative
+    — [Invalid_argument] otherwise.  The counters
+    [gssl.lambda_path_factorized] / [gssl.lambda_path_naive] record
+    which road was taken. *)
 
 val max_step : t -> float
 (** The largest ‖f̂(λ_{k+1}) − f̂(λ_k)‖_∞ along the grid — small values

@@ -5,7 +5,9 @@ val sq_distance_matrix : Linalg.Vec.t array -> Linalg.Mat.t
     Gram-matrix identity [‖x−y‖² = ‖x‖² + ‖y‖² − 2⟨x,y⟩] (O(n²d) with a
     cache-friendly inner product).  Exact zeros on the diagonal; negative
     rounding artefacts are clamped to 0.  Raises [Invalid_argument] on
-    empty or ragged input. *)
+    empty or ragged input.  For [n ≥ 64] the row loop fans out over the
+    {!Parallel.Pool} — every cell is computed independently, so the
+    matrix is bit-identical to the serial loop for any domain count. *)
 
 val sq_distances_to : Linalg.Vec.t array -> Linalg.Vec.t -> Linalg.Vec.t
 (** Squared distances from every row point to one query point. *)
@@ -14,3 +16,11 @@ val k_nearest : Linalg.Vec.t array -> int -> int -> int array
 (** [k_nearest points k i] — indices of the [k] nearest neighbours of
     point [i] (excluding [i] itself), nearest first.  Raises
     [Invalid_argument] if [k] ≥ number of points or [i] out of range. *)
+
+val all_k_nearest : Linalg.Vec.t array -> int -> int array array
+(** [all_k_nearest points k] — the neighbour list of every point at
+    once: entry [i] equals [k_nearest points k i].  This is the O(N²
+    log N) pass behind kNN graph construction; for [≥ 64] points the
+    per-point searches run on the {!Parallel.Pool} (each list is
+    computed independently, so the result is bit-identical to the
+    serial loop for any domain count). *)

@@ -11,6 +11,9 @@ let knn ~kernel ~bandwidth ~k points =
   let n = Array.length points in
   if n = 0 then invalid_arg "Similarity.knn: empty data";
   if k <= 0 || k >= n then invalid_arg "Similarity.knn: k must lie in [1, n-1]";
+  (* the O(n² log n) neighbour searches run on the domain pool; the
+     symmetrisation below stays serial because it writes across rows *)
+  let neighbours = Pairwise.all_k_nearest points k in
   let keep = Array.make_matrix n n false in
   for i = 0 to n - 1 do
     keep.(i).(i) <- true;
@@ -18,7 +21,7 @@ let knn ~kernel ~bandwidth ~k points =
       (fun j ->
         keep.(i).(j) <- true;
         keep.(j).(i) <- true)
-      (Pairwise.k_nearest points k i)
+      neighbours.(i)
   done;
   let coo = Sparse.Coo.create n n in
   for i = 0 to n - 1 do

@@ -131,6 +131,14 @@ let add_scaled_identity a mu =
   done;
   b
 
+(* Parallelism thresholds: dispatching a pool job costs a few µs, so a
+   kernel only fans out when it has clearly more work than that.  Below
+   the threshold (and always on a one-domain pool) the same loop runs
+   inline, and because every row's accumulation order is unchanged the
+   output is bit-identical either way. *)
+let gemv_par_threshold = 1 lsl 15
+let gemm_par_threshold = 1 lsl 16
+
 let mv a x =
   if Array.length x <> a.cols then
     invalid_arg
@@ -139,14 +147,19 @@ let mv a x =
   Telemetry.Counter.incr c_gemv;
   Telemetry.Counter.add c_flops (2 * a.rows * a.cols);
   let y = Array.make a.rows 0. in
-  for i = 0 to a.rows - 1 do
-    let base = i * a.cols in
-    let acc = ref 0. in
-    for j = 0 to a.cols - 1 do
-      acc := !acc +. (a.data.(base + j) *. x.(j))
-    done;
-    y.(i) <- !acc
-  done;
+  let rows lo hi =
+    for i = lo to hi - 1 do
+      let base = i * a.cols in
+      let acc = ref 0. in
+      for j = 0 to a.cols - 1 do
+        acc := !acc +. (a.data.(base + j) *. x.(j))
+      done;
+      y.(i) <- !acc
+    done
+  in
+  if a.rows >= 2 && a.rows * a.cols >= gemv_par_threshold then
+    Parallel.Pool.run a.rows rows
+  else rows 0 a.rows;
   y
 
 let tmv a x =
@@ -168,7 +181,14 @@ let tmv a x =
   y
 
 (* ikj loop order: the inner loop walks both [b] and [c] contiguously, which
-   is substantially faster than the naive ijk order on row-major storage. *)
+   is substantially faster than the naive ijk order on row-major storage.
+   Row panels are independent, so the pool tiles over them; within a panel
+   the k loop is blocked so the touched rows of [b] stay cache-resident
+   while the panel sweeps them.  Blocking keeps k globally ascending per
+   row, so the accumulation order — and hence the bits — match the plain
+   ikj loop exactly. *)
+let gemm_k_block = 64
+
 let mm a b =
   if a.cols <> b.rows then
     invalid_arg
@@ -177,19 +197,30 @@ let mm a b =
   Telemetry.Counter.add c_flops (2 * a.rows * a.cols * b.cols);
   let c = zeros a.rows b.cols in
   let n = b.cols in
-  for i = 0 to a.rows - 1 do
-    let abase = i * a.cols in
-    let cbase = i * n in
-    for k = 0 to a.cols - 1 do
-      let aik = a.data.(abase + k) in
-      if aik <> 0. then begin
-        let bbase = k * n in
-        for j = 0 to n - 1 do
-          c.data.(cbase + j) <- c.data.(cbase + j) +. (aik *. b.data.(bbase + j))
+  let panel lo hi =
+    let kt = ref 0 in
+    while !kt < a.cols do
+      let kmax = Stdlib.min a.cols (!kt + gemm_k_block) in
+      for i = lo to hi - 1 do
+        let abase = i * a.cols in
+        let cbase = i * n in
+        for k = !kt to kmax - 1 do
+          let aik = a.data.(abase + k) in
+          if aik <> 0. then begin
+            let bbase = k * n in
+            for j = 0 to n - 1 do
+              c.data.(cbase + j) <-
+                c.data.(cbase + j) +. (aik *. b.data.(bbase + j))
+            done
+          end
         done
-      end
+      done;
+      kt := kmax
     done
-  done;
+  in
+  if a.rows >= 2 && a.rows * a.cols * n >= gemm_par_threshold then
+    Parallel.Pool.run ~grain:(Stdlib.max 1 ((a.rows + 31) / 32)) a.rows panel
+  else panel 0 a.rows;
   c
 
 let transpose a = init a.cols a.rows (fun i j -> a.data.((j * a.cols) + i))

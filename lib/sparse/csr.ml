@@ -93,18 +93,29 @@ let get t i j =
 let c_matvec = Telemetry.Counter.make "sparse.matvecs"
 let c_flops = Telemetry.Counter.make "sparse.flops"
 
+(* Rows are independent, so SpMV fans out over row panels once there is
+   enough work to amortise the pool dispatch; each row's accumulation
+   order is unchanged, so the result is bit-identical to the serial loop
+   for any domain count. *)
+let spmv_par_threshold = 1 lsl 12
+
 let mv t x =
   if Array.length x <> t.cols then invalid_arg "Csr.mv: length mismatch";
   Telemetry.Counter.incr c_matvec;
   Telemetry.Counter.add c_flops (2 * nnz t);
   let y = Array.make t.rows 0. in
-  for i = 0 to t.rows - 1 do
-    let acc = ref 0. in
-    for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
-      acc := !acc +. (t.values.(k) *. x.(t.col_idx.(k)))
-    done;
-    y.(i) <- !acc
-  done;
+  let rows lo hi =
+    for i = lo to hi - 1 do
+      let acc = ref 0. in
+      for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+        acc := !acc +. (t.values.(k) *. x.(t.col_idx.(k)))
+      done;
+      y.(i) <- !acc
+    done
+  in
+  if t.rows >= 2 && nnz t >= spmv_par_threshold then
+    Parallel.Pool.run t.rows rows
+  else rows 0 t.rows;
   y
 
 let tmv t x =

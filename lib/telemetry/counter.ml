@@ -1,29 +1,61 @@
-type t = { name : string; mutable value : int }
+(* Counters are [Atomic.t] cells so concurrent kernels (domain-pool
+   chunks incrementing linalg.flops / sparse.matvecs from several
+   domains at once) keep exact counts; the uncontended fetch-and-add is
+   a few ns, invisible next to the O(n^2)/O(n^3) bodies it meters. *)
+
+type t = { name : string; value : int Atomic.t }
 
 let table : (string, t) Hashtbl.t = Hashtbl.create 64
 
-let reset_all () = Hashtbl.iter (fun _ c -> c.value <- 0) table
+(* [make] can race with itself when instrumented libraries initialise on
+   several domains; the lock keeps find-or-create atomic.  The hot path
+   (add/incr) never touches the table. *)
+let table_lock = Mutex.create ()
+
+let reset_all () =
+  Mutex.lock table_lock;
+  Hashtbl.iter (fun _ c -> Atomic.set c.value 0) table;
+  Mutex.unlock table_lock
+
 let () = Registry.on_reset reset_all
 
 (* [make] is idempotent: instrumented modules call it at initialisation
-   time and hold the handle, so the hot path is a field update with no
+   time and hold the handle, so the hot path is an atomic add with no
    hashtable lookup. *)
 let make name =
-  match Hashtbl.find_opt table name with
-  | Some c -> c
-  | None ->
-      let c = { name; value = 0 } in
-      Hashtbl.add table name c;
-      c
+  Mutex.lock table_lock;
+  let c =
+    match Hashtbl.find_opt table name with
+    | Some c -> c
+    | None ->
+        let c = { name; value = Atomic.make 0 } in
+        Hashtbl.add table name c;
+        c
+  in
+  Mutex.unlock table_lock;
+  c
 
-let add c k = if !Registry.enabled then c.value <- c.value + k
+let add c k =
+  if !Registry.enabled then ignore (Atomic.fetch_and_add c.value k)
+
 let incr c = add c 1
 let name c = c.name
-let value c = c.value
+let value c = Atomic.get c.value
 
 let get name =
-  match Hashtbl.find_opt table name with Some c -> c.value | None -> 0
+  Mutex.lock table_lock;
+  let v =
+    match Hashtbl.find_opt table name with
+    | Some c -> Atomic.get c.value
+    | None -> 0
+  in
+  Mutex.unlock table_lock;
+  v
 
 let snapshot () =
-  Hashtbl.fold (fun _ c acc -> (c.name, c.value) :: acc) table []
-  |> List.sort compare
+  Mutex.lock table_lock;
+  let all =
+    Hashtbl.fold (fun _ c acc -> (c.name, Atomic.get c.value) :: acc) table []
+  in
+  Mutex.unlock table_lock;
+  List.sort compare all

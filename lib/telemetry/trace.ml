@@ -1,28 +1,60 @@
-(* Named series of floats, stored newest-first internally. *)
+(* Named series of floats, stored newest-first internally.  A lock keeps
+   concurrent recorders (e.g. CG residual traces from sweep workers on
+   several domains) from corrupting the table; per-series ordering is
+   whatever the domain interleaving produced. *)
 
 let table : (string, float list ref) Hashtbl.t = Hashtbl.create 16
+let lock = Mutex.create ()
 
-let () = Registry.on_reset (fun () -> Hashtbl.reset table)
+let () =
+  Registry.on_reset (fun () ->
+      Mutex.lock lock;
+      Hashtbl.reset table;
+      Mutex.unlock lock)
 
 let record name v =
-  if !Registry.enabled then
-    match Hashtbl.find_opt table name with
+  if !Registry.enabled then begin
+    Mutex.lock lock;
+    (match Hashtbl.find_opt table name with
     | Some l -> l := v :: !l
-    | None -> Hashtbl.add table name (ref [ v ])
+    | None -> Hashtbl.add table name (ref [ v ]));
+    Mutex.unlock lock
+  end
 
 let get name =
-  match Hashtbl.find_opt table name with
-  | Some l -> Array.of_list (List.rev !l)
-  | None -> [||]
+  Mutex.lock lock;
+  let out =
+    match Hashtbl.find_opt table name with
+    | Some l -> Array.of_list (List.rev !l)
+    | None -> [||]
+  in
+  Mutex.unlock lock;
+  out
 
 let length name =
-  match Hashtbl.find_opt table name with Some l -> List.length !l | None -> 0
+  Mutex.lock lock;
+  let n =
+    match Hashtbl.find_opt table name with Some l -> List.length !l | None -> 0
+  in
+  Mutex.unlock lock;
+  n
 
 let last name =
-  match Hashtbl.find_opt table name with
-  | Some { contents = v :: _ } -> Some v
-  | _ -> None
+  Mutex.lock lock;
+  let v =
+    match Hashtbl.find_opt table name with
+    | Some { contents = v :: _ } -> Some v
+    | _ -> None
+  in
+  Mutex.unlock lock;
+  v
 
 let snapshot () =
-  Hashtbl.fold (fun name l acc -> (name, Array.of_list (List.rev !l)) :: acc) table []
-  |> List.sort compare
+  Mutex.lock lock;
+  let all =
+    Hashtbl.fold
+      (fun name l acc -> (name, Array.of_list (List.rev !l)) :: acc)
+      table []
+  in
+  Mutex.unlock lock;
+  List.sort compare all
