@@ -1,7 +1,8 @@
 # Convenience targets; everything funnels through dune.
 
-.PHONY: build test test-random test-domains1 fault-smoke bench-smoke \
-	bench-par bench bench-check bench-snapshot trace-smoke ci clean
+.PHONY: build test test-random test-domains1 test-tune-off tune-smoke \
+	fault-smoke bench-smoke bench-par bench bench-check bench-snapshot \
+	trace-smoke ci clean
 
 # Baseline report for the bench regression gate (see bench-check).
 BASELINE ?= BENCH_baseline.json
@@ -28,6 +29,25 @@ test-random:
 test-domains1:
 	QCHECK_SEED=42 GSSL_DOMAINS=1 dune exec test/test_main.exe
 
+# Full deterministic suite with kernel autotuning explicitly disabled
+# (GSSL_TUNE=off): guards that the "off" spelling resolves to the static
+# thresholds and that nothing in the suite depends on a tuned model.
+test-tune-off:
+	QCHECK_SEED=42 GSSL_TUNE=off dune exec test/test_main.exe
+
+# Autotune smoke: calibrate a cost-model cache on this machine (via the
+# repro driver's --tune flag, exercising the calibrate-and-save path),
+# then run the full deterministic suite with GSSL_TUNE pointing at the
+# cache (exercising the load path — every undecided kernel dispatch in
+# the suite consults the calibrated model).
+TUNE_CACHE ?= /tmp/gssl_tune_cache.json
+tune-smoke:
+	dune build bin/repro.exe test/test_main.exe
+	rm -f $(TUNE_CACHE)
+	./_build/default/bin/repro.exe fig1 --reps 1 --no-plot --tune $(TUNE_CACHE) > /dev/null
+	@test -s $(TUNE_CACHE) || { echo "tune-smoke: no cache written"; exit 1; }
+	QCHECK_SEED=42 GSSL_TUNE=$(TUNE_CACHE) dune exec test/test_main.exe
+
 # Fault-injection smoke: only the robustness suite (Check / Solve /
 # Fault / Resilient), under a fresh QCheck seed each run.
 fault-smoke:
@@ -52,8 +72,11 @@ bench:
 
 # Regression gate: run the smoke-size bench, then compare its per-phase
 # wall times against the committed baseline (threshold 3x — the gate is
-# for order-of-magnitude slips, not scheduler noise).  Override the
-# baseline with BASELINE=path.
+# for order-of-magnitude slips, not scheduler noise) AND enforce the
+# speedup contract: every recorded kernel speedup must stay at or above
+# the 0.95x floor (the tuned >= 1.0x promise with noise allowance) and
+# must not collapse versus the baseline.  Override the baseline with
+# BASELINE=path.
 bench-check:
 	dune build bench/main.exe bench/compare.exe
 	./_build/default/bench/main.exe --smoke --out /tmp/gssl_bench_current.json > /dev/null
@@ -73,8 +96,8 @@ trace-smoke:
 	./_build/default/bin/repro.exe toy --trace-out /tmp/gssl_trace.json > /dev/null
 	./_build/default/bench/compare.exe --check-trace /tmp/gssl_trace.json
 
-ci: build test test-domains1 test-random fault-smoke bench-smoke bench-par \
-	bench-check trace-smoke
+ci: build test test-domains1 test-tune-off test-random tune-smoke \
+	fault-smoke bench-smoke bench-par bench-check trace-smoke
 
 clean:
 	dune clean

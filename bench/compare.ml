@@ -1,8 +1,10 @@
 (* Regression gate CLI over two `bench --profile --out` JSON reports.
 
    Usage:
-     compare.exe BASELINE.json CURRENT.json [--threshold R]
-       exit 0 when no phase regressed beyond the threshold, 1 otherwise
+     compare.exe BASELINE.json CURRENT.json [--threshold R] [--speedup-floor F]
+       exit 0 when no phase regressed beyond the wall-time threshold AND
+       the speedup contract holds (every recorded kernel speedup at or
+       above the floor and not collapsed versus baseline), 1 otherwise
      compare.exe --check-trace TRACE.json
        exit 0 when the file is a structurally valid Chrome trace with at
        least one complete span event, 1 otherwise
@@ -35,33 +37,56 @@ let check_trace path =
       Printf.eprintf "trace INVALID: %s: %s\n" path reason;
       exit 1
 
-let compare_files ~threshold baseline current =
-  let verdicts =
+let compare_files ~threshold ~floor baseline current =
+  let baseline = parse_report baseline and current = parse_report current in
+  let verdicts, speedups =
     try
-      Obs.Bench_compare.compare_reports ~threshold
-        ~baseline:(parse_report baseline) ~current:(parse_report current) ()
+      ( Obs.Bench_compare.compare_reports ~threshold ~baseline ~current (),
+        Obs.Bench_compare.compare_speedups ~floor ~baseline ~current () )
     with Obs.Bench_compare.Malformed msg ->
       Printf.eprintf "compare: malformed report: %s\n" msg;
       exit 2
   in
   print_string (Obs.Bench_compare.to_text ~threshold verdicts);
-  exit (if Obs.Bench_compare.ok verdicts then 0 else 1)
+  print_string (Obs.Bench_compare.speedups_to_text ~floor speedups);
+  exit
+    (if Obs.Bench_compare.ok verdicts && Obs.Bench_compare.speedups_ok speedups
+     then 0
+     else 1)
 
 let usage () =
   prerr_endline
-    "usage: compare.exe BASELINE.json CURRENT.json [--threshold R]\n\
+    "usage: compare.exe BASELINE.json CURRENT.json [--threshold R] \
+     [--speedup-floor F]\n\
     \       compare.exe --check-trace TRACE.json";
   exit 2
 
 let () =
   match Array.to_list Sys.argv with
   | _ :: [ "--check-trace"; path ] -> check_trace path
-  | _ :: [ baseline; current ] -> compare_files ~threshold:3. baseline current
-  | _ :: [ baseline; current; "--threshold"; r ] -> (
-      match float_of_string_opt r with
-      | Some threshold when threshold > 0. ->
-          compare_files ~threshold baseline current
-      | _ ->
-          prerr_endline "compare: --threshold expects a positive number";
-          exit 2)
+  | _ :: baseline :: current :: opts ->
+      let threshold = ref 3. and floor = ref 0.95 in
+      let rec parse_opts = function
+        | [] -> ()
+        | "--threshold" :: r :: rest -> (
+            match float_of_string_opt r with
+            | Some t when t > 0. ->
+                threshold := t;
+                parse_opts rest
+            | _ ->
+                prerr_endline "compare: --threshold expects a positive number";
+                exit 2)
+        | "--speedup-floor" :: f :: rest -> (
+            match float_of_string_opt f with
+            | Some x when x >= 0. ->
+                floor := x;
+                parse_opts rest
+            | _ ->
+                prerr_endline
+                  "compare: --speedup-floor expects a non-negative number";
+                exit 2)
+        | _ -> usage ()
+      in
+      parse_opts opts;
+      compare_files ~threshold:!threshold ~floor:!floor baseline current
   | _ -> usage ()

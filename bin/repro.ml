@@ -118,6 +118,38 @@ let domains_arg =
     & info [ "domains"; "j" ] ~docv:"D" ~doc
         ~env:(Cmd.Env.info "GSSL_DOMAINS"))
 
+let tune_arg =
+  let doc =
+    "Kernel dispatch tuning: $(b,off) keeps the static work thresholds, \
+     $(b,serial) / $(b,parallel) force every pooled kernel one way, and any \
+     other value is a cost-model cache file — calibrated and written on \
+     first use, loaded (and therefore bit-deterministic) afterwards."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tune"; "tune-cache" ] ~docv:"MODE|FILE" ~doc
+        ~env:(Cmd.Env.info "GSSL_TUNE"))
+
+let resolve_tune = function
+  | None -> ()
+  | Some spec ->
+      let open Parallel.Autotune in
+      let mode =
+        match spec with
+        | "" | "off" -> Static
+        | "serial" -> Serial
+        | "parallel" -> Parallel
+        | path ->
+            if Sys.file_exists path then Calibrated (load path)
+            else begin
+              let m = calibrate () in
+              (try save path m with Sys_error _ -> ());
+              Calibrated m
+            end
+      in
+      set_mode mode
+
 (* One knob steers both layers: the sweep grid gets the count explicitly,
    and the default pool (used by gemm / spmv / pairwise / Jacobi) is
    resized to match. *)
@@ -126,18 +158,22 @@ let resolve_domains d =
   Parallel.Pool.set_default_domains d;
   d
 
-let run_synthetic make reps seed domains markdown no_plot svg profile profile_json trace_out =
+let run_synthetic make reps seed domains tune markdown no_plot svg profile profile_json trace_out =
   setup_logs ();
+  let domains = resolve_domains domains in
+  (* after the pool: a fresh calibration should probe the chosen width *)
+  resolve_tune tune;
   with_profile profile profile_json trace_out (fun () ->
       print_figure ~markdown ~plot:(not no_plot) ~svg
-        (make ~domains:(resolve_domains domains) ~reps ~seed ()))
+        (make ~domains ~reps ~seed ()))
 
 let synthetic_cmd name default_seed make ~doc =
   let term =
     Term.(
       const (run_synthetic (fun ~domains ~reps ~seed () -> make ~domains ~reps ~seed ()))
-      $ reps_arg 10 $ seed_arg default_seed $ domains_arg $ markdown_arg
-      $ no_plot_arg $ svg_arg $ profile_arg $ profile_json_arg $ trace_out_arg)
+      $ reps_arg 10 $ seed_arg default_seed $ domains_arg $ tune_arg
+      $ markdown_arg $ no_plot_arg $ svg_arg $ profile_arg $ profile_json_arg
+      $ trace_out_arg)
   in
   Cmd.v (Cmd.info name ~doc) term
 

@@ -16,6 +16,33 @@ let check_anchored problem =
       raise (Hard.Unanchored_unlabeled v)
   done
 
+(* Fused form of the same system: A = diag(deg') − W₂₂ where deg'_v =
+   d_v − w_vv folds the self-loop into the degree and W₂₂ holds only
+   the off-diagonal unlabeled-block weights.  The solvers stream W₂₂
+   through Csr.lap_mv / Stationary.solve_lap, so A is never assembled
+   and each operator application is one pass with no intermediate
+   vector. *)
+let system_lap problem =
+  let n = Problem.n_labeled problem and m = Problem.n_unlabeled problem in
+  let g = problem.Problem.graph in
+  let d = Problem.degrees problem in
+  let y = problem.Problem.labels in
+  let coo = Sparse.Coo.create m m in
+  let rhs = Vec.zeros m in
+  let deg =
+    Array.init m (fun a ->
+        let v = n + a in
+        d.(v) -. Graph.Weighted_graph.weight g v v)
+  in
+  Graph.Weighted_graph.iter_edges g (fun i j w ->
+      if i >= n && j >= n then begin
+        Sparse.Coo.add coo (i - n) (j - n) w;
+        Sparse.Coo.add coo (j - n) (i - n) w
+      end
+      else if i < n && j >= n then rhs.(j - n) <- rhs.(j - n) +. (w *. y.(i))
+      else if j < n && i >= n then rhs.(i - n) <- rhs.(i - n) +. (w *. y.(j)));
+  (Sparse.Csr.of_coo coo, deg, rhs)
+
 let system_csr problem =
   let n = Problem.n_labeled problem and m = Problem.n_unlabeled problem in
   let g = problem.Problem.graph in
@@ -44,8 +71,15 @@ let solve ?(tol = 1e-10) ?max_iter ?(observe = false) problem =
   if Problem.n_unlabeled problem = 0 then [||]
   else begin
     check_anchored problem;
-    let a, b = system_csr problem in
-    let op = Sparse.Linop.of_csr a in
+    let w22, deg, b = system_lap problem in
+    let m = Vec.dim b in
+    let op =
+      Sparse.Linop.of_fun ~dim:m
+        ~diag:(fun () ->
+          let wd = Sparse.Csr.diagonal w22 in
+          Array.init m (fun i -> deg.(i) -. wd.(i)))
+        (fun x -> Sparse.Csr.lap_mv w22 ~deg x)
+    in
     if not observe then Sparse.Cg.solve_exn ~tol ?max_iter op b
     else begin
       let out = Sparse.Cg.solve ~tol ?max_iter op b in
@@ -81,8 +115,8 @@ let solve_stationary ?(tol = 1e-10) ?max_iter method_ problem =
   if Problem.n_unlabeled problem = 0 then [||]
   else begin
     check_anchored problem;
-    let a, b = system_csr problem in
-    let out = Sparse.Stationary.solve ~tol ?max_iter method_ a b in
+    let w22, deg, b = system_lap problem in
+    let out = Sparse.Stationary.solve_lap ~tol ?max_iter method_ ~w:w22 ~deg b in
     if not out.Sparse.Stationary.converged then
       failwith
         (Printf.sprintf

@@ -10,6 +10,13 @@ val system_csr : Problem.t -> Sparse.Csr.t * Linalg.Vec.t
 (** The m×m CSR system matrix [D₂₂ − W₂₂] and the right-hand side
     [W₂₁ Y], assembled from the graph's edge list without densifying. *)
 
+val system_lap : Problem.t -> Sparse.Csr.t * Linalg.Vec.t * Linalg.Vec.t
+(** The same system in fused form [(W₂₂, deg', W₂₁ Y)] with
+    [deg'_v = d_v − w_vv]: the matrix [diag(deg') − W₂₂] is what
+    {!system_csr} assembles, but here it stays implicit so the solvers
+    can stream it through {!Sparse.Csr.lap_mv} /
+    {!Sparse.Stationary.solve_lap} in one pass per application. *)
+
 val solve :
   ?tol:float -> ?max_iter:int -> ?observe:bool -> Problem.t -> Linalg.Vec.t
 (** Hard-criterion scores on the unlabeled block via CG on the CSR

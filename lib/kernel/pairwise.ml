@@ -1,11 +1,13 @@
 module Vec = Linalg.Vec
 module Mat = Linalg.Mat
 
-(* The O(N²) passes below fan out over the domain pool once the point
-   count justifies the dispatch; every matrix cell / neighbour list is
-   computed independently, so the outputs are bit-identical to the
-   serial loops for any domain count. *)
-let par_threshold = 64
+(* The O(N²) passes below fan out over the domain pool when
+   Parallel.Autotune (work measure n²) says the dispatch pays; every
+   matrix cell / neighbour list is computed independently, so the
+   outputs are bit-identical to the serial loops for any domain count
+   and any tune mode. *)
+let plan_pairwise n =
+  Parallel.Autotune.plan Parallel.Autotune.Pairwise ~work:(n * n) ~rows:n
 
 let validate points =
   let n = Array.length points in
@@ -35,11 +37,15 @@ let sq_distance_matrix points =
       done
     done
   in
-  if n >= par_threshold then
-    (* small grain: the triangular loop makes early rows much heavier
-       than late ones, and many small chunks let the pool absorb that *)
-    Parallel.Pool.run ~grain:(Stdlib.max 1 ((n + 255) / 256)) n rows
-  else rows 0 n;
+  (let { Parallel.Autotune.parallel = go_par; grain } = plan_pairwise n in
+   if go_par then
+     (* small grain: the triangular loop makes early rows much heavier
+        than late ones, and many small chunks let the pool absorb that *)
+     let grain =
+       match grain with Some g -> g | None -> Stdlib.max 1 ((n + 255) / 256)
+     in
+     Parallel.Pool.run ~grain n rows
+   else rows 0 n);
   m
 
 let sq_distances_to points query =
@@ -80,5 +86,6 @@ let all_k_nearest points k =
       out.(i) <- k_nearest_unchecked points n k i
     done
   in
-  if n >= par_threshold then Parallel.Pool.run n rows else rows 0 n;
+  (let { Parallel.Autotune.parallel = go_par; grain } = plan_pairwise n in
+   if go_par then Parallel.Pool.run ?grain n rows else rows 0 n);
   out

@@ -129,17 +129,22 @@ let parallel_sweep a v rounds =
           done))
     rounds
 
-(* The serial cyclic ordering stays the default below this size: the
-   matrices the test-suite and the solvers spin through are small, and
-   keeping their rotation order untouched keeps their results
-   bit-for-bit stable across this change. *)
-let parallel_threshold = 192
-
+(* Whether a sweep uses the serial cyclic ordering or the parallel
+   tournament schedule is decided by Parallel.Autotune on the work of
+   one tournament round (n² rotated elements, two pool dispatches per
+   round).  The static default keeps the historical n >= 192 cutoff,
+   so the small matrices the test-suite and the solvers spin through
+   keep their rotation order — and their results — bit-for-bit
+   stable. *)
 let jacobi ?(tol = 1e-12) ?(max_sweeps = 100) ?parallel m =
   if not (Mat.is_square m) then invalid_arg "Eigen.jacobi: matrix not square";
   let n = m.Mat.rows in
   let parallel =
-    match parallel with Some b -> b | None -> n >= parallel_threshold
+    match parallel with
+    | Some b -> b
+    | None ->
+        Parallel.Autotune.decide ~dispatches:2 Parallel.Autotune.Jacobi
+          ~work:(n * n)
   in
   let a = Mat.copy m in
   let v = Mat.eye n in

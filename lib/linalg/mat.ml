@@ -131,13 +131,12 @@ let add_scaled_identity a mu =
   done;
   b
 
-(* Parallelism thresholds: dispatching a pool job costs a few µs, so a
-   kernel only fans out when it has clearly more work than that.  Below
-   the threshold (and always on a one-domain pool) the same loop runs
-   inline, and because every row's accumulation order is unchanged the
-   output is bit-identical either way. *)
-let gemv_par_threshold = 1 lsl 15
-let gemm_par_threshold = 1 lsl 16
+(* Whether a kernel call fans out over the domain pool — and with what
+   grain — is decided by Parallel.Autotune: the historical static work
+   thresholds by default, or a startup-calibrated cost model under
+   GSSL_TUNE.  Either way the decision only gates *where* the row loop
+   runs; each row's accumulation order is unchanged, so the output is
+   bit-identical for any domain count and any tune mode. *)
 
 let mv a x =
   if Array.length x <> a.cols then
@@ -157,9 +156,11 @@ let mv a x =
       y.(i) <- !acc
     done
   in
-  if a.rows >= 2 && a.rows * a.cols >= gemv_par_threshold then
-    Parallel.Pool.run a.rows rows
-  else rows 0 a.rows;
+  let { Parallel.Autotune.parallel = go_par; grain } =
+    Parallel.Autotune.plan Parallel.Autotune.Gemv ~work:(a.rows * a.cols)
+      ~rows:a.rows
+  in
+  if go_par then Parallel.Pool.run ?grain a.rows rows else rows 0 a.rows;
   y
 
 let tmv a x =
@@ -180,14 +181,81 @@ let tmv a x =
   done;
   y
 
-(* ikj loop order: the inner loop walks both [b] and [c] contiguously, which
-   is substantially faster than the naive ijk order on row-major storage.
-   Row panels are independent, so the pool tiles over them; within a panel
-   the k loop is blocked so the touched rows of [b] stay cache-resident
-   while the panel sweeps them.  Blocking keeps k globally ascending per
-   row, so the accumulation order — and hence the bits — match the plain
-   ikj loop exactly. *)
-let gemm_k_block = 64
+(* GEMM.  Every path keeps each output cell's k accumulation strictly
+   ascending, so the bits always match the naive ijk triple loop (no
+   zero-skipping: a skipped 0-term can turn a -0. accumulator into +0.,
+   which would break that contract).
+
+   Large products go through a register-blocked 4x4 micro-kernel over a
+   packed copy of B: the four B columns of a strip are interleaved into
+   one contiguous panel (packed once, shared read-only by every row
+   chunk), and the sixteen accumulators live in local float refs that
+   the compiler keeps unboxed in registers, so the k loop streams two
+   cache lines instead of striding across B.  Small products keep the
+   plain ikj loop — the packing would cost more than it saves. *)
+let mr = 4 (* micro-kernel rows *)
+let nr = 4 (* micro-kernel cols = packed strip width *)
+let gemm_pack_threshold = 1 lsl 12
+
+(* c[i0..i0+3][s*4..s*4+3] += A[i0..i0+3][:] . packed strip s *)
+let gemm_kernel_4x4 ad abase kdim acols bp bpbase cd cbase n =
+  let c00 = ref 0. and c01 = ref 0. and c02 = ref 0. and c03 = ref 0. in
+  let c10 = ref 0. and c11 = ref 0. and c12 = ref 0. and c13 = ref 0. in
+  let c20 = ref 0. and c21 = ref 0. and c22 = ref 0. and c23 = ref 0. in
+  let c30 = ref 0. and c31 = ref 0. and c32 = ref 0. and c33 = ref 0. in
+  let a0 = abase and a1 = abase + acols in
+  let a2 = abase + (2 * acols) and a3 = abase + (3 * acols) in
+  for k = 0 to kdim - 1 do
+    let bk = bpbase + (k * nr) in
+    let b0 = bp.(bk) and b1 = bp.(bk + 1) in
+    let b2 = bp.(bk + 2) and b3 = bp.(bk + 3) in
+    let x0 = ad.(a0 + k) and x1 = ad.(a1 + k) in
+    let x2 = ad.(a2 + k) and x3 = ad.(a3 + k) in
+    c00 := !c00 +. (x0 *. b0);
+    c01 := !c01 +. (x0 *. b1);
+    c02 := !c02 +. (x0 *. b2);
+    c03 := !c03 +. (x0 *. b3);
+    c10 := !c10 +. (x1 *. b0);
+    c11 := !c11 +. (x1 *. b1);
+    c12 := !c12 +. (x1 *. b2);
+    c13 := !c13 +. (x1 *. b3);
+    c20 := !c20 +. (x2 *. b0);
+    c21 := !c21 +. (x2 *. b1);
+    c22 := !c22 +. (x2 *. b2);
+    c23 := !c23 +. (x2 *. b3);
+    c30 := !c30 +. (x3 *. b0);
+    c31 := !c31 +. (x3 *. b1);
+    c32 := !c32 +. (x3 *. b2);
+    c33 := !c33 +. (x3 *. b3)
+  done;
+  let r0 = cbase and r1 = cbase + n in
+  let r2 = cbase + (2 * n) and r3 = cbase + (3 * n) in
+  cd.(r0) <- !c00;
+  cd.(r0 + 1) <- !c01;
+  cd.(r0 + 2) <- !c02;
+  cd.(r0 + 3) <- !c03;
+  cd.(r1) <- !c10;
+  cd.(r1 + 1) <- !c11;
+  cd.(r1 + 2) <- !c12;
+  cd.(r1 + 3) <- !c13;
+  cd.(r2) <- !c20;
+  cd.(r2 + 1) <- !c21;
+  cd.(r2 + 2) <- !c22;
+  cd.(r2 + 3) <- !c23;
+  cd.(r3) <- !c30;
+  cd.(r3 + 1) <- !c31;
+  cd.(r3 + 2) <- !c32;
+  cd.(r3 + 3) <- !c33
+
+(* scalar fallback for edge rows/columns: per-cell dot, k ascending *)
+let gemm_scalar_cells ad abase kdim bd cd cbase n j0 j1 =
+  for j = j0 to j1 - 1 do
+    let acc = ref 0. in
+    for k = 0 to kdim - 1 do
+      acc := !acc +. (ad.(abase + k) *. bd.((k * n) + j))
+    done;
+    cd.(cbase + j) <- !acc
+  done
 
 let mm a b =
   if a.cols <> b.rows then
@@ -196,32 +264,71 @@ let mm a b =
   Telemetry.Counter.incr c_gemm;
   Telemetry.Counter.add c_flops (2 * a.rows * a.cols * b.cols);
   let c = zeros a.rows b.cols in
-  let n = b.cols in
-  let panel lo hi =
-    let kt = ref 0 in
-    while !kt < a.cols do
-      let kmax = Stdlib.min a.cols (!kt + gemm_k_block) in
-      for i = lo to hi - 1 do
-        let abase = i * a.cols in
-        let cbase = i * n in
-        for k = !kt to kmax - 1 do
-          let aik = a.data.(abase + k) in
-          if aik <> 0. then begin
-            let bbase = k * n in
-            for j = 0 to n - 1 do
-              c.data.(cbase + j) <-
-                c.data.(cbase + j) +. (aik *. b.data.(bbase + j))
-            done
-          end
+  let kdim = a.cols and n = b.cols in
+  let work = a.rows * kdim * n in
+  if work = 0 then c
+  else if work < gemm_pack_threshold || n < nr || kdim = 0 then begin
+    (* plain ikj: inner loop contiguous over b and c *)
+    for i = 0 to a.rows - 1 do
+      let abase = i * kdim and cbase = i * n in
+      for k = 0 to kdim - 1 do
+        let aik = a.data.(abase + k) in
+        let bbase = k * n in
+        for j = 0 to n - 1 do
+          c.data.(cbase + j) <- c.data.(cbase + j) +. (aik *. b.data.(bbase + j))
         done
+      done
+    done;
+    c
+  end
+  else begin
+    let nstrips = n / nr in
+    let ntail = nstrips * nr in
+    (* pack the full strips of B once, before any dispatch *)
+    let bp = Array.make (nstrips * kdim * nr) 0. in
+    for s = 0 to nstrips - 1 do
+      let sbase = s * kdim * nr in
+      let j0 = s * nr in
+      for k = 0 to kdim - 1 do
+        let src = (k * n) + j0 and dst = sbase + (k * nr) in
+        bp.(dst) <- b.data.(src);
+        bp.(dst + 1) <- b.data.(src + 1);
+        bp.(dst + 2) <- b.data.(src + 2);
+        bp.(dst + 3) <- b.data.(src + 3)
+      done
+    done;
+    let panel lo hi =
+      let i = ref lo in
+      while !i + mr <= hi do
+        let abase = !i * kdim and cbase = !i * n in
+        for s = 0 to nstrips - 1 do
+          gemm_kernel_4x4 a.data abase kdim kdim bp (s * kdim * nr) c.data
+            (cbase + (s * nr)) n
+        done;
+        if ntail < n then
+          for di = 0 to mr - 1 do
+            gemm_scalar_cells a.data (abase + (di * kdim)) kdim b.data c.data
+              (cbase + (di * n)) n ntail n
+          done;
+        i := !i + mr
       done;
-      kt := kmax
-    done
-  in
-  if a.rows >= 2 && a.rows * a.cols * n >= gemm_par_threshold then
-    Parallel.Pool.run ~grain:(Stdlib.max 1 ((a.rows + 31) / 32)) a.rows panel
-  else panel 0 a.rows;
-  c
+      for i = !i to hi - 1 do
+        gemm_scalar_cells a.data (i * kdim) kdim b.data c.data (i * n) n 0 n
+      done
+    in
+    let { Parallel.Autotune.parallel = go_par; grain } =
+      Parallel.Autotune.plan Parallel.Autotune.Gemm ~work ~rows:a.rows
+    in
+    if go_par then
+      let grain =
+        match grain with
+        | Some g -> Stdlib.max g mr
+        | None -> Stdlib.max mr ((a.rows + 31) / 32)
+      in
+      Parallel.Pool.run ~grain a.rows panel
+    else panel 0 a.rows;
+    c
+  end
 
 let transpose a = init a.cols a.rows (fun i j -> a.data.((j * a.cols) + i))
 

@@ -41,3 +41,44 @@ val compare_reports :
 val ok : verdict list -> bool
 val describe_verdict : verdict -> string
 val to_text : ?threshold:float -> verdict list -> string
+
+(** {2 The speedup contract}
+
+    The profile report's [speedup] object records the tuned-vs-serial
+    wall ratio per kernel (plus the lambda-path algorithmic ratio).
+    The autotuner's promise is that tuned dispatch is never slower
+    than serial, so these are gated much harder than wall times: every
+    entry must stay at or above the contract [floor] (default 0.95 —
+    the 1.0x promise with a 5% measurement-noise allowance), and must
+    not collapse below [slack] (default 0.5) times its committed
+    baseline.  An entry present in the baseline but missing from the
+    current report fails; new entries are gated only by the floor. *)
+
+type speedup_verdict = {
+  kernel : string;
+  baseline_x : float option;
+  current_x : float option;
+  speedup_regressed : bool;
+  reason : string;  (** "" when ok *)
+}
+
+val speedups_of_report : Telemetry.Export.json -> (string * float) list
+(** The [(kernel, ratio)] pairs of the report's [speedup] object; [[]]
+    when the report has none.  Raises {!Malformed} when an entry is not
+    a finite non-negative number. *)
+
+val compare_speedups :
+  ?floor:float ->
+  ?slack:float ->
+  baseline:Telemetry.Export.json ->
+  current:Telemetry.Export.json ->
+  unit ->
+  speedup_verdict list
+(** One verdict per baseline entry (in baseline order) followed by the
+    current-only entries.  Raises {!Malformed} on bad reports and
+    [Invalid_argument] on a negative [floor] or [slack] outside
+    [0, 1]. *)
+
+val speedups_ok : speedup_verdict list -> bool
+val describe_speedup : speedup_verdict -> string
+val speedups_to_text : ?floor:float -> speedup_verdict list -> string

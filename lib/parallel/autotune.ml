@@ -1,0 +1,467 @@
+type kernel = Gemm | Gemv | Spmv | Pairwise | Jacobi
+
+type kernel_model = { elem_ns : float; par_speedup : float }
+
+type model = {
+  domains : int;
+  dispatch_ns : float;
+  chunk_ns : float;
+  gemm : kernel_model;
+  gemv : kernel_model;
+  spmv : kernel_model;
+  pairwise : kernel_model;
+  jacobi : kernel_model;
+}
+
+type mode = Static | Serial | Parallel | Calibrated of model
+type choice = { parallel : bool; grain : int option }
+
+let kernel_name = function
+  | Gemm -> "gemm"
+  | Gemv -> "gemv"
+  | Spmv -> "spmv"
+  | Pairwise -> "pairwise"
+  | Jacobi -> "jacobi"
+
+let mode_name = function
+  | Static -> "static"
+  | Serial -> "serial"
+  | Parallel -> "parallel"
+  | Calibrated _ -> "calibrated"
+
+let kernel_model m = function
+  | Gemm -> m.gemm
+  | Gemv -> m.gemv
+  | Spmv -> m.spmv
+  | Pairwise -> m.pairwise
+  | Jacobi -> m.jacobi
+
+(* The historical compile-time thresholds, in each kernel's work
+   measure.  Static mode must reproduce the pre-autotune decisions
+   bit-for-bit, so these mirror the constants that used to live at the
+   call sites: gemm rows*k*cols >= 2^16, gemv rows*cols >= 2^15,
+   spmv nnz >= 2^12, pairwise n >= 64 (n^2 >= 4096), jacobi n >= 192
+   (n^2 >= 36864 per tournament round). *)
+let static_threshold = function
+  | Gemm -> 1 lsl 16
+  | Gemv -> 1 lsl 15
+  | Spmv -> 1 lsl 12
+  | Pairwise -> 4096
+  | Jacobi -> 36864
+
+(* A kernel goes parallel only when the modelled saving beats the
+   modelled dispatch cost by this factor; 2x keeps the decision robust
+   to probe noise, which is what makes "never slower than serial" hold
+   in practice rather than on average. *)
+let margin = 2.0
+
+(* Below this measured speedup the parallel leg is treated as not
+   paying at all (scheduler noise easily fakes a few percent). *)
+let min_speedup = 1.05
+
+let crossover_work ?(dispatches = 1) m k =
+  let km = kernel_model m k in
+  if m.domains < 2 || km.par_speedup < min_speedup || km.elem_ns <= 0. then
+    max_int
+  else
+    let saved_per_unit = km.elem_ns *. (1. -. (1. /. km.par_speedup)) in
+    let overhead = margin *. float_of_int dispatches *. m.dispatch_ns in
+    let w = ceil (overhead /. saved_per_unit) in
+    if w >= float_of_int max_int then max_int else Stdlib.max 1 (int_of_float w)
+
+(* Chunk count for a calibrated parallel dispatch: enough chunks for
+   dynamic load balancing (up to 8 per domain), but each chunk must
+   carry at least ~32x the per-chunk scheduling cost so the chunking
+   overhead stays in the noise.  Depends only on the model and the
+   call's work measure, never on the live pool. *)
+let calibrated_grain m k ~work ~rows =
+  let km = kernel_model m k in
+  let serial_ns = float_of_int work *. km.elem_ns in
+  let affordable =
+    if m.chunk_ns <= 0. then 8 * m.domains
+    else int_of_float (serial_ns /. (32. *. m.chunk_ns))
+  in
+  let chunks = Stdlib.min (8 * m.domains) (Stdlib.max 2 affordable) in
+  let chunks = Stdlib.min chunks (Stdlib.max 1 rows) in
+  Stdlib.max 1 ((rows + chunks - 1) / chunks)
+
+(* --- mode resolution ------------------------------------------------ *)
+
+let forced : mode option ref = ref None
+let env_resolved : mode option ref = ref None
+
+let render_model m =
+  let kern km =
+    Telemetry.Export.(
+      Obj [ ("elem_ns", Num km.elem_ns); ("par_speedup", Num km.par_speedup) ])
+  in
+  Telemetry.Export.(
+    render
+      (Obj
+         [
+           ("report", Str "gssl-tune-cache");
+           ("version", Num 1.);
+           ("domains", Num (float_of_int m.domains));
+           ("dispatch_ns", Num m.dispatch_ns);
+           ("chunk_ns", Num m.chunk_ns);
+           ( "kernels",
+             Obj
+               [
+                 ("gemm", kern m.gemm);
+                 ("gemv", kern m.gemv);
+                 ("spmv", kern m.spmv);
+                 ("pairwise", kern m.pairwise);
+                 ("jacobi", kern m.jacobi);
+               ] );
+         ]))
+
+let parse_model text =
+  let open Telemetry.Export in
+  let fail msg = failwith (Printf.sprintf "Autotune.parse_model: %s" msg) in
+  let json =
+    match parse text with
+    | j -> j
+    | exception Parse_error msg -> fail ("bad JSON: " ^ msg)
+  in
+  let num field j =
+    match Option.bind (member field j) to_float with
+    | Some v when Float.is_finite v -> v
+    | _ -> fail (Printf.sprintf "missing numeric field %S" field)
+  in
+  (match member "report" json with
+  | Some (Str "gssl-tune-cache") -> ()
+  | _ -> fail "not a gssl-tune-cache report");
+  (match member "version" json with
+  | Some (Num 1.) -> ()
+  | _ -> fail "unsupported cache version");
+  let kernels =
+    match member "kernels" json with
+    | Some k -> k
+    | None -> fail "missing kernels object"
+  in
+  let kern name =
+    match member name kernels with
+    | Some j -> { elem_ns = num "elem_ns" j; par_speedup = num "par_speedup" j }
+    | None -> fail (Printf.sprintf "missing kernel %S" name)
+  in
+  {
+    domains = int_of_float (num "domains" json);
+    dispatch_ns = num "dispatch_ns" json;
+    chunk_ns = num "chunk_ns" json;
+    gemm = kern "gemm";
+    gemv = kern "gemv";
+    spmv = kern "spmv";
+    pairwise = kern "pairwise";
+    jacobi = kern "jacobi";
+  }
+
+let save path m =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (render_model m);
+      output_char oc '\n')
+
+let load path =
+  let ic =
+    try open_in_bin path
+    with Sys_error msg -> failwith ("Autotune.load: " ^ msg)
+  in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse_model text
+
+(* --- calibration ---------------------------------------------------- *)
+
+let now_ns () = Unix.gettimeofday () *. 1e9
+
+(* Time one call of [f], auto-scaling the repeat count until the
+   measurement spans at least ~50 us so clock granularity is invisible.
+   Returns nanoseconds per call. *)
+let time_adaptive f =
+  let rec go reps =
+    let t0 = now_ns () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    let dt = now_ns () -. t0 in
+    if dt >= 5e4 || reps >= 1 lsl 22 then dt /. float_of_int reps
+    else go (reps * 2)
+  in
+  go 1
+
+let median_of ~probes f =
+  let xs = Array.init probes (fun _ -> time_adaptive f) in
+  Array.sort compare xs;
+  xs.(probes / 2)
+
+(* Deterministic probe data without depending on the prng library
+   (parallel sits below it in the dependency order). *)
+let fill_xorshift arr seed =
+  let s = ref (seed lor 1) in
+  for i = 0 to Array.length arr - 1 do
+    let x = !s in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) in
+    s := x land max_int;
+    arr.(i) <- float_of_int (!s land 0xFFFF) /. 65536.
+  done
+
+let calibrate ?domains ?(probes = 5) () =
+  let domains =
+    match domains with Some d -> d | None -> Pool.default_domain_count ()
+  in
+  if domains < 1 then invalid_arg "Autotune.calibrate: domains must be >= 1";
+  if probes < 1 then invalid_arg "Autotune.calibrate: probes must be >= 1";
+  Pool.with_pool ~domains (fun pool ->
+      (* spawn the workers before anything is timed *)
+      Pool.parallel_for ~grain:1 pool domains (fun _ _ -> ());
+      let sink = ref 0. in
+      let keep v = sink := !sink +. v in
+      (* dispatch cost: an empty job with one chunk per domain; chunk
+         cost: the marginal cost per extra chunk at a high chunk count *)
+      let chunks = Stdlib.max 256 (4 * domains) in
+      let dispatch_few =
+        median_of ~probes (fun () ->
+            Pool.parallel_for ~grain:1 pool domains (fun _ _ -> ()))
+      in
+      let dispatch_many =
+        median_of ~probes (fun () ->
+            Pool.parallel_for ~grain:1 pool chunks (fun _ _ -> ()))
+      in
+      let chunk_ns =
+        Stdlib.max 1.
+          ((dispatch_many -. dispatch_few) /. float_of_int (chunks - domains))
+      in
+      let dispatch_ns = Stdlib.max 100. dispatch_few in
+      let speedup serial par =
+        let ts = median_of ~probes serial and tp = median_of ~probes par in
+        (ts, ts /. tp)
+      in
+      (* gemm probe: g^3 multiply-adds, row-parallel *)
+      let g = 64 in
+      let a = Array.make (g * g) 0. and b = Array.make (g * g) 0. in
+      let c = Array.make (g * g) 0. in
+      fill_xorshift a 11;
+      fill_xorshift b 23;
+      let gemm_rows lo hi =
+        for i = lo to hi - 1 do
+          let cbase = i * g in
+          for k = 0 to g - 1 do
+            let aik = a.((i * g) + k) in
+            let bbase = k * g in
+            for j = 0 to g - 1 do
+              c.(cbase + j) <- c.(cbase + j) +. (aik *. b.(bbase + j))
+            done
+          done
+        done
+      in
+      let t_gemm, s_gemm =
+        speedup
+          (fun () -> gemm_rows 0 g)
+          (fun () -> Pool.parallel_for pool g gemm_rows)
+      in
+      keep c.(0);
+      let gemm =
+        { elem_ns = t_gemm /. float_of_int (g * g * g); par_speedup = s_gemm }
+      in
+      (* gemv probe: rows*cols multiply-adds *)
+      let gr = 192 in
+      let gx = Array.make gr 0. and gy = Array.make gr 0. in
+      fill_xorshift gx 31;
+      let ga = Array.make (gr * gr) 0. in
+      fill_xorshift ga 41;
+      let gemv_rows lo hi =
+        for i = lo to hi - 1 do
+          let base = i * gr in
+          let acc = ref 0. in
+          for j = 0 to gr - 1 do
+            acc := !acc +. (ga.(base + j) *. gx.(j))
+          done;
+          gy.(i) <- !acc
+        done
+      in
+      let t_gemv, s_gemv =
+        speedup
+          (fun () -> gemv_rows 0 gr)
+          (fun () -> Pool.parallel_for pool gr gemv_rows)
+      in
+      keep gy.(0);
+      let gemv =
+        { elem_ns = t_gemv /. float_of_int (gr * gr); par_speedup = s_gemv }
+      in
+      (* spmv probe: synthetic CSR with a fixed 8 entries per row *)
+      let sr = 2048 and per_row = 8 in
+      let nnz = sr * per_row in
+      let vals = Array.make nnz 0. and cols = Array.make nnz 0 in
+      fill_xorshift vals 53;
+      (let s = ref 12345 in
+       for i = 0 to nnz - 1 do
+         s := ((!s * 1103515245) + 12345) land 0x3FFFFFFF;
+         cols.(i) <- !s mod sr
+       done);
+      let sx = Array.make sr 0. and sy = Array.make sr 0. in
+      fill_xorshift sx 61;
+      let spmv_rows lo hi =
+        for i = lo to hi - 1 do
+          let acc = ref 0. in
+          for k = i * per_row to ((i + 1) * per_row) - 1 do
+            acc := !acc +. (vals.(k) *. sx.(cols.(k)))
+          done;
+          sy.(i) <- !acc
+        done
+      in
+      let t_spmv, s_spmv =
+        speedup
+          (fun () -> spmv_rows 0 sr)
+          (fun () -> Pool.parallel_for pool sr spmv_rows)
+      in
+      keep sy.(0);
+      let spmv =
+        { elem_ns = t_spmv /. float_of_int nnz; par_speedup = s_spmv }
+      in
+      (* pairwise probe: triangular n^2 pass over d=5 points (the
+         paper's dimension); elem_ns is per matrix cell *)
+      let pn = 128 and pd = 5 in
+      let pts = Array.make (pn * pd) 0. in
+      fill_xorshift pts 71;
+      let norms = Array.make pn 0. in
+      for i = 0 to pn - 1 do
+        let acc = ref 0. in
+        for k = 0 to pd - 1 do
+          let v = pts.((i * pd) + k) in
+          acc := !acc +. (v *. v)
+        done;
+        norms.(i) <- !acc
+      done;
+      let pout = Array.make (pn * pn) 0. in
+      let pair_rows lo hi =
+        for i = lo to hi - 1 do
+          for j = i + 1 to pn - 1 do
+            let dot = ref 0. in
+            for k = 0 to pd - 1 do
+              dot := !dot +. (pts.((i * pd) + k) *. pts.((j * pd) + k))
+            done;
+            let d2 = norms.(i) +. norms.(j) -. (2. *. !dot) in
+            let d2 = if d2 > 0. then d2 else 0. in
+            pout.((i * pn) + j) <- d2;
+            pout.((j * pn) + i) <- d2
+          done
+        done
+      in
+      let t_pair, s_pair =
+        speedup
+          (fun () -> pair_rows 0 pn)
+          (fun () ->
+            Pool.parallel_for ~grain:(Stdlib.max 1 ((pn + 255) / 256)) pool pn
+              pair_rows)
+      in
+      keep pout.(1);
+      let pairwise =
+        { elem_ns = t_pair /. float_of_int (pn * pn); par_speedup = s_pair }
+      in
+      (* jacobi probe: one round of disjoint column rotations (the unit
+         the tournament sweep dispatches); elem_ns is per n^2 work *)
+      let jn = 128 in
+      let jm = Array.make (jn * jn) 0. in
+      fill_xorshift jm 83;
+      let cth = 0.8 and sth = 0.6 in
+      let npairs = jn / 2 in
+      let rot_pairs lo hi =
+        for p = lo to hi - 1 do
+          let cp = p and cq = npairs + p in
+          for r = 0 to jn - 1 do
+            let x = jm.((r * jn) + cp) and y = jm.((r * jn) + cq) in
+            jm.((r * jn) + cp) <- (cth *. x) -. (sth *. y);
+            jm.((r * jn) + cq) <- (sth *. x) +. (cth *. y)
+          done
+        done
+      in
+      let t_jac, s_jac =
+        speedup
+          (fun () -> rot_pairs 0 npairs)
+          (fun () ->
+            Pool.parallel_for
+              ~grain:(Stdlib.max 1 ((npairs + 15) / 16))
+              pool npairs rot_pairs)
+      in
+      keep jm.(0);
+      let jacobi =
+        { elem_ns = t_jac /. float_of_int (jn * jn); par_speedup = s_jac }
+      in
+      ignore (Sys.opaque_identity !sink);
+      { domains; dispatch_ns; chunk_ns; gemm; gemv; spmv; pairwise; jacobi })
+
+let resolve_env () =
+  match Sys.getenv_opt "GSSL_TUNE" with
+  | None | Some "" | Some "off" -> Static
+  | Some "serial" -> Serial
+  | Some "parallel" -> Parallel
+  | Some path ->
+      if Sys.file_exists path then Calibrated (load path)
+      else
+        let m = calibrate () in
+        (try save path m with Sys_error _ -> ());
+        Calibrated m
+
+let current_mode () =
+  match !forced with
+  | Some m -> m
+  | None -> (
+      match !env_resolved with
+      | Some m -> m
+      | None ->
+          let m = resolve_env () in
+          env_resolved := Some m;
+          m)
+
+let set_mode m = forced := Some m
+
+let with_mode m f =
+  let prev = !forced in
+  forced := Some m;
+  Fun.protect ~finally:(fun () -> forced := prev) f
+
+(* --- the decision, with its telemetry log --------------------------- *)
+
+let decision_counters =
+  List.map
+    (fun k ->
+      ( k,
+        Telemetry.Counter.make
+          (Printf.sprintf "parallel.tune.%s.serial" (kernel_name k)),
+        Telemetry.Counter.make
+          (Printf.sprintf "parallel.tune.%s.parallel" (kernel_name k)) ))
+    [ Gemm; Gemv; Spmv; Pairwise; Jacobi ]
+
+let log_decision k parallel =
+  let _, serial_c, par_c =
+    List.find (fun (k', _, _) -> k' = k) decision_counters
+  in
+  Telemetry.Counter.incr (if parallel then par_c else serial_c)
+
+let serial_choice = { parallel = false; grain = None }
+
+let plan ?(dispatches = 1) k ~work ~rows =
+  let choice =
+    if rows < 2 || work <= 0 then serial_choice
+    else
+      match current_mode () with
+      | Serial -> serial_choice
+      | Parallel -> { parallel = true; grain = None }
+      | Static ->
+          { parallel = work >= static_threshold k; grain = None }
+      | Calibrated m ->
+          if work >= crossover_work ~dispatches m k then
+            { parallel = true; grain = Some (calibrated_grain m k ~work ~rows) }
+          else serial_choice
+  in
+  log_decision k choice.parallel;
+  choice
+
+let decide ?dispatches k ~work = (plan ?dispatches k ~work ~rows:max_int).parallel

@@ -1,0 +1,113 @@
+(** Startup-calibrated serial/parallel dispatch for the pooled kernels.
+
+    Every parallel kernel (dense GEMM/GEMV, sparse SpMV, pairwise
+    distances, Jacobi rotation sweeps) asks this module whether the
+    current call has enough work to win from fanning out over the
+    domain pool, and with what chunk grain.  The answer comes from one
+    of four modes:
+
+    - [Static]: the historical compile-time work thresholds (the
+      default; decisions are identical to the pre-autotune code).
+    - [Serial] / [Parallel]: force every kernel one way — deterministic
+      overrides so tests and CI never depend on wall-clock timing.
+    - [Calibrated m]: consult a measured cost model [m] — per-element
+      kernel cost, pool dispatch and per-chunk overhead, and the
+      measured parallel speedup of each kernel on this machine.  A
+      kernel goes parallel only when the modelled time saved clearly
+      exceeds the modelled dispatch overhead, so on a box where
+      parallelism does not pay (one hardware thread, tiny sizes) the
+      tuned decision is always serial: parallel is never slower than
+      serial by construction.
+
+    The mode is resolved once from the [GSSL_TUNE] environment
+    variable: unset/[""]/["off"] → [Static], ["serial"]/["parallel"]
+    → the forced modes, anything else is a cache-file path — loaded
+    when it exists, otherwise calibrated on first use and saved there.
+    {!set_mode}/{!with_mode} override the environment programmatically.
+
+    Decisions depend only on the mode and the call's work measure —
+    never on the live pool size or the clock — so a fixed cache file
+    yields identical decisions run-to-run.  Each decision bumps a
+    [parallel.tune.<kernel>.{serial,parallel}] telemetry counter, which
+    is the decision log the determinism tests read back. *)
+
+type kernel = Gemm | Gemv | Spmv | Pairwise | Jacobi
+
+type kernel_model = {
+  elem_ns : float;  (** serial cost per work unit (see {!plan}) *)
+  par_speedup : float;
+      (** measured serial/parallel wall ratio at the probe size;
+          <= 1 means the pool never pays for this kernel here *)
+}
+
+type model = {
+  domains : int;  (** domain count the probes ran on *)
+  dispatch_ns : float;  (** cost of one pool dispatch *)
+  chunk_ns : float;  (** marginal cost per scheduled chunk *)
+  gemm : kernel_model;
+  gemv : kernel_model;
+  spmv : kernel_model;
+  pairwise : kernel_model;
+  jacobi : kernel_model;
+}
+
+type mode = Static | Serial | Parallel | Calibrated of model
+
+type choice = {
+  parallel : bool;
+  grain : int option;
+      (** [None]: keep the call site's historical grain; [Some g]
+          only in calibrated mode, sized from the chunk-cost model *)
+}
+
+val kernel_name : kernel -> string
+val mode_name : mode -> string
+val kernel_model : model -> kernel -> kernel_model
+
+val static_threshold : kernel -> int
+(** The pre-autotune work threshold this kernel used ([Static] mode
+    reproduces exactly these decisions).  Work measures per kernel:
+    [Gemm] rows*k*cols, [Gemv] rows*cols, [Spmv] nnz, [Pairwise] n*n,
+    [Jacobi] n*n (one tournament round; pass [~dispatches:2]). *)
+
+val plan : ?dispatches:int -> kernel -> work:int -> rows:int -> choice
+(** The dispatch decision for one kernel call with [work] work units
+    spread over [rows] independent rows.  [dispatches] (default 1) is
+    the number of pool dispatches the parallel path pays per call.
+    Always serial when [rows < 2] or [work <= 0]. *)
+
+val decide : ?dispatches:int -> kernel -> work:int -> bool
+(** [(plan kernel ~work ~rows:max_int).parallel] — for call sites that
+    keep their own grain. *)
+
+val crossover_work : ?dispatches:int -> model -> kernel -> int
+(** Smallest work measure at which the model picks parallel, or
+    [max_int] when it never does (speedup too low or [domains < 2]). *)
+
+val current_mode : unit -> mode
+(** The active mode, resolving [GSSL_TUNE] (and calibrating, for a
+    cache path that does not exist yet) on first call. *)
+
+val set_mode : mode -> unit
+(** Override the environment-resolved mode from now on. *)
+
+val with_mode : mode -> (unit -> 'a) -> 'a
+(** Run [f] under a mode override, restoring the previous state (also
+    on exception). *)
+
+val calibrate : ?domains:int -> ?probes:int -> unit -> model
+(** Run the timed probes (median of [probes], default 5, each rep
+    count auto-scaled to at least ~50 us) on a fresh pool of [domains]
+    (default {!Pool.default_domain_count}) and return the fitted
+    model.  Takes a few tens of milliseconds. *)
+
+val render_model : model -> string
+(** The cache-file JSON (self-describing, versioned). *)
+
+val parse_model : string -> model
+(** Inverse of {!render_model}.  Raises [Failure] on malformed input. *)
+
+val save : string -> model -> unit
+val load : string -> model
+(** File forms of {!render_model}/{!parse_model}; [load] raises
+    [Failure] on unreadable or malformed files. *)

@@ -93,11 +93,16 @@ let get t i j =
 let c_matvec = Telemetry.Counter.make "sparse.matvecs"
 let c_flops = Telemetry.Counter.make "sparse.flops"
 
-(* Rows are independent, so SpMV fans out over row panels once there is
-   enough work to amortise the pool dispatch; each row's accumulation
-   order is unchanged, so the result is bit-identical to the serial loop
-   for any domain count. *)
-let spmv_par_threshold = 1 lsl 12
+(* Rows are independent, so SpMV fans out over row panels when
+   Parallel.Autotune decides the work amortises the pool dispatch; each
+   row's accumulation order is unchanged, so the result is bit-identical
+   to the serial loop for any domain count and any tune mode. *)
+let spmv_dispatch t rows_body =
+  let { Parallel.Autotune.parallel = go_par; grain } =
+    Parallel.Autotune.plan Parallel.Autotune.Spmv ~work:(nnz t) ~rows:t.rows
+  in
+  if go_par then Parallel.Pool.run ?grain t.rows rows_body
+  else rows_body 0 t.rows
 
 let mv t x =
   if Array.length x <> t.cols then invalid_arg "Csr.mv: length mismatch";
@@ -113,9 +118,57 @@ let mv t x =
       y.(i) <- !acc
     done
   in
-  if t.rows >= 2 && nnz t >= spmv_par_threshold then
-    Parallel.Pool.run t.rows rows
-  else rows 0 t.rows;
+  spmv_dispatch t rows;
+  y
+
+(* Fused graph-Laplacian products: the degree scaling (and, for the
+   soft criterion, the labeled-block identity and the lambda weight)
+   are applied in the same row pass as the W.x accumulation, so the
+   operator costs one sweep and no intermediate vector.  Per row the
+   W.x accumulation order matches [mv] exactly and the combination
+   mirrors the unfused [vdiag_i*x_i + lambda*(deg_i*x_i - (Wx)_i)]
+   expression, so the fused result is bit-identical to the composed
+   one. *)
+
+let lap_mv t ~deg x =
+  if Array.length x <> t.cols then invalid_arg "Csr.lap_mv: length mismatch";
+  if Array.length deg <> t.rows then
+    invalid_arg "Csr.lap_mv: degree length mismatch";
+  Telemetry.Counter.incr c_matvec;
+  Telemetry.Counter.add c_flops ((2 * nnz t) + (2 * t.rows));
+  let y = Array.make t.rows 0. in
+  let rows lo hi =
+    for i = lo to hi - 1 do
+      let acc = ref 0. in
+      for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+        acc := !acc +. (t.values.(k) *. x.(t.col_idx.(k)))
+      done;
+      y.(i) <- (deg.(i) *. x.(i)) -. !acc
+    done
+  in
+  spmv_dispatch t rows;
+  y
+
+let fused_lap_mv t ~deg ~vdiag ~lambda x =
+  if Array.length x <> t.cols then
+    invalid_arg "Csr.fused_lap_mv: length mismatch";
+  if Array.length deg <> t.rows then
+    invalid_arg "Csr.fused_lap_mv: degree length mismatch";
+  if Array.length vdiag <> t.rows then
+    invalid_arg "Csr.fused_lap_mv: vdiag length mismatch";
+  Telemetry.Counter.incr c_matvec;
+  Telemetry.Counter.add c_flops ((2 * nnz t) + (4 * t.rows));
+  let y = Array.make t.rows 0. in
+  let rows lo hi =
+    for i = lo to hi - 1 do
+      let acc = ref 0. in
+      for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+        acc := !acc +. (t.values.(k) *. x.(t.col_idx.(k)))
+      done;
+      y.(i) <- (vdiag.(i) *. x.(i)) +. (lambda *. ((deg.(i) *. x.(i)) -. !acc))
+    done
+  in
+  spmv_dispatch t rows;
   y
 
 let tmv t x =

@@ -24,6 +24,24 @@ val get : t -> int -> int -> float
 val mv : t -> Linalg.Vec.t -> Linalg.Vec.t
 (** Sparse matrix–vector product. *)
 
+val lap_mv : t -> deg:Linalg.Vec.t -> Linalg.Vec.t -> Linalg.Vec.t
+(** [lap_mv w ~deg x] is the graph-Laplacian product
+    [y_i = deg_i * x_i - (W x)_i] computed in one row pass (degree
+    scaling fused into the SpMV sweep, no intermediate vector).
+    Bit-identical to the composed [deg.*x - mv w x]. *)
+
+val fused_lap_mv :
+  t ->
+  deg:Linalg.Vec.t ->
+  vdiag:Linalg.Vec.t ->
+  lambda:float ->
+  Linalg.Vec.t ->
+  Linalg.Vec.t
+(** [fused_lap_mv w ~deg ~vdiag ~lambda x] is
+    [y_i = vdiag_i * x_i + lambda * (deg_i * x_i - (W x)_i)] — the soft
+    criterion's [(V + lambda L) x] — in one row pass.  Bit-identical to
+    composing the unfused steps. *)
+
 val tmv : t -> Linalg.Vec.t -> Linalg.Vec.t
 (** [tmv a x = aᵀ x]. *)
 

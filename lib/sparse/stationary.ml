@@ -14,59 +14,99 @@ let c_iterations = Telemetry.Counter.make "stationary.iterations"
 
 let residual_norm a x b = Vec.norm2 (Vec.sub b (Csr.mv a x))
 
-let check_diagonal a =
-  let d = Csr.diagonal a in
+(* The sweeps only need three views of the system A: its diagonal, the
+   off-diagonal row dot Σ_{j≠i} A_ij x_j, and a residual norm.  Both
+   the assembled-CSR path and the fused Laplacian path (A = diag(deg)
+   − W, never materialised) provide them. *)
+type system = {
+  n : int;
+  diag : Vec.t;
+  offdiag_dot : Vec.t -> int -> float;
+  residual : Vec.t -> Vec.t -> float;
+}
+
+let check_diagonal name d =
   Array.iteri
     (fun i v ->
       if abs_float v < 1e-300 then
-        invalid_arg (Printf.sprintf "Stationary.solve: zero diagonal at %d" i))
-    d;
-  d
+        invalid_arg (Printf.sprintf "%s: zero diagonal at %d" name i))
+    d
 
-let jacobi_step a d x b =
-  let n = Array.length x in
-  let y = Array.make n 0. in
-  for i = 0 to n - 1 do
-    let acc = ref b.(i) in
-    Csr.iter_row a i (fun j v -> if j <> i then acc := !acc -. (v *. x.(j)));
-    y.(i) <- !acc /. d.(i)
+let jacobi_step sys x b =
+  let y = Array.make sys.n 0. in
+  for i = 0 to sys.n - 1 do
+    y.(i) <- (b.(i) -. sys.offdiag_dot x i) /. sys.diag.(i)
   done;
   y
 
 (* Gauss–Seidel and SOR update in place, sweeping forward. *)
-let sor_step omega a d x b =
-  let n = Array.length x in
-  for i = 0 to n - 1 do
-    let acc = ref b.(i) in
-    Csr.iter_row a i (fun j v -> if j <> i then acc := !acc -. (v *. x.(j)));
-    let gs = !acc /. d.(i) in
+let sor_step omega sys x b =
+  for i = 0 to sys.n - 1 do
+    let gs = (b.(i) -. sys.offdiag_dot x i) /. sys.diag.(i) in
     x.(i) <- ((1. -. omega) *. x.(i)) +. (omega *. gs)
   done
 
-let solve ?x0 ?(tol = 1e-10) ?(max_iter = 10_000) method_ a b =
+let solve_system ?x0 ?(tol = 1e-10) ?(max_iter = 10_000) method_ sys b =
   Telemetry.Span.with_ "stationary.solve" @@ fun () ->
   Telemetry.Counter.incr c_solves;
-  let rows, cols = Csr.dims a in
-  if rows <> cols then invalid_arg "Stationary.solve: matrix not square";
-  if Array.length b <> rows then invalid_arg "Stationary.solve: length mismatch";
+  if Array.length b <> sys.n then invalid_arg "Stationary.solve: length mismatch";
   (match method_ with
   | Sor omega when omega <= 0. || omega >= 2. ->
       invalid_arg "Stationary.solve: SOR factor must lie in (0, 2)"
   | _ -> ());
-  let d = check_diagonal a in
-  let x = ref (match x0 with Some v -> Vec.copy v | None -> Vec.zeros rows) in
-  if Array.length !x <> rows then invalid_arg "Stationary.solve: x0 length mismatch";
+  let x = ref (match x0 with Some v -> Vec.copy v | None -> Vec.zeros sys.n) in
+  if Array.length !x <> sys.n then
+    invalid_arg "Stationary.solve: x0 length mismatch";
   let b_norm = Vec.norm2 b in
   let threshold = if b_norm = 0. then tol else tol *. b_norm in
   let iterations = ref 0 in
-  let res = ref (residual_norm a !x b) in
+  let res = ref (sys.residual !x b) in
   while !res > threshold && !iterations < max_iter do
     incr iterations;
     Telemetry.Counter.incr c_iterations;
     (match method_ with
-    | Jacobi -> x := jacobi_step a d !x b
-    | Gauss_seidel -> sor_step 1. a d !x b
-    | Sor omega -> sor_step omega a d !x b);
-    res := residual_norm a !x b
+    | Jacobi -> x := jacobi_step sys !x b
+    | Gauss_seidel -> sor_step 1. sys !x b
+    | Sor omega -> sor_step omega sys !x b);
+    res := sys.residual !x b
   done;
-  { solution = !x; iterations = !iterations; residual_norm = !res; converged = !res <= threshold }
+  {
+    solution = !x;
+    iterations = !iterations;
+    residual_norm = !res;
+    converged = !res <= threshold;
+  }
+
+let solve ?x0 ?tol ?max_iter method_ a b =
+  let rows, cols = Csr.dims a in
+  if rows <> cols then invalid_arg "Stationary.solve: matrix not square";
+  let d = Csr.diagonal a in
+  check_diagonal "Stationary.solve" d;
+  let offdiag_dot x i =
+    let acc = ref 0. in
+    Csr.iter_row a i (fun j v -> if j <> i then acc := !acc +. (v *. x.(j)));
+    !acc
+  in
+  solve_system ?x0 ?tol ?max_iter method_
+    { n = rows; diag = d; offdiag_dot; residual = residual_norm a }
+    b
+
+let solve_lap ?x0 ?tol ?max_iter method_ ~w ~deg b =
+  let rows, cols = Csr.dims w in
+  if rows <> cols then invalid_arg "Stationary.solve_lap: matrix not square";
+  if Array.length deg <> rows then
+    invalid_arg "Stationary.solve_lap: degree length mismatch";
+  (* A = diag(deg) - W: diagonal deg_i - w_ii, off-diagonals -w_ij.
+     The W rows are streamed directly — A is never assembled. *)
+  let wdiag = Csr.diagonal w in
+  let d = Array.init rows (fun i -> deg.(i) -. wdiag.(i)) in
+  check_diagonal "Stationary.solve_lap" d;
+  let offdiag_dot x i =
+    let acc = ref 0. in
+    Csr.iter_row w i (fun j v -> if j <> i then acc := !acc -. (v *. x.(j)));
+    !acc
+  in
+  let residual x b = Vec.norm2 (Vec.sub b (Csr.lap_mv w ~deg x)) in
+  solve_system ?x0 ?tol ?max_iter method_
+    { n = rows; diag = d; offdiag_dot; residual }
+    b

@@ -28,3 +28,24 @@ val solve :
     1e-10) or [max_iter] (default 10_000).  Raises [Invalid_argument] on a
     non-square matrix, dimension mismatch, zero diagonal entry, or an SOR
     factor outside (0, 2). *)
+
+val solve_lap :
+  ?x0:Linalg.Vec.t ->
+  ?tol:float ->
+  ?max_iter:int ->
+  method_ ->
+  w:Csr.t ->
+  deg:Linalg.Vec.t ->
+  Linalg.Vec.t ->
+  outcome
+(** [solve_lap m ~w ~deg b] solves the graph-Laplacian system
+    [(diag(deg) − W) x = b] by streaming the rows of [W] directly —
+    the system matrix is never assembled, and the residual uses the
+    fused {!Csr.lap_mv}.  The sweeps are the same as {!solve} on the
+    assembled matrix (off-diagonal terms are accumulated in the same
+    column order with [−w_ij] in place of [A_ij]), so for a [W] whose
+    stored off-diagonal pattern matches the assembled system the
+    iterates are identical up to the residual's summation order.
+    Same defaults and errors as {!solve}; additionally raises
+    [Invalid_argument] when [deg] has the wrong length or
+    [deg_i − w_ii] vanishes. *)

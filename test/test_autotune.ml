@@ -1,0 +1,758 @@
+(* The autotune contract, from three sides:
+
+   1. decision semantics — Static reproduces the legacy thresholds,
+      Serial/Parallel force every kernel, Calibrated follows the cost
+      model, and a fixed cache file yields identical decisions (with the
+      parallel.tune.* counters as the decision log);
+   2. bit-identity — the packed GEMM micro-kernel and the fused
+      Laplacian operators produce bit-for-bit the results of their naive
+      / unfused counterparts under every domain count and tune mode;
+   3. the speedup-contract gate — Obs.Bench_compare fails reports whose
+      recorded kernel speedups dip below the floor or collapse versus
+      the committed baseline, on the same file-pair path compare.exe
+      drives. *)
+
+open Test_util
+module Pool = Parallel.Pool
+module At = Parallel.Autotune
+module Export = Telemetry.Export
+module Bc = Obs.Bench_compare
+module Csr = Sparse.Csr
+module Wg = Graph.Weighted_graph
+
+let kernels = [ At.Gemm; At.Gemv; At.Spmv; At.Pairwise; At.Jacobi ]
+let domain_counts = [ 1; 2; Stdlib.max 2 (Pool.default_domain_count ()) ]
+
+(* A hand-built model whose crossover sits at a few hundred work units,
+   so moderate test sizes exercise the calibrated-parallel path. *)
+let eager_model =
+  let km = { At.elem_ns = 10.; par_speedup = 3.0 } in
+  {
+    At.domains = 4;
+    dispatch_ns = 500.;
+    chunk_ns = 50.;
+    gemm = km;
+    gemv = km;
+    spmv = km;
+    pairwise = km;
+    jacobi = km;
+  }
+
+(* Measured speedup below 1: the pool never pays, every decision serial. *)
+let lame_model =
+  let km = { At.elem_ns = 10.; par_speedup = 0.9 } in
+  { eager_model with At.gemm = km; gemv = km; spmv = km; pairwise = km; jacobi = km }
+
+let modes =
+  [ At.Static; At.Serial; At.Parallel; At.Calibrated eager_model;
+    At.Calibrated lame_model ]
+
+let mode_label = function
+  | At.Calibrated m when m == lame_model -> "calibrated(no-payoff)"
+  | m -> At.mode_name m
+
+(* --- 1. decision semantics ------------------------------------------ *)
+
+let test_static_thresholds () =
+  At.with_mode At.Static (fun () ->
+      List.iter
+        (fun k ->
+          let t = At.static_threshold k in
+          let name = At.kernel_name k in
+          if not (At.decide k ~work:t) then
+            Alcotest.failf "%s: work = threshold (%d) must go parallel" name t;
+          if At.decide k ~work:(t - 1) then
+            Alcotest.failf "%s: work = threshold - 1 must stay serial" name;
+          let c = At.plan k ~work:(2 * t) ~rows:1000 in
+          if c.At.grain <> None then
+            Alcotest.failf "%s: static mode must not override the grain" name)
+        kernels)
+
+let test_forced_modes () =
+  List.iter
+    (fun k ->
+      let name = At.kernel_name k in
+      At.with_mode At.Serial (fun () ->
+          if At.decide k ~work:(1 lsl 30) then
+            Alcotest.failf "%s: Serial mode went parallel" name);
+      At.with_mode At.Parallel (fun () ->
+          if not (At.decide k ~work:1) then
+            Alcotest.failf "%s: Parallel mode stayed serial" name))
+    kernels
+
+let test_degenerate_inputs_stay_serial () =
+  List.iter
+    (fun m ->
+      At.with_mode m (fun () ->
+          List.iter
+            (fun k ->
+              let name = At.kernel_name k in
+              if (At.plan k ~work:(1 lsl 20) ~rows:1).At.parallel then
+                Alcotest.failf "%s/%s: rows < 2 must stay serial" (mode_label m)
+                  name;
+              if (At.plan k ~work:0 ~rows:100).At.parallel then
+                Alcotest.failf "%s/%s: zero work must stay serial"
+                  (mode_label m) name;
+              if (At.plan k ~work:(-5) ~rows:100).At.parallel then
+                Alcotest.failf "%s/%s: negative work must stay serial"
+                  (mode_label m) name)
+            kernels))
+    modes
+
+let test_calibrated_crossover () =
+  List.iter
+    (fun k ->
+      let name = At.kernel_name k in
+      let x = At.crossover_work eager_model k in
+      (* margin 2 * dispatch 500ns over elem 10ns * (1 - 1/3): ~150 *)
+      if x < 50 || x > 500 then
+        Alcotest.failf "%s: crossover %d outside the modelled ballpark" name x;
+      At.with_mode (At.Calibrated eager_model) (fun () ->
+          if not (At.decide k ~work:x) then
+            Alcotest.failf "%s: work = crossover must go parallel" name;
+          if At.decide k ~work:(x - 1) then
+            Alcotest.failf "%s: work = crossover - 1 must stay serial" name);
+      let x2 = At.crossover_work ~dispatches:2 eager_model k in
+      if x2 < (2 * x) - 2 || x2 > (2 * x) + 2 then
+        Alcotest.failf "%s: two dispatches should ~double the crossover" name;
+      Alcotest.(check int)
+        (name ^ ": speedup below 1.05 never pays")
+        max_int
+        (At.crossover_work lame_model k);
+      Alcotest.(check int)
+        (name ^ ": a single domain never pays")
+        max_int
+        (At.crossover_work { eager_model with At.domains = 1 } k);
+      let breakeven =
+        { eager_model with At.gemm = { At.elem_ns = 10.; par_speedup = 1.0 } }
+      in
+      Alcotest.(check int) "speedup exactly 1.0 never pays" max_int
+        (At.crossover_work breakeven At.Gemm))
+    kernels
+
+let test_calibrated_grain () =
+  At.with_mode (At.Calibrated eager_model) (fun () ->
+      let rows = 1000 in
+      let c = At.plan At.Gemv ~work:(rows * rows) ~rows in
+      if not c.At.parallel then Alcotest.fail "large gemv must go parallel";
+      match c.At.grain with
+      | None -> Alcotest.fail "calibrated parallel plan must size its grain"
+      | Some g ->
+          if g < 1 || g > rows then
+            Alcotest.failf "grain %d outside [1, rows]" g;
+          let chunks = (rows + g - 1) / g in
+          if chunks > 8 * eager_model.At.domains then
+            Alcotest.failf "%d chunks exceed 8 per domain" chunks);
+  (* few rows: the chunk count is capped by the row count *)
+  At.with_mode (At.Calibrated eager_model) (fun () ->
+      match At.plan At.Spmv ~work:100_000 ~rows:3 with
+      | { At.parallel = true; grain = Some g } ->
+          if g < 1 then Alcotest.fail "grain must be positive"
+      | _ -> Alcotest.fail "3-row spmv with huge work should still parallelise")
+
+let check_same_decisions msg m m' =
+  List.iter
+    (fun k ->
+      List.iter
+        (fun d ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s: %s crossover (dispatches %d)" msg
+               (At.kernel_name k) d)
+            (At.crossover_work ~dispatches:d m k)
+            (At.crossover_work ~dispatches:d m' k))
+        [ 1; 2 ])
+    kernels
+
+let test_cache_roundtrip () =
+  List.iter
+    (fun m ->
+      let m' = At.parse_model (At.render_model m) in
+      Alcotest.(check int) "domains survive" m.At.domains m'.At.domains;
+      check_same_decisions "render/parse" m m')
+    [ eager_model; lame_model ]
+
+let test_cache_rejects_malformed () =
+  let bad label s =
+    match At.parse_model s with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.failf "parse_model accepted %s" label
+  in
+  bad "non-JSON" "autotune? never heard of it";
+  bad "empty object" "{}";
+  bad "wrong report kind" "{\"report\":\"flight-recorder\",\"version\":1}";
+  bad "unsupported version"
+    "{\"report\":\"gssl-tune-cache\",\"version\":2,\"domains\":2,\
+     \"dispatch_ns\":100,\"chunk_ns\":10,\"kernels\":{}}";
+  bad "missing kernels"
+    "{\"report\":\"gssl-tune-cache\",\"version\":1,\"domains\":2,\
+     \"dispatch_ns\":100,\"chunk_ns\":10,\"kernels\":{}}";
+  bad "non-numeric field"
+    "{\"report\":\"gssl-tune-cache\",\"version\":1,\"domains\":2,\
+     \"dispatch_ns\":\"fast\",\"chunk_ns\":10,\"kernels\":{\
+     \"gemm\":{\"elem_ns\":1,\"par_speedup\":1},\
+     \"gemv\":{\"elem_ns\":1,\"par_speedup\":1},\
+     \"spmv\":{\"elem_ns\":1,\"par_speedup\":1},\
+     \"pairwise\":{\"elem_ns\":1,\"par_speedup\":1},\
+     \"jacobi\":{\"elem_ns\":1,\"par_speedup\":1}}}"
+
+let with_temp_file f =
+  let path = Filename.temp_file "gssl_tune" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let test_cache_file_roundtrip () =
+  with_temp_file (fun path ->
+      At.save path eager_model;
+      let m = At.load path in
+      Alcotest.(check int) "domains survive the file" eager_model.At.domains
+        m.At.domains;
+      check_same_decisions "save/load" eager_model m);
+  match At.load "/nonexistent/gssl-tune-cache.json" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "load of a missing file must raise Failure"
+
+(* Satellite: a fixed GSSL_TUNE cache yields identical crossover
+   decisions run-to-run — load the same file twice and sweep a work
+   grid through plan under both copies. *)
+let test_fixed_cache_determinism () =
+  with_temp_file (fun path ->
+      At.save path eager_model;
+      let decisions m =
+        At.with_mode (At.Calibrated m) (fun () ->
+            List.concat_map
+              (fun k ->
+                List.map
+                  (fun w -> At.decide k ~work:w)
+                  [ 1; 64; 140; 151; 1024; 65536; 1 lsl 20 ])
+              kernels)
+      in
+      let first = decisions (At.load path) in
+      let second = decisions (At.load path) in
+      if first <> second then
+        Alcotest.fail "same cache file gave different decisions";
+      if first <> decisions eager_model then
+        Alcotest.fail "loaded cache diverged from the model that wrote it")
+
+(* Satellite: the decision log — every plan() bumps
+   parallel.tune.<kernel>.{serial,parallel}. *)
+let test_decision_log_counters () =
+  Telemetry.Registry.with_enabled (fun () ->
+      List.iter
+        (fun k ->
+          let name = At.kernel_name k in
+          let serial_c = "parallel.tune." ^ name ^ ".serial"
+          and par_c = "parallel.tune." ^ name ^ ".parallel" in
+          let s0 = Telemetry.Counter.get serial_c
+          and p0 = Telemetry.Counter.get par_c in
+          At.with_mode (At.Calibrated eager_model) (fun () ->
+              ignore (At.decide k ~work:1);
+              ignore (At.decide k ~work:(1 lsl 20));
+              ignore (At.decide k ~work:(1 lsl 20)));
+          Alcotest.(check int)
+            (name ^ ": serial decisions logged")
+            (s0 + 1)
+            (Telemetry.Counter.get serial_c);
+          Alcotest.(check int)
+            (name ^ ": parallel decisions logged")
+            (p0 + 2)
+            (Telemetry.Counter.get par_c))
+        kernels)
+
+let test_calibrate_smoke () =
+  let m = At.calibrate ~domains:2 ~probes:1 () in
+  Alcotest.(check int) "domains recorded" 2 m.At.domains;
+  if not (Float.is_finite m.At.dispatch_ns) || m.At.dispatch_ns <= 0. then
+    Alcotest.fail "dispatch_ns must be positive and finite";
+  if not (Float.is_finite m.At.chunk_ns) || m.At.chunk_ns <= 0. then
+    Alcotest.fail "chunk_ns must be positive and finite";
+  At.with_mode (At.Calibrated m) (fun () ->
+      List.iter
+        (fun k ->
+          let km = At.kernel_model m k in
+          let name = At.kernel_name k in
+          if not (Float.is_finite km.At.elem_ns) || km.At.elem_ns <= 0. then
+            Alcotest.failf "%s: elem_ns must be positive and finite" name;
+          if
+            (not (Float.is_finite km.At.par_speedup))
+            || km.At.par_speedup <= 0.
+          then Alcotest.failf "%s: par_speedup must be positive" name;
+          (* whatever the probes measured, trivial work must stay serial *)
+          if At.decide k ~work:1 then
+            Alcotest.failf "%s: work 1 went parallel under a measured model"
+              name)
+        kernels);
+  (* a calibrated model must survive its own cache format *)
+  check_same_decisions "calibrated render/parse" m
+    (At.parse_model (At.render_model m))
+
+(* --- 2. bit-identity across domain counts x tune modes -------------- *)
+
+(* Run [f] under every (domain count, tune mode) pair and compare its
+   result bit-for-bit (structural equality on float arrays) against
+   [reference]. *)
+let check_bits_everywhere name reference f =
+  List.iter
+    (fun d ->
+      List.iter
+        (fun m ->
+          let got = Pool.with_default_domains d (fun () -> At.with_mode m f) in
+          if got <> reference then
+            Alcotest.failf "%s: bits differ under %d domain(s), mode %s" name d
+              (mode_label m))
+        modes)
+    domain_counts
+
+let gemm_matches_naive =
+  qprop ~count:12 "Mat.mm bit-identical to the naive ikj loop in every mode"
+    (fun seed ->
+      let rng = Prng.Rng.create seed in
+      let r = 1 + Prng.Rng.int rng 40
+      and k = 1 + Prng.Rng.int rng 40
+      and c = 1 + Prng.Rng.int rng 40 in
+      let a = random_mat rng r k and b = random_mat rng k c in
+      let reference = Array.make (r * c) 0. in
+      for i = 0 to r - 1 do
+        for kk = 0 to k - 1 do
+          let aik = a.Mat.data.((i * k) + kk) in
+          for j = 0 to c - 1 do
+            reference.((i * c) + j) <-
+              reference.((i * c) + j) +. (aik *. b.Mat.data.((kk * c) + j))
+          done
+        done
+      done;
+      check_bits_everywhere
+        (Printf.sprintf "gemm %dx%dx%d" r k c)
+        reference
+        (fun () -> (Mat.mm a b).Mat.data);
+      true)
+
+let gemm_packed_path_matches_naive =
+  qprop ~count:4 "packed GEMM path (large, odd shapes) matches the naive loop"
+    (fun seed ->
+      let rng = Prng.Rng.create seed in
+      (* sizes chosen to exercise full 4x4 tiles, tail columns and tail
+         rows of the packed micro-kernel *)
+      let r = 29 + Prng.Rng.int rng 11
+      and k = 17 + Prng.Rng.int rng 9
+      and c = 30 + Prng.Rng.int rng 13 in
+      let a = random_mat rng r k and b = random_mat rng k c in
+      let reference = Array.make (r * c) 0. in
+      for i = 0 to r - 1 do
+        for kk = 0 to k - 1 do
+          let aik = a.Mat.data.((i * k) + kk) in
+          for j = 0 to c - 1 do
+            reference.((i * c) + j) <-
+              reference.((i * c) + j) +. (aik *. b.Mat.data.((kk * c) + j))
+          done
+        done
+      done;
+      check_bits_everywhere
+        (Printf.sprintf "packed gemm %dx%dx%d" r k c)
+        reference
+        (fun () -> (Mat.mm a b).Mat.data);
+      true)
+
+let gemv_matches_naive =
+  qprop ~count:10 "Mat.mv bit-identical to the naive dot loop in every mode"
+    (fun seed ->
+      let rng = Prng.Rng.create seed in
+      let r = 1 + Prng.Rng.int rng 96 and c = 1 + Prng.Rng.int rng 96 in
+      let a = random_mat rng r c in
+      let x = random_vec rng c in
+      let reference =
+        Array.init r (fun i ->
+            let acc = ref 0. in
+            for j = 0 to c - 1 do
+              acc := !acc +. (a.Mat.data.((i * c) + j) *. x.(j))
+            done;
+            !acc)
+      in
+      check_bits_everywhere
+        (Printf.sprintf "gemv %dx%d" r c)
+        reference
+        (fun () -> Mat.mv a x);
+      true)
+
+(* Random sparse nonneg matrix (optionally with zero diagonal). *)
+let random_sparse_nonneg rng ?(zero_diag = false) n =
+  Mat.init n n (fun i j ->
+      if zero_diag && i = j then 0.
+      else if Prng.Rng.float rng < 0.25 then Prng.Rng.uniform rng 0.1 3.
+      else 0.)
+
+let fused_spmv_matches_unfused =
+  qprop ~count:15 "Csr.lap_mv / fused_lap_mv bit-identical to unfused compose"
+    (fun seed ->
+      let rng = Prng.Rng.create seed in
+      let n = 2 + Prng.Rng.int rng 50 in
+      let w = Csr.of_dense (random_sparse_nonneg rng n) in
+      let deg = random_vec rng n
+      and vdiag = random_vec rng n
+      and x = random_vec rng n in
+      let lambda = Prng.Rng.uniform rng 0. 2. in
+      let wx = Csr.mv w x in
+      let lap_ref = Array.init n (fun i -> (deg.(i) *. x.(i)) -. wx.(i)) in
+      check_bits_everywhere "lap_mv" lap_ref (fun () -> Csr.lap_mv w ~deg x);
+      let fused_ref =
+        Array.init n (fun i ->
+            (vdiag.(i) *. x.(i))
+            +. (lambda *. ((deg.(i) *. x.(i)) -. wx.(i))))
+      in
+      check_bits_everywhere "fused_lap_mv" fused_ref (fun () ->
+          Csr.fused_lap_mv w ~deg ~vdiag ~lambda x);
+      true)
+
+(* Symmetric nonneg zero-diagonal weights: valid for Weighted_graph. *)
+let random_weights rng n =
+  let m = random_sparse_nonneg rng ~zero_diag:true n in
+  Mat.scale 0.5 (Mat.add m (Mat.transpose m))
+
+let operator_matches_unfused =
+  qprop ~count:10
+    "Laplacian.operator (sparse and dense) bit-identical to V f + lambda L f"
+    (fun seed ->
+      let rng = Prng.Rng.create seed in
+      let n = 2 + Prng.Rng.int rng 30 in
+      let w = random_weights rng n in
+      let lambda = Prng.Rng.uniform rng 0. 2. in
+      let n_labeled = Prng.Rng.int rng (n + 1) in
+      let x = random_vec rng n in
+      let csr = Csr.of_dense w in
+      List.iter
+        (fun (tag, g) ->
+          let d = Wg.degrees g in
+          let wx =
+            match Wg.storage g with
+            | Wg.Sparse c -> Csr.mv c x
+            | Wg.Dense m ->
+                Array.init n (fun i ->
+                    let acc = ref 0. in
+                    for j = 0 to n - 1 do
+                      acc := !acc +. (m.Mat.data.((i * m.Mat.cols) + j) *. x.(j))
+                    done;
+                    !acc)
+          in
+          let reference =
+            match Wg.storage g with
+            | Wg.Sparse _ ->
+                (* the sparse path multiplies by an explicit 0/1 vdiag *)
+                Array.init n (fun i ->
+                    let vd = if i < n_labeled then 1. else 0. in
+                    (vd *. x.(i))
+                    +. (lambda *. ((d.(i) *. x.(i)) -. wx.(i))))
+            | Wg.Dense _ ->
+                Array.init n (fun i ->
+                    let v_part = if i < n_labeled then x.(i) else 0. in
+                    v_part +. (lambda *. ((d.(i) *. x.(i)) -. wx.(i))))
+          in
+          let op = Graph.Laplacian.operator ~lambda ~n_labeled g in
+          check_bits_everywhere
+            (Printf.sprintf "operator(%s) n=%d" tag n)
+            reference
+            (fun () -> op.Sparse.Linop.apply x))
+        [ ("sparse", Wg.of_sparse csr); ("dense", Wg.of_dense w) ];
+      true)
+
+let solve_lap_matches_assembled =
+  qprop ~count:12 "Stationary.solve_lap tracks solve on the assembled matrix"
+    (fun seed ->
+      let rng = Prng.Rng.create seed in
+      let n = 2 + Prng.Rng.int rng 18 in
+      let w = random_weights rng n in
+      (* deg > row sum makes diag(deg) - W strictly diagonally dominant *)
+      let deg =
+        Array.init n (fun i ->
+            let acc = ref 0. in
+            for j = 0 to n - 1 do
+              acc := !acc +. w.Mat.data.((i * n) + j)
+            done;
+            !acc +. 0.5 +. Prng.Rng.float rng)
+      in
+      let a =
+        Csr.of_dense
+          (Mat.init n n (fun i j ->
+               if i = j then deg.(i) else -.w.Mat.data.((i * n) + j)))
+      in
+      let w_csr = Csr.of_dense w in
+      let b = random_vec rng n in
+      List.iter
+        (fun (tag, m) ->
+          let o1 = Sparse.Stationary.solve m a b in
+          let o2 = Sparse.Stationary.solve_lap m ~w:w_csr ~deg b in
+          if not (o1.Sparse.Stationary.converged && o2.Sparse.Stationary.converged)
+          then Alcotest.failf "%s: dominant system must converge" tag;
+          (* the sweeps are bit-identical; only the residual's summation
+             order differs, so equal iteration counts force equal bits *)
+          if o1.Sparse.Stationary.iterations = o2.Sparse.Stationary.iterations
+          then begin
+            if o1.Sparse.Stationary.solution <> o2.Sparse.Stationary.solution
+            then Alcotest.failf "%s: same iterations, different bits" tag
+          end
+          else
+            check_vec ~tol:1e-7 (tag ^ ": solutions agree")
+              o1.Sparse.Stationary.solution o2.Sparse.Stationary.solution)
+        [
+          ("jacobi", Sparse.Stationary.Jacobi);
+          ("gauss-seidel", Sparse.Stationary.Gauss_seidel);
+          ("sor(1.3)", Sparse.Stationary.Sor 1.3);
+        ];
+      true)
+
+let scalable_fused_matches_hard =
+  qprop ~count:8 "Scalable fused solvers agree with the dense Hard solve"
+    (fun seed ->
+      let rng = Prng.Rng.create seed in
+      let n = 4 + Prng.Rng.int rng 16 in
+      (* ring + random chords: connected, so no unanchored component *)
+      let data = Array.make (n * n) 0. in
+      for i = 0 to n - 1 do
+        let j = (i + 1) mod n in
+        let v = Prng.Rng.uniform rng 0.5 2. in
+        data.((i * n) + j) <- v;
+        data.((j * n) + i) <- v
+      done;
+      for _ = 1 to n do
+        let i = Prng.Rng.int rng n and j = Prng.Rng.int rng n in
+        if i <> j then begin
+          let v = Prng.Rng.uniform rng 0.1 1. in
+          data.((i * n) + j) <- v;
+          data.((j * n) + i) <- v
+        end
+      done;
+      let w = Mat.init n n (fun i j -> data.((i * n) + j)) in
+      let l = 1 + Prng.Rng.int rng (n - 1) in
+      let labels = Array.init l (fun _ -> if Prng.Rng.bool rng then 1. else 0.) in
+      let p = Gssl.Problem.make ~graph:(Wg.of_dense w) ~labels in
+      let dense = Gssl.Hard.solve p in
+      let cg = Gssl.Scalable.solve ~tol:1e-12 p in
+      check_vec ~tol:1e-6 "CG via lap_mv = dense Hard" dense cg;
+      let gs =
+        Gssl.Scalable.solve_stationary ~tol:1e-12
+          Sparse.Stationary.Gauss_seidel p
+      in
+      check_vec ~tol:1e-6 "Gauss-Seidel via solve_lap = dense Hard" dense gs;
+      true)
+
+let test_jacobi_modes_agree () =
+  let rng = Prng.Rng.create 7 in
+  let m = random_symmetric rng 24 in
+  let ev mode =
+    Pool.with_default_domains 2 (fun () ->
+        At.with_mode mode (fun () -> (Linalg.Eigen.jacobi m).Linalg.Eigen.values))
+  in
+  (* forced modes flip the rotation ordering (cyclic vs tournament);
+     the spectra must agree even though the bits legitimately differ *)
+  check_vec ~tol:1e-8 "eigenvalues independent of the dispatch decision"
+    (ev At.Serial) (ev At.Parallel)
+
+(* --- 3. the speedup-contract gate ----------------------------------- *)
+
+let report ?speedups phases =
+  let p =
+    phases
+    |> List.map (fun (n, ms) ->
+           Printf.sprintf "{\"name\":%S,\"wall_ms\":%g}" n ms)
+    |> String.concat ","
+  in
+  let s =
+    match speedups with
+    | None -> ""
+    | Some kvs ->
+        Printf.sprintf ",\"speedup\":{%s}"
+          (kvs
+          |> List.map (fun (k, x) -> Printf.sprintf "%S:%g" k x)
+          |> String.concat ",")
+  in
+  Export.parse (Printf.sprintf "{\"phases\":[%s]%s}" p s)
+
+(* The same conjunction compare.exe exits on, driven through actual
+   report files like the CLI does. *)
+let gate_on_files baseline current =
+  with_temp_file (fun bpath ->
+      with_temp_file (fun cpath ->
+          let write path json =
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () -> output_string oc (Export.render json))
+          in
+          write bpath baseline;
+          write cpath current;
+          let read path =
+            let ic = open_in_bin path in
+            Fun.protect
+              ~finally:(fun () -> close_in ic)
+              (fun () ->
+                Export.parse (really_input_string ic (in_channel_length ic)))
+          in
+          let baseline = read bpath and current = read cpath in
+          Bc.ok (Bc.compare_reports ~baseline ~current ())
+          && Bc.speedups_ok (Bc.compare_speedups ~baseline ~current ())))
+
+let base_speedups = [ ("gemm", 1.0); ("spmv", 1.02); ("lambda_path", 4.0) ]
+
+let test_gate_clean_pass () =
+  let baseline =
+    report ~speedups:base_speedups [ ("gemm", 10.); ("spmv", 5.) ]
+  in
+  let current =
+    report
+      ~speedups:[ ("gemm", 1.0); ("spmv", 1.0); ("lambda_path", 3.1) ]
+      [ ("gemm", 12.); ("spmv", 4.) ]
+  in
+  if not (gate_on_files baseline current) then
+    Alcotest.fail "a clean pair must pass the gate"
+
+let test_gate_wall_regression_fails () =
+  let baseline =
+    report ~speedups:base_speedups [ ("gemm", 10.); ("spmv", 5.) ]
+  in
+  let current =
+    (* speedups fine, but gemm wall time blew past the 3x threshold *)
+    report ~speedups:base_speedups [ ("gemm", 100.); ("spmv", 5.) ]
+  in
+  if gate_on_files baseline current then
+    Alcotest.fail "a 10x wall regression must fail the gate";
+  let verdicts =
+    Bc.compare_reports ~baseline ~current ()
+    |> List.filter (fun v -> v.Bc.regressed)
+  in
+  Alcotest.(check (list string))
+    "exactly the regressed phase is reported" [ "gemm" ]
+    (List.map (fun v -> v.Bc.name) verdicts)
+
+let test_gate_speedup_below_floor_fails () =
+  let baseline = report ~speedups:base_speedups [ ("gemm", 10.) ] in
+  let current =
+    report
+      ~speedups:[ ("gemm", 0.80); ("spmv", 1.0); ("lambda_path", 4.0) ]
+      [ ("gemm", 10.) ]
+  in
+  if gate_on_files baseline current then
+    Alcotest.fail "a 0.80x kernel speedup must fail the contract";
+  let v =
+    Bc.compare_speedups ~baseline ~current ()
+    |> List.find (fun v -> v.Bc.kernel = "gemm")
+  in
+  if not v.Bc.speedup_regressed then Alcotest.fail "gemm must be flagged";
+  if not (String.length v.Bc.reason > 0 && v.Bc.reason.[0] = '0') then
+    Alcotest.failf "unexpected reason %S" v.Bc.reason
+
+let test_gate_speedup_collapse_fails () =
+  let baseline = report ~speedups:base_speedups [ ("gemm", 10.) ] in
+  let current =
+    (* 1.2x clears the 0.95 floor but collapses from a 4.0x baseline *)
+    report
+      ~speedups:[ ("gemm", 1.0); ("spmv", 1.0); ("lambda_path", 1.2) ]
+      [ ("gemm", 10.) ]
+  in
+  if gate_on_files baseline current then
+    Alcotest.fail "a collapsed lambda_path speedup must fail the gate";
+  let v =
+    Bc.compare_speedups ~baseline ~current ()
+    |> List.find (fun v -> v.Bc.kernel = "lambda_path")
+  in
+  Alcotest.(check string)
+    "collapse reason" "1.20x collapsed from baseline 4.00x" v.Bc.reason
+
+let test_gate_missing_and_new_entries () =
+  let baseline = report ~speedups:base_speedups [ ("gemm", 10.) ] in
+  let dropped =
+    report ~speedups:[ ("gemm", 1.0); ("spmv", 1.0) ] [ ("gemm", 10.) ]
+  in
+  if gate_on_files baseline dropped then
+    Alcotest.fail "a silently dropped speedup entry must fail the gate";
+  let v =
+    Bc.compare_speedups ~baseline ~current:dropped ()
+    |> List.find (fun v -> v.Bc.kernel = "lambda_path")
+  in
+  Alcotest.(check string)
+    "missing reason" "missing from current report" v.Bc.reason;
+  (* new entries: gated by the floor only *)
+  let with_new ratio =
+    report
+      ~speedups:(base_speedups @ [ ("pairwise", ratio) ])
+      [ ("gemm", 10.) ]
+  in
+  if not (gate_on_files baseline (with_new 1.0)) then
+    Alcotest.fail "a healthy new entry must pass";
+  if gate_on_files baseline (with_new 0.5) then
+    Alcotest.fail "a new entry below the floor must fail"
+
+let test_gate_malformed_and_bad_args () =
+  let baseline = report ~speedups:base_speedups [ ("gemm", 10.) ] in
+  let expect_malformed label current =
+    match Bc.compare_speedups ~baseline ~current () with
+    | exception Bc.Malformed _ -> ()
+    | _ -> Alcotest.failf "%s must raise Malformed" label
+  in
+  expect_malformed "non-object speedup"
+    (Export.parse "{\"phases\":[],\"speedup\":[1,2]}");
+  expect_malformed "non-numeric entry"
+    (Export.parse "{\"phases\":[],\"speedup\":{\"gemm\":\"fast\"}}");
+  expect_malformed "negative entry"
+    (Export.parse "{\"phases\":[],\"speedup\":{\"gemm\":-1}}");
+  (* a report without a speedup object has nothing to gate *)
+  Alcotest.(check int) "no speedup object -> no entries" 0
+    (List.length (Bc.speedups_of_report (report [ ("gemm", 1.) ])));
+  check_raises_invalid "negative floor" (fun () ->
+      Bc.compare_speedups ~floor:(-0.1) ~baseline ~current:baseline ());
+  check_raises_invalid "slack above 1" (fun () ->
+      Bc.compare_speedups ~slack:1.5 ~baseline ~current:baseline ())
+
+let test_gate_golden_text () =
+  let baseline = report ~speedups:[ ("gemm", 2.0) ] [ ("gemm", 10.) ] in
+  let current = report ~speedups:[ ("gemm", 0.5) ] [ ("gemm", 10.) ] in
+  let got =
+    Bc.speedups_to_text (Bc.compare_speedups ~baseline ~current ())
+  in
+  let expected =
+    "speedup contract (floor 0.95x):\n\
+    \  gemm                         base  2.00x  cur  0.50x  REGRESSED: \
+     0.50x is below the 0.95x contract floor\n\
+     FAIL: speedup contract violated\n"
+  in
+  Alcotest.(check string) "rendered verdict" expected got
+
+let suite =
+  ( "autotune",
+    [
+      case "static mode reproduces the legacy thresholds"
+        test_static_thresholds;
+      case "forced modes override every kernel" test_forced_modes;
+      case "degenerate inputs stay serial in every mode"
+        test_degenerate_inputs_stay_serial;
+      case "calibrated crossover follows the cost model"
+        test_calibrated_crossover;
+      case "calibrated grain respects chunk bounds" test_calibrated_grain;
+      case "cache render/parse preserves decisions" test_cache_roundtrip;
+      case "cache parser rejects malformed input" test_cache_rejects_malformed;
+      case "cache file save/load round-trips" test_cache_file_roundtrip;
+      case "fixed cache file yields identical decisions"
+        test_fixed_cache_determinism;
+      case "decisions are logged to parallel.tune counters"
+        test_decision_log_counters;
+      case "calibration produces a sane, serialisable model"
+        test_calibrate_smoke;
+      gemm_matches_naive;
+      gemm_packed_path_matches_naive;
+      gemv_matches_naive;
+      fused_spmv_matches_unfused;
+      operator_matches_unfused;
+      solve_lap_matches_assembled;
+      scalable_fused_matches_hard;
+      case "jacobi spectra agree across dispatch modes"
+        test_jacobi_modes_agree;
+      case "gate: clean pair passes" test_gate_clean_pass;
+      case "gate: wall-time regression fails" test_gate_wall_regression_fails;
+      case "gate: speedup below the floor fails"
+        test_gate_speedup_below_floor_fails;
+      case "gate: speedup collapse vs baseline fails"
+        test_gate_speedup_collapse_fails;
+      case "gate: missing and new speedup entries"
+        test_gate_missing_and_new_entries;
+      case "gate: malformed reports and bad arguments"
+        test_gate_malformed_and_bad_args;
+      case "gate: golden rendered verdict" test_gate_golden_text;
+    ] )
