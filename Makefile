@@ -1,8 +1,8 @@
 # Convenience targets; everything funnels through dune.
 
 .PHONY: build test test-random test-domains1 test-tune-off tune-smoke \
-	fault-smoke bench-smoke bench-par bench bench-check bench-snapshot \
-	trace-smoke ci clean
+	fault-smoke soak-smoke bench-smoke bench-par bench bench-check \
+	bench-snapshot trace-smoke ci clean
 
 # Baseline report for the bench regression gate (see bench-check).
 BASELINE ?= BENCH_baseline.json
@@ -53,6 +53,19 @@ tune-smoke:
 fault-smoke:
 	dune build @fault-smoke
 
+# Chaos soak smoke: replay a seeded fault-injected request trace through
+# the serve engine twice (--verify-replay) and fail on any serving
+# invariant violation — dropped responses, an uncertified Served answer,
+# queue overgrowth, or replay divergence.  Runs once at the pinned seed
+# and once at a fresh seed, so the invariants are exercised beyond the
+# seed the tests pin.
+soak-smoke:
+	dune build bin/repro.exe
+	./_build/default/bin/repro.exe soak --requests 1500 --verify-replay > /dev/null
+	@seed=$$(( ($$(date +%N | sed 's/^0*//') % 999983) + 43 )); \
+	echo "soak-smoke fresh seed=$$seed"; \
+	./_build/default/bin/repro.exe soak --requests 1500 --seed $$seed --verify-replay
+
 # Profile-mode bench run that emits the per-phase JSON report and
 # self-validates it (parse + required fields + nonzero solver counters).
 bench-smoke:
@@ -97,7 +110,7 @@ trace-smoke:
 	./_build/default/bench/compare.exe --check-trace /tmp/gssl_trace.json
 
 ci: build test test-domains1 test-tune-off test-random tune-smoke \
-	fault-smoke bench-smoke bench-par bench-check trace-smoke
+	fault-smoke soak-smoke bench-smoke bench-par bench-check trace-smoke
 
 clean:
 	dune clean

@@ -478,6 +478,18 @@ module Profile = struct
               Parallel.Autotune.with_mode
                 (Parallel.Autotune.Calibrated tuned_model) f))
     in
+    (* serve-layer soak: replay a deterministic chaos trace (with replay
+       verification, so the phase also proves digest determinism) through
+       the admission-controlled engine on a virtual clock.  The phase's
+       wall_ms is the real replay cost; the virtual-clock latency
+       percentiles ride along as pseudo-phases below so the regression
+       gate tracks serving latency, not just solver throughput. *)
+    let soak_cfg =
+      { Serve.Soak.default with
+        Serve.Soak.requests = (if smoke then 600 else 3000);
+        verify_replay = true }
+    in
+    let soak_summary = ref None in
     Obs.Histogram.attach_to_spans ();
     T.Registry.enable ();
     let phases =
@@ -541,10 +553,45 @@ module Profile = struct
             Gssl.Resilient.solve_hard dense_problem);
         run_phase "resilient_hard_capped" (fun () ->
             Gssl.Resilient.solve_hard ~cg_max_iter:1 sparse_problem);
+        run_phase "soak_replay" (fun () ->
+            let s = Serve.Soak.run soak_cfg in
+            if not (Serve.Soak.ok s) then
+              failwith
+                (Printf.sprintf "bench: soak violated serving invariants:\n%s"
+                   (Serve.Soak.describe s));
+            soak_summary := Some s;
+            s);
       ]
     in
     T.Registry.disable ();
     T.Registry.reset ();
+    (* virtual-clock latency percentiles as gate-visible pseudo-phases;
+       they are seed-deterministic, so any drift versus the baseline is a
+       behavior change in the serve layer, not scheduler noise *)
+    let phases =
+      match !soak_summary with
+      | None -> phases
+      | Some s ->
+          let pseudo name v =
+            T.Export.(
+              Obj
+                [
+                  ("name", Str name);
+                  ("wall_ms", Num v);
+                  ("span_ms_quantiles", Obj []);
+                  ("matvecs", Num 0.);
+                  ("iterations", Num 0.);
+                  ("counters", Obj []);
+                  ("fallback", Obj []);
+                  ("cg_residual_trace_points", Num 0.);
+                ])
+          in
+          phases
+          @ [
+              pseudo "soak_p50" s.Serve.Soak.p50_ms;
+              pseudo "soak_p99" s.Serve.Soak.p99_ms;
+            ]
+    in
     let open T.Export in
     let wall name =
       let is_phase p =
@@ -677,8 +724,15 @@ module Profile = struct
         "soft_cg"; "resilient_hard_clean"; "resilient_hard_capped";
         "lambda_path"; "lambda_path_naive"; "gemm_serial"; "gemm_par";
         "pairwise_serial"; "pairwise_par"; "spmv_serial"; "spmv_par";
-        "gemm_tuned"; "pairwise_tuned"; "spmv_tuned";
+        "gemm_tuned"; "pairwise_tuned"; "spmv_tuned"; "soak_replay";
+        "soak_p50"; "soak_p99";
       ];
+    (* the soak percentiles are virtual-clock values: they must be
+       strictly positive (something was actually served) and ordered *)
+    let p50 = field "wall_ms" (find "soak_p50")
+    and p99 = field "wall_ms" (find "soak_p99") in
+    if p50 <= 0. then failwith "bench smoke: soak p50 is not positive";
+    if p99 < p50 then failwith "bench smoke: soak p99 below p50";
     let counter p name =
       match member "counters" p with
       | Some (Obj kvs) -> (

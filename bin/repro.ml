@@ -651,6 +651,163 @@ let health_cmd =
           flight-recorder escalation sequence.")
     term
 
+(* long-lived serving layer: chaos soak replay and an interactive server *)
+
+let soak_cmd =
+  let requests_arg =
+    let doc = "Number of requests in the generated trace." in
+    Arg.(value & opt int 5000 & info [ "requests" ] ~docv:"N" ~doc)
+  in
+  let capacity_arg =
+    let doc = "Admission queue capacity (requests beyond it are shed)." in
+    Arg.(value & opt int 16 & info [ "capacity" ] ~docv:"Q" ~doc)
+  in
+  let deadline_arg =
+    let doc = "Per-request deadline budget in virtual milliseconds." in
+    Arg.(value & opt float 25. & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let fault_rate_arg =
+    let doc = "Fraction of queries carrying injected faults." in
+    Arg.(value & opt float 0.18 & info [ "fault-rate" ] ~docv:"F" ~doc)
+  in
+  let replay_arg =
+    let doc =
+      "Replay the trace a second time and require bit-identical per-request \
+       outcomes (digest equality)."
+    in
+    Arg.(value & flag & info [ "verify-replay" ] ~doc)
+  in
+  let run seed requests capacity deadline fault_rate replay =
+    setup_logs ();
+    let cfg =
+      { Serve.Soak.default with
+        Serve.Soak.seed;
+        requests;
+        queue_capacity = capacity;
+        deadline_ms = deadline;
+        fault_rate;
+        verify_replay = replay }
+    in
+    let s = Serve.Soak.run cfg in
+    print_string (Serve.Soak.describe s);
+    if not (Serve.Soak.ok s) then exit 1
+  in
+  let term =
+    Term.(
+      const run $ seed_arg 42 $ requests_arg $ capacity_arg $ deadline_arg
+      $ fault_rate_arg $ replay_arg)
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Chaos soak: replay a seeded fault-injected request trace (latency \
+          stalls, CG starvation, NaN poison, label flips, relabel storms, \
+          queue-saturating bursts) through the admission-controlled serve \
+          engine on a virtual clock, and check the serving invariants — \
+          zero dropped responses, every response certified healthy or \
+          explicitly degraded/shed, bounded queue.  Exits nonzero on any \
+          violation.")
+    term
+
+let serve_cmd =
+  let deadline_arg =
+    let doc = "Per-request deadline budget in milliseconds." in
+    Arg.(value & opt float 250. & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let print_stats engine =
+    let s = Serve.Engine.stats engine in
+    Printf.printf
+      "served %d | degraded %d | shed %d | deadline expired %d | retried %d\n\
+       relabels %d | breaker trips %d | cache hits/misses %d/%d\n%!"
+      s.Serve.Engine.served s.Serve.Engine.degraded s.Serve.Engine.shed
+      s.Serve.Engine.deadline_expired s.Serve.Engine.retried
+      s.Serve.Engine.relabels s.Serve.Engine.breaker_trips
+      s.Serve.Engine.cache_hits s.Serve.Engine.cache_misses
+  in
+  let run seed deadline =
+    setup_logs ();
+    let prob = Serve.Soak.problem ~seed ~n_vertices:80 ~n_labeled:20 in
+    let config =
+      { Serve.Engine.default_config with
+        Serve.Engine.deadline_ms = deadline;
+        seed }
+    in
+    let clock = Serve.Clock.monotonic () in
+    let engine = Serve.Engine.create ~clock config prob in
+    Printf.printf
+      "gssl serve: %d-vertex two-cluster problem loaded (%d labeled).\n\
+       commands: query | relabel <vertex> <label> | stats | quit\n%!"
+      (Gssl.Problem.size prob)
+      (Gssl.Problem.n_labeled prob);
+    let next_id = ref 0 in
+    let submit kind =
+      incr next_id;
+      let req =
+        { Serve.Engine.id = !next_id;
+          arrival_ms = Serve.Clock.now_ms clock;
+          kind;
+          faults = [] }
+      in
+      let r = Serve.Engine.handle engine req in
+      let status =
+        match r.Serve.Engine.status with
+        | Serve.Engine.Served -> "served"
+        | Serve.Engine.Degraded why -> "DEGRADED (" ^ why ^ ")"
+        | Serve.Engine.Shed why -> "SHED (" ^ why ^ ")"
+      in
+      let health =
+        match r.Serve.Engine.certificate with
+        | Some c when Obs.Health.healthy c -> "healthy certificate"
+        | Some _ -> "UNHEALTHY certificate"
+        | None -> "no certificate"
+      in
+      Printf.printf "#%d %s in %.3f ms — %d prediction(s), %s\n%!"
+        r.Serve.Engine.id status r.Serve.Engine.latency_ms
+        (Array.length r.Serve.Engine.predictions)
+        health
+    in
+    let rec loop () =
+      print_string "> ";
+      flush stdout;
+      match input_line stdin with
+      | exception End_of_file -> ()
+      | line -> (
+          let words =
+            String.split_on_char ' ' (String.trim line)
+            |> List.filter (fun s -> s <> "")
+          in
+          match words with
+          | [] -> loop ()
+          | [ "quit" ] | [ "exit" ] -> ()
+          | [ "query" ] ->
+              submit Serve.Engine.Query;
+              loop ()
+          | [ "stats" ] ->
+              print_stats engine;
+              loop ()
+          | [ "relabel"; v; y ] ->
+              (match (int_of_string_opt v, float_of_string_opt y) with
+              | Some vertex, Some label ->
+                  submit (Serve.Engine.Relabel { vertex; label })
+              | _ -> print_endline "usage: relabel <vertex> <label>");
+              loop ()
+          | _ ->
+              print_endline "commands: query | relabel <vertex> <label> | stats | quit";
+              loop ())
+    in
+    loop ();
+    print_stats engine
+  in
+  let term = Term.(const run $ seed_arg 42 $ deadline_arg) in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-lived solve service on a synthetic two-cluster problem: loads \
+          the graph once, caches its factorization, then answers query / \
+          relabel requests from stdin with per-request deadlines, health \
+          certificates and Sherman–Morrison incremental updates.")
+    term
+
 let all_cmd =
   let run reps seed markdown no_plot profile profile_json trace_out =
     setup_logs ();
@@ -689,7 +846,7 @@ let () =
       [
         fig1_cmd; fig2_cmd; fig3_cmd; fig4_cmd; fig5_cmd; toy_cmd; consistency_cmd;
         complexity_cmd; ablation_cmd; baselines_cmd; future_cmd; robust_cmd;
-        health_cmd; artifacts_cmd; all_cmd;
+        health_cmd; artifacts_cmd; soak_cmd; serve_cmd; all_cmd;
       ]
   in
   exit (Cmd.eval group)

@@ -11,7 +11,9 @@ type report = {
   n_components : int;
   n_anchored : int;
   rungs : (int * string) list;
+  rung_ms : (int * (string * float) list) list;
   certificates : (int * Obs.Health.t) list;
+  aborted : bool;
 }
 
 let c_hard = Telemetry.Counter.make "gssl.resilient_hard_solves"
@@ -125,7 +127,7 @@ let sparse_cert ~system ~rung ~attempts a b solution =
 (* Hard criterion on one anchored component: assemble the component's
    (D − W) system in the same storage as the input and run the matching
    fallback chain. *)
-let solve_hard_component ?cg_max_iter ~observe g y_clean verts n_lab =
+let solve_hard_component ?cg_max_iter ?should_stop ~observe g y_clean verts n_lab =
   let sub_labels = Array.init n_lab (fun p -> y_clean.(verts.(p))) in
   match Wg.storage g with
   | Wg.Dense _ ->
@@ -135,14 +137,15 @@ let solve_hard_component ?cg_max_iter ~observe g y_clean verts n_lab =
         Problem.make_unchecked ~graph:(Wg.of_dense_unchecked w) ~labels:sub_labels
       in
       let a = Hard.system_matrix sub and b = Hard.rhs sub in
-      let out = Rsolve.solve_dense a b in
+      let out = Rsolve.solve_dense ?should_stop a b in
       let rung = Rsolve.dense_rung_name out.Rsolve.rung in
       let cert =
         if observe then
           Some (dense_cert ~system:"resilient.hard" ~rung a b out.Rsolve.solution)
         else None
       in
-      (out.Rsolve.solution, rung, out.Rsolve.escalations, cert)
+      (out.Rsolve.solution, rung, out.Rsolve.escalations, cert,
+       out.Rsolve.timings, out.Rsolve.aborted)
   | Wg.Sparse csr ->
       let sub =
         Problem.make_unchecked
@@ -150,7 +153,7 @@ let solve_hard_component ?cg_max_iter ~observe g y_clean verts n_lab =
           ~labels:sub_labels
       in
       let a, b = Scalable.system_csr sub in
-      let out = Rsolve.solve_sparse ?cg_max_iter a b in
+      let out = Rsolve.solve_sparse ?cg_max_iter ?should_stop a b in
       let rung = Rsolve.sparse_rung_name out.Rsolve.rung in
       let cert =
         if observe then
@@ -159,13 +162,15 @@ let solve_hard_component ?cg_max_iter ~observe g y_clean verts n_lab =
                ~attempts:out.Rsolve.cg_attempts a b out.Rsolve.solution)
         else None
       in
-      (out.Rsolve.solution, rung, out.Rsolve.escalations, cert)
+      (out.Rsolve.solution, rung, out.Rsolve.escalations, cert,
+       out.Rsolve.timings, out.Rsolve.aborted)
 
 (* Soft criterion on one anchored component: the component block of
    (V + λL), solved over all component vertices; the unlabeled slice is
    the prediction.  Degrees come from the sanitised full graph — equal
    to component degrees since no edge crosses components. *)
-let solve_soft_component ?cg_max_iter ~observe ~lambda g y_clean verts n_lab =
+let solve_soft_component ?cg_max_iter ?should_stop ~observe ~lambda g y_clean verts
+    n_lab =
   let s = Array.length verts in
   let d = Wg.degrees g in
   let rhs =
@@ -182,14 +187,15 @@ let solve_soft_component ?cg_max_iter ~observe ~lambda g y_clean verts n_lab =
             let v = if p = q && p < n_lab then 1. else 0. in
             v +. (lambda *. lap))
       in
-      let out = Rsolve.solve_dense a rhs in
+      let out = Rsolve.solve_dense ?should_stop a rhs in
       let rung = Rsolve.dense_rung_name out.Rsolve.rung in
       let cert =
         if observe then
           Some (dense_cert ~system:"resilient.soft" ~rung a rhs out.Rsolve.solution)
         else None
       in
-      (slice_unlabeled out.Rsolve.solution, rung, out.Rsolve.escalations, cert)
+      (slice_unlabeled out.Rsolve.solution, rung, out.Rsolve.escalations, cert,
+       out.Rsolve.timings, out.Rsolve.aborted)
   | Wg.Sparse csr ->
       let local = Hashtbl.create (2 * s) in
       Array.iteri (fun p v -> Hashtbl.replace local v p) verts;
@@ -208,7 +214,7 @@ let solve_soft_component ?cg_max_iter ~observe ~lambda g y_clean verts n_lab =
                 | None -> ()))
         verts;
       let a = Sparse.Csr.of_coo coo in
-      let out = Rsolve.solve_sparse ?cg_max_iter a rhs in
+      let out = Rsolve.solve_sparse ?cg_max_iter ?should_stop a rhs in
       let rung = Rsolve.sparse_rung_name out.Rsolve.rung in
       let cert =
         if observe then
@@ -217,7 +223,8 @@ let solve_soft_component ?cg_max_iter ~observe ~lambda g y_clean verts n_lab =
                ~attempts:out.Rsolve.cg_attempts a rhs out.Rsolve.solution)
         else None
       in
-      (slice_unlabeled out.Rsolve.solution, rung, out.Rsolve.escalations, cert)
+      (slice_unlabeled out.Rsolve.solution, rung, out.Rsolve.escalations, cert,
+       out.Rsolve.timings, out.Rsolve.aborted)
 
 let solve_impl ?suspect_threshold ~kind ~component_solver problem =
   let g0 = problem.Problem.graph in
@@ -238,7 +245,9 @@ let solve_impl ?suspect_threshold ~kind ~component_solver problem =
   let extra = ref [] in
   let imputed = ref [] in
   let rungs = ref [] in
+  let rung_ms = ref [] in
   let certificates = ref [] in
+  let aborted = ref false in
   let impute v =
     predictions.(v - n) <- mean;
     imputed := v :: !imputed;
@@ -255,10 +264,12 @@ let solve_impl ?suspect_threshold ~kind ~component_solver problem =
       | _ ->
           let n_lab = List.length labeled in
           let verts = Array.of_list (labeled @ unlabeled) in
-          let solution, rung, escalations, cert =
+          let solution, rung, escalations, cert, timings, comp_aborted =
             component_solver g y_clean verts n_lab
           in
           rungs := (c, rung) :: !rungs;
+          rung_ms := (c, timings) :: !rung_ms;
+          aborted := !aborted || comp_aborted;
           (match cert with
           | Some cert ->
               Obs.Health.record cert;
@@ -284,18 +295,25 @@ let solve_impl ?suspect_threshold ~kind ~component_solver problem =
     n_components;
     n_anchored;
     rungs = List.rev !rungs;
-    certificates = List.rev !certificates }
+    rung_ms = List.rev !rung_ms;
+    certificates = List.rev !certificates;
+    aborted = !aborted }
 
-let solve_hard ?suspect_threshold ?cg_max_iter ?(observe = false) problem =
+let solve_hard ?suspect_threshold ?cg_max_iter ?should_stop ?(observe = false)
+    problem =
   Telemetry.Span.with_ "gssl.resilient_hard" @@ fun () ->
   Telemetry.Counter.incr c_hard;
   solve_impl ?suspect_threshold ~kind:"hard"
-    ~component_solver:(solve_hard_component ?cg_max_iter ~observe) problem
+    ~component_solver:(solve_hard_component ?cg_max_iter ?should_stop ~observe)
+    problem
 
-let solve_soft ?suspect_threshold ?cg_max_iter ?(observe = false) ~lambda problem =
+let solve_soft ?suspect_threshold ?cg_max_iter ?should_stop ?(observe = false)
+    ~lambda problem =
   if lambda <= 0. then
     invalid_arg "Resilient.solve_soft: lambda must be strictly positive";
   Telemetry.Span.with_ "gssl.resilient_soft" @@ fun () ->
   Telemetry.Counter.incr c_soft;
   solve_impl ?suspect_threshold ~kind:"soft"
-    ~component_solver:(solve_soft_component ?cg_max_iter ~observe ~lambda) problem
+    ~component_solver:
+      (solve_soft_component ?cg_max_iter ?should_stop ~observe ~lambda)
+    problem

@@ -31,6 +31,11 @@ type report = {
       (** For each solved component id, the fallback-chain rung that
           produced its solution (e.g. ["cholesky"], ["cg"],
           ["dense_direct:qr"]). *)
+  rung_ms : (int * (string * float) list) list;
+      (** For each solved component id, cumulative wall milliseconds per
+          fallback rung entered (see {!Robust.Solve.type-outcome}
+          [timings]) — the breakdown deadline accounting needs to say
+          where a request's budget was spent. *)
   certificates : (int * Obs.Health.t) list;
       (** With [~observe:true]: one health certificate per solved
           component, in solve order — recomputed residual against the
@@ -38,11 +43,16 @@ type report = {
           convergence/stagnation summary of the fallback chain (a chain
           whose last CG attempt failed is flagged stagnated even when a
           later rung produced the answer).  Empty otherwise. *)
+  aborted : bool;
+      (** Some component solve was cut short by [should_stop] (deadline
+          expiry / cancellation): the affected predictions are best
+          partial iterates, not converged answers. *)
 }
 
 val solve_hard :
   ?suspect_threshold:float ->
   ?cg_max_iter:int ->
+  ?should_stop:(unit -> bool) ->
   ?observe:bool ->
   Problem.t ->
   report
@@ -56,11 +66,15 @@ val solve_hard :
     [~observe:true] (default false) records an [Obs.Health] certificate
     per solved component (returned in [certificates] and appended to
     the global certificate log); imputations additionally emit
-    ["resilient.impute"] flight-recorder events. *)
+    ["resilient.impute"] flight-recorder events.  [should_stop] is
+    threaded into every component's fallback chain (polled each CG
+    iteration and at rung boundaries); when it fires the report comes
+    back with [aborted = true] and best-effort predictions. *)
 
 val solve_soft :
   ?suspect_threshold:float ->
   ?cg_max_iter:int ->
+  ?should_stop:(unit -> bool) ->
   ?observe:bool ->
   lambda:float ->
   Problem.t ->

@@ -11,12 +11,13 @@ type diagnostic =
   | Unanchored_vertex of { vertex : int }
   | Solver_fallback of { system : string; abandoned : string; reason : string }
   | Imputed_prediction of { vertex : int; value : float }
+  | Deadline_expired of { elapsed_ms : float; budget_ms : float }
 
 type severity = Info | Warning | Error
 
 let severity = function
   | Self_loop _ -> Info
-  | Suspect_label _ | Solver_fallback _ -> Warning
+  | Suspect_label _ | Solver_fallback _ | Deadline_expired _ -> Warning
   | Non_finite_weight _ | Negative_weight _ | Non_finite_label _
   | Unanchored_vertex _ | Imputed_prediction _ ->
       Error
@@ -30,6 +31,7 @@ let class_name = function
   | Unanchored_vertex _ -> "unanchored-vertex"
   | Solver_fallback _ -> "solver-fallback"
   | Imputed_prediction _ -> "imputed-prediction"
+  | Deadline_expired _ -> "deadline-expired"
 
 let describe = function
   | Non_finite_weight { i; j } -> Printf.sprintf "weight w(%d,%d) is not finite" i j
@@ -48,6 +50,9 @@ let describe = function
       Printf.sprintf "%s: abandoned %s (%s)" system abandoned reason
   | Imputed_prediction { vertex; value } ->
       Printf.sprintf "vertex %d imputed with the labeled mean %g" vertex value
+  | Deadline_expired { elapsed_ms; budget_ms } ->
+      Printf.sprintf "deadline expired after %.3f ms of a %.3f ms budget"
+        elapsed_ms budget_ms
 
 (* One weight entry, visited once per unordered pair (i <= j). *)
 let classify_weight acc i j w =

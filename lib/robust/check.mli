@@ -32,12 +32,19 @@ type diagnostic =
   | Imputed_prediction of { vertex : int; value : float }
       (** The resilient front-end substituted [value] (the global
           labeled mean) for this vertex's prediction. *)
+  | Deadline_expired of { elapsed_ms : float; budget_ms : float }
+      (** A solve-time event: the request's deadline budget ran out
+          mid-solve and the work was aborted cooperatively.  Never
+          emitted by {!scan} (it is not an input property) — the serving
+          layer ({!Serve.Engine}) attaches it to responses whose solve
+          was cut short, and {!Robust.Fault.detects} pairs it with the
+          latency-stall injector. *)
 
 type severity = Info | Warning | Error
 
 val severity : diagnostic -> severity
-(** [Self_loop] is [Info]; [Suspect_label] and [Solver_fallback] are
-    [Warning]; everything else is [Error]. *)
+(** [Self_loop] is [Info]; [Suspect_label], [Solver_fallback] and
+    [Deadline_expired] are [Warning]; everything else is [Error]. *)
 
 val class_name : diagnostic -> string
 (** Stable kebab-case class tag, e.g. ["non-finite-weight"]. *)

@@ -9,11 +9,13 @@ type t =
   | Nan_poison_weight of { count : int }
   | Nan_poison_label of { count : int }
   | Cg_cap of { max_iter : int }
+  | Latency_stall of { ms : float }
 
 type injected = {
   graph : Wg.t;
   labels : Vec.t;
   cg_max_iter : int option;
+  stall_ms : float;
   applied : t list;
 }
 
@@ -24,6 +26,7 @@ let class_name = function
   | Nan_poison_weight _ -> "nan-poison-weight"
   | Nan_poison_label _ -> "nan-poison-label"
   | Cg_cap _ -> "cg-cap"
+  | Latency_stall _ -> "latency-stall"
 
 let detects fault (d : Check.diagnostic) =
   match (fault, d) with
@@ -33,7 +36,20 @@ let detects fault (d : Check.diagnostic) =
   | Nan_poison_weight _, Check.Non_finite_weight _ -> true
   | Nan_poison_label _, Check.Non_finite_label _ -> true
   | Cg_cap _, Check.Solver_fallback _ -> true
+  | Latency_stall _, Check.Deadline_expired _ -> true
   | _ -> false
+
+(* Deterministic busy-wait: spins the CPU for [ms] wall milliseconds.
+   This is what a latency stall *is* at serve time — the worker is busy,
+   not sleeping, so a deadline can only be honoured by the cooperative
+   [should_stop] polling around it. *)
+let busy_wait_ms ms =
+  if ms > 0. then begin
+    let deadline = Unix.gettimeofday () +. (ms /. 1e3) in
+    while Unix.gettimeofday () < deadline do
+      ignore (Sys.opaque_identity (ref 0))
+    done
+  end
 
 (* The nonzero off-diagonal edges (i < j, deterministic order). *)
 let edges_of g =
@@ -76,7 +92,7 @@ let select rng count n =
   let perm = Prng.Rng.permutation rng n in
   Array.sub perm 0 (Stdlib.min (Stdlib.max count 0) n)
 
-let apply_one rng ~n_labeled fault (g, y, cap) =
+let apply_one rng ~n_labeled fault (g, y, cap, stall) =
   match fault with
   | Cg_cap { max_iter } ->
       let cap =
@@ -84,7 +100,15 @@ let apply_one rng ~n_labeled fault (g, y, cap) =
         | None -> Some max_iter
         | Some c -> Some (Stdlib.min c max_iter)
       in
-      (g, y, cap)
+      (g, y, cap, stall)
+  | Latency_stall { ms } ->
+      (* the stall duration is seeded: the requested [ms] is jittered by
+         the injection rng so different seeds stall for different (but
+         replayable) amounts.  The wait itself happens at solve time —
+         the serving layer burns [stall_ms] off the request's budget
+         (virtual clock) or busy-waits for it (monotonic clock). *)
+      let jitter = Prng.Rng.uniform rng 0.75 1.25 in
+      (g, y, cap, stall +. (Stdlib.max 0. ms *. jitter))
   | Label_flip { count } ->
       let n = Array.length y in
       let lo = ref infinity and hi = ref neg_infinity in
@@ -100,11 +124,11 @@ let apply_one rng ~n_labeled fault (g, y, cap) =
         Array.iter
           (fun i -> if Float.is_finite y'.(i) then y'.(i) <- !lo +. !hi -. y'.(i))
           (select rng count n);
-      (g, y', cap)
+      (g, y', cap, stall)
   | Nan_poison_label { count } ->
       let y' = Vec.copy y in
       Array.iter (fun i -> y'.(i) <- Float.nan) (select rng count (Array.length y));
-      (g, y', cap)
+      (g, y', cap, stall)
   | Nan_poison_weight { count } ->
       let edges = edges_of g in
       let overrides = Hashtbl.create 16 in
@@ -113,7 +137,7 @@ let apply_one rng ~n_labeled fault (g, y, cap) =
           let i, j, _ = edges.(e) in
           Hashtbl.replace overrides (key i j) Float.nan)
         (select rng count (Array.length edges));
-      (rebuild g overrides, y, cap)
+      (rebuild g overrides, y, cap, stall)
   | Weight_jitter { amplitude } ->
       let edges = edges_of g in
       let overrides = Hashtbl.create (Array.length edges) in
@@ -127,7 +151,7 @@ let apply_one rng ~n_labeled fault (g, y, cap) =
         let i, j, w = edges.(Prng.Rng.int rng (Array.length edges)) in
         Hashtbl.replace overrides (key i j) (-.abs_float w -. 1e-3)
       end;
-      (rebuild g overrides, y, cap)
+      (rebuild g overrides, y, cap, stall)
   | Edge_drop { fraction } ->
       let edges = edges_of g in
       let overrides = Hashtbl.create 16 in
@@ -145,12 +169,12 @@ let apply_one rng ~n_labeled fault (g, y, cap) =
             if i = v || j = v then Hashtbl.replace overrides (key i j) 0.)
           edges
       end;
-      (rebuild g overrides, y, cap)
+      (rebuild g overrides, y, cap, stall)
 
 let inject rng ~n_labeled faults g y =
-  let g, labels, cg_max_iter =
+  let g, labels, cg_max_iter, stall_ms =
     List.fold_left
       (fun acc fault -> apply_one rng ~n_labeled fault acc)
-      (g, Vec.copy y, None) faults
+      (g, Vec.copy y, None, 0.) faults
   in
-  { graph = g; labels; cg_max_iter; applied = faults }
+  { graph = g; labels; cg_max_iter; stall_ms; applied = faults }

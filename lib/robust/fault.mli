@@ -31,15 +31,30 @@ type t =
       (** Caps every CG attempt at [max_iter] iterations (an operator
           budget).  Leaves the data untouched; detected as
           [Solver_fallback] once the capped CG fails to converge. *)
+  | Latency_stall of { ms : float }
+      (** Burns roughly [ms] milliseconds of the worker's time before the
+          solve (the actual duration is jittered by the injection rng, so
+          it is seeded and replayable).  Leaves the data untouched; the
+          accumulated duration lands in [injected.stall_ms] and is spent
+          at solve time — the serving layer advances its virtual clock by
+          it (deterministic replay) or {!busy_wait_ms}s for it (live).
+          Detected as [Deadline_expired] once the stall eats the
+          request's budget. *)
 
 type injected = {
   graph : Graph.Weighted_graph.t;   (** same storage kind as the input *)
   labels : Linalg.Vec.t;
   cg_max_iter : int option;         (** set by {!Cg_cap}, else [None] *)
+  stall_ms : float;                 (** total {!Latency_stall} time, else [0.] *)
   applied : t list;
 }
 
 val class_name : t -> string
+
+val busy_wait_ms : float -> unit
+(** Spin (not sleep) for the given wall-clock duration — a worker hit by
+    a latency stall is {e busy}, so only cooperative [should_stop]
+    polling can honour a deadline around it.  No-op for [ms <= 0]. *)
 
 val inject :
   Prng.Rng.t ->

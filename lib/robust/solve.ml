@@ -16,6 +16,8 @@ type 'rung outcome = {
   rung : 'rung;
   escalations : escalation list;
   cg_attempts : Sparse.Cg.outcome list;
+  timings : (string * float) list;
+  aborted : bool;
 }
 
 (* Satellite of the flight recorder: every escalation also lands as a
@@ -53,21 +55,66 @@ let sparse_rung_name = function
 
 let all_finite = Array.for_all Float.is_finite
 
-let solve_dense ?(cond_threshold = 1e12) a b =
+let abort_reason = "cooperative abort (should_stop)"
+
+let now_ms () = Unix.gettimeofday () *. 1e3
+
+(* Per-rung wall-time attribution.  Each rung entry leaves a timestamp
+   mark; [timings_of] turns consecutive marks into durations (the last
+   segment ends "now") and accumulates them per rung name in first-entry
+   order, so a restarted rung shows its cumulative time.  This costs two
+   clock reads per rung — nothing against a factorization or a CG run —
+   and gives deadline accounting the answer to "where did the budget
+   go?". *)
+let make_marker () =
+  let marks = ref [] in
+  let mark name = marks := (name, now_ms ()) :: !marks in
+  let timings_of () =
+    let rec segments stop acc = function
+      | [] -> acc
+      | (name, t) :: rest -> segments t ((name, stop -. t) :: acc) rest
+    in
+    let segs = segments (now_ms ()) [] !marks in
+    List.fold_left
+      (fun acc (name, d) ->
+        if List.mem_assoc name acc then
+          List.map (fun (n, v) -> if n = name then (n, v +. d) else (n, v)) acc
+        else acc @ [ (name, d) ])
+      [] segs
+  in
+  (mark, timings_of)
+
+let solve_dense ?(cond_threshold = 1e12) ?(should_stop = fun () -> false) a b =
   if not (Mat.is_square a) then
     invalid_arg "Robust.Solve.solve_dense: matrix not square";
   if Array.length b <> a.Mat.rows then
     invalid_arg "Robust.Solve.solve_dense: length mismatch";
+  let mark, timings_of = make_marker () in
   let escalations = ref [] in
+  let aborted = ref false in
   let note abandoned reason =
     emit_escalation ~chain:"dense" abandoned reason;
     escalations := { abandoned; reason } :: !escalations
   in
   let finish rung solution =
-    { solution; rung; escalations = List.rev !escalations; cg_attempts = [] }
+    { solution; rung; escalations = List.rev !escalations; cg_attempts = [];
+      timings = timings_of (); aborted = !aborted }
+  in
+  (* Between-rung deadline gate: a dense rung is a whole factorization, so
+     the only cooperative stopping points are the rung boundaries.  An
+     abort skips the remaining (more expensive) rungs and returns the
+     zeros last resort, flagged [aborted]. *)
+  let gate next_rung k =
+    if should_stop () then begin
+      aborted := true;
+      note next_rung abort_reason;
+      finish Ridge (Vec.zeros a.Mat.rows)
+    end
+    else k ()
   in
   let ridge () =
     Telemetry.Counter.incr c_dense_ridge;
+    mark "ridge";
     let n = a.Mat.rows in
     let scale =
       Array.fold_left
@@ -85,7 +132,9 @@ let solve_dense ?(cond_threshold = 1e12) a b =
     attempt (1e-10 *. scale) 7
   in
   let qr () =
+    gate "qr" @@ fun () ->
     Telemetry.Counter.incr c_dense_qr;
+    mark "qr";
     match Linalg.Qr.solve_least_squares a b with
     | x when all_finite x -> finish Qr x
     | _ ->
@@ -96,6 +145,8 @@ let solve_dense ?(cond_threshold = 1e12) a b =
         finish Ridge (ridge ())
   in
   let lu () =
+    gate "lu_refined" @@ fun () ->
+    mark "lu_refined";
     match Linalg.Refine.condition_estimate a with
     | cond when Float.is_finite cond && cond < cond_threshold -> begin
         Telemetry.Counter.incr c_dense_lu;
@@ -117,6 +168,7 @@ let solve_dense ?(cond_threshold = 1e12) a b =
         note "lu_refined" (Printexc.to_string e);
         qr ()
   in
+  mark "cholesky";
   match Linalg.Cholesky.solve a b with
   | x when all_finite x -> finish Cholesky x
   | _ ->
@@ -133,17 +185,23 @@ let describe_cg (out : Sparse.Cg.outcome) =
   if out.Sparse.Cg.breakdown then
     Printf.sprintf "non-SPD curvature (p'Ap <= 0) after %d iterations"
       out.Sparse.Cg.iterations
+  else if out.Sparse.Cg.aborted then
+    Printf.sprintf "%s after %d iterations (residual %.3g)" abort_reason
+      out.Sparse.Cg.iterations out.Sparse.Cg.residual_norm
   else
     Printf.sprintf "no convergence after %d iterations (residual %.3g)"
       out.Sparse.Cg.iterations out.Sparse.Cg.residual_norm
 
-let solve_sparse ?(tol = 1e-10) ?cg_max_iter (a : Sparse.Csr.t) b =
+let solve_sparse ?(tol = 1e-10) ?cg_max_iter ?(should_stop = fun () -> false)
+    (a : Sparse.Csr.t) b =
   let rows, cols = Sparse.Csr.dims a in
   if rows <> cols then invalid_arg "Robust.Solve.solve_sparse: matrix not square";
   if Array.length b <> rows then
     invalid_arg "Robust.Solve.solve_sparse: length mismatch";
   let op = Sparse.Linop.of_csr a in
+  let mark, timings_of = make_marker () in
   let escalations = ref [] in
+  let aborted = ref false in
   let note abandoned reason =
     emit_escalation ~chain:"sparse" abandoned reason;
     escalations := { abandoned; reason } :: !escalations
@@ -157,45 +215,90 @@ let solve_sparse ?(tol = 1e-10) ?cg_max_iter (a : Sparse.Csr.t) b =
   in
   let finish rung solution =
     { solution; rung; escalations = List.rev !escalations;
-      cg_attempts = List.rev !attempts }
+      cg_attempts = List.rev !attempts; timings = timings_of ();
+      aborted = !aborted }
+  in
+  (* The best iterate seen so far — what an abort hands back rather than
+     pretending there is no answer at all. *)
+  let best_iterate () =
+    match !attempts with
+    | out :: _ when all_finite out.Sparse.Cg.solution -> out.Sparse.Cg.solution
+    | _ -> Vec.zeros rows
+  in
+  (* the rung whose (partial) iterate [best_iterate] returns *)
+  let current_rung = ref Cg in
+  let abort_from rung_entered =
+    aborted := true;
+    note rung_entered abort_reason;
+    finish !current_rung (best_iterate ())
   in
   let dense_direct () =
-    Telemetry.Counter.incr c_dense_direct;
-    let inner = solve_dense (Sparse.Csr.to_dense a) b in
-    escalations := List.rev_append inner.escalations !escalations;
-    finish (Dense_direct inner.rung) inner.solution
+    if should_stop () then abort_from "dense_direct"
+    else begin
+      Telemetry.Counter.incr c_dense_direct;
+      mark "dense_direct";
+      let inner = solve_dense ~should_stop (Sparse.Csr.to_dense a) b in
+      escalations := List.rev_append inner.escalations !escalations;
+      aborted := !aborted || inner.aborted;
+      finish (Dense_direct inner.rung) inner.solution
+    end
   in
   let gauss_seidel () =
-    Telemetry.Counter.incr c_gauss_seidel;
-    match Sparse.Stationary.solve ~tol Sparse.Stationary.Gauss_seidel a b with
-    | out
-      when out.Sparse.Stationary.converged
-           && all_finite out.Sparse.Stationary.solution ->
-        finish Gauss_seidel out.Sparse.Stationary.solution
-    | out ->
-        note "gauss_seidel"
-          (Printf.sprintf "no convergence after %d sweeps (residual %.3g)"
-             out.Sparse.Stationary.iterations out.Sparse.Stationary.residual_norm);
-        dense_direct ()
-    | exception Invalid_argument msg ->
-        note "gauss_seidel" msg;
-        dense_direct ()
+    if should_stop () then abort_from "gauss_seidel"
+    else begin
+      Telemetry.Counter.incr c_gauss_seidel;
+      mark "gauss_seidel";
+      match Sparse.Stationary.solve ~tol Sparse.Stationary.Gauss_seidel a b with
+      | out
+        when out.Sparse.Stationary.converged
+             && all_finite out.Sparse.Stationary.solution ->
+          finish Gauss_seidel out.Sparse.Stationary.solution
+      | out ->
+          note "gauss_seidel"
+            (Printf.sprintf "no convergence after %d sweeps (residual %.3g)"
+               out.Sparse.Stationary.iterations out.Sparse.Stationary.residual_norm);
+          dense_direct ()
+      | exception Invalid_argument msg ->
+          note "gauss_seidel" msg;
+          dense_direct ()
+    end
   in
   let rec restart_loop k x0 =
+    current_rung := Cg_restarted;
+    mark "cg_restarted";
     let out =
-      attempt (Sparse.Cg.solve ?x0 ~precondition:true ~tol ?max_iter:cg_max_iter op b)
+      attempt
+        (Sparse.Cg.solve ?x0 ~precondition:true ~tol ?max_iter:cg_max_iter
+           ~should_stop op b)
     in
     if out.Sparse.Cg.converged && all_finite out.Sparse.Cg.solution then
       finish Cg_restarted out.Sparse.Cg.solution
+    else if out.Sparse.Cg.aborted then begin
+      (* deadline reached mid-iteration: stop escalating, hand back the
+         partial iterate *)
+      aborted := true;
+      note "cg_restarted" (describe_cg out);
+      finish Cg_restarted out.Sparse.Cg.solution
+    end
     else if out.Sparse.Cg.breakdown || k <= 1 then begin
       note "cg_restarted" (describe_cg out);
       gauss_seidel ()
     end
     else restart_loop (k - 1) (Some out.Sparse.Cg.solution)
   in
-  let out = attempt (Sparse.Cg.solve ~precondition:false ~tol ?max_iter:cg_max_iter op b) in
+  mark "cg";
+  let out =
+    attempt
+      (Sparse.Cg.solve ~precondition:false ~tol ?max_iter:cg_max_iter
+         ~should_stop op b)
+  in
   if out.Sparse.Cg.converged && all_finite out.Sparse.Cg.solution then
     finish Cg out.Sparse.Cg.solution
+  else if out.Sparse.Cg.aborted then begin
+    aborted := true;
+    note "cg" (describe_cg out);
+    finish Cg out.Sparse.Cg.solution
+  end
   else begin
     note "cg" (describe_cg out);
     if out.Sparse.Cg.breakdown then gauss_seidel ()

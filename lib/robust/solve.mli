@@ -38,26 +38,51 @@ type 'rung outcome = {
       (** every CG outcome along the sparse chain (plain rung, then each
           restart), oldest first; empty for the dense chain.  Used to
           build [Obs.Health] convergence summaries. *)
+  timings : (string * float) list;
+      (** cumulative wall milliseconds spent in each rung entered, in
+          first-entry order (a restarted rung accumulates across
+          restarts).  The sparse chain's dense fallback appears as one
+          ["dense_direct"] entry.  This is what lets deadline accounting
+          attribute where a request's budget went. *)
+  aborted : bool;
+      (** [should_stop] fired (inside a CG iteration or at a rung
+          boundary): [solution] is the best iterate available at that
+          point — possibly zeros in the dense chain — not a converged
+          answer. *)
 }
 
 val dense_rung_name : dense_rung -> string
 val sparse_rung_name : sparse_rung -> string
 
 val solve_dense :
-  ?cond_threshold:float -> Linalg.Mat.t -> Linalg.Vec.t -> dense_rung outcome
+  ?cond_threshold:float ->
+  ?should_stop:(unit -> bool) ->
+  Linalg.Mat.t ->
+  Linalg.Vec.t ->
+  dense_rung outcome
 (** [solve_dense a b] solves [a x = b], escalating on factorization
     failure or non-finite output.  The LU rung is skipped (straight to
     QR) when the condition estimate is at or above [cond_threshold]
-    (default 1e12).  Raises [Invalid_argument] only on dimension
+    (default 1e12).  [should_stop] is polled at each rung boundary (a
+    factorization cannot stop mid-flight); when it fires the remaining
+    rungs are skipped and the zeros last resort is returned with
+    [aborted = true].  Raises [Invalid_argument] only on dimension
     mismatch — API misuse, not a data fault. *)
 
 val solve_sparse :
   ?tol:float ->
   ?cg_max_iter:int ->
+  ?should_stop:(unit -> bool) ->
   Sparse.Csr.t ->
   Linalg.Vec.t ->
   sparse_rung outcome
 (** [solve_sparse a b] solves the CSR system [a x = b] with relative
     tolerance [tol] (default 1e-10).  [cg_max_iter] caps each CG attempt
     (the plain rung and every restart individually), modelling an
-    operator-imposed iteration budget. *)
+    operator-imposed iteration budget.  [should_stop] is threaded into
+    every CG attempt (polled each iteration) and polled again at every
+    rung boundary: a deadline can abort CG mid-solve, and an abort stops
+    the escalation ladder — the outcome carries the best partial iterate
+    with [aborted = true] and a [{abandoned; reason =
+    "cooperative abort …"}] escalation naming where the budget ran
+    out. *)

@@ -1,0 +1,60 @@
+type state = Closed | Open | Half_open
+
+type t = {
+  clock : Clock.t;
+  failure_threshold : int;
+  cooldown_ms : float;
+  mutable state_ : state;
+  mutable consecutive_failures : int;
+  mutable opened_at_ms : float;
+  mutable trips : int;
+}
+
+let c_trips = Telemetry.Counter.make "serve.breaker_trips"
+
+let create ?(failure_threshold = 3) ?(cooldown_ms = 50.) clock =
+  if failure_threshold < 1 then
+    invalid_arg "Breaker.create: failure_threshold must be >= 1";
+  { clock; failure_threshold; cooldown_ms; state_ = Closed;
+    consecutive_failures = 0; opened_at_ms = 0.; trips = 0 }
+
+(* Open -> Half_open is a lazy, clock-driven transition: there is no
+   timer thread, the next observation performs it. *)
+let refresh t =
+  match t.state_ with
+  | Open when Clock.now_ms t.clock -. t.opened_at_ms >= t.cooldown_ms ->
+      t.state_ <- Half_open
+  | _ -> ()
+
+let state t =
+  refresh t;
+  t.state_
+
+let allow t = match state t with Closed | Half_open -> true | Open -> false
+
+let trip t =
+  t.state_ <- Open;
+  t.opened_at_ms <- Clock.now_ms t.clock;
+  t.trips <- t.trips + 1;
+  Telemetry.Counter.incr c_trips;
+  Obs.Event.emit ~severity:Obs.Event.Warning "serve.breaker_open"
+    [
+      ("consecutive_failures", Obs.Event.Int t.consecutive_failures);
+      ("cooldown_ms", Obs.Event.Float t.cooldown_ms);
+    ]
+
+let record_success t =
+  t.consecutive_failures <- 0;
+  t.state_ <- Closed
+
+let record_failure t =
+  match state t with
+  | Half_open ->
+      (* the probe failed: reopen for another full cooldown *)
+      trip t
+  | Closed ->
+      t.consecutive_failures <- t.consecutive_failures + 1;
+      if t.consecutive_failures >= t.failure_threshold then trip t
+  | Open -> ()
+
+let trips t = t.trips

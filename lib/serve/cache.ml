@@ -1,0 +1,68 @@
+module Wg = Graph.Weighted_graph
+
+type key = { fingerprint : int64; lambda : float option }
+
+(* splitmix64-style finalizer, used both for graph fingerprints and by
+   the soak harness's outcome digest *)
+let mix h v =
+  let h = Int64.add (Int64.logxor h v) 0x9e3779b97f4a7c15L in
+  let h = Int64.mul (Int64.logxor h (Int64.shift_right_logical h 30))
+      0xbf58476d1ce4e5b9L in
+  let h = Int64.mul (Int64.logxor h (Int64.shift_right_logical h 27))
+      0x94d049bb133111ebL in
+  Int64.logxor h (Int64.shift_right_logical h 31)
+
+let fingerprint g =
+  let h = ref (mix 0x5eedL (Int64.of_int (Wg.order g))) in
+  Wg.iter_edges g (fun i j w ->
+      h := mix !h (Int64.of_int i);
+      h := mix !h (Int64.of_int j);
+      h := mix !h (Int64.bits_of_float w));
+  !h
+
+let key ?lambda g = { fingerprint = fingerprint g; lambda }
+
+type 'a t = {
+  capacity : int;
+  mutable entries : (key * 'a) list;  (* most recently used first *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let c_hits = Telemetry.Counter.make "serve.cache_hits"
+let c_misses = Telemetry.Counter.make "serve.cache_misses"
+
+let create ?(capacity = 8) () =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  { capacity; entries = []; hits = 0; misses = 0; evictions = 0 }
+
+let peek t k = List.assoc_opt k t.entries
+
+let find t k =
+  match peek t k with
+  | Some v ->
+      t.hits <- t.hits + 1;
+      Telemetry.Counter.incr c_hits;
+      t.entries <- (k, v) :: List.remove_assoc k t.entries;
+      Some v
+  | None ->
+      t.misses <- t.misses + 1;
+      Telemetry.Counter.incr c_misses;
+      None
+
+let put t k v =
+  let entries = (k, v) :: List.remove_assoc k t.entries in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 ->
+        t.evictions <- t.evictions + 1;
+        []
+    | e :: rest -> e :: take (n - 1) rest
+  in
+  t.entries <- take t.capacity entries
+
+let length t = List.length t.entries
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions

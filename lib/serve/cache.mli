@@ -1,0 +1,44 @@
+(** LRU factorization cache keyed by graph fingerprint + λ.
+
+    A long-lived server pays the O(m³) factorization once per (graph, λ)
+    pair and then answers queries and Sherman–Morrison relabels from the
+    cached {!Gssl.Incremental.t}.  The key is a structural fingerprint
+    of the weighted graph (order, every stored edge, exact weight bits),
+    so a changed weight — or a fault-injected copy — can never alias the
+    clean entry, plus the λ of the soft criterion ([None] for the hard
+    criterion).
+
+    The store is polymorphic — tests exercise the LRU discipline with
+    plain ints — but the engine stores incremental solver states.  Hits
+    and misses land in [serve.cache_hits] / [serve.cache_misses]
+    telemetry counters. *)
+
+type key = { fingerprint : int64; lambda : float option }
+
+val mix : int64 -> int64 -> int64
+(** splitmix64-style combine step.  Exposed for the soak harness's
+    deterministic outcome digest. *)
+
+val fingerprint : Graph.Weighted_graph.t -> int64
+val key : ?lambda:float -> Graph.Weighted_graph.t -> key
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** Default capacity 8.  Raises [Invalid_argument] when [capacity < 1]. *)
+
+val find : 'a t -> key -> 'a option
+(** Counting lookup: bumps hit/miss statistics and recency. *)
+
+val peek : 'a t -> key -> 'a option
+(** Non-counting lookup (degraded-path answers should not inflate the
+    hit rate the operator tunes against). *)
+
+val put : 'a t -> key -> 'a -> unit
+(** Insert/refresh; evicts the least recently used entry beyond
+    capacity. *)
+
+val length : 'a t -> int
+val hits : 'a t -> int
+val misses : 'a t -> int
+val evictions : 'a t -> int

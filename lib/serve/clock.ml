@@ -1,0 +1,22 @@
+type t =
+  | Monotonic
+  | Virtual of { mutable now_ms : float }
+
+let monotonic () = Monotonic
+let virtual_ ?(start_ms = 0.) () = Virtual { now_ms = start_ms }
+let is_virtual = function Virtual _ -> true | Monotonic -> false
+
+let now_ms = function
+  | Monotonic -> Unix.gettimeofday () *. 1e3
+  | Virtual v -> v.now_ms
+
+let advance t ms =
+  if ms > 0. then
+    match t with
+    | Virtual v -> v.now_ms <- v.now_ms +. ms
+    | Monotonic -> Robust.Fault.busy_wait_ms ms
+
+let jump t target_ms =
+  match t with
+  | Virtual v -> if target_ms > v.now_ms then v.now_ms <- target_ms
+  | Monotonic -> ()

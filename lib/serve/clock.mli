@@ -1,0 +1,35 @@
+(** The serving layer's notion of time.
+
+    Two implementations behind one interface:
+    - [Monotonic] reads the real clock.  [advance] {e busy-waits} (a
+      stalled worker is busy, not asleep) and [jump] is a no-op (real
+      time flows on its own).  This is what a live [gssl serve] session
+      uses.
+    - [Virtual] is a number.  [advance] and [jump] are arithmetic, so a
+      whole multi-thousand-request trace replays in microseconds and —
+      crucially — {e deterministically}: the same seed produces the same
+      queue waits, the same deadline expiries, the same per-request
+      outcomes.  This is what the chaos soak harness uses.
+
+    Everything in [Serve] (deadlines, backoff, breaker cooldowns, queue
+    simulation) tells time exclusively through this module, which is
+    what makes the soak's determinism guarantee possible at all. *)
+
+type t
+
+val monotonic : unit -> t
+val virtual_ : ?start_ms:float -> unit -> t
+(** A virtual clock starting at [start_ms] (default 0). *)
+
+val is_virtual : t -> bool
+val now_ms : t -> float
+
+val advance : t -> float -> unit
+(** Spend [ms] milliseconds: arithmetic on a virtual clock, a busy-wait
+    ({!Robust.Fault.busy_wait_ms}) on the monotonic one.  Negative or
+    zero durations are no-ops. *)
+
+val jump : t -> float -> unit
+(** [jump t target_ms] moves a virtual clock forward to [target_ms]
+    (never backward); no-op on the monotonic clock.  Used by the trace
+    replayer to fast-forward idle gaps between arrivals. *)

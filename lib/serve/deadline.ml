@@ -1,0 +1,18 @@
+type t = { clock : Clock.t; start_ms : float; budget_ms : float }
+
+let start clock ~budget_ms =
+  { clock; start_ms = Clock.now_ms clock; budget_ms }
+
+let at clock ~start_ms ~budget_ms = { clock; start_ms; budget_ms }
+let budget_ms t = t.budget_ms
+let elapsed_ms t = Clock.now_ms t.clock -. t.start_ms
+let remaining_ms t = t.budget_ms -. elapsed_ms t
+let expired t = remaining_ms t <= 0.
+
+let should_stop ?(cost_ms = 0.) t () =
+  Clock.advance t.clock cost_ms;
+  expired t
+
+let diagnostic t =
+  Robust.Check.Deadline_expired
+    { elapsed_ms = elapsed_ms t; budget_ms = t.budget_ms }

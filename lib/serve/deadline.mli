@@ -1,0 +1,31 @@
+(** Per-request deadline budgets over a {!Clock}.
+
+    A deadline is anchored at the request's {e arrival} (not at solve
+    start), so time spent queued and time burnt by latency-stall faults
+    both count against the budget — exactly the accounting a saturated
+    server needs for load shedding to mean anything. *)
+
+type t
+
+val start : Clock.t -> budget_ms:float -> t
+(** Budget starting now. *)
+
+val at : Clock.t -> start_ms:float -> budget_ms:float -> t
+(** Budget anchored at an explicit instant (a request's arrival). *)
+
+val budget_ms : t -> float
+val elapsed_ms : t -> float
+val remaining_ms : t -> float
+val expired : t -> bool
+
+val should_stop : ?cost_ms:float -> t -> unit -> bool
+(** A closure fit for {!Sparse.Cg.solve}'s [should_stop] /
+    {!Robust.Solve}'s rung gates.  Each poll first {!Clock.advance}s the
+    clock by [cost_ms] (default 0) — on a virtual clock this is the
+    deterministic stand-in for the work one CG iteration costs, which is
+    what makes deadline expiry mid-solve replayable — then reports
+    whether the budget is gone. *)
+
+val diagnostic : t -> Robust.Check.diagnostic
+(** The {!Robust.Check.Deadline_expired} record for this deadline's
+    current elapsed/budget pair. *)

@@ -1,0 +1,447 @@
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+module Wg = Graph.Weighted_graph
+module Check = Robust.Check
+module Fault = Robust.Fault
+module Problem = Gssl.Problem
+module Resilient = Gssl.Resilient
+module Incremental = Gssl.Incremental
+
+type costs = {
+  solve_ms : float;
+  cache_ms : float;
+  relabel_ms : float;
+  poll_ms : float;
+}
+
+type config = {
+  queue_capacity : int;
+  deadline_ms : float;
+  retry : Retry.policy;
+  breaker_failures : int;
+  breaker_cooldown_ms : float;
+  cache_capacity : int;
+  costs : costs;
+  seed : int;
+}
+
+let default_config =
+  { queue_capacity = 16;
+    deadline_ms = 25.;
+    retry = Retry.default;
+    breaker_failures = 3;
+    breaker_cooldown_ms = 40.;
+    cache_capacity = 8;
+    costs = { solve_ms = 2.0; cache_ms = 0.5; relabel_ms = 1.0; poll_ms = 0.2 };
+    seed = 1 }
+
+type kind = Query | Relabel of { vertex : int; label : float }
+
+type request = {
+  id : int;
+  arrival_ms : float;
+  kind : kind;
+  faults : Fault.t list;
+}
+
+type status = Served | Degraded of string | Shed of string
+
+type response = {
+  id : int;
+  status : status;
+  predictions : (int * float) array;
+  certificate : Obs.Health.t option;
+  diagnostics : Check.diagnostic list;
+  queue_ms : float;
+  latency_ms : float;
+  rung_ms : (string * float) list;
+  attempts : int;
+  cache_hit : bool;
+}
+
+type stats = {
+  served : int;
+  degraded : int;
+  shed : int;
+  deadline_expired : int;
+  solver_aborts : int;
+  retried : int;
+  relabels : int;
+  max_backlog : int;
+  breaker_trips : int;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+type internal_stats = {
+  mutable s_served : int;
+  mutable s_degraded : int;
+  mutable s_shed : int;
+  mutable s_deadline_expired : int;
+  mutable s_solver_aborts : int;
+  mutable s_retried : int;
+  mutable s_relabels : int;
+  mutable s_max_backlog : int;
+}
+
+type t = {
+  config : config;
+  clock : Clock.t;
+  problem : Problem.t;
+  cache : Incremental.t Cache.t;
+  base_key : Cache.key;
+  breaker : Breaker.t;
+  rng : Prng.Rng.t;
+  latency : Obs.Histogram.t;
+  queue_wait : Obs.Histogram.t;
+  st : internal_stats;
+  mutable worker_free_ms : float;
+  mutable pending_finish : float list;
+}
+
+let c_requests = Telemetry.Counter.make "serve.requests"
+let c_served = Telemetry.Counter.make "serve.served"
+let c_degraded = Telemetry.Counter.make "serve.degraded"
+let c_shed = Telemetry.Counter.make "serve.shed"
+let c_deadline = Telemetry.Counter.make "serve.deadline_expired"
+
+let create ?(clock = Clock.monotonic ()) config problem =
+  if config.queue_capacity < 1 then
+    invalid_arg "Engine.create: queue_capacity must be >= 1";
+  if config.deadline_ms <= 0. then
+    invalid_arg "Engine.create: deadline_ms must be positive";
+  let cache = Cache.create ~capacity:config.cache_capacity () in
+  let base_key = Cache.key problem.Problem.graph in
+  (* Warm the factorization cache: the server's whole point is paying the
+     O(m^3) inverse once.  An unanchorable graph simply leaves the cache
+     cold — queries then take the resilient full-solve path. *)
+  (try Cache.put cache base_key (Incremental.create problem)
+   with Gssl.Hard.Unanchored_unlabeled _ -> ());
+  { config;
+    clock;
+    problem;
+    cache;
+    base_key;
+    breaker =
+      Breaker.create ~failure_threshold:config.breaker_failures
+        ~cooldown_ms:config.breaker_cooldown_ms clock;
+    rng = Prng.Rng.create config.seed;
+    latency = Obs.Histogram.create ();
+    queue_wait = Obs.Histogram.create ();
+    st =
+      { s_served = 0; s_degraded = 0; s_shed = 0; s_deadline_expired = 0;
+        s_solver_aborts = 0; s_retried = 0; s_relabels = 0; s_max_backlog = 0 };
+    worker_free_ms = Clock.now_ms clock;
+    pending_finish = [] }
+
+let stats t =
+  { served = t.st.s_served;
+    degraded = t.st.s_degraded;
+    shed = t.st.s_shed;
+    deadline_expired = t.st.s_deadline_expired;
+    solver_aborts = t.st.s_solver_aborts;
+    retried = t.st.s_retried;
+    relabels = t.st.s_relabels;
+    max_backlog = t.st.s_max_backlog;
+    breaker_trips = Breaker.trips t.breaker;
+    cache_hits = Cache.hits t.cache;
+    cache_misses = Cache.misses t.cache }
+
+let latency_histogram t = t.latency
+let queue_histogram t = t.queue_wait
+let problem t = t.problem
+let breaker t = t.breaker
+
+(* λ→∞ labeled-mean imputation (Prop II.2): the cheapest total answer,
+   used when even the cached factorization is unavailable. *)
+let mean_predictions t =
+  let y = t.problem.Problem.labels in
+  let sum = ref 0. and count = ref 0 in
+  Array.iter
+    (fun v ->
+      if Float.is_finite v then begin
+        sum := !sum +. v;
+        incr count
+      end)
+    y;
+  let mean = if !count = 0 then 0. else !sum /. float_of_int !count in
+  let n = Problem.n_labeled t.problem in
+  let m = Problem.n_unlabeled t.problem in
+  Array.init m (fun i -> (n + i, mean))
+
+(* The current hard system of a cached incremental state, reassembled
+   from the graph for certification: A[p][q] = d(v_p) − w(v_p,v_p) on the
+   diagonal, −w(v_p,v_q) off it, over the still-unlabeled vertices;
+   b[p] = Σ w(v_p, l)·y_l over known labels.  O(m²) — the price of an
+   honestly recomputed residual on the cache-hit path. *)
+let certify_incremental inc =
+  let rem = Incremental.remaining inc in
+  let m = Array.length rem in
+  if m = 0 then None
+  else begin
+    let g = Incremental.graph inc in
+    let d = Wg.degrees g in
+    let labels = Incremental.labels inc in
+    let a =
+      Mat.init m m (fun p q ->
+          let vp = rem.(p) and vq = rem.(q) in
+          if p = q then d.(vp) -. Wg.weight g vp vp else -.(Wg.weight g vp vq))
+    in
+    let b =
+      Array.init m (fun p ->
+          Array.fold_left
+            (fun acc (l, y) -> acc +. (Wg.weight g rem.(p) l *. y))
+            0. labels)
+    in
+    let x = Array.map snd (Incremental.predict inc) in
+    Some
+      (Obs.Health.certify ~system:"serve.incremental" ~rung:"sherman_morrison"
+         ~apply:(Mat.mv a) ~b x)
+  end
+
+(* The least healthy certificate of a resilient report — the one worth
+   surfacing on the response. *)
+let worst_certificate (report : Resilient.report) =
+  List.fold_left
+    (fun acc (_, cert) ->
+      match acc with
+      | None -> Some cert
+      | Some best ->
+          let rank c =
+            (if Obs.Health.healthy c then 0. else 1e18)
+            +. c.Obs.Health.rel_residual
+          in
+          if rank cert > rank best then Some cert else Some best)
+    None report.Resilient.certificates
+
+let all_healthy (report : Resilient.report) =
+  report.Resilient.certificates <> []
+  && List.for_all (fun (_, c) -> Obs.Health.healthy c) report.Resilient.certificates
+
+(* flatten per-component rung timings into one (rung, ms) list *)
+let flatten_rung_ms (report : Resilient.report) =
+  List.fold_left
+    (fun acc (_, timings) ->
+      List.fold_left
+        (fun acc (name, ms) ->
+          if List.mem_assoc name acc then
+            List.map (fun (n, v) -> if n = name then (n, v +. ms) else (n, v)) acc
+          else acc @ [ (name, ms) ])
+        acc timings)
+    [] report.Resilient.rung_ms
+
+let finish t (req : request) ~queue_ms ~cache_hit ~attempts ?certificate
+    ?(diagnostics = []) ?(rung_ms = []) status predictions =
+  Telemetry.Counter.incr c_requests;
+  (match status with
+  | Served ->
+      t.st.s_served <- t.st.s_served + 1;
+      Telemetry.Counter.incr c_served
+  | Degraded reason ->
+      t.st.s_degraded <- t.st.s_degraded + 1;
+      Telemetry.Counter.incr c_degraded;
+      Obs.Event.emit ~severity:Obs.Event.Warning "serve.degraded"
+        [ ("id", Obs.Event.Int req.id); ("reason", Obs.Event.Str reason) ]
+  | Shed reason ->
+      t.st.s_shed <- t.st.s_shed + 1;
+      Telemetry.Counter.incr c_shed;
+      Obs.Event.emit ~severity:Obs.Event.Warning "serve.shed"
+        [ ("id", Obs.Event.Int req.id); ("reason", Obs.Event.Str reason) ]);
+  if attempts > 1 then t.st.s_retried <- t.st.s_retried + 1;
+  let latency_ms =
+    match status with
+    | Shed _ -> 0.
+    | _ -> Clock.now_ms t.clock -. req.arrival_ms
+  in
+  Obs.Histogram.add t.latency latency_ms;
+  Obs.Histogram.add t.queue_wait queue_ms;
+  Obs.Histogram.observe "serve.latency_ms" latency_ms;
+  { id = req.id; status; predictions; certificate; diagnostics; queue_ms;
+    latency_ms; rung_ms; attempts; cache_hit }
+
+(* Degraded answer: cached-factorization predictions when available
+   (label propagation from the last known-good state), labeled-mean
+   imputation otherwise.  Cheap by construction and always total. *)
+let degraded_answer t (req : request) ~queue_ms ?(diagnostics = [])
+    ?(attempts = 1) reason =
+  let predictions, cache_hit =
+    match Cache.peek t.cache t.base_key with
+    | Some inc -> (Incremental.predict inc, true)
+    | None -> (mean_predictions t, false)
+  in
+  finish t req ~queue_ms ~cache_hit ~attempts ~diagnostics (Degraded reason)
+    predictions
+
+let expire t (req : request) ~queue_ms ~deadline ?(attempts = 1) () =
+  t.st.s_deadline_expired <- t.st.s_deadline_expired + 1;
+  Telemetry.Counter.incr c_deadline;
+  degraded_answer t req ~queue_ms ~attempts
+    ~diagnostics:[ Deadline.diagnostic deadline ]
+    "deadline expired"
+
+(* The full resilient solve path: retry with backoff around the fallback
+   chain, gated by the circuit breaker, deadline threaded into CG. *)
+let full_solve t (req : request) ~queue_ms ~deadline (inj : Fault.injected) =
+  if not (Breaker.allow t.breaker) then
+    degraded_answer t req ~queue_ms "circuit breaker open"
+  else begin
+    let last_report = ref None in
+    let attempt ~attempt:_ =
+      Clock.advance t.clock t.config.costs.solve_ms;
+      if Deadline.expired deadline then Retry.Fatal "deadline expired"
+      else begin
+        let should_stop =
+          Deadline.should_stop ~cost_ms:t.config.costs.poll_ms deadline
+        in
+        let problem =
+          Problem.make_unchecked ~graph:inj.Fault.graph ~labels:inj.Fault.labels
+        in
+        let report =
+          Resilient.solve_hard ?cg_max_iter:inj.Fault.cg_max_iter ~should_stop
+            ~observe:true problem
+        in
+        last_report := Some report;
+        if report.Resilient.aborted then begin
+          t.st.s_solver_aborts <- t.st.s_solver_aborts + 1;
+          Retry.Fatal "solve aborted by deadline"
+        end
+        else if all_healthy report then Retry.Done report
+        else Retry.Transient "unhealthy solve (failed certificate)"
+      end
+    in
+    let out =
+      Retry.run t.config.retry ~clock:t.clock ~rng:t.rng ~deadline attempt
+    in
+    let attempts = Stdlib.max 1 out.Retry.attempts in
+    match out.Retry.result with
+    | Ok report ->
+        Breaker.record_success t.breaker;
+        let n = Problem.n_labeled t.problem in
+        let predictions =
+          Array.mapi (fun i x -> (n + i, x)) report.Resilient.predictions
+        in
+        finish t req ~queue_ms ~cache_hit:false ~attempts
+          ?certificate:(worst_certificate report)
+          ~diagnostics:report.Resilient.diagnostics
+          ~rung_ms:(flatten_rung_ms report) Served predictions
+    | Error reason ->
+        Breaker.record_failure t.breaker;
+        let diagnostics =
+          match !last_report with
+          | Some r -> r.Resilient.diagnostics
+          | None -> []
+        in
+        if Deadline.expired deadline then
+          expire t req ~queue_ms ~deadline ~attempts ()
+        else
+          degraded_answer t req ~queue_ms ~attempts ~diagnostics reason
+  end
+
+let process t ~queue_ms (req : request) =
+  let deadline =
+    Deadline.at t.clock ~start_ms:req.arrival_ms
+      ~budget_ms:t.config.deadline_ms
+  in
+  (* Chaos first: this request's private view of the problem, plus any
+     latency stall, which burns budget before the solve even starts. *)
+  let frng = Prng.Rng.substream t.rng ((2 * req.id) + 1) in
+  let inj =
+    Fault.inject frng
+      ~n_labeled:(Problem.n_labeled t.problem)
+      req.faults t.problem.Problem.graph t.problem.Problem.labels
+  in
+  Clock.advance t.clock inj.Fault.stall_ms;
+  if Deadline.expired deadline then expire t req ~queue_ms ~deadline ()
+  else
+    match req.kind with
+    | Relabel { vertex; label } ->
+        if not (Float.is_finite label) then
+          degraded_answer t req ~queue_ms
+            ~diagnostics:[ Check.Non_finite_label { index = vertex } ]
+            "non-finite relabel rejected"
+        else begin
+          match Cache.find t.cache t.base_key with
+          | None -> degraded_answer t req ~queue_ms "no cached factorization"
+          | Some inc -> begin
+              match Incremental.reveal inc ~vertex ~label with
+              | () ->
+                  Clock.advance t.clock t.config.costs.relabel_ms;
+                  t.st.s_relabels <- t.st.s_relabels + 1;
+                  let predictions = Incremental.predict inc in
+                  let certificate = certify_incremental inc in
+                  let healthy =
+                    match certificate with
+                    | Some c -> Obs.Health.healthy c
+                    | None -> true (* nothing left to predict *)
+                  in
+                  if healthy then
+                    finish t req ~queue_ms ~cache_hit:true ~attempts:1
+                      ?certificate Served predictions
+                  else
+                    finish t req ~queue_ms ~cache_hit:true ~attempts:1
+                      ?certificate
+                      (Degraded "incremental update unhealthy") predictions
+              | exception Invalid_argument msg ->
+                  degraded_answer t req ~queue_ms ("relabel rejected: " ^ msg)
+            end
+        end
+    | Query when req.faults = [] -> begin
+        (* clean query: serve from the cached factorization *)
+        match Cache.find t.cache t.base_key with
+        | Some inc ->
+            Clock.advance t.clock t.config.costs.cache_ms;
+            let predictions = Incremental.predict inc in
+            let certificate = certify_incremental inc in
+            let healthy =
+              match certificate with
+              | Some c -> Obs.Health.healthy c
+              | None -> true
+            in
+            if healthy then
+              finish t req ~queue_ms ~cache_hit:true ~attempts:1 ?certificate
+                Served predictions
+            else
+              finish t req ~queue_ms ~cache_hit:true ~attempts:1 ?certificate
+                (Degraded "cached answer failed certification") predictions
+        | None -> full_solve t req ~queue_ms ~deadline inj
+      end
+    | Query -> full_solve t req ~queue_ms ~deadline inj
+
+let handle t req = process t ~queue_ms:0. req
+
+let shed t (req : request) reason =
+  finish t req ~queue_ms:0. ~cache_hit:false ~attempts:0 (Shed reason) [||]
+
+(* Single-worker FIFO admission over a pre-recorded arrival trace.
+   [pending_finish] holds the finish times of admitted requests; its
+   survivors at an arrival instant are exactly the in-flight + queued
+   requests, so comparing against [queue_capacity] is the backpressure
+   decision.  Requests must be sorted by arrival time. *)
+let run_trace t reqs =
+  if not (Clock.is_virtual t.clock) then
+    invalid_arg "Engine.run_trace: requires a virtual clock (see Clock)";
+  List.map
+    (fun (req : request) ->
+      t.pending_finish <-
+        List.filter (fun f -> f > req.arrival_ms) t.pending_finish;
+      let backlog = List.length t.pending_finish in
+      if backlog > t.st.s_max_backlog then t.st.s_max_backlog <- backlog;
+      if backlog >= t.config.queue_capacity then
+        shed t req
+          (Printf.sprintf "queue full (%d waiting, capacity %d)" backlog
+             t.config.queue_capacity)
+      else begin
+        let start_ms = Stdlib.max req.arrival_ms t.worker_free_ms in
+        Clock.jump t.clock start_ms;
+        let queue_ms = start_ms -. req.arrival_ms in
+        let resp = process t ~queue_ms req in
+        t.worker_free_ms <- Clock.now_ms t.clock;
+        t.pending_finish <- t.worker_free_ms :: t.pending_finish;
+        resp
+      end)
+    reqs
+
+let status_name = function
+  | Served -> "served"
+  | Degraded _ -> "degraded"
+  | Shed _ -> "shed"

@@ -1,0 +1,47 @@
+type policy = {
+  max_attempts : int;
+  base_ms : float;
+  multiplier : float;
+  jitter : float;
+}
+
+let default = { max_attempts = 3; base_ms = 1.0; multiplier = 2.0; jitter = 0.5 }
+
+let backoff_ms policy rng ~attempt =
+  if attempt < 1 then invalid_arg "Retry.backoff_ms: attempt must be >= 1";
+  let base =
+    policy.base_ms *. (policy.multiplier ** float_of_int (attempt - 1))
+  in
+  let j =
+    if policy.jitter <= 0. then 0.
+    else policy.jitter *. Prng.Rng.uniform rng (-1.) 1.
+  in
+  Stdlib.max 0. (base *. (1. +. j))
+
+type 'a attempt = Done of 'a | Transient of string | Fatal of string
+type 'a outcome = { result : ('a, string) result; attempts : int }
+
+let run policy ~clock ~rng ?deadline f =
+  let expired () =
+    match deadline with None -> false | Some d -> Deadline.expired d
+  in
+  let rec go attempt last_reason =
+    if attempt > policy.max_attempts then
+      { result = Error last_reason; attempts = attempt - 1 }
+    else if expired () then
+      { result =
+          Error
+            (if attempt = 1 then "deadline expired before first attempt"
+             else last_reason);
+        attempts = attempt - 1 }
+    else
+      match f ~attempt with
+      | Done v -> { result = Ok v; attempts = attempt }
+      | Fatal reason -> { result = Error reason; attempts = attempt }
+      | Transient reason ->
+          (* back off only when another attempt is actually coming *)
+          if attempt < policy.max_attempts && not (expired ()) then
+            Clock.advance clock (backoff_ms policy rng ~attempt);
+          go (attempt + 1) reason
+  in
+  go 1 "no attempts made"

@@ -1,0 +1,281 @@
+module Rng = Prng.Rng
+module Wg = Graph.Weighted_graph
+module Fault = Robust.Fault
+module Problem = Gssl.Problem
+
+type config = {
+  requests : int;
+  seed : int;
+  n_vertices : int;
+  n_labeled : int;
+  queue_capacity : int;
+  deadline_ms : float;
+  mean_gap_ms : float;
+  burst_every : int;
+  burst_size : int;
+  fault_rate : float;
+  relabel_rate : float;
+  verify_replay : bool;
+}
+
+let default =
+  { requests = 5000;
+    seed = 42;
+    n_vertices = 80;
+    n_labeled = 20;
+    queue_capacity = 16;
+    deadline_ms = 25.;
+    mean_gap_ms = 4.;
+    burst_every = 97;
+    burst_size = 24;
+    fault_rate = 0.18;
+    relabel_rate = 0.04;
+    verify_replay = false }
+
+type summary = {
+  requests : int;
+  responses : int;
+  dropped : int;
+  served : int;
+  degraded : int;
+  shed : int;
+  deadline_expired : int;
+  solver_aborts : int;
+  retried : int;
+  relabels : int;
+  breaker_trips : int;
+  cache_hits : int;
+  cache_misses : int;
+  max_backlog : int;
+  p50_ms : float;
+  p99_ms : float;
+  max_ms : float;
+  digest : int64;
+  replay_verified : bool;
+  wall_ms : float;
+  violations : string list;
+}
+
+(* Two weakly-coupled clusters as a sparse CSR graph: vertex v belongs
+   to cluster [v mod 2]; each cluster is a jittered ring plus random
+   chords, and a few weak bridges connect the clusters so every vertex
+   is anchored.  Labels (the first [n_labeled] vertices, which alternate
+   clusters) are the cluster ids — the canonical two-class transductive
+   setup the paper's Section II studies. *)
+let problem ~seed ~n_vertices ~n_labeled =
+  if n_vertices < 8 then invalid_arg "Soak.problem: n_vertices must be >= 8";
+  if n_labeled < 2 || n_labeled > n_vertices / 2 then
+    invalid_arg "Soak.problem: n_labeled out of range";
+  let rng = Rng.create ((seed * 1_000_003) + 7) in
+  let coo = Sparse.Coo.create n_vertices n_vertices in
+  let add i j w =
+    if i <> j then begin
+      Sparse.Coo.add coo i j w;
+      Sparse.Coo.add coo j i w
+    end
+  in
+  let member c p = (2 * p) + c in
+  let cluster_size c = (n_vertices - c + 1) / 2 in
+  for c = 0 to 1 do
+    let s = cluster_size c in
+    for p = 0 to s - 1 do
+      (* ring backbone *)
+      add (member c p) (member c ((p + 1) mod s)) (1. +. Rng.uniform rng 0. 0.2)
+    done;
+    (* random chords for conductance *)
+    for _ = 1 to s / 2 do
+      let p = Rng.int rng s and q = Rng.int rng s in
+      if p <> q then add (member c p) (member c q) (0.4 +. Rng.uniform rng 0. 0.2)
+    done
+  done;
+  (* weak inter-cluster bridges *)
+  for _ = 1 to 3 do
+    let p = Rng.int rng (cluster_size 0) and q = Rng.int rng (cluster_size 1) in
+    add (member 0 p) (member 1 q) 0.05
+  done;
+  let graph = Wg.of_sparse_unchecked (Sparse.Csr.of_coo coo) in
+  let labels = Array.init n_labeled (fun v -> float_of_int (v mod 2)) in
+  Problem.make ~graph ~labels
+
+(* Deterministic request trace: exponential arrival gaps with periodic
+   near-simultaneous bursts (to saturate the queue), a seeded mix of
+   clean queries, faulted queries and relabels.  Relabels never exhaust
+   the unlabeled pool, and a slice of them carry NaN labels to exercise
+   the rejection path. *)
+let gen_trace (cfg : config) prob =
+  let rng = Rng.create ((cfg.seed * 7919) + 17) in
+  let n = Problem.n_labeled prob in
+  let m = Problem.n_unlabeled prob in
+  let pool = Array.init m (fun i -> n + i) in
+  Rng.shuffle_inplace rng pool;
+  let max_relabels = Stdlib.max 0 (m - 8) in
+  let next_relabel = ref 0 in
+  let arrival = ref 0. in
+  List.init cfg.requests (fun id ->
+      let in_burst =
+        cfg.burst_every > 0 && id >= cfg.burst_every
+        && id mod cfg.burst_every < cfg.burst_size
+      in
+      let gap =
+        if in_burst then 0.02
+        else -.cfg.mean_gap_ms *. log (1. -. Rng.float rng)
+      in
+      arrival := !arrival +. gap;
+      let kind, faults =
+        let u = Rng.float rng in
+        if u < cfg.relabel_rate && !next_relabel < max_relabels then begin
+          let vertex = pool.(!next_relabel) in
+          incr next_relabel;
+          let label =
+            if Rng.float rng < 0.15 then Float.nan
+            else float_of_int (vertex mod 2)
+          in
+          (Engine.Relabel { vertex; label }, [])
+        end
+        else if u < cfg.relabel_rate +. cfg.fault_rate then
+          let faults =
+            match Rng.int rng 5 with
+            | 0 -> [ Fault.Latency_stall { ms = Rng.uniform rng 5. 40. } ]
+            | 1 -> [ Fault.Cg_cap { max_iter = 2 } ]
+            | 2 -> [ Fault.Nan_poison_weight { count = 3 } ]
+            | 3 -> [ Fault.Label_flip { count = 3 } ]
+            | _ ->
+                [ Fault.Latency_stall { ms = Rng.uniform rng 5. 20. };
+                  Fault.Cg_cap { max_iter = 3 } ]
+          in
+          (Engine.Query, faults)
+        else (Engine.Query, [])
+      in
+      { Engine.id; arrival_ms = !arrival; kind; faults })
+
+let digest_of responses =
+  List.fold_left
+    (fun h (r : Engine.response) ->
+      let h = Cache.mix h (Int64.of_int r.Engine.id) in
+      let h =
+        Cache.mix h
+          (Int64.of_int
+             (match r.Engine.status with
+             | Engine.Served -> 1
+             | Engine.Degraded _ -> 2
+             | Engine.Shed _ -> 3))
+      in
+      let h = Cache.mix h (Int64.of_int r.Engine.attempts) in
+      let h = Cache.mix h (Int64.bits_of_float r.Engine.latency_ms) in
+      Array.fold_left
+        (fun h (v, x) ->
+          Cache.mix (Cache.mix h (Int64.of_int v)) (Int64.bits_of_float x))
+        h r.Engine.predictions)
+    0x5eedL responses
+
+let engine_config (cfg : config) =
+  { Engine.default_config with
+    Engine.queue_capacity = cfg.queue_capacity;
+    deadline_ms = cfg.deadline_ms;
+    seed = cfg.seed }
+
+let check_invariants (cfg : config) (responses : Engine.response list)
+    (st : Engine.stats) =
+  let violations = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  let n_resp = List.length responses in
+  if n_resp <> cfg.requests then
+    note "dropped responses: %d of %d requests answered" n_resp cfg.requests;
+  List.iter
+    (fun (r : Engine.response) ->
+      match r.Engine.status with
+      | Engine.Served -> begin
+          match r.Engine.certificate with
+          | Some c when Obs.Health.healthy c -> ()
+          | Some _ -> note "request %d served with an unhealthy certificate" r.Engine.id
+          | None -> note "request %d served without a certificate" r.Engine.id
+        end
+      | Engine.Degraded _ | Engine.Shed _ -> ())
+    responses;
+  if st.Engine.max_backlog > cfg.queue_capacity then
+    note "queue grew to %d beyond capacity %d" st.Engine.max_backlog
+      cfg.queue_capacity;
+  if st.Engine.served = 0 then note "no request was served at all";
+  List.rev !violations
+
+let run (cfg : config) =
+  let wall0 = Unix.gettimeofday () in
+  let prob = problem ~seed:cfg.seed ~n_vertices:cfg.n_vertices
+      ~n_labeled:cfg.n_labeled in
+  let trace = gen_trace cfg prob in
+  let run_once () =
+    let clock = Clock.virtual_ () in
+    let engine = Engine.create ~clock (engine_config cfg) prob in
+    let responses = Engine.run_trace engine trace in
+    (engine, responses)
+  in
+  let engine, responses = run_once () in
+  let digest = digest_of responses in
+  let replay_verified =
+    if cfg.verify_replay then begin
+      let _, again = run_once () in
+      Int64.equal (digest_of again) digest
+    end
+    else true
+  in
+  let st = Engine.stats engine in
+  let violations =
+    check_invariants cfg responses st
+    @ (if replay_verified then []
+       else [ "replay diverged: same seed produced a different digest" ])
+  in
+  let hist = Engine.latency_histogram engine in
+  let served, degraded, shed =
+    List.fold_left
+      (fun (s, d, x) (r : Engine.response) ->
+        match r.Engine.status with
+        | Engine.Served -> (s + 1, d, x)
+        | Engine.Degraded _ -> (s, d + 1, x)
+        | Engine.Shed _ -> (s, d, x + 1))
+      (0, 0, 0) responses
+  in
+  { requests = cfg.requests;
+    responses = List.length responses;
+    dropped = cfg.requests - List.length responses;
+    served;
+    degraded;
+    shed;
+    deadline_expired = st.Engine.deadline_expired;
+    solver_aborts = st.Engine.solver_aborts;
+    retried = st.Engine.retried;
+    relabels = st.Engine.relabels;
+    breaker_trips = st.Engine.breaker_trips;
+    cache_hits = st.Engine.cache_hits;
+    cache_misses = st.Engine.cache_misses;
+    max_backlog = st.Engine.max_backlog;
+    p50_ms = Obs.Histogram.p50 hist;
+    p99_ms = Obs.Histogram.p99 hist;
+    max_ms = Obs.Histogram.max_value hist;
+    digest;
+    replay_verified;
+    wall_ms = (Unix.gettimeofday () -. wall0) *. 1e3;
+    violations }
+
+let describe (s : summary) =
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun str -> Buffer.add_string b (str ^ "\n")) fmt in
+  line "soak: %d requests, %d responses (%d dropped)" s.requests s.responses
+    s.dropped;
+  line "  served %d | degraded %d | shed %d" s.served s.degraded s.shed;
+  line "  deadline expired %d | cg aborts %d | retried %d | relabels %d"
+    s.deadline_expired s.solver_aborts s.retried s.relabels;
+  line "  breaker trips %d | cache hits/misses %d/%d | max backlog %d"
+    s.breaker_trips s.cache_hits s.cache_misses s.max_backlog;
+  line "  latency (virtual) p50 %.3f ms | p99 %.3f ms | max %.3f ms" s.p50_ms
+    s.p99_ms s.max_ms;
+  line "  digest %Lx | replay %s | wall %.1f ms" s.digest
+    (if s.replay_verified then "verified" else "DIVERGED")
+    s.wall_ms;
+  (match s.violations with
+  | [] -> line "  invariants: all hold"
+  | vs ->
+      line "  INVARIANT VIOLATIONS:";
+      List.iter (fun v -> line "    - %s" v) vs);
+  Buffer.contents b
+
+let ok (s : summary) = s.violations = [] && s.dropped = 0

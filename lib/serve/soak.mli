@@ -1,0 +1,76 @@
+(** Deterministic chaos soak harness.
+
+    Generates a seeded multi-thousand-request trace — clean queries,
+    Sherman–Morrison relabels (a slice with NaN labels), and faulted
+    queries drawing from the {!Robust.Fault} menu (latency stalls, CG
+    starvation caps, NaN weight poison, label flips) — with exponential
+    arrival gaps punctuated by near-simultaneous bursts that overflow
+    the admission queue.  Replays it through an {!Engine} on a virtual
+    clock and checks the serving invariants:
+
+    - zero dropped requests (exactly one response per request);
+    - every [Served] response carries a {e healthy} certificate; every
+      other response is explicitly [Degraded] or [Shed];
+    - the queue backlog never exceeds its capacity (saturation sheds);
+    - at least one request is actually served;
+    - optionally ([verify_replay]), a second run of the same seed
+      produces bit-identical per-request outcomes (digest equality).
+
+    Violations are returned as strings, not exceptions — the harness
+    always completes and reports. *)
+
+type config = {
+  requests : int;
+  seed : int;
+  n_vertices : int;
+  n_labeled : int;
+  queue_capacity : int;
+  deadline_ms : float;
+  mean_gap_ms : float;      (** mean exponential inter-arrival gap *)
+  burst_every : int;        (** a burst starts every this many requests *)
+  burst_size : int;         (** near-simultaneous arrivals per burst *)
+  fault_rate : float;       (** fraction of queries carrying faults *)
+  relabel_rate : float;     (** fraction of requests that are relabels *)
+  verify_replay : bool;     (** run twice, require digest equality *)
+}
+
+val default : config
+(** 5000 requests, seed 42, an 80-vertex two-cluster sparse problem,
+    capacity 16, 25 ms budgets, 18% fault rate. *)
+
+type summary = {
+  requests : int;
+  responses : int;
+  dropped : int;
+  served : int;
+  degraded : int;
+  shed : int;
+  deadline_expired : int;
+  solver_aborts : int;
+  retried : int;
+  relabels : int;
+  breaker_trips : int;
+  cache_hits : int;
+  cache_misses : int;
+  max_backlog : int;
+  p50_ms : float;  (** virtual-clock latency percentiles *)
+  p99_ms : float;
+  max_ms : float;
+  digest : int64;  (** order-sensitive hash of every per-request outcome *)
+  replay_verified : bool;
+  wall_ms : float;  (** real time the replay took *)
+  violations : string list;  (** empty iff all invariants hold *)
+}
+
+val problem :
+  seed:int -> n_vertices:int -> n_labeled:int -> Gssl.Problem.t
+(** The synthetic two-cluster sparse problem the soak serves (exposed
+    for tests).  Raises [Invalid_argument] on degenerate sizes. *)
+
+val gen_trace : config -> Gssl.Problem.t -> Engine.request list
+val digest_of : Engine.response list -> int64
+val run : config -> summary
+val ok : summary -> bool
+(** No violations and nothing dropped. *)
+
+val describe : summary -> string

@@ -8,6 +8,7 @@ type outcome = {
   true_residual : float option;
   converged : bool;
   breakdown : bool;
+  aborted : bool;
 }
 
 let c_solves = Telemetry.Counter.make "cg.solves"
@@ -29,7 +30,7 @@ let recompute_true_residual op b x =
   else None
 
 let solve_impl ?x0 ?(tol = 1e-10) ?max_iter ?(precondition = true)
-    (op : Linop.t) b =
+    ?(should_stop = fun () -> false) (op : Linop.t) b =
   let n = op.Linop.dim in
   if Array.length b <> n then invalid_arg "Cg.solve: length mismatch";
   let max_iter = match max_iter with Some k -> k | None -> 10 * n in
@@ -50,7 +51,7 @@ let solve_impl ?x0 ?(tol = 1e-10) ?max_iter ?(precondition = true)
     Telemetry.Counter.incr c_converged;
     { solution = Vec.zeros n; iterations = 0; residual_norm = 0.;
       best_residual = 0.; true_residual = (if !Telemetry.Registry.enabled then Some 0. else None);
-      converged = true; breakdown = false }
+      converged = true; breakdown = false; aborted = false }
   end
   else begin
     let threshold = tol *. b_norm in
@@ -63,8 +64,16 @@ let solve_impl ?x0 ?(tol = 1e-10) ?max_iter ?(precondition = true)
     let res = ref (Vec.norm2 r) in
     let best = ref !res in
     let breakdown = ref false in
+    let aborted = ref false in
     Telemetry.Trace.record "cg.residual" !res;
-    while (not !breakdown) && !res > threshold && !iterations < max_iter do
+    while
+      (not !breakdown) && (not !aborted) && !res > threshold
+      && !iterations < max_iter
+    do
+      (* cooperative cancellation: a deadline-carrying caller can stop the
+         iteration between steps instead of waiting out the hard cap *)
+      if should_stop () then aborted := true
+      else begin
       incr iterations;
       Telemetry.Counter.incr c_iterations;
       let ap = apply op !p in
@@ -91,8 +100,9 @@ let solve_impl ?x0 ?(tol = 1e-10) ?max_iter ?(precondition = true)
           p := p'
         end
       end
+      end
     done;
-    let converged = (not !breakdown) && !res <= threshold in
+    let converged = (not !breakdown) && (not !aborted) && !res <= threshold in
     if converged then Telemetry.Counter.incr c_converged;
     if !breakdown then
       Obs.Event.emit ~severity:Obs.Event.Warning "cg.breakdown"
@@ -101,19 +111,27 @@ let solve_impl ?x0 ?(tol = 1e-10) ?max_iter ?(precondition = true)
           ("iterations", Obs.Event.Int !iterations);
           ("residual", Obs.Event.Float !res);
         ];
+    if !aborted then
+      Obs.Event.emit ~severity:Obs.Event.Warning "cg.abort"
+        [
+          ("dim", Obs.Event.Int n);
+          ("iterations", Obs.Event.Int !iterations);
+          ("residual", Obs.Event.Float !res);
+        ];
     { solution = x; iterations = !iterations; residual_norm = !res;
       best_residual = !best; true_residual = recompute_true_residual op b x;
-      converged; breakdown = !breakdown }
+      converged; breakdown = !breakdown; aborted = !aborted }
   end
 
-let solve ?x0 ?tol ?max_iter ?precondition op b =
+let solve ?x0 ?tol ?max_iter ?precondition ?should_stop op b =
   Telemetry.Span.with_ "cg.solve" (fun () ->
-      solve_impl ?x0 ?tol ?max_iter ?precondition op b)
+      solve_impl ?x0 ?tol ?max_iter ?precondition ?should_stop op b)
 
 let ensure_converged op b (out : outcome) =
   if not out.converged then begin
     let cause =
       if out.breakdown then "non-SPD breakdown (p^T A p <= 0)"
+      else if out.aborted then "cooperative abort (should_stop)"
       else "no convergence"
     in
     let n = op.Linop.dim in
@@ -123,7 +141,7 @@ let ensure_converged op b (out : outcome) =
          cause n n out.iterations out.residual_norm (Vec.norm2 b))
   end
 
-let solve_exn ?x0 ?tol ?max_iter ?precondition op b =
-  let out = solve ?x0 ?tol ?max_iter ?precondition op b in
+let solve_exn ?x0 ?tol ?max_iter ?precondition ?should_stop op b =
+  let out = solve ?x0 ?tol ?max_iter ?precondition ?should_stop op b in
   ensure_converged op b out;
   out.solution

@@ -22,6 +22,13 @@ type outcome = {
           restarting cannot fix a breakdown, only a different solver can.
           Breakdowns are also reported as ["cg.breakdown"] events in the
           [Obs.Event] flight recorder. *)
+  aborted : bool;
+      (** the [should_stop] callback returned [true] between iterations and
+          the solve stopped early with the best iterate so far.  Distinct
+          from both breakdown and plain non-convergence: the caller asked
+          for the stop (deadline expiry, cancellation), so retrying with a
+          fresh budget may well succeed.  Aborts are also reported as
+          ["cg.abort"] events in the [Obs.Event] flight recorder. *)
 }
 
 val solve :
@@ -29,20 +36,26 @@ val solve :
   ?tol:float ->
   ?max_iter:int ->
   ?precondition:bool ->
+  ?should_stop:(unit -> bool) ->
   Linop.t ->
   Linalg.Vec.t ->
   outcome
 (** [solve op b] runs (preconditioned) CG on [op x = b].
     [tol] (default 1e-10) is relative to [‖b‖₂]; [max_iter] defaults to
     [10 * dim]; [precondition] (default true) enables the Jacobi
-    (diagonal) preconditioner.  Raises [Invalid_argument] on dimension
-    mismatch. *)
+    (diagonal) preconditioner.  [should_stop] (default [fun () -> false])
+    is polled once per iteration {e before} any work for that iteration;
+    returning [true] ends the solve cooperatively with [aborted = true]
+    and the current iterate as [solution] — this is how per-request
+    deadlines reach into a running solve.  Raises [Invalid_argument] on
+    dimension mismatch. *)
 
 val solve_exn :
   ?x0:Linalg.Vec.t ->
   ?tol:float ->
   ?max_iter:int ->
   ?precondition:bool ->
+  ?should_stop:(unit -> bool) ->
   Linop.t ->
   Linalg.Vec.t ->
   Linalg.Vec.t

@@ -1,0 +1,636 @@
+(* Serving layer: Clock / Deadline / Retry / Breaker / Cache units, the
+   cooperative-abort plumbing through Cg and the fallback chains, the
+   admission-controlled Engine, and the chaos soak harness.
+
+   Everything runs on virtual clocks, so every test here — including the
+   mid-solve deadline aborts and the 400-request soak — is exactly
+   reproducible. *)
+
+open Test_util
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+module Wg = Graph.Weighted_graph
+module Check = Robust.Check
+module Fault = Robust.Fault
+module Rsolve = Robust.Solve
+module Clock = Serve.Clock
+module Deadline = Serve.Deadline
+module Retry = Serve.Retry
+module Breaker = Serve.Breaker
+module Cache = Serve.Cache
+module Engine = Serve.Engine
+module Soak = Serve.Soak
+module Inc = Gssl.Incremental
+module P = Gssl.Problem
+
+(* ------------------------------------------------------------------ *)
+(* clock & deadline                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_virtual_clock () =
+  let c = Clock.virtual_ ~start_ms:10. () in
+  Alcotest.(check bool) "virtual" true (Clock.is_virtual c);
+  check_float "start" 10. (Clock.now_ms c);
+  Clock.advance c 5.;
+  check_float "advance" 15. (Clock.now_ms c);
+  Clock.advance c (-3.);
+  check_float "negative advance is a no-op" 15. (Clock.now_ms c);
+  Clock.jump c 40.;
+  check_float "jump forward" 40. (Clock.now_ms c);
+  Clock.jump c 2.;
+  check_float "jump never goes backward" 40. (Clock.now_ms c)
+
+let test_monotonic_clock () =
+  let c = Clock.monotonic () in
+  Alcotest.(check bool) "not virtual" false (Clock.is_virtual c);
+  let t0 = Clock.now_ms c in
+  Clock.advance c 2.;
+  let t1 = Clock.now_ms c in
+  Alcotest.(check bool) "busy-wait advanced real time >= 2ms" true
+    (t1 -. t0 >= 2.)
+
+let test_deadline_accounting () =
+  let c = Clock.virtual_ () in
+  let d = Deadline.start c ~budget_ms:10. in
+  check_float "budget" 10. (Deadline.budget_ms d);
+  Clock.advance c 4.;
+  check_float "elapsed" 4. (Deadline.elapsed_ms d);
+  check_float "remaining" 6. (Deadline.remaining_ms d);
+  Alcotest.(check bool) "not expired" false (Deadline.expired d);
+  (* queue wait counts: a deadline anchored in the past starts spent *)
+  let late = Deadline.at c ~start_ms:(-20.) ~budget_ms:10. in
+  Alcotest.(check bool) "anchored in the past -> expired" true
+    (Deadline.expired late);
+  (match Deadline.diagnostic late with
+  | Check.Deadline_expired { elapsed_ms; budget_ms } ->
+      check_float "diagnostic elapsed" 24. elapsed_ms;
+      check_float "diagnostic budget" 10. budget_ms
+  | _ -> Alcotest.fail "expected Deadline_expired diagnostic");
+  Alcotest.(check string) "diagnostic class" "deadline-expired"
+    (Check.class_name (Deadline.diagnostic late))
+
+let test_deadline_should_stop_charges_cost () =
+  let c = Clock.virtual_ () in
+  let d = Deadline.start c ~budget_ms:5. in
+  let stop = Deadline.should_stop ~cost_ms:2. d in
+  Alcotest.(check bool) "poll 1 (2ms spent)" false (stop ());
+  Alcotest.(check bool) "poll 2 (4ms spent)" false (stop ());
+  Alcotest.(check bool) "poll 3 (6ms spent) -> expired" true (stop ());
+  check_float "clock carries the charged cost" 6. (Clock.now_ms c)
+
+(* ------------------------------------------------------------------ *)
+(* retry                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_retry_backoff_growth () =
+  let p = { Retry.max_attempts = 5; base_ms = 2.; multiplier = 3.; jitter = 0. } in
+  let rng = Prng.Rng.create 1 in
+  check_float "attempt 1" 2. (Retry.backoff_ms p rng ~attempt:1);
+  check_float "attempt 2" 6. (Retry.backoff_ms p rng ~attempt:2);
+  check_float "attempt 3" 18. (Retry.backoff_ms p rng ~attempt:3);
+  check_raises_invalid "attempt 0 rejected" (fun () ->
+      Retry.backoff_ms p rng ~attempt:0);
+  (* jittered delays stay within the +/- band *)
+  let j = { p with Retry.jitter = 0.5 } in
+  for _ = 1 to 50 do
+    let d = Retry.backoff_ms j rng ~attempt:2 in
+    Alcotest.(check bool) "jitter in band" true (d >= 3. && d <= 9.)
+  done
+
+let test_retry_run_transient_then_done () =
+  let c = Clock.virtual_ () in
+  let rng = Prng.Rng.create 2 in
+  let p = { Retry.default with Retry.jitter = 0. } in
+  let out =
+    Retry.run p ~clock:c ~rng (fun ~attempt ->
+        if attempt < 3 then Retry.Transient "not yet" else Retry.Done attempt)
+  in
+  Alcotest.(check int) "three attempts" 3 out.Retry.attempts;
+  (match out.Retry.result with
+  | Ok 3 -> ()
+  | _ -> Alcotest.fail "expected Ok 3");
+  (* two backoffs were spent on the clock: 1 + 2 ms *)
+  check_float "backoff burned clock time" 3. (Clock.now_ms c)
+
+let test_retry_run_fatal_stops () =
+  let c = Clock.virtual_ () in
+  let rng = Prng.Rng.create 3 in
+  let calls = ref 0 in
+  let out =
+    Retry.run Retry.default ~clock:c ~rng (fun ~attempt:_ ->
+        incr calls;
+        Retry.Fatal "hopeless")
+  in
+  Alcotest.(check int) "one call only" 1 !calls;
+  Alcotest.(check int) "one attempt" 1 out.Retry.attempts;
+  (match out.Retry.result with
+  | Error msg -> Alcotest.(check string) "message" "hopeless" msg
+  | Ok _ -> Alcotest.fail "expected Error")
+
+let test_retry_respects_deadline () =
+  let c = Clock.virtual_ () in
+  let d = Deadline.start c ~budget_ms:0.5 in
+  let rng = Prng.Rng.create 4 in
+  let p = { Retry.default with Retry.jitter = 0.; base_ms = 1. } in
+  let out =
+    Retry.run p ~clock:c ~rng ~deadline:d (fun ~attempt:_ ->
+        Retry.Transient "always")
+  in
+  (* first attempt runs, backoff expires the budget, no second attempt *)
+  Alcotest.(check int) "stopped by deadline" 1 out.Retry.attempts;
+  (match out.Retry.result with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected Error")
+
+(* ------------------------------------------------------------------ *)
+(* breaker                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_breaker_lifecycle () =
+  let c = Clock.virtual_ () in
+  let b = Breaker.create ~failure_threshold:2 ~cooldown_ms:10. c in
+  Alcotest.(check bool) "closed allows" true (Breaker.allow b);
+  Breaker.record_failure b;
+  Alcotest.(check bool) "one failure: still closed" true (Breaker.allow b);
+  Breaker.record_failure b;
+  Alcotest.(check bool) "threshold: open refuses" false (Breaker.allow b);
+  Alcotest.(check int) "one trip" 1 (Breaker.trips b);
+  Clock.advance c 11.;
+  Alcotest.(check bool) "cooldown over: half-open probes" true (Breaker.allow b);
+  Breaker.record_failure b;
+  Alcotest.(check bool) "half-open failure reopens" false (Breaker.allow b);
+  Alcotest.(check int) "reopen counts as a trip" 2 (Breaker.trips b);
+  Clock.advance c 11.;
+  Alcotest.(check bool) "half-open again" true (Breaker.allow b);
+  Breaker.record_success b;
+  Alcotest.(check bool) "success closes" true (Breaker.allow b);
+  (* consecutive-failure counting resets on success *)
+  Breaker.record_failure b;
+  Breaker.record_success b;
+  Breaker.record_failure b;
+  Alcotest.(check bool) "non-consecutive failures stay closed" true
+    (Breaker.allow b)
+
+(* ------------------------------------------------------------------ *)
+(* cache                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let ring_graph n jitter =
+  let coo = Sparse.Coo.create n n in
+  for i = 0 to n - 1 do
+    let j = (i + 1) mod n in
+    let w = 1. +. (jitter *. float_of_int i) in
+    Sparse.Coo.add coo i j w;
+    Sparse.Coo.add coo j i w
+  done;
+  Wg.of_sparse (Sparse.Csr.of_coo coo)
+
+let test_cache_fingerprint_sensitivity () =
+  let g1 = ring_graph 8 0. and g2 = ring_graph 8 1e-12 in
+  Alcotest.(check bool) "same graph, same fingerprint" true
+    (Int64.equal (Cache.fingerprint g1) (Cache.fingerprint (ring_graph 8 0.)));
+  Alcotest.(check bool) "a 1e-12 weight change changes the fingerprint" false
+    (Int64.equal (Cache.fingerprint g1) (Cache.fingerprint g2));
+  let k_hard = Cache.key g1 and k_soft = Cache.key ~lambda:0.5 g1 in
+  Alcotest.(check bool) "hard and soft keys differ" false (k_hard = k_soft)
+
+let test_cache_lru_discipline () =
+  let c = Cache.create ~capacity:2 () in
+  let g = ring_graph 6 0. in
+  let k i = Cache.key ~lambda:(float_of_int i) g in
+  Cache.put c (k 1) 1;
+  Cache.put c (k 2) 2;
+  Alcotest.(check (option int)) "hit 1" (Some 1) (Cache.find c (k 1));
+  (* 1 is now most recent; inserting 3 evicts 2 *)
+  Cache.put c (k 3) 3;
+  Alcotest.(check (option int)) "2 evicted" None (Cache.find c (k 2));
+  Alcotest.(check (option int)) "1 survived" (Some 1) (Cache.find c (k 1));
+  Alcotest.(check int) "length bounded" 2 (Cache.length c);
+  Alcotest.(check int) "evictions" 1 (Cache.evictions c);
+  Alcotest.(check int) "hits" 2 (Cache.hits c);
+  Alcotest.(check int) "misses" 1 (Cache.misses c);
+  (* peek is invisible to the stats *)
+  ignore (Cache.peek c (k 2));
+  Alcotest.(check int) "peek does not count a miss" 1 (Cache.misses c)
+
+(* ------------------------------------------------------------------ *)
+(* cooperative abort: Cg and the fallback chains                       *)
+(* ------------------------------------------------------------------ *)
+
+let spd_csr () =
+  Sparse.Csr.of_dense
+    (Mat.add_scaled_identity (Mat.gram (random_mat (Prng.Rng.create 5) 12 12)) 1.)
+
+let test_cg_cooperative_abort () =
+  let a = spd_csr () in
+  let b = Array.init 12 (fun i -> float_of_int (i + 1)) in
+  let polls = ref 0 in
+  let out =
+    Sparse.Cg.solve
+      ~should_stop:(fun () ->
+        incr polls;
+        !polls > 2)
+      (Sparse.Linop.of_csr a) b
+  in
+  Alcotest.(check bool) "aborted" true out.Sparse.Cg.aborted;
+  Alcotest.(check bool) "not converged" false out.Sparse.Cg.converged;
+  Alcotest.(check bool) "not a breakdown" false out.Sparse.Cg.breakdown;
+  Alcotest.(check int) "stopped after two iterations" 2
+    out.Sparse.Cg.iterations;
+  (* an untriggered hook changes nothing *)
+  let clean = Sparse.Cg.solve ~should_stop:(fun () -> false)
+      (Sparse.Linop.of_csr a) b in
+  Alcotest.(check bool) "clean solve converges" true clean.Sparse.Cg.converged;
+  Alcotest.(check bool) "clean solve not aborted" false clean.Sparse.Cg.aborted
+
+let test_solve_sparse_deadline_abort () =
+  let a = spd_csr () in
+  let b = Array.init 12 (fun i -> float_of_int (i + 1)) in
+  let clock = Clock.virtual_ () in
+  let d = Deadline.start clock ~budget_ms:1. in
+  let out =
+    Rsolve.solve_sparse ~should_stop:(Deadline.should_stop ~cost_ms:0.6 d) a b
+  in
+  Alcotest.(check bool) "outcome flagged aborted" true out.Rsolve.aborted;
+  (* the chain stopped where it was instead of escalating to the end *)
+  Alcotest.(check bool) "escalations name the abort" true
+    (List.exists
+       (fun (e : Rsolve.escalation) ->
+         Astring.String.is_infix ~affix:"cooperative abort"
+           e.Rsolve.reason)
+       out.Rsolve.escalations);
+  (* per-rung wall timing rides along on every outcome *)
+  Alcotest.(check bool) "timings non-empty" true (out.Rsolve.timings <> []);
+  List.iter
+    (fun (_, ms) ->
+      Alcotest.(check bool) "timing non-negative" true (ms >= 0.))
+    out.Rsolve.timings
+
+let test_solve_timings_present_on_clean_solves () =
+  let a = Mat.add_scaled_identity (Mat.gram (random_mat (Prng.Rng.create 6) 6 6)) 1. in
+  let b = Array.init 6 (fun i -> float_of_int i) in
+  let dense = Rsolve.solve_dense a b in
+  Alcotest.(check bool) "dense not aborted" false dense.Rsolve.aborted;
+  Alcotest.(check (list string)) "dense timing covers the cholesky rung"
+    [ "cholesky" ]
+    (List.map fst dense.Rsolve.timings);
+  let sp = Rsolve.solve_sparse (Sparse.Csr.of_dense a) b in
+  Alcotest.(check (list string)) "sparse timing covers the cg rung" [ "cg" ]
+    (List.map fst sp.Rsolve.timings)
+
+let test_resilient_carries_rung_ms () =
+  let rng = Prng.Rng.create 7 in
+  let w = Mat.add_scaled_identity (Mat.gram (random_mat rng 8 8)) 2. in
+  let w = Mat.init 8 8 (fun i j -> if i = j then 0. else abs_float (Mat.get w i j)) in
+  let p = P.make ~graph:(Wg.of_dense w) ~labels:[| 0.; 1.; 1. |] in
+  let r = Gssl.Resilient.solve_hard p in
+  Alcotest.(check bool) "report not aborted" false r.Gssl.Resilient.aborted;
+  (match r.Gssl.Resilient.rung_ms with
+  | [ (0, timings) ] ->
+      Alcotest.(check (list string)) "component 0 timed on cholesky"
+        [ "cholesky" ] (List.map fst timings)
+  | other ->
+      Alcotest.failf "expected one component timing, got %d"
+        (List.length other))
+
+(* ------------------------------------------------------------------ *)
+(* latency-stall fault                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_latency_stall_injector () =
+  let rng = Prng.Rng.create 8 in
+  let g = ring_graph 8 0. in
+  let labels = [| 0.; 1. |] in
+  let inj = Fault.inject rng ~n_labeled:2 [ Fault.Latency_stall { ms = 10. } ] g labels in
+  Alcotest.(check bool) "stall in the jitter band" true
+    (inj.Fault.stall_ms >= 7.5 && inj.Fault.stall_ms <= 12.5);
+  (* a pure stall corrupts nothing *)
+  Alcotest.(check bool) "graph untouched" true
+    (Int64.equal (Cache.fingerprint g) (Cache.fingerprint inj.Fault.graph));
+  Alcotest.(check (option int)) "no cg cap" None inj.Fault.cg_max_iter;
+  (* the detects contract: a stall is vindicated by a deadline expiry *)
+  let stall = Fault.Latency_stall { ms = 10. } in
+  Alcotest.(check bool) "stall detected by Deadline_expired" true
+    (Fault.detects stall
+       (Check.Deadline_expired { elapsed_ms = 30.; budget_ms = 25. }));
+  Alcotest.(check bool) "stall not detected by unrelated diagnostics" false
+    (Fault.detects stall (Check.Non_finite_weight { i = 0; j = 1 }));
+  Alcotest.(check string) "class name" "latency-stall" (Fault.class_name stall);
+  (* a clean injection has no stall *)
+  let clean = Fault.inject rng ~n_labeled:2 [] g labels in
+  check_float "no stall by default" 0. clean.Fault.stall_ms
+
+(* ------------------------------------------------------------------ *)
+(* engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let engine_fixture ?(deadline_ms = 25.) ?(queue_capacity = 4) () =
+  let prob = Soak.problem ~seed:1 ~n_vertices:40 ~n_labeled:10 in
+  let clock = Clock.virtual_ () in
+  let config =
+    { Engine.default_config with
+      Engine.deadline_ms;
+      queue_capacity;
+      seed = 11 }
+  in
+  (Engine.create ~clock config prob, clock, prob)
+
+let req ?(faults = []) ?(kind = Engine.Query) ~clock id =
+  { Engine.id; arrival_ms = Clock.now_ms clock; kind; faults }
+
+let test_engine_clean_query_served_from_cache () =
+  let engine, clock, prob = engine_fixture () in
+  let r = Engine.handle engine (req ~clock 1) in
+  Alcotest.(check string) "served" "served" (Engine.status_name r.Engine.status);
+  Alcotest.(check bool) "cache hit" true r.Engine.cache_hit;
+  Alcotest.(check int) "predictions cover every unlabeled vertex"
+    (P.n_unlabeled prob)
+    (Array.length r.Engine.predictions);
+  (match r.Engine.certificate with
+  | Some cert -> Alcotest.(check bool) "healthy" true (Obs.Health.healthy cert)
+  | None -> Alcotest.fail "served response must carry a certificate");
+  let s = Engine.stats engine in
+  Alcotest.(check int) "stats served" 1 s.Engine.served;
+  Alcotest.(check int) "stats cache hits" 1 s.Engine.cache_hits
+
+let test_engine_stall_burns_deadline () =
+  let engine, clock, _ = engine_fixture () in
+  let r =
+    Engine.handle engine
+      (req ~clock ~faults:[ Fault.Latency_stall { ms = 200. } ] 1)
+  in
+  (match r.Engine.status with
+  | Engine.Degraded why ->
+      Alcotest.(check bool) "reason mentions the deadline" true
+        (Astring.String.is_infix ~affix:"deadline" why)
+  | _ -> Alcotest.fail "expected Degraded");
+  Alcotest.(check bool) "Deadline_expired diagnostic attached" true
+    (List.exists
+       (function Check.Deadline_expired _ -> true | _ -> false)
+       r.Engine.diagnostics);
+  (* degraded still answers: labeled-mean / cached predictions *)
+  Alcotest.(check bool) "degraded response still has predictions" true
+    (Array.length r.Engine.predictions > 0);
+  Alcotest.(check bool) "degraded predictions are finite" true
+    (Array.for_all (fun (_, x) -> Float.is_finite x) r.Engine.predictions);
+  Alcotest.(check int) "deadline expiry counted" 1
+    (Engine.stats engine).Engine.deadline_expired
+
+let test_engine_starved_solve_degrades_and_trips_breaker () =
+  let engine, clock, _ = engine_fixture ~deadline_ms:1e6 () in
+  (* CG starved to 2 iterations: certified stagnated -> transient failure
+     -> retries exhaust -> degraded answer; repeated, it trips the
+     breaker *)
+  let outcomes =
+    List.init 4 (fun i ->
+        Engine.handle engine
+          (req ~clock ~faults:[ Fault.Cg_cap { max_iter = 2 } ] (i + 1)))
+  in
+  List.iter
+    (fun (r : Engine.response) ->
+      match r.Engine.status with
+      | Engine.Degraded _ -> ()
+      | _ ->
+          Alcotest.failf "starved solve should degrade, got %s"
+            (Engine.status_name r.Engine.status))
+    outcomes;
+  let first = List.hd outcomes in
+  Alcotest.(check int) "retry policy exhausted"
+    Engine.default_config.Engine.retry.Retry.max_attempts
+    first.Engine.attempts;
+  let s = Engine.stats engine in
+  Alcotest.(check bool) "breaker tripped" true (s.Engine.breaker_trips >= 1);
+  Alcotest.(check bool) "retries counted" true (s.Engine.retried >= 1);
+  Alcotest.(check int) "nothing served" 0 s.Engine.served
+
+let test_engine_relabel_paths () =
+  let engine, clock, prob = engine_fixture () in
+  let m = P.n_unlabeled prob in
+  let v = P.n_labeled prob + 3 in
+  (* a NaN label is rejected up front, not applied *)
+  let bad =
+    Engine.handle engine
+      (req ~clock ~kind:(Engine.Relabel { vertex = v; label = nan }) 1)
+  in
+  (match bad.Engine.status with
+  | Engine.Degraded why ->
+      Alcotest.(check bool) "reason names the label" true
+        (Astring.String.is_infix ~affix:"label" why)
+  | _ -> Alcotest.fail "NaN relabel must degrade");
+  Alcotest.(check int) "no downdate applied" 0
+    (Engine.stats engine).Engine.relabels;
+  (* a finite relabel is applied via Sherman-Morrison and served *)
+  let ok =
+    Engine.handle engine
+      (req ~clock ~kind:(Engine.Relabel { vertex = v; label = 1. }) 2)
+  in
+  Alcotest.(check string) "relabel served" "served"
+    (Engine.status_name ok.Engine.status);
+  Alcotest.(check int) "one fewer unlabeled vertex" (m - 1)
+    (Array.length ok.Engine.predictions);
+  Alcotest.(check bool) "relabeled vertex no longer predicted" false
+    (Array.exists (fun (u, _) -> u = v) ok.Engine.predictions);
+  Alcotest.(check int) "downdate counted" 1
+    (Engine.stats engine).Engine.relabels;
+  (* revealing the same vertex twice is rejected, not fatal *)
+  let dup =
+    Engine.handle engine
+      (req ~clock ~kind:(Engine.Relabel { vertex = v; label = 0. }) 3)
+  in
+  (match dup.Engine.status with
+  | Engine.Degraded _ -> ()
+  | _ -> Alcotest.fail "duplicate relabel must degrade")
+
+let test_engine_burst_sheds_and_bounds_queue () =
+  let engine, _, _ = engine_fixture ~queue_capacity:2 () in
+  let trace =
+    List.init 10 (fun i ->
+        { Engine.id = i; arrival_ms = 0.; kind = Engine.Query; faults = [] })
+  in
+  let responses = Engine.run_trace engine trace in
+  Alcotest.(check int) "one response per request" 10 (List.length responses);
+  let shed =
+    List.filter
+      (fun (r : Engine.response) ->
+        match r.Engine.status with Engine.Shed _ -> true | _ -> false)
+      responses
+  in
+  Alcotest.(check bool) "saturation sheds" true (List.length shed > 0);
+  let s = Engine.stats engine in
+  Alcotest.(check bool) "backlog bounded by capacity" true
+    (s.Engine.max_backlog <= 2);
+  Alcotest.(check bool) "but the queue did fill" true (s.Engine.max_backlog >= 1);
+  (* order is preserved *)
+  List.iteri
+    (fun i (r : Engine.response) ->
+      Alcotest.(check int) "response order" i r.Engine.id)
+    responses
+
+let test_engine_run_trace_requires_virtual_clock () =
+  let prob = Soak.problem ~seed:1 ~n_vertices:40 ~n_labeled:10 in
+  let engine =
+    Engine.create ~clock:(Clock.monotonic ()) Engine.default_config prob
+  in
+  check_raises_invalid "monotonic replay rejected" (fun () ->
+      Engine.run_trace engine
+        [ { Engine.id = 0; arrival_ms = 0.; kind = Engine.Query; faults = [] } ])
+
+(* ------------------------------------------------------------------ *)
+(* relabel storm: N Sherman-Morrison downdates vs a fresh solve        *)
+(* ------------------------------------------------------------------ *)
+
+(* Rebuild the problem with the revealed vertices appended to the
+   labeled block (a permutation of the original), solve from scratch,
+   and map scores back to the surviving unlabeled vertices. *)
+let fresh_solve_after_reveals prob revealed =
+  let w = Wg.to_dense prob.P.graph in
+  let n = P.n_labeled prob in
+  let total = P.size prob in
+  let revealed_v = List.map fst revealed in
+  let order =
+    Array.of_list
+      (List.concat
+         [
+           List.init n (fun i -> i);
+           revealed_v;
+           List.filter
+             (fun v -> not (List.mem v revealed_v))
+             (List.init (total - n) (fun a -> n + a));
+         ])
+  in
+  let wp = Mat.init total total (fun i j -> Mat.get w order.(i) order.(j)) in
+  let labels =
+    Array.append prob.P.labels (Array.of_list (List.map snd revealed))
+  in
+  let fresh =
+    Gssl.Hard.solve (P.make ~graph:(Wg.of_dense wp) ~labels)
+  in
+  let k = n + List.length revealed in
+  Array.init (total - k) (fun a -> (order.(k + a), fresh.(a)))
+
+let prop_relabel_storm seed =
+  let n_vertices = 12 + (2 * (seed mod 5)) in
+  let n_labeled = 3 + (seed mod 3) in
+  let prob = Soak.problem ~seed ~n_vertices ~n_labeled in
+  let rng = Prng.Rng.create (seed + 77) in
+  let m = P.n_unlabeled prob in
+  let storm = 3 + Prng.Rng.int rng (m - 4) in
+  let solver = Inc.create prob in
+  let pool = Array.init m (fun i -> n_labeled + i) in
+  Prng.Rng.shuffle_inplace rng pool;
+  let revealed =
+    List.init storm (fun i ->
+        let v = pool.(i) in
+        let y =
+          (* mixed labels, including off-{0,1} responses *)
+          match Prng.Rng.int rng 3 with
+          | 0 -> 0.
+          | 1 -> 1.
+          | _ -> Prng.Rng.uniform rng (-1.) 2.
+        in
+        Inc.reveal solver ~vertex:v ~label:y;
+        (v, y))
+  in
+  let incremental = Inc.predict solver in
+  let fresh = fresh_solve_after_reveals prob revealed in
+  if Array.length incremental <> Array.length fresh then
+    QCheck.Test.fail_reportf
+      "storm of %d: %d incremental predictions vs %d fresh (seed %d)" storm
+      (Array.length incremental) (Array.length fresh) seed;
+  let fresh_by_vertex = Array.to_list fresh in
+  Array.iter
+    (fun (v, s) ->
+      match List.assoc_opt v fresh_by_vertex with
+      | None ->
+          QCheck.Test.fail_reportf "vertex %d missing from fresh solve (seed %d)"
+            v seed
+      | Some f ->
+          if abs_float (s -. f) > 1e-8 then
+            QCheck.Test.fail_reportf
+              "storm of %d: vertex %d diverged: %.12g vs %.12g (seed %d)" storm
+              v s f seed)
+    incremental;
+  true
+
+(* ------------------------------------------------------------------ *)
+(* soak                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let small_soak ?(seed = 42) ?(requests = 400) () =
+  { Soak.default with Soak.requests; seed; n_vertices = 40; n_labeled = 10 }
+
+let test_soak_holds_invariants () =
+  let s = Soak.run (small_soak ()) in
+  Alcotest.(check (list string)) "no violations" [] s.Soak.violations;
+  Alcotest.(check int) "nothing dropped" 0 s.Soak.dropped;
+  Alcotest.(check bool) "ok" true (Soak.ok s);
+  (* the trace actually exercises the failure modes *)
+  Alcotest.(check bool) "some served" true (s.Soak.served > 0);
+  Alcotest.(check bool) "some degraded" true (s.Soak.degraded > 0);
+  Alcotest.(check bool) "some shed" true (s.Soak.shed > 0);
+  Alcotest.(check bool) "some deadline expiries" true
+    (s.Soak.deadline_expired > 0);
+  Alcotest.(check bool) "latency percentiles ordered" true
+    (s.Soak.p50_ms <= s.Soak.p99_ms && s.Soak.p99_ms <= s.Soak.max_ms)
+
+let test_soak_deterministic_replay () =
+  let a = Soak.run (small_soak ()) in
+  let b = Soak.run (small_soak ()) in
+  Alcotest.(check bool) "same seed, same digest" true
+    (Int64.equal a.Soak.digest b.Soak.digest);
+  Alcotest.(check int) "same served count" a.Soak.served b.Soak.served;
+  let c = Soak.run (small_soak ~seed:43 ()) in
+  Alcotest.(check bool) "different seed, different digest" false
+    (Int64.equal a.Soak.digest c.Soak.digest);
+  (* the built-in replay verifier agrees *)
+  let v = Soak.run { (small_soak ~requests:200 ()) with Soak.verify_replay = true } in
+  Alcotest.(check bool) "verify_replay passes" true v.Soak.replay_verified;
+  Alcotest.(check bool) "ok" true (Soak.ok v)
+
+let suite =
+  ( "serve",
+    [
+      case "clock: virtual arithmetic, forward-only jump" test_virtual_clock;
+      case "clock: monotonic busy-wait advance" test_monotonic_clock;
+      case "deadline: arrival-anchored accounting" test_deadline_accounting;
+      case "deadline: should_stop charges per-poll cost"
+        test_deadline_should_stop_charges_cost;
+      case "retry: geometric backoff, jitter band" test_retry_backoff_growth;
+      case "retry: transient retries then succeeds"
+        test_retry_run_transient_then_done;
+      case "retry: fatal stops immediately" test_retry_run_fatal_stops;
+      case "retry: expired deadline refuses attempts"
+        test_retry_respects_deadline;
+      case "breaker: trip, cooldown, half-open probe, close"
+        test_breaker_lifecycle;
+      case "cache: fingerprint sensitivity" test_cache_fingerprint_sensitivity;
+      case "cache: LRU eviction and counting" test_cache_lru_discipline;
+      case "cg: should_stop aborts between iterations"
+        test_cg_cooperative_abort;
+      case "solve_sparse: deadline aborts the chain"
+        test_solve_sparse_deadline_abort;
+      case "solve: per-rung timings on clean chains"
+        test_solve_timings_present_on_clean_solves;
+      case "resilient: report carries per-component rung_ms"
+        test_resilient_carries_rung_ms;
+      case "fault: latency stall burns budget, corrupts nothing"
+        test_latency_stall_injector;
+      case "engine: clean query served from warm cache, certified"
+        test_engine_clean_query_served_from_cache;
+      case "engine: stall past deadline -> degraded + diagnostic"
+        test_engine_stall_burns_deadline;
+      case "engine: starved solves retry, degrade, trip breaker"
+        test_engine_starved_solve_degrades_and_trips_breaker;
+      case "engine: relabel NaN rejected, finite applied, dup rejected"
+        test_engine_relabel_paths;
+      case "engine: burst sheds, queue stays bounded, order kept"
+        test_engine_burst_sheds_and_bounds_queue;
+      case "engine: trace replay demands a virtual clock"
+        test_engine_run_trace_requires_virtual_clock;
+      qprop ~count:40 "relabel storm: N downdates match a fresh solve"
+        prop_relabel_storm;
+      case "soak: 400-request chaos run holds every invariant"
+        test_soak_holds_invariants;
+      case "soak: digest-identical replay, seed-sensitive"
+        test_soak_deterministic_replay;
+    ] )
