@@ -2,7 +2,7 @@
 
 .PHONY: build test test-random test-domains1 test-tune-off tune-smoke \
 	fault-smoke soak-smoke bench-smoke bench-par bench bench-check \
-	bench-snapshot trace-smoke ci clean
+	bench-snapshot trace-smoke obs-smoke ci clean
 
 # Baseline report for the bench regression gate (see bench-check).
 BASELINE ?= BENCH_baseline.json
@@ -109,8 +109,23 @@ trace-smoke:
 	./_build/default/bin/repro.exe toy --trace-out /tmp/gssl_trace.json > /dev/null
 	./_build/default/bench/compare.exe --check-trace /tmp/gssl_trace.json
 
+# Observability smoke: run a journaled soak with replay verification
+# (response digest AND journal digest must match across runs), validate
+# every journal line against the span-tree schema via the standalone
+# checker, and render the one-shot dashboard in all three formats so a
+# broken exposition surface fails CI rather than paging someone later.
+obs-smoke:
+	dune build bin/repro.exe bench/compare.exe
+	./_build/default/bin/repro.exe soak --requests 1200 --verify-replay \
+		--journal /tmp/gssl_obs_journal.jsonl > /dev/null
+	./_build/default/bench/compare.exe --check-journal /tmp/gssl_obs_journal.jsonl
+	./_build/default/bin/repro.exe top --requests 600 > /dev/null
+	./_build/default/bin/repro.exe top --requests 600 --format prometheus > /dev/null
+	./_build/default/bin/repro.exe top --requests 600 --format json > /dev/null
+
 ci: build test test-domains1 test-tune-off test-random tune-smoke \
-	fault-smoke soak-smoke bench-smoke bench-par bench-check trace-smoke
+	fault-smoke soak-smoke bench-smoke bench-par bench-check trace-smoke \
+	obs-smoke
 
 clean:
 	dune clean

@@ -8,6 +8,9 @@
      compare.exe --check-trace TRACE.json
        exit 0 when the file is a structurally valid Chrome trace with at
        least one complete span event, 1 otherwise
+     compare.exe --check-journal JOURNAL.jsonl
+       exit 0 when the file is a schema-valid per-request span journal
+       with at least one line, 1 otherwise
 
    The comparison logic lives in Obs.Bench_compare (unit-tested); this
    file is only argument handling and I/O. *)
@@ -37,6 +40,26 @@ let check_trace path =
       Printf.eprintf "trace INVALID: %s: %s\n" path reason;
       exit 1
 
+let check_journal path =
+  match Obs.Journal.validate_file path with
+  | Ok 0 ->
+      Printf.eprintf "journal INVALID: %s is empty\n" path;
+      exit 1
+  | Ok n ->
+      let a = Obs.Journal.aggregate_of_text (read_file path) in
+      Printf.printf
+        "journal ok: %s holds %d schema-valid line(s) (served %d, degraded \
+         %d, shed %d, p50 %.3f ms, p99 %.3f ms)\n"
+        path n a.Obs.Journal.served a.Obs.Journal.degraded a.Obs.Journal.shed
+        a.Obs.Journal.latency_p50 a.Obs.Journal.latency_p99;
+      exit 0
+  | Error reason ->
+      Printf.eprintf "journal INVALID: %s: %s\n" path reason;
+      exit 1
+  | exception Sys_error msg ->
+      Printf.eprintf "compare: cannot read %s: %s\n" path msg;
+      exit 2
+
 let compare_files ~threshold ~floor baseline current =
   let baseline = parse_report baseline and current = parse_report current in
   let verdicts, speedups =
@@ -58,12 +81,14 @@ let usage () =
   prerr_endline
     "usage: compare.exe BASELINE.json CURRENT.json [--threshold R] \
      [--speedup-floor F]\n\
-    \       compare.exe --check-trace TRACE.json";
+    \       compare.exe --check-trace TRACE.json\n\
+    \       compare.exe --check-journal JOURNAL.jsonl";
   exit 2
 
 let () =
   match Array.to_list Sys.argv with
   | _ :: [ "--check-trace"; path ] -> check_trace path
+  | _ :: [ "--check-journal"; path ] -> check_journal path
   | _ :: baseline :: current :: opts ->
       let threshold = ref 3. and floor = ref 0.95 in
       let rec parse_opts = function

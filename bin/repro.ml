@@ -677,7 +677,14 @@ let soak_cmd =
     in
     Arg.(value & flag & info [ "verify-replay" ] ~doc)
   in
-  let run seed requests capacity deadline fault_rate replay =
+  let journal_arg =
+    let doc =
+      "Record a per-request span journal and write it as JSONL to $(docv) \
+       (one line per response: trace id, disposition, full span tree)."
+    in
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+  in
+  let run seed requests capacity deadline fault_rate replay journal_path =
     setup_logs ();
     let cfg =
       { Serve.Soak.default with
@@ -686,16 +693,23 @@ let soak_cmd =
         queue_capacity = capacity;
         deadline_ms = deadline;
         fault_rate;
-        verify_replay = replay }
+        verify_replay = replay;
+        journal = journal_path <> None }
     in
-    let s = Serve.Soak.run cfg in
+    let s, engine = Serve.Soak.run_full cfg in
     print_string (Serve.Soak.describe s);
+    (match (journal_path, Serve.Engine.journal engine) with
+    | Some path, Some j ->
+        Obs.Journal.write j path;
+        Printf.printf "(journal written to %s: %d line(s), digest %Lx)\n" path
+          (Obs.Journal.length j) (Obs.Journal.digest j)
+    | _ -> ());
     if not (Serve.Soak.ok s) then exit 1
   in
   let term =
     Term.(
       const run $ seed_arg 42 $ requests_arg $ capacity_arg $ deadline_arg
-      $ fault_rate_arg $ replay_arg)
+      $ fault_rate_arg $ replay_arg $ journal_arg)
   in
   Cmd.v
     (Cmd.info "soak"
@@ -808,6 +822,284 @@ let serve_cmd =
           certificates and Sherman–Morrison incremental updates.")
     term
 
+(* ---- observability surface: `repro top` and `repro journal` ---- *)
+
+let render_dashboard engine ~processed ~total =
+  let s = Serve.Engine.stats engine in
+  let slo = Serve.Engine.slo_snapshot engine in
+  let hist = Serve.Engine.latency_histogram engine in
+  let qhist = Serve.Engine.queue_histogram engine in
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun str -> Buffer.add_string b (str ^ "\n")) fmt in
+  let bar frac =
+    let width = 24 in
+    let full = int_of_float (Float.max 0. (Float.min 1. frac) *. float_of_int width) in
+    String.make full '#' ^ String.make (width - full) '.'
+  in
+  let pct v = 100. *. v in
+  line "repro top — solve service  [%d/%d requests]" processed total;
+  line "";
+  line "  traffic   served %-6d degraded %-6d shed %-6d retried %-6d relabels %d"
+    s.Serve.Engine.served s.Serve.Engine.degraded s.Serve.Engine.shed
+    s.Serve.Engine.retried s.Serve.Engine.relabels;
+  line "  failures  deadline expired %-4d cg aborts %-4d breaker trips %d (%d transitions)"
+    s.Serve.Engine.deadline_expired s.Serve.Engine.solver_aborts
+    s.Serve.Engine.breaker_trips s.Serve.Engine.breaker_transitions;
+  line "  latency   p50 %7.3f ms   p90 %7.3f ms   p99 %7.3f ms   max %7.3f ms"
+    (Obs.Histogram.p50 hist) (Obs.Histogram.p90 hist) (Obs.Histogram.p99 hist)
+    (Obs.Histogram.max_value hist);
+  line "  queue     p50 %7.3f ms   p99 %7.3f ms   max backlog %d"
+    (Obs.Histogram.p50 qhist) (Obs.Histogram.p99 qhist)
+    s.Serve.Engine.max_backlog;
+  line "  cache     hits %-6d misses %-6d evictions %d" s.Serve.Engine.cache_hits
+    s.Serve.Engine.cache_misses s.Serve.Engine.cache_evictions;
+  line "  breaker   %s"
+    (Serve.Breaker.state_name (Serve.Breaker.state (Serve.Engine.breaker engine)));
+  line "";
+  line "  slo latency  [%s] %5.1f%%  burn %5.2f  budget %5.1f%%"
+    (bar slo.Obs.Slo.latency_compliance)
+    (pct slo.Obs.Slo.latency_compliance)
+    slo.Obs.Slo.latency_burn
+    (pct slo.Obs.Slo.latency_budget);
+  line "  slo quality  [%s] %5.1f%%  burn %5.2f  budget %5.1f%%"
+    (bar slo.Obs.Slo.quality_compliance)
+    (pct slo.Obs.Slo.quality_compliance)
+    slo.Obs.Slo.quality_burn
+    (pct slo.Obs.Slo.quality_budget);
+  Buffer.contents b
+
+let top_cmd =
+  let requests_arg =
+    let doc = "Requests in the generated soak trace to drive the engine with." in
+    Arg.(value & opt int 2000 & info [ "requests" ] ~docv:"N" ~doc)
+  in
+  let format_arg =
+    let doc = "Final snapshot format: $(b,ascii), $(b,prometheus), or $(b,json)." in
+    Arg.(
+      value
+      & opt (enum [ ("ascii", `Ascii); ("prometheus", `Prom); ("json", `Json) ])
+          `Ascii
+      & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let watch_arg =
+    let doc =
+      "Watch mode: redraw the dashboard after every chunk of requests \
+       instead of printing the final snapshot only."
+    in
+    Arg.(value & flag & info [ "watch" ] ~doc)
+  in
+  let chunk_arg =
+    let doc = "Requests per dashboard refresh in watch mode." in
+    Arg.(value & opt int 250 & info [ "chunk" ] ~docv:"N" ~doc)
+  in
+  let run seed requests format watch chunk =
+    setup_logs ();
+    if chunk < 1 then (prerr_endline "top: --chunk must be >= 1"; exit 2);
+    let cfg = { Serve.Soak.default with Serve.Soak.seed; requests } in
+    let prob =
+      Serve.Soak.problem ~seed ~n_vertices:cfg.Serve.Soak.n_vertices
+        ~n_labeled:cfg.Serve.Soak.n_labeled
+    in
+    let trace = Serve.Soak.gen_trace cfg prob in
+    let clock = Serve.Clock.virtual_ () in
+    let engine =
+      Serve.Engine.create ~clock (Serve.Soak.engine_config cfg) prob
+    in
+    (* Feed the trace through the admission queue in chunks: the engine
+       keeps its backlog and worker state across calls, so the chunked
+       replay is identical to one run_trace call — it just gives the
+       dashboard refresh points. *)
+    let rec feed processed reqs =
+      match reqs with
+      | [] -> processed
+      | _ ->
+          let rec split n acc = function
+            | rest when n = 0 -> (List.rev acc, rest)
+            | [] -> (List.rev acc, [])
+            | r :: rest -> split (n - 1) (r :: acc) rest
+          in
+          let now, later = split chunk [] reqs in
+          ignore (Serve.Engine.run_trace engine now);
+          let processed = processed + List.length now in
+          if watch then begin
+            (* ANSI home+clear keeps the dashboard in place like top(1) *)
+            print_string "\x1b[H\x1b[2J";
+            print_string (render_dashboard engine ~processed ~total:requests);
+            flush stdout
+          end;
+          feed processed later
+    in
+    let processed = feed 0 trace in
+    match format with
+    | `Ascii ->
+        print_string (render_dashboard engine ~processed ~total:requests)
+    | `Prom ->
+        print_string (Obs.Expo.to_prometheus (Serve.Engine.metrics engine))
+    | `Json ->
+        print_endline
+          (Telemetry.Export.render (Obs.Expo.to_json (Serve.Engine.metrics engine)))
+  in
+  let term =
+    Term.(
+      const run $ seed_arg 42 $ requests_arg $ format_arg $ watch_arg
+      $ chunk_arg)
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Operator dashboard: drive the solve service with a seeded soak \
+          trace and render the unified exposition snapshot — traffic and \
+          failure counters, latency/queue quantiles, cache and breaker \
+          gauges, SLO compliance with error-budget burn rates — as an \
+          ASCII dashboard (optionally refreshing in $(b,--watch) mode), \
+          Prometheus text format, or JSON.")
+    term
+
+let journal_cmd =
+  let file_arg =
+    let doc = "Span journal (JSONL) written by $(b,repro soak --journal)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let trace_arg =
+    let doc = "Only show the request with this (hex) trace id." in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"HEX" ~doc)
+  in
+  let status_arg =
+    let doc = "Only show requests with this status (served|degraded|shed)." in
+    Arg.(value & opt (some string) None & info [ "status" ] ~docv:"S" ~doc)
+  in
+  let limit_arg =
+    let doc = "Show at most $(docv) requests (0 = no limit)." in
+    Arg.(value & opt int 10 & info [ "limit" ] ~docv:"N" ~doc)
+  in
+  let stats_arg =
+    let doc = "Print only the journal's aggregate and schema-check result." in
+    Arg.(value & flag & info [ "stats" ] ~doc)
+  in
+  let print_entry j =
+    let open Telemetry.Export in
+    let str k = Option.bind (member k j) to_str in
+    let num k = Option.bind (member k j) to_float in
+    let int k = Option.bind (member k j) to_int in
+    let getf d = Option.value ~default:d in
+    Printf.printf "trace %s  request %d  %s  %.3f ms (queue %.3f ms, %d attempt(s)%s)\n"
+      (getf "?" (str "trace"))
+      (getf (-1) (int "request"))
+      (getf "?" (str "status")
+      ^ match str "reason" with None -> "" | Some r -> " [" ^ r ^ "]")
+      (getf Float.nan (num "latency_ms"))
+      (getf Float.nan (num "queue_ms"))
+      (getf 0 (int "attempts"))
+      (match Option.bind (member "cache_hit" j) to_bool with
+      | Some true -> ", cache hit"
+      | _ -> "");
+    (match member "spans" j with
+    | Some (Arr spans) ->
+        let span_field s k conv = Option.bind (member k s) conv in
+        List.iter
+          (fun s ->
+            let id = getf (-1) (span_field s "id" to_int) in
+            let parent = getf (-1) (span_field s "parent" to_int) in
+            (* indentation = tree depth, recovered by walking parents *)
+            let depth =
+              let rec up p acc =
+                if p < 0 then acc
+                else
+                  match
+                    List.find_opt
+                      (fun s' -> span_field s' "id" to_int = Some p)
+                      spans
+                  with
+                  | None -> acc
+                  | Some s' ->
+                      up (getf (-1) (span_field s' "parent" to_int)) (acc + 1)
+              in
+              up parent 0
+            in
+            let fields =
+              match member "fields" s with
+              | Some (Obj kvs) when kvs <> [] ->
+                  "  {"
+                  ^ String.concat ", "
+                      (List.map (fun (k, v) -> k ^ "=" ^ render v) kvs)
+                  ^ "}"
+              | _ -> ""
+            in
+            Printf.printf "  %s%-14s %8.3f ms  @%.3f%s\n"
+              (String.make (2 * depth) ' ')
+              (getf "?" (span_field s "name" to_str))
+              (getf Float.nan (span_field s "dur_ms" to_float))
+              (getf Float.nan (span_field s "start_ms" to_float))
+              fields;
+            ignore id)
+          spans
+    | _ -> ());
+    print_newline ()
+  in
+  let run file trace_filter status_filter limit stats =
+    setup_logs ();
+    let text =
+      let ic = open_in_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    (match Obs.Journal.validate_text text with
+    | Ok n -> Printf.printf "journal: %d line(s), schema ok\n" n
+    | Error msg ->
+        Printf.printf "journal: SCHEMA VIOLATION — %s\n" msg;
+        if stats then exit 1);
+    if stats then begin
+      let a = Obs.Journal.aggregate_of_text text in
+      Printf.printf
+        "requests %d | served %d | degraded %d | shed %d\n\
+         latency p50 %.3f ms | p99 %.3f ms | max %.3f ms\n"
+        a.Obs.Journal.requests a.Obs.Journal.served a.Obs.Journal.degraded
+        a.Obs.Journal.shed a.Obs.Journal.latency_p50 a.Obs.Journal.latency_p99
+        a.Obs.Journal.latency_max
+    end
+    else begin
+      print_newline ();
+      let shown = ref 0 in
+      String.split_on_char '\n' text
+      |> List.iter (fun line ->
+             if line <> "" && (limit <= 0 || !shown < limit) then
+               match Telemetry.Export.parse line with
+               | exception Telemetry.Export.Parse_error _ -> ()
+               | j ->
+                   let keep =
+                     (match trace_filter with
+                     | None -> true
+                     | Some want ->
+                         Option.bind (Telemetry.Export.member "trace" j)
+                           Telemetry.Export.to_str
+                         = Some want)
+                     && (match status_filter with
+                        | None -> true
+                        | Some want ->
+                            Option.bind (Telemetry.Export.member "status" j)
+                              Telemetry.Export.to_str
+                            = Some want)
+                   in
+                   if keep then begin
+                     incr shown;
+                     print_entry j
+                   end);
+      if !shown = 0 then print_endline "(no matching requests)"
+    end
+  in
+  let term =
+    Term.(
+      const run $ file_arg $ trace_arg $ status_arg $ limit_arg $ stats_arg)
+  in
+  Cmd.v
+    (Cmd.info "journal"
+       ~doc:
+         "Inspect a span journal: schema-validate it, then pretty-print the \
+          per-request span trees (filter by $(b,--trace) id or \
+          $(b,--status)), or summarise it with $(b,--stats).")
+    term
+
 let all_cmd =
   let run reps seed markdown no_plot profile profile_json trace_out =
     setup_logs ();
@@ -846,7 +1138,8 @@ let () =
       [
         fig1_cmd; fig2_cmd; fig3_cmd; fig4_cmd; fig5_cmd; toy_cmd; consistency_cmd;
         complexity_cmd; ablation_cmd; baselines_cmd; future_cmd; robust_cmd;
-        health_cmd; artifacts_cmd; soak_cmd; serve_cmd; all_cmd;
+        health_cmd; artifacts_cmd; soak_cmd; serve_cmd; top_cmd; journal_cmd;
+        all_cmd;
       ]
   in
   exit (Cmd.eval group)

@@ -47,6 +47,7 @@ val value_text : value -> string
 val describe : t -> string
 (** One-line rendering: ["#seq [severity] name k=v k=v"]. *)
 
+val value_json : value -> Telemetry.Export.json
 val to_json_value : t -> Telemetry.Export.json
 val events_json : unit -> Telemetry.Export.json
 (** All buffered events as a JSON array, oldest first. *)

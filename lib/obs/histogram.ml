@@ -50,9 +50,13 @@ let mean t = if t.count = 0 then Float.nan else t.sum /. float_of_int t.count
 let min_value t = if t.count = 0 then Float.nan else t.min_v
 let max_value t = if t.count = 0 then Float.nan else t.max_v
 
-(* Percentile by walking buckets in index order; the representative of a
-   bucket is its geometric midpoint, clamped into [min, max] so the
-   estimate never leaves the observed range. *)
+(* Percentile by walking buckets in index order.  The returned value is
+   rank-interpolated inside the selected bucket: the bucket's span is
+   first clamped to the observed [min, max] (so a bucket holding every
+   observation of a single value reports that value exactly, not a
+   geometric midpoint or the bucket's upper bound), then the target
+   rank's position among the bucket's k observations picks a point on
+   that span.  An empty histogram reports the nan sentinel. *)
 let percentile t p =
   if t.count = 0 then Float.nan
   else if p <= 0. then min_value t
@@ -68,13 +72,19 @@ let percentile t p =
         Hashtbl.fold (fun i r acc -> (i, !r) :: acc) t.buckets []
         |> List.sort compare
       in
-      let clamp v = Float.min t.max_v (Float.max t.min_v v) in
       let rec walk cum = function
         | [] -> t.max_v
         | (i, k) :: rest ->
-            let cum = cum + k in
-            if cum >= target then clamp (gamma ** (float_of_int i +. 0.5))
-            else walk cum rest
+            if cum + k >= target then begin
+              let lo = Float.max t.min_v (gamma ** float_of_int i) in
+              let hi = Float.min t.max_v (gamma ** float_of_int (i + 1)) in
+              let frac =
+                if k = 1 then 0.5
+                else float_of_int (target - cum - 1) /. float_of_int (k - 1)
+              in
+              lo +. (frac *. (hi -. lo))
+            end
+            else walk (cum + k) rest
       in
       walk t.zeros sorted
     end

@@ -26,8 +26,13 @@ val min_value : t -> float
 val max_value : t -> float
 
 val percentile : t -> float -> float
-(** [percentile t p] for [p] in [0..100]; geometric-midpoint estimate
-    clamped to the observed range.  [nan] on an empty histogram. *)
+(** [percentile t p] for [p] in [0..100]: rank-interpolated within the
+    selected bucket after clamping the bucket span to the observed
+    [min, max] range — so a histogram whose values all share one bucket
+    interpolates between the observed extremes (exact when all values
+    are equal) instead of reporting the bucket's upper bound.
+    [nan] is the documented sentinel for an empty histogram;
+    [p <= 0] / [p >= 100] report the observed min / max. *)
 
 val p50 : t -> float
 val p90 : t -> float

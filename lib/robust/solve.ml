@@ -68,7 +68,14 @@ let now_ms () = Unix.gettimeofday () *. 1e3
    go?". *)
 let make_marker () =
   let marks = ref [] in
-  let mark name = marks := (name, now_ms ()) :: !marks in
+  let mark name =
+    (* causal position of each rung on the ambient request trace.  Only
+       the marker (zero duration) is recorded there: the wall-clock
+       timings below stay out of the trace so a journaled trace remains
+       bit-identical across replays under a virtual clock. *)
+    Obs.Trace_ctx.mark ("rung." ^ name);
+    marks := (name, now_ms ()) :: !marks
+  in
   let timings_of () =
     let rec segments stop acc = function
       | [] -> acc

@@ -8,6 +8,7 @@ type t = {
   mutable consecutive_failures : int;
   mutable opened_at_ms : float;
   mutable trips : int;
+  mutable transitions : int;
 }
 
 let c_trips = Telemetry.Counter.make "serve.breaker_trips"
@@ -16,14 +17,25 @@ let create ?(failure_threshold = 3) ?(cooldown_ms = 50.) clock =
   if failure_threshold < 1 then
     invalid_arg "Breaker.create: failure_threshold must be >= 1";
   { clock; failure_threshold; cooldown_ms; state_ = Closed;
-    consecutive_failures = 0; opened_at_ms = 0.; trips = 0 }
+    consecutive_failures = 0; opened_at_ms = 0.; trips = 0; transitions = 0 }
+
+let c_transitions = Telemetry.Counter.make "serve.breaker_transitions"
+
+(* Every observable state change goes through here, so the transition
+   count covers trips, lazy cooldown expiries, and close-on-success. *)
+let set_state t s =
+  if t.state_ <> s then begin
+    t.state_ <- s;
+    t.transitions <- t.transitions + 1;
+    Telemetry.Counter.incr c_transitions
+  end
 
 (* Open -> Half_open is a lazy, clock-driven transition: there is no
    timer thread, the next observation performs it. *)
 let refresh t =
   match t.state_ with
   | Open when Clock.now_ms t.clock -. t.opened_at_ms >= t.cooldown_ms ->
-      t.state_ <- Half_open
+      set_state t Half_open
   | _ -> ()
 
 let state t =
@@ -33,7 +45,7 @@ let state t =
 let allow t = match state t with Closed | Half_open -> true | Open -> false
 
 let trip t =
-  t.state_ <- Open;
+  set_state t Open;
   t.opened_at_ms <- Clock.now_ms t.clock;
   t.trips <- t.trips + 1;
   Telemetry.Counter.incr c_trips;
@@ -45,7 +57,7 @@ let trip t =
 
 let record_success t =
   t.consecutive_failures <- 0;
-  t.state_ <- Closed
+  set_state t Closed
 
 let record_failure t =
   match state t with
@@ -58,3 +70,10 @@ let record_failure t =
   | Open -> ()
 
 let trips t = t.trips
+let transitions t = t.transitions
+
+let state_name = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half_open"
+

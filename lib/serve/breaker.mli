@@ -29,3 +29,10 @@ val record_success : t -> unit
 val record_failure : t -> unit
 val trips : t -> int
 (** Times the breaker has opened (including half-open reopens). *)
+
+val transitions : t -> int
+(** Total observable state changes (trip, cooldown expiry, close), also
+    counted in the [serve.breaker_transitions] telemetry counter. *)
+
+val state_name : state -> string
+(** ["closed"] / ["open"] / ["half_open"]. *)

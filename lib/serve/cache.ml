@@ -32,6 +32,7 @@ type 'a t = {
 
 let c_hits = Telemetry.Counter.make "serve.cache_hits"
 let c_misses = Telemetry.Counter.make "serve.cache_misses"
+let c_evictions = Telemetry.Counter.make "serve.cache_evictions"
 
 let create ?(capacity = 8) () =
   if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
@@ -57,6 +58,7 @@ let put t k v =
     | [] -> []
     | _ when n = 0 ->
         t.evictions <- t.evictions + 1;
+        Telemetry.Counter.incr c_evictions;
         []
     | e :: rest -> e :: take (n - 1) rest
   in

@@ -9,9 +9,10 @@
     criterion).
 
     The store is polymorphic — tests exercise the LRU discipline with
-    plain ints — but the engine stores incremental solver states.  Hits
-    and misses land in [serve.cache_hits] / [serve.cache_misses]
-    telemetry counters. *)
+    plain ints — but the engine stores incremental solver states.  Hits,
+    misses, and evictions land in the [serve.cache_hits] /
+    [serve.cache_misses] / [serve.cache_evictions] telemetry counters
+    and surface per-run through [Engine.stats]. *)
 
 type key = { fingerprint : int64; lambda : float option }
 

@@ -6,6 +6,7 @@ module Fault = Robust.Fault
 module Problem = Gssl.Problem
 module Resilient = Gssl.Resilient
 module Incremental = Gssl.Incremental
+module Trace_ctx = Obs.Trace_ctx
 
 type costs = {
   solve_ms : float;
@@ -23,6 +24,7 @@ type config = {
   cache_capacity : int;
   costs : costs;
   seed : int;
+  slo : Obs.Slo.config;
 }
 
 let default_config =
@@ -33,7 +35,8 @@ let default_config =
     breaker_cooldown_ms = 40.;
     cache_capacity = 8;
     costs = { solve_ms = 2.0; cache_ms = 0.5; relabel_ms = 1.0; poll_ms = 0.2 };
-    seed = 1 }
+    seed = 1;
+    slo = Obs.Slo.default }
 
 type kind = Query | Relabel of { vertex : int; label : float }
 
@@ -46,8 +49,14 @@ type request = {
 
 type status = Served | Degraded of string | Shed of string
 
+let status_name = function
+  | Served -> "served"
+  | Degraded _ -> "degraded"
+  | Shed _ -> "shed"
+
 type response = {
   id : int;
+  trace_id : int64;
   status : status;
   predictions : (int * float) array;
   certificate : Obs.Health.t option;
@@ -69,8 +78,10 @@ type stats = {
   relabels : int;
   max_backlog : int;
   breaker_trips : int;
+  breaker_transitions : int;
   cache_hits : int;
   cache_misses : int;
+  cache_evictions : int;
 }
 
 type internal_stats = {
@@ -94,6 +105,8 @@ type t = {
   rng : Prng.Rng.t;
   latency : Obs.Histogram.t;
   queue_wait : Obs.Histogram.t;
+  slo : Obs.Slo.t;
+  journal : Obs.Journal.t option;
   st : internal_stats;
   mutable worker_free_ms : float;
   mutable pending_finish : float list;
@@ -105,7 +118,7 @@ let c_degraded = Telemetry.Counter.make "serve.degraded"
 let c_shed = Telemetry.Counter.make "serve.shed"
 let c_deadline = Telemetry.Counter.make "serve.deadline_expired"
 
-let create ?(clock = Clock.monotonic ()) config problem =
+let create ?(clock = Clock.monotonic ()) ?journal config problem =
   if config.queue_capacity < 1 then
     invalid_arg "Engine.create: queue_capacity must be >= 1";
   if config.deadline_ms <= 0. then
@@ -128,6 +141,8 @@ let create ?(clock = Clock.monotonic ()) config problem =
     rng = Prng.Rng.create config.seed;
     latency = Obs.Histogram.create ();
     queue_wait = Obs.Histogram.create ();
+    slo = Obs.Slo.create ~config:config.slo ();
+    journal;
     st =
       { s_served = 0; s_degraded = 0; s_shed = 0; s_deadline_expired = 0;
         s_solver_aborts = 0; s_retried = 0; s_relabels = 0; s_max_backlog = 0 };
@@ -144,13 +159,39 @@ let stats t =
     relabels = t.st.s_relabels;
     max_backlog = t.st.s_max_backlog;
     breaker_trips = Breaker.trips t.breaker;
+    breaker_transitions = Breaker.transitions t.breaker;
     cache_hits = Cache.hits t.cache;
-    cache_misses = Cache.misses t.cache }
+    cache_misses = Cache.misses t.cache;
+    cache_evictions = Cache.evictions t.cache }
 
 let latency_histogram t = t.latency
 let queue_histogram t = t.queue_wait
 let problem t = t.problem
 let breaker t = t.breaker
+let journal t = t.journal
+let slo_snapshot t = Obs.Slo.snapshot t.slo
+
+(* Per-request trace context: the id is derived from (engine seed,
+   request id) so a replay regenerates identical ids, and timestamps
+   come from the engine clock so a virtual-clock run journals
+   bit-identically.  The root "request" span is closed by [finish]. *)
+let make_ctx t (req : request) =
+  let ctx =
+    Trace_ctx.create
+      ~now:(fun () -> Clock.now_ms t.clock)
+      ~trace_id:(Trace_ctx.derive_id ~seed:t.config.seed ~request:req.id)
+      ()
+  in
+  let kind = match req.kind with Query -> "query" | Relabel _ -> "relabel" in
+  ignore
+    (Trace_ctx.open_span ctx "request"
+       ~fields:
+         [
+           ("id", Obs.Event.Int req.id);
+           ("kind", Obs.Event.Str kind);
+           ("faults", Obs.Event.Int (List.length req.faults));
+         ]);
+  ctx
 
 (* λ→∞ labeled-mean imputation (Prop II.2): the cheapest total answer,
    used when even the cached factorization is unavailable. *)
@@ -230,7 +271,7 @@ let flatten_rung_ms (report : Resilient.report) =
         acc timings)
     [] report.Resilient.rung_ms
 
-let finish t (req : request) ~queue_ms ~cache_hit ~attempts ?certificate
+let finish t (req : request) ~ctx ~queue_ms ~cache_hit ~attempts ?certificate
     ?(diagnostics = []) ?(rung_ms = []) status predictions =
   Telemetry.Counter.incr c_requests;
   (match status with
@@ -256,88 +297,133 @@ let finish t (req : request) ~queue_ms ~cache_hit ~attempts ?certificate
   Obs.Histogram.add t.latency latency_ms;
   Obs.Histogram.add t.queue_wait queue_ms;
   Obs.Histogram.observe "serve.latency_ms" latency_ms;
-  { id = req.id; status; predictions; certificate; diagnostics; queue_ms;
-    latency_ms; rung_ms; attempts; cache_hit }
+  (* SLO: the quality objective counts full-fidelity answers only — a
+     Served response with a healthy certificate.  Shed requests are
+     observed too (latency 0 by convention, quality bad): hiding them
+     would let load shedding launder the error budget. *)
+  Obs.Slo.observe t.slo ~latency_ms
+    ~good_quality:(match status with Served -> true | _ -> false);
+  (* Close the request trace: disposition fields on the root span, then
+     the journal line.  Closing the root also closes any span left open
+     by an abandoned path, so journaled durations are always total. *)
+  let reason =
+    match status with Served -> None | Degraded r | Shed r -> Some r
+  in
+  (match Trace_ctx.spans ctx with
+  | root :: _ ->
+      Trace_ctx.annotate root
+        ([
+           ("status", Obs.Event.Str (status_name status));
+           ("latency_ms", Obs.Event.Float latency_ms);
+           ("queue_ms", Obs.Event.Float queue_ms);
+           ("attempts", Obs.Event.Int attempts);
+           ("cache_hit", Obs.Event.Bool cache_hit);
+         ]
+        @ match reason with
+          | None -> []
+          | Some r -> [ ("reason", Obs.Event.Str r) ]);
+      Trace_ctx.close_span ctx root
+  | [] -> ());
+  (match t.journal with
+  | Some j ->
+      Obs.Journal.record j ~request:req.id ~status:(status_name status)
+        ?reason ~latency_ms ~queue_ms ~attempts ~cache_hit ctx
+  | None -> ());
+  { id = req.id; trace_id = Trace_ctx.trace_id ctx; status; predictions;
+    certificate; diagnostics; queue_ms; latency_ms; rung_ms; attempts;
+    cache_hit }
 
 (* Degraded answer: cached-factorization predictions when available
    (label propagation from the last known-good state), labeled-mean
    imputation otherwise.  Cheap by construction and always total. *)
-let degraded_answer t (req : request) ~queue_ms ?(diagnostics = [])
+let degraded_answer t (req : request) ~ctx ~queue_ms ?(diagnostics = [])
     ?(attempts = 1) reason =
   let predictions, cache_hit =
     match Cache.peek t.cache t.base_key with
     | Some inc -> (Incremental.predict inc, true)
     | None -> (mean_predictions t, false)
   in
-  finish t req ~queue_ms ~cache_hit ~attempts ~diagnostics (Degraded reason)
-    predictions
+  finish t req ~ctx ~queue_ms ~cache_hit ~attempts ~diagnostics
+    (Degraded reason) predictions
 
-let expire t (req : request) ~queue_ms ~deadline ?(attempts = 1) () =
+let expire t (req : request) ~ctx ~queue_ms ~deadline ?(attempts = 1) () =
   t.st.s_deadline_expired <- t.st.s_deadline_expired + 1;
   Telemetry.Counter.incr c_deadline;
-  degraded_answer t req ~queue_ms ~attempts
+  Trace_ctx.event ctx "deadline.expired";
+  degraded_answer t req ~ctx ~queue_ms ~attempts
     ~diagnostics:[ Deadline.diagnostic deadline ]
     "deadline expired"
 
 (* The full resilient solve path: retry with backoff around the fallback
    chain, gated by the circuit breaker, deadline threaded into CG. *)
-let full_solve t (req : request) ~queue_ms ~deadline (inj : Fault.injected) =
-  if not (Breaker.allow t.breaker) then
-    degraded_answer t req ~queue_ms "circuit breaker open"
-  else begin
-    let last_report = ref None in
-    let attempt ~attempt:_ =
-      Clock.advance t.clock t.config.costs.solve_ms;
-      if Deadline.expired deadline then Retry.Fatal "deadline expired"
-      else begin
-        let should_stop =
-          Deadline.should_stop ~cost_ms:t.config.costs.poll_ms deadline
-        in
-        let problem =
-          Problem.make_unchecked ~graph:inj.Fault.graph ~labels:inj.Fault.labels
-        in
-        let report =
-          Resilient.solve_hard ?cg_max_iter:inj.Fault.cg_max_iter ~should_stop
-            ~observe:true problem
-        in
-        last_report := Some report;
-        if report.Resilient.aborted then begin
-          t.st.s_solver_aborts <- t.st.s_solver_aborts + 1;
-          Retry.Fatal "solve aborted by deadline"
-        end
-        else if all_healthy report then Retry.Done report
-        else Retry.Transient "unhealthy solve (failed certificate)"
-      end
-    in
-    let out =
-      Retry.run t.config.retry ~clock:t.clock ~rng:t.rng ~deadline attempt
-    in
-    let attempts = Stdlib.max 1 out.Retry.attempts in
-    match out.Retry.result with
-    | Ok report ->
-        Breaker.record_success t.breaker;
-        let n = Problem.n_labeled t.problem in
-        let predictions =
-          Array.mapi (fun i x -> (n + i, x)) report.Resilient.predictions
-        in
-        finish t req ~queue_ms ~cache_hit:false ~attempts
-          ?certificate:(worst_certificate report)
-          ~diagnostics:report.Resilient.diagnostics
-          ~rung_ms:(flatten_rung_ms report) Served predictions
-    | Error reason ->
-        Breaker.record_failure t.breaker;
-        let diagnostics =
-          match !last_report with
-          | Some r -> r.Resilient.diagnostics
-          | None -> []
-        in
-        if Deadline.expired deadline then
-          expire t req ~queue_ms ~deadline ~attempts ()
-        else
-          degraded_answer t req ~queue_ms ~attempts ~diagnostics reason
+let full_solve t (req : request) ~ctx ~queue_ms ~deadline
+    (inj : Fault.injected) =
+  if not (Breaker.allow t.breaker) then begin
+    Trace_ctx.event ctx "breaker.blocked";
+    degraded_answer t req ~ctx ~queue_ms "circuit breaker open"
   end
+  else
+    Trace_ctx.with_span ctx "solve"
+      ~fields:
+        [
+          ( "breaker",
+            Obs.Event.Str (Breaker.state_name (Breaker.state t.breaker)) );
+        ]
+      (fun () ->
+        let last_report = ref None in
+        let attempt ~attempt:_ =
+          Clock.advance t.clock t.config.costs.solve_ms;
+          if Deadline.expired deadline then Retry.Fatal "deadline expired"
+          else begin
+            let should_stop =
+              Deadline.should_stop ~cost_ms:t.config.costs.poll_ms deadline
+            in
+            let problem =
+              Problem.make_unchecked ~graph:inj.Fault.graph
+                ~labels:inj.Fault.labels
+            in
+            let report =
+              Resilient.solve_hard ?cg_max_iter:inj.Fault.cg_max_iter
+                ~should_stop ~observe:true problem
+            in
+            last_report := Some report;
+            if report.Resilient.aborted then begin
+              t.st.s_solver_aborts <- t.st.s_solver_aborts + 1;
+              Retry.Fatal "solve aborted by deadline"
+            end
+            else if all_healthy report then Retry.Done report
+            else Retry.Transient "unhealthy solve (failed certificate)"
+          end
+        in
+        let out =
+          Retry.run t.config.retry ~clock:t.clock ~rng:t.rng ~deadline attempt
+        in
+        let attempts = Stdlib.max 1 out.Retry.attempts in
+        match out.Retry.result with
+        | Ok report ->
+            Breaker.record_success t.breaker;
+            let n = Problem.n_labeled t.problem in
+            let predictions =
+              Array.mapi (fun i x -> (n + i, x)) report.Resilient.predictions
+            in
+            finish t req ~ctx ~queue_ms ~cache_hit:false ~attempts
+              ?certificate:(worst_certificate report)
+              ~diagnostics:report.Resilient.diagnostics
+              ~rung_ms:(flatten_rung_ms report) Served predictions
+        | Error reason ->
+            Breaker.record_failure t.breaker;
+            let diagnostics =
+              match !last_report with
+              | Some r -> r.Resilient.diagnostics
+              | None -> []
+            in
+            if Deadline.expired deadline then
+              expire t req ~ctx ~queue_ms ~deadline ~attempts ()
+            else
+              degraded_answer t req ~ctx ~queue_ms ~attempts ~diagnostics
+                reason)
 
-let process t ~queue_ms (req : request) =
+let process t ~ctx ~queue_ms (req : request) =
   let deadline =
     Deadline.at t.clock ~start_ms:req.arrival_ms
       ~budget_ms:t.config.deadline_ms
@@ -346,71 +432,89 @@ let process t ~queue_ms (req : request) =
      latency stall, which burns budget before the solve even starts. *)
   let frng = Prng.Rng.substream t.rng ((2 * req.id) + 1) in
   let inj =
-    Fault.inject frng
-      ~n_labeled:(Problem.n_labeled t.problem)
-      req.faults t.problem.Problem.graph t.problem.Problem.labels
+    Trace_ctx.with_span ctx "inject" (fun () ->
+        let inj =
+          Fault.inject frng
+            ~n_labeled:(Problem.n_labeled t.problem)
+            req.faults t.problem.Problem.graph t.problem.Problem.labels
+        in
+        if inj.Fault.stall_ms > 0. then
+          Trace_ctx.annotate_current
+            [ ("stall_ms", Obs.Event.Float inj.Fault.stall_ms) ];
+        Clock.advance t.clock inj.Fault.stall_ms;
+        inj)
   in
-  Clock.advance t.clock inj.Fault.stall_ms;
-  if Deadline.expired deadline then expire t req ~queue_ms ~deadline ()
+  if Deadline.expired deadline then expire t req ~ctx ~queue_ms ~deadline ()
   else
     match req.kind with
     | Relabel { vertex; label } ->
         if not (Float.is_finite label) then
-          degraded_answer t req ~queue_ms
+          degraded_answer t req ~ctx ~queue_ms
             ~diagnostics:[ Check.Non_finite_label { index = vertex } ]
             "non-finite relabel rejected"
-        else begin
-          match Cache.find t.cache t.base_key with
-          | None -> degraded_answer t req ~queue_ms "no cached factorization"
-          | Some inc -> begin
-              match Incremental.reveal inc ~vertex ~label with
-              | () ->
-                  Clock.advance t.clock t.config.costs.relabel_ms;
-                  t.st.s_relabels <- t.st.s_relabels + 1;
-                  let predictions = Incremental.predict inc in
-                  let certificate = certify_incremental inc in
-                  let healthy =
-                    match certificate with
-                    | Some c -> Obs.Health.healthy c
-                    | None -> true (* nothing left to predict *)
-                  in
-                  if healthy then
-                    finish t req ~queue_ms ~cache_hit:true ~attempts:1
-                      ?certificate Served predictions
-                  else
-                    finish t req ~queue_ms ~cache_hit:true ~attempts:1
-                      ?certificate
-                      (Degraded "incremental update unhealthy") predictions
-              | exception Invalid_argument msg ->
-                  degraded_answer t req ~queue_ms ("relabel rejected: " ^ msg)
-            end
-        end
+        else
+          Trace_ctx.with_span ctx "relabel"
+            ~fields:[ ("vertex", Obs.Event.Int vertex) ]
+            (fun () ->
+              match Cache.find t.cache t.base_key with
+              | None ->
+                  degraded_answer t req ~ctx ~queue_ms
+                    "no cached factorization"
+              | Some inc -> begin
+                  match Incremental.reveal inc ~vertex ~label with
+                  | () ->
+                      Clock.advance t.clock t.config.costs.relabel_ms;
+                      t.st.s_relabels <- t.st.s_relabels + 1;
+                      let predictions = Incremental.predict inc in
+                      let certificate = certify_incremental inc in
+                      let healthy =
+                        match certificate with
+                        | Some c -> Obs.Health.healthy c
+                        | None -> true (* nothing left to predict *)
+                      in
+                      if healthy then
+                        finish t req ~ctx ~queue_ms ~cache_hit:true ~attempts:1
+                          ?certificate Served predictions
+                      else
+                        finish t req ~ctx ~queue_ms ~cache_hit:true ~attempts:1
+                          ?certificate
+                          (Degraded "incremental update unhealthy") predictions
+                  | exception Invalid_argument msg ->
+                      degraded_answer t req ~ctx ~queue_ms
+                        ("relabel rejected: " ^ msg)
+                end)
     | Query when req.faults = [] -> begin
         (* clean query: serve from the cached factorization *)
         match Cache.find t.cache t.base_key with
         | Some inc ->
-            Clock.advance t.clock t.config.costs.cache_ms;
-            let predictions = Incremental.predict inc in
-            let certificate = certify_incremental inc in
-            let healthy =
-              match certificate with
-              | Some c -> Obs.Health.healthy c
-              | None -> true
-            in
-            if healthy then
-              finish t req ~queue_ms ~cache_hit:true ~attempts:1 ?certificate
-                Served predictions
-            else
-              finish t req ~queue_ms ~cache_hit:true ~attempts:1 ?certificate
-                (Degraded "cached answer failed certification") predictions
-        | None -> full_solve t req ~queue_ms ~deadline inj
+            Trace_ctx.with_span ctx "cache_query" (fun () ->
+                Clock.advance t.clock t.config.costs.cache_ms;
+                let predictions = Incremental.predict inc in
+                let certificate = certify_incremental inc in
+                let healthy =
+                  match certificate with
+                  | Some c -> Obs.Health.healthy c
+                  | None -> true
+                in
+                if healthy then
+                  finish t req ~ctx ~queue_ms ~cache_hit:true ~attempts:1
+                    ?certificate Served predictions
+                else
+                  finish t req ~ctx ~queue_ms ~cache_hit:true ~attempts:1
+                    ?certificate (Degraded "cached answer failed certification")
+                    predictions)
+        | None -> full_solve t req ~ctx ~queue_ms ~deadline inj
       end
-    | Query -> full_solve t req ~queue_ms ~deadline inj
+    | Query -> full_solve t req ~ctx ~queue_ms ~deadline inj
 
-let handle t req = process t ~queue_ms:0. req
+let handle t req =
+  let ctx = make_ctx t req in
+  Trace_ctx.with_current ctx (fun () -> process t ~ctx ~queue_ms:0. req)
 
 let shed t (req : request) reason =
-  finish t req ~queue_ms:0. ~cache_hit:false ~attempts:0 (Shed reason) [||]
+  let ctx = make_ctx t req in
+  finish t req ~ctx ~queue_ms:0. ~cache_hit:false ~attempts:0 (Shed reason)
+    [||]
 
 (* Single-worker FIFO admission over a pre-recorded arrival trace.
    [pending_finish] holds the finish times of admitted requests; its
@@ -434,14 +538,75 @@ let run_trace t reqs =
         let start_ms = Stdlib.max req.arrival_ms t.worker_free_ms in
         Clock.jump t.clock start_ms;
         let queue_ms = start_ms -. req.arrival_ms in
-        let resp = process t ~queue_ms req in
+        let ctx = make_ctx t req in
+        let resp =
+          Trace_ctx.with_current ctx (fun () ->
+              process t ~ctx ~queue_ms req)
+        in
         t.worker_free_ms <- Clock.now_ms t.clock;
         t.pending_finish <- t.worker_free_ms :: t.pending_finish;
         resp
       end)
     reqs
 
-let status_name = function
-  | Served -> "served"
-  | Degraded _ -> "degraded"
-  | Shed _ -> "shed"
+(* ---------------- exposition snapshot ---------------- *)
+
+let breaker_gauge t =
+  match Breaker.state t.breaker with
+  | Breaker.Closed -> 0.
+  | Breaker.Open -> 1.
+  | Breaker.Half_open -> 2.
+
+let metrics t =
+  let s = stats t in
+  let slo = Obs.Slo.snapshot t.slo in
+  let open Obs.Expo in
+  let c name help value =
+    Counter { name; help; value = float_of_int value }
+  in
+  let g name help value = Gauge { name; help; value } in
+  [
+    c "serve.requests" "requests admitted or shed"
+      (s.served + s.degraded + s.shed);
+    c "serve.served" "responses served at full fidelity" s.served;
+    c "serve.degraded" "responses explicitly degraded" s.degraded;
+    c "serve.shed" "requests shed at admission" s.shed;
+    c "serve.deadline_expired" "requests that ran out of budget"
+      s.deadline_expired;
+    c "serve.solver_aborts" "solves cut short mid-CG by a deadline"
+      s.solver_aborts;
+    c "serve.retried" "requests needing more than one attempt" s.retried;
+    c "serve.relabels" "successful Sherman-Morrison downdates" s.relabels;
+    c "serve.breaker_trips" "times the circuit breaker opened"
+      s.breaker_trips;
+    c "serve.breaker_transitions" "breaker state changes"
+      s.breaker_transitions;
+    c "serve.cache_hits" "factorization cache hits" s.cache_hits;
+    c "serve.cache_misses" "factorization cache misses" s.cache_misses;
+    c "serve.cache_evictions" "factorization cache evictions"
+      s.cache_evictions;
+    g "serve.max_backlog" "deepest queue observed"
+      (float_of_int s.max_backlog);
+    g "serve.queue_capacity" "admission queue capacity"
+      (float_of_int t.config.queue_capacity);
+    g "serve.breaker_state" "0=closed 1=open 2=half_open" (breaker_gauge t);
+    g "serve.cache_entries" "live factorization cache entries"
+      (float_of_int (Cache.length t.cache));
+    g "serve.slo.latency_compliance" "window fraction under the latency threshold"
+      slo.Obs.Slo.latency_compliance;
+    g "serve.slo.quality_compliance" "window fraction served at full fidelity"
+      slo.Obs.Slo.quality_compliance;
+    g "serve.slo.latency_burn" "latency error-budget burn rate"
+      slo.Obs.Slo.latency_burn;
+    g "serve.slo.quality_burn" "quality error-budget burn rate"
+      slo.Obs.Slo.quality_burn;
+    g "serve.slo.latency_budget" "cumulative latency budget remaining"
+      slo.Obs.Slo.latency_budget;
+    g "serve.slo.quality_budget" "cumulative quality budget remaining"
+      slo.Obs.Slo.quality_budget;
+    Summary
+      { name = "serve.latency_ms"; help = "request latency"; hist = t.latency };
+    Summary
+      { name = "serve.queue_ms"; help = "admission queue wait";
+        hist = t.queue_wait };
+  ]

@@ -50,6 +50,8 @@ type config = {
   cache_capacity : int;
   costs : costs;
   seed : int;  (** drives per-request fault injection and retry jitter *)
+  slo : Obs.Slo.config;
+      (** latency/quality objectives for the engine's SLO tracker *)
 }
 
 val default_config : config
@@ -67,6 +69,9 @@ type status = Served | Degraded of string | Shed of string
 
 type response = {
   id : int;
+  trace_id : int64;
+      (** the request's {!Obs.Trace_ctx} id — derived from
+          (config seed, request id), so replays regenerate it *)
   status : status;
   predictions : (int * float) array;  (** [(vertex, score)] pairs *)
   certificate : Obs.Health.t option;
@@ -90,17 +95,21 @@ type stats = {
   relabels : int;        (** successful Sherman–Morrison downdates *)
   max_backlog : int;     (** deepest queue observed (bounded by capacity) *)
   breaker_trips : int;
+  breaker_transitions : int;  (** every breaker state change *)
   cache_hits : int;
   cache_misses : int;
+  cache_evictions : int;
 }
 
 type t
 
-val create : ?clock:Clock.t -> config -> Gssl.Problem.t -> t
+val create :
+  ?clock:Clock.t -> ?journal:Obs.Journal.t -> config -> Gssl.Problem.t -> t
 (** Builds the engine and warms the factorization cache (an unanchorable
     problem leaves it cold; queries then take the full-solve path).
-    Default clock: monotonic.  Raises [Invalid_argument] on a
-    non-positive queue capacity or deadline. *)
+    Default clock: monotonic.  When [journal] is given, every finished
+    request appends its span tree to it as one JSONL line.  Raises
+    [Invalid_argument] on a non-positive queue capacity or deadline. *)
 
 val handle : t -> request -> response
 (** Serve one request immediately (no queue) — the live [gssl serve]
@@ -112,6 +121,15 @@ val run_trace : t -> request list -> response list
     monotonic clock — replay semantics need virtual time. *)
 
 val stats : t -> stats
+val slo_snapshot : t -> Obs.Slo.snapshot
+val journal : t -> Obs.Journal.t option
+
+val metrics : t -> Obs.Expo.metric list
+(** One-shot exposition snapshot unifying the stats record,
+    breaker/cache/queue gauges, SLO state, and the latency and
+    queue-wait histograms.  Render with {!Obs.Expo.to_prometheus} or
+    {!Obs.Expo.to_json}. *)
+
 val latency_histogram : t -> Obs.Histogram.t
 val queue_histogram : t -> Obs.Histogram.t
 val problem : t -> Gssl.Problem.t

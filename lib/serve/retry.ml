@@ -35,13 +35,35 @@ let run policy ~clock ~rng ?deadline f =
              else last_reason);
         attempts = attempt - 1 }
     else
-      match f ~attempt with
+      let outcome =
+        (* span on the ambient request trace (no-op outside a traced
+           request); the attempt's disposition lands as a field *)
+        Obs.Trace_ctx.in_span "retry.attempt"
+          ~fields:[ ("attempt", Obs.Event.Int attempt) ]
+          (fun () ->
+            let r = f ~attempt in
+            Obs.Trace_ctx.annotate_current
+              [
+                ( "outcome",
+                  Obs.Event.Str
+                    (match r with
+                    | Done _ -> "done"
+                    | Transient _ -> "transient"
+                    | Fatal _ -> "fatal") );
+              ];
+            r)
+      in
+      match outcome with
       | Done v -> { result = Ok v; attempts = attempt }
       | Fatal reason -> { result = Error reason; attempts = attempt }
       | Transient reason ->
           (* back off only when another attempt is actually coming *)
-          if attempt < policy.max_attempts && not (expired ()) then
-            Clock.advance clock (backoff_ms policy rng ~attempt);
+          if attempt < policy.max_attempts && not (expired ()) then begin
+            let delay = backoff_ms policy rng ~attempt in
+            Obs.Trace_ctx.mark "retry.backoff"
+              ~fields:[ ("delay_ms", Obs.Event.Float delay) ];
+            Clock.advance clock delay
+          end;
           go (attempt + 1) reason
   in
   go 1 "no attempts made"

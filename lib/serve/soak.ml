@@ -16,6 +16,7 @@ type config = {
   fault_rate : float;
   relabel_rate : float;
   verify_replay : bool;
+  journal : bool;
 }
 
 let default =
@@ -30,7 +31,8 @@ let default =
     burst_size = 24;
     fault_rate = 0.18;
     relabel_rate = 0.04;
-    verify_replay = false }
+    verify_replay = false;
+    journal = false }
 
 type summary = {
   requests : int;
@@ -44,12 +46,17 @@ type summary = {
   retried : int;
   relabels : int;
   breaker_trips : int;
+  breaker_transitions : int;
   cache_hits : int;
   cache_misses : int;
+  cache_evictions : int;
   max_backlog : int;
   p50_ms : float;
   p99_ms : float;
   max_ms : float;
+  slo : Obs.Slo.snapshot;
+  journal_lines : int;
+  journal_digest : int64;
   digest : int64;
   replay_verified : bool;
   wall_ms : float;
@@ -198,31 +205,90 @@ let check_invariants (cfg : config) (responses : Engine.response list)
   if st.Engine.served = 0 then note "no request was served at all";
   List.rev !violations
 
-let run (cfg : config) =
+(* The observability pipeline must agree with the engine's own books —
+   exactly, not approximately: the SLO tracker saw every response and
+   counted full-fidelity answers as quality-good, and the journal's
+   running aggregate (same histogram implementation) reproduces the
+   engine's status counts and latency percentiles bit-for-bit. *)
+let check_observability (engine : Engine.t) (responses : Engine.response list)
+    (st : Engine.stats) =
+  let violations = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  let slo = Engine.slo_snapshot engine in
+  let n_resp = List.length responses in
+  if slo.Obs.Slo.total <> n_resp then
+    note "slo tracker observed %d responses, engine answered %d"
+      slo.Obs.Slo.total n_resp;
+  if slo.Obs.Slo.quality_good <> st.Engine.served then
+    note "slo quality_good %d does not reconcile with served %d"
+      slo.Obs.Slo.quality_good st.Engine.served;
+  (match Engine.journal engine with
+  | None -> ()
+  | Some j ->
+      let agg = Obs.Journal.aggregate j in
+      if Obs.Journal.length j <> n_resp then
+        note "journal has %d lines for %d responses" (Obs.Journal.length j)
+          n_resp;
+      if agg.Obs.Journal.served <> st.Engine.served
+         || agg.Obs.Journal.degraded <> st.Engine.degraded
+         || agg.Obs.Journal.shed <> st.Engine.shed
+      then
+        note
+          "journal aggregate %d/%d/%d does not reconcile with stats %d/%d/%d"
+          agg.Obs.Journal.served agg.Obs.Journal.degraded agg.Obs.Journal.shed
+          st.Engine.served st.Engine.degraded st.Engine.shed;
+      let hist = Engine.latency_histogram engine in
+      if agg.Obs.Journal.latency_p50 <> Obs.Histogram.p50 hist then
+        note "journal p50 %g != engine p50 %g" agg.Obs.Journal.latency_p50
+          (Obs.Histogram.p50 hist);
+      if agg.Obs.Journal.latency_p99 <> Obs.Histogram.p99 hist then
+        note "journal p99 %g != engine p99 %g" agg.Obs.Journal.latency_p99
+          (Obs.Histogram.p99 hist);
+      (match Obs.Journal.validate_text (Obs.Journal.to_text j) with
+      | Ok n when n = n_resp -> ()
+      | Ok n -> note "journal schema validated %d of %d lines" n n_resp
+      | Error msg -> note "journal schema violation: %s" msg));
+  List.rev !violations
+
+let run_full (cfg : config) =
   let wall0 = Unix.gettimeofday () in
   let prob = problem ~seed:cfg.seed ~n_vertices:cfg.n_vertices
       ~n_labeled:cfg.n_labeled in
   let trace = gen_trace cfg prob in
   let run_once () =
     let clock = Clock.virtual_ () in
-    let engine = Engine.create ~clock (engine_config cfg) prob in
+    let journal = if cfg.journal then Some (Obs.Journal.create ()) else None in
+    let engine = Engine.create ~clock ?journal (engine_config cfg) prob in
     let responses = Engine.run_trace engine trace in
     (engine, responses)
   in
   let engine, responses = run_once () in
   let digest = digest_of responses in
-  let replay_verified =
+  let journal_digest =
+    match Engine.journal engine with
+    | Some j -> Obs.Journal.digest j
+    | None -> 0L
+  in
+  let replay_verified, journal_replay_verified =
     if cfg.verify_replay then begin
-      let _, again = run_once () in
-      Int64.equal (digest_of again) digest
+      let engine2, again = run_once () in
+      let jd2 =
+        match Engine.journal engine2 with
+        | Some j -> Obs.Journal.digest j
+        | None -> 0L
+      in
+      (Int64.equal (digest_of again) digest, Int64.equal jd2 journal_digest)
     end
-    else true
+    else (true, true)
   in
   let st = Engine.stats engine in
   let violations =
     check_invariants cfg responses st
+    @ check_observability engine responses st
     @ (if replay_verified then []
        else [ "replay diverged: same seed produced a different digest" ])
+    @ (if journal_replay_verified then []
+       else [ "journal replay diverged: same seed journaled differently" ])
   in
   let hist = Engine.latency_histogram engine in
   let served, degraded, shed =
@@ -234,27 +300,40 @@ let run (cfg : config) =
         | Engine.Shed _ -> (s, d, x + 1))
       (0, 0, 0) responses
   in
-  { requests = cfg.requests;
-    responses = List.length responses;
-    dropped = cfg.requests - List.length responses;
-    served;
-    degraded;
-    shed;
-    deadline_expired = st.Engine.deadline_expired;
-    solver_aborts = st.Engine.solver_aborts;
-    retried = st.Engine.retried;
-    relabels = st.Engine.relabels;
-    breaker_trips = st.Engine.breaker_trips;
-    cache_hits = st.Engine.cache_hits;
-    cache_misses = st.Engine.cache_misses;
-    max_backlog = st.Engine.max_backlog;
-    p50_ms = Obs.Histogram.p50 hist;
-    p99_ms = Obs.Histogram.p99 hist;
-    max_ms = Obs.Histogram.max_value hist;
-    digest;
-    replay_verified;
-    wall_ms = (Unix.gettimeofday () -. wall0) *. 1e3;
-    violations }
+  let summary =
+    { requests = cfg.requests;
+      responses = List.length responses;
+      dropped = cfg.requests - List.length responses;
+      served;
+      degraded;
+      shed;
+      deadline_expired = st.Engine.deadline_expired;
+      solver_aborts = st.Engine.solver_aborts;
+      retried = st.Engine.retried;
+      relabels = st.Engine.relabels;
+      breaker_trips = st.Engine.breaker_trips;
+      breaker_transitions = st.Engine.breaker_transitions;
+      cache_hits = st.Engine.cache_hits;
+      cache_misses = st.Engine.cache_misses;
+      cache_evictions = st.Engine.cache_evictions;
+      max_backlog = st.Engine.max_backlog;
+      p50_ms = Obs.Histogram.p50 hist;
+      p99_ms = Obs.Histogram.p99 hist;
+      max_ms = Obs.Histogram.max_value hist;
+      slo = Engine.slo_snapshot engine;
+      journal_lines =
+        (match Engine.journal engine with
+        | Some j -> Obs.Journal.length j
+        | None -> 0);
+      journal_digest;
+      digest;
+      replay_verified = replay_verified && journal_replay_verified;
+      wall_ms = (Unix.gettimeofday () -. wall0) *. 1e3;
+      violations }
+  in
+  (summary, engine)
+
+let run cfg = fst (run_full cfg)
 
 let describe (s : summary) =
   let b = Buffer.create 512 in
@@ -264,10 +343,21 @@ let describe (s : summary) =
   line "  served %d | degraded %d | shed %d" s.served s.degraded s.shed;
   line "  deadline expired %d | cg aborts %d | retried %d | relabels %d"
     s.deadline_expired s.solver_aborts s.retried s.relabels;
-  line "  breaker trips %d | cache hits/misses %d/%d | max backlog %d"
-    s.breaker_trips s.cache_hits s.cache_misses s.max_backlog;
+  line "  breaker trips %d (transitions %d) | cache hits/misses/evictions %d/%d/%d | max backlog %d"
+    s.breaker_trips s.breaker_transitions s.cache_hits s.cache_misses
+    s.cache_evictions s.max_backlog;
   line "  latency (virtual) p50 %.3f ms | p99 %.3f ms | max %.3f ms" s.p50_ms
     s.p99_ms s.max_ms;
+  line
+    "  slo: latency %.1f%% compliant (burn %.2f, budget %.0f%%) | quality %.1f%% (burn %.2f, budget %.0f%%)"
+    (100. *. s.slo.Obs.Slo.latency_compliance)
+    s.slo.Obs.Slo.latency_burn
+    (100. *. s.slo.Obs.Slo.latency_budget)
+    (100. *. s.slo.Obs.Slo.quality_compliance)
+    s.slo.Obs.Slo.quality_burn
+    (100. *. s.slo.Obs.Slo.quality_budget);
+  if s.journal_lines > 0 then
+    line "  journal: %d lines, digest %Lx" s.journal_lines s.journal_digest;
   line "  digest %Lx | replay %s | wall %.1f ms" s.digest
     (if s.replay_verified then "verified" else "DIVERGED")
     s.wall_ms;

@@ -14,7 +14,12 @@
     - the queue backlog never exceeds its capacity (saturation sheds);
     - at least one request is actually served;
     - optionally ([verify_replay]), a second run of the same seed
-      produces bit-identical per-request outcomes (digest equality).
+      produces bit-identical per-request outcomes (digest equality) —
+      and, when journaling is on, a bit-identical span journal;
+    - the observability pipeline reconciles exactly with the engine's
+      books: the SLO tracker saw every response and agrees with the
+      served count, and the journal's aggregate reproduces the status
+      counts and latency percentiles while passing schema validation.
 
     Violations are returned as strings, not exceptions — the harness
     always completes and reports. *)
@@ -32,6 +37,7 @@ type config = {
   fault_rate : float;       (** fraction of queries carrying faults *)
   relabel_rate : float;     (** fraction of requests that are relabels *)
   verify_replay : bool;     (** run twice, require digest equality *)
+  journal : bool;           (** record a per-request span journal *)
 }
 
 val default : config
@@ -50,14 +56,20 @@ type summary = {
   retried : int;
   relabels : int;
   breaker_trips : int;
+  breaker_transitions : int;
   cache_hits : int;
   cache_misses : int;
+  cache_evictions : int;
   max_backlog : int;
   p50_ms : float;  (** virtual-clock latency percentiles *)
   p99_ms : float;
   max_ms : float;
+  slo : Obs.Slo.snapshot;  (** the engine's SLO tracker at end of run *)
+  journal_lines : int;     (** 0 when journaling is off *)
+  journal_digest : int64;  (** 0L when journaling is off *)
   digest : int64;  (** order-sensitive hash of every per-request outcome *)
   replay_verified : bool;
+      (** response digest AND (when journaling) journal digest matched *)
   wall_ms : float;  (** real time the replay took *)
   violations : string list;  (** empty iff all invariants hold *)
 }
@@ -69,7 +81,17 @@ val problem :
 
 val gen_trace : config -> Gssl.Problem.t -> Engine.request list
 val digest_of : Engine.response list -> int64
+
+val engine_config : config -> Engine.config
+(** The engine configuration a soak run uses — exposed so dashboards
+    ([repro top]) can drive the same engine incrementally. *)
+
 val run : config -> summary
+
+val run_full : config -> summary * Engine.t
+(** Like {!run} but also returns the first run's engine, whose journal,
+    SLO tracker, and metrics snapshot are still live. *)
+
 val ok : summary -> bool
 (** No violations and nothing dropped. *)
 

@@ -125,7 +125,22 @@ let solve_impl ?x0 ?(tol = 1e-10) ?max_iter ?(precondition = true)
 
 let solve ?x0 ?tol ?max_iter ?precondition ?should_stop op b =
   Telemetry.Span.with_ "cg.solve" (fun () ->
-      solve_impl ?x0 ?tol ?max_iter ?precondition ?should_stop op b)
+      (* also a span on the ambient request trace (when a serve-layer
+         Trace_ctx is installed), annotated with the solve's outcome *)
+      Obs.Trace_ctx.in_span "cg.solve"
+        ~fields:[ ("dim", Obs.Event.Int op.Linop.dim) ]
+        (fun () ->
+          let out =
+            solve_impl ?x0 ?tol ?max_iter ?precondition ?should_stop op b
+          in
+          Obs.Trace_ctx.annotate_current
+            [
+              ("iterations", Obs.Event.Int out.iterations);
+              ("converged", Obs.Event.Bool out.converged);
+              ("aborted", Obs.Event.Bool out.aborted);
+              ("residual", Obs.Event.Float out.residual_norm);
+            ];
+          out))
 
 let ensure_converged op b (out : outcome) =
   if not out.converged then begin

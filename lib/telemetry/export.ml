@@ -229,6 +229,8 @@ let member key = function
 
 let to_float = function Num v -> Some v | _ -> None
 let to_int = function Num v -> Some (int_of_float v) | _ -> None
+let to_str = function Str s -> Some s | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
 
 (* ---------------- registry snapshots ---------------- *)
 

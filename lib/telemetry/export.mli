@@ -31,6 +31,8 @@ val member : string -> json -> json option
 
 val to_float : json -> float option
 val to_int : json -> int option
+val to_str : json -> string option
+val to_bool : json -> bool option
 
 val to_json_value : unit -> json
 (** Snapshot of the whole registry:
