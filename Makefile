@@ -2,7 +2,7 @@
 
 .PHONY: build test test-random test-domains1 test-tune-off tune-smoke \
 	fault-smoke soak-smoke bench-smoke bench-par bench bench-check \
-	bench-snapshot trace-smoke obs-smoke ci clean
+	bench-snapshot trace-smoke obs-smoke transport-smoke ci clean
 
 # Baseline report for the bench regression gate (see bench-check).
 BASELINE ?= BENCH_baseline.json
@@ -123,9 +123,37 @@ obs-smoke:
 	./_build/default/bin/repro.exe top --requests 600 --format prometheus > /dev/null
 	./_build/default/bin/repro.exe top --requests 600 --format json > /dev/null
 
+# Transport smoke: the hostile-client soak byte-replayed on the virtual
+# clock (pinned seed + a fresh seed, both with replay verification and a
+# journal digest), then a real loopback exchange — `gssl serve --socket`
+# against the scripted hostile client, which asserts every corruption
+# mode maps to its typed error and that a clean query still answers on a
+# connection that just survived garbage — finishing with a SIGTERM
+# graceful drain that must exit 0.
+TRANSPORT_SOCK ?= /tmp/gssl_transport_smoke.sock
+transport-smoke:
+	dune build bin/repro.exe
+	./_build/default/bin/repro.exe netsoak --connections 1500 --verify-replay \
+		--journal /tmp/gssl_netsoak_journal.jsonl > /dev/null
+	@seed=$$(( ($$(date +%N | sed 's/^0*//') % 999983) + 43 )); \
+	echo "transport-smoke fresh seed=$$seed"; \
+	./_build/default/bin/repro.exe netsoak --connections 1500 --seed $$seed \
+		--verify-replay > /dev/null
+	@rm -f $(TRANSPORT_SOCK); \
+	./_build/default/bin/repro.exe serve --socket $(TRANSPORT_SOCK) & \
+	srv=$$!; \
+	for i in $$(seq 1 100); do test -S $(TRANSPORT_SOCK) && break; sleep 0.05; done; \
+	test -S $(TRANSPORT_SOCK) || { echo "transport-smoke: server never bound"; kill $$srv 2>/dev/null; exit 1; }; \
+	./_build/default/bin/repro.exe client --socket $(TRANSPORT_SOCK) --hostile --seed 7 || { kill $$srv 2>/dev/null; exit 1; }; \
+	./_build/default/bin/repro.exe client --socket $(TRANSPORT_SOCK) --query 3 --stats > /dev/null || { kill $$srv 2>/dev/null; exit 1; }; \
+	kill -TERM $$srv; \
+	wait $$srv; rc=$$?; \
+	test $$rc -eq 0 || { echo "transport-smoke: drain exited $$rc"; exit 1; }; \
+	echo "transport-smoke: drain exit 0"
+
 ci: build test test-domains1 test-tune-off test-random tune-smoke \
 	fault-smoke soak-smoke bench-smoke bench-par bench-check trace-smoke \
-	obs-smoke
+	obs-smoke transport-smoke
 
 clean:
 	dune clean

@@ -577,6 +577,25 @@ module Profile = struct
                    (Serve.Soak.describe s));
             journal_summary := Some s;
             s);
+        (* byte-level hostile-client soak through the framed transport
+           (lib/net): replays a seeded trace of clean and corrupt
+           connections through Conn + Engine.handle on the virtual
+           clock, with replay verification, so the phase gates both the
+           transport's wall cost and its digest determinism *)
+        run_phase "transport_replay" (fun () ->
+            let s =
+              Net.Hostile.run
+                { Net.Hostile.default with
+                  Net.Hostile.connections = (if smoke then 400 else 1500);
+                  verify_replay = true;
+                  journal = true }
+            in
+            if not (Net.Hostile.ok s) then
+              failwith
+                (Printf.sprintf
+                   "bench: hostile transport soak violated invariants:\n%s"
+                   (Net.Hostile.describe s));
+            s);
       ]
     in
     T.Registry.disable ();
@@ -771,8 +790,8 @@ module Profile = struct
         "lambda_path"; "lambda_path_naive"; "gemm_serial"; "gemm_par";
         "pairwise_serial"; "pairwise_par"; "spmv_serial"; "spmv_par";
         "gemm_tuned"; "pairwise_tuned"; "spmv_tuned"; "soak_replay";
-        "soak_journal"; "soak_p50"; "soak_p99"; "slo_burn";
-        "journal_overhead";
+        "soak_journal"; "transport_replay"; "soak_p50"; "soak_p99";
+        "slo_burn"; "journal_overhead";
       ];
     (* the soak percentiles are virtual-clock values: they must be
        strictly positive (something was actually served) and ordered *)

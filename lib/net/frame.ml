@@ -1,0 +1,131 @@
+let magic = "GSSL"
+let version = 1
+let header_len = 9
+let default_max_payload = 1 lsl 20
+let max_u32 = 0xFFFFFFFF
+
+type error =
+  | Bad_magic of { got : string }
+  | Bad_version of { got : int }
+  | Too_large of { length : int; limit : int }
+  | Truncated of { have : int; need : int }
+
+let error_code = function
+  | Bad_magic _ -> "bad_magic"
+  | Bad_version _ -> "bad_version"
+  | Too_large _ -> "too_large"
+  | Truncated _ -> "truncated"
+
+let hex s =
+  String.concat "" (List.map (Printf.sprintf "%02x") (List.map Char.code (List.init (String.length s) (String.get s))))
+
+let describe = function
+  | Bad_magic { got } ->
+      Printf.sprintf "bad magic: header starts 0x%s, want %S" (hex got) magic
+  | Bad_version { got } ->
+      Printf.sprintf "unsupported protocol version %d (this server speaks %d)"
+        got version
+  | Too_large { length; limit } ->
+      Printf.sprintf "declared payload length %d exceeds the %d-byte limit"
+        length limit
+  | Truncated { have; need } ->
+      Printf.sprintf "truncated frame: connection ended after %d of %d byte(s)"
+        have need
+
+let encode payload =
+  let n = String.length payload in
+  if n > max_u32 then invalid_arg "Frame.encode: payload exceeds u32 length";
+  let b = Bytes.create (header_len + n) in
+  Bytes.blit_string magic 0 b 0 4;
+  Bytes.set b 4 (Char.chr version);
+  Bytes.set b 5 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set b 6 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set b 7 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set b 8 (Char.chr (n land 0xff));
+  Bytes.blit_string payload 0 b header_len n;
+  Bytes.unsafe_to_string b
+
+type state =
+  | Header
+  | Body of { need : int }  (** body bytes still missing *)
+  | Failed of error
+
+type t = {
+  max_payload : int;
+  hbuf : Bytes.t;
+  mutable hlen : int;
+  body : Buffer.t;
+  mutable state : state;
+}
+
+let create ?(max_payload = default_max_payload) () =
+  if max_payload < 0 then invalid_arg "Frame.create: negative max_payload";
+  { max_payload;
+    hbuf = Bytes.create header_len;
+    hlen = 0;
+    body = Buffer.create 256;
+    state = Header }
+
+let failed t = match t.state with Failed e -> Some e | _ -> None
+
+let in_progress t =
+  match t.state with
+  | Header -> t.hlen > 0
+  | Body _ -> true
+  | Failed _ -> false
+
+let feed t data =
+  let out = ref [] in
+  let emit ev = out := ev :: !out in
+  let fail e =
+    t.state <- Failed e;
+    emit (Error e)
+  in
+  let n = String.length data in
+  let i = ref 0 in
+  while !i < n do
+    match t.state with
+    | Failed _ -> i := n
+    | Header ->
+        let c = data.[!i] in
+        incr i;
+        let pos = t.hlen in
+        Bytes.set t.hbuf pos c;
+        t.hlen <- t.hlen + 1;
+        if pos < 4 && not (Char.equal c magic.[pos]) then
+          fail (Bad_magic { got = Bytes.sub_string t.hbuf 0 t.hlen })
+        else if pos = 4 && Char.code c <> version then
+          fail (Bad_version { got = Char.code c })
+        else if t.hlen = header_len then begin
+          let b k = Char.code (Bytes.get t.hbuf (5 + k)) in
+          let len = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+          t.hlen <- 0;
+          if len > t.max_payload then
+            fail (Too_large { length = len; limit = t.max_payload })
+          else if len = 0 then emit (Ok "")
+          else begin
+            Buffer.clear t.body;
+            t.state <- Body { need = len }
+          end
+        end
+    | Body { need } ->
+        let take = Stdlib.min need (n - !i) in
+        Buffer.add_substring t.body data !i take;
+        i := !i + take;
+        if take = need then begin
+          emit (Ok (Buffer.contents t.body));
+          Buffer.clear t.body;
+          t.state <- Header
+        end
+        else t.state <- Body { need = need - take }
+  done;
+  List.rev !out
+
+let finish t =
+  match t.state with
+  | Failed _ -> None
+  | Header when t.hlen = 0 -> None
+  | Header -> Some (Truncated { have = t.hlen; need = header_len })
+  | Body { need } ->
+      let have = Buffer.length t.body in
+      Some (Truncated { have = header_len + have; need = header_len + have + need })

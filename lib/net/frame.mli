@@ -1,0 +1,70 @@
+(** The wire frame: ["GSSL"] magic, a one-byte protocol version, a
+    4-byte big-endian payload length, then the payload (a JSON request
+    or response — see {!Protocol}).
+
+    {v
+      offset  0 1 2 3   4         5 6 7 8      9 ...
+              G S S L   version   length u32   payload bytes
+    v}
+
+    The decoder is a {e total} incremental state machine: feed it
+    arbitrary byte chunks and it emits completed payloads and typed
+    errors — it never raises, whatever the peer sends.  Corruption is
+    detected at the earliest possible byte (a wrong magic byte fails on
+    that byte, not after 9), so a hostile peer cannot make the server
+    buffer garbage while waiting for a "length" that will never make
+    sense.  After an error the decoder is latched: remaining input is
+    discarded, because a framing fault leaves no way to find the next
+    frame boundary. *)
+
+val magic : string
+(** ["GSSL"]. *)
+
+val version : int
+(** Current protocol version (1). *)
+
+val header_len : int
+(** 9 bytes: magic + version + length. *)
+
+val default_max_payload : int
+(** 1 MiB — frames advertising more are rejected without buffering. *)
+
+type error =
+  | Bad_magic of { got : string }  (** header bytes seen so far *)
+  | Bad_version of { got : int }
+  | Too_large of { length : int; limit : int }
+  | Truncated of { have : int; need : int }
+      (** EOF mid-frame: [have] of [need] bytes arrived *)
+
+val error_code : error -> string
+(** Stable wire identifier: [bad_magic | bad_version | too_large |
+    truncated] — the [error] field of the JSON error response. *)
+
+val describe : error -> string
+(** Human-readable detail line. *)
+
+val encode : string -> string
+(** Frame a payload.  Raises [Invalid_argument] if the payload cannot
+    be described by an unsigned 32-bit length (encode is the trusted
+    local side; decode never raises). *)
+
+type t
+(** Incremental decoder state. *)
+
+val create : ?max_payload:int -> unit -> t
+
+val feed : t -> string -> (string, error) result list
+(** Consume a chunk, returning completed payloads and/or the error that
+    latched the decoder, in arrival order.  A chunk may complete several
+    pipelined frames; a failed decoder silently discards input. *)
+
+val finish : t -> error option
+(** Signal EOF.  [Some (Truncated _)] if a frame was in flight,
+    [None] on a clean frame boundary (or if already failed — that
+    error was reported by {!feed}). *)
+
+val in_progress : t -> bool
+(** A frame is partially buffered (header or body bytes pending). *)
+
+val failed : t -> error option
+(** The latched error, if any. *)

@@ -1,0 +1,76 @@
+(** Deterministic hostile-client soak: the transport-layer counterpart
+    of {!Serve.Soak}.
+
+    Generates a seeded trace of client connections — a clean mix
+    (whole, chunked, and pipelined queries, relabels, stats/metrics)
+    interleaved with a hostile menu (byte-level frame corruption: bad
+    magic, bad version, oversized length; truncated frames with
+    half-close; garbage JSON with embedded NULs; unknown ops; missing
+    and non-finite fields; slowloris mid-frame stalls; peers that stop
+    reading; abrupt disconnects; burst connects) — and replays it
+    byte-for-byte through {!Conn} + {!Serve.Engine.handle} on the
+    virtual clock.  Invariants checked:
+
+    - the server never crashes: no exception escapes any connection,
+      whatever bytes arrive;
+    - every frame is answered or typed-error-counted — hostile inputs
+      produce protocol error responses, never silence;
+    - zero unflagged degradation: every [ok] answer is [served] with a
+      healthy certificate or carries an explicit degraded/shed reason;
+    - per-connection output stays bounded (backpressure sheds);
+    - transport counters reconcile exactly with the scenario script
+      (every expected [client_gone], [io_deadline_expired], rejected
+      and accepted frame is accounted for);
+    - optionally ([verify_replay]), a second run produces a
+      bit-identical response-byte digest — and, when journaling, a
+      bit-identical span journal.
+
+    Violations are returned as strings, never exceptions. *)
+
+type config = {
+  connections : int;
+  seed : int;
+  n_vertices : int;
+  n_labeled : int;
+  hostile_rate : float;  (** fraction of connections from the hostile menu *)
+  mean_gap_ms : float;   (** mean exponential inter-connect gap *)
+  burst_every : int;     (** a connect burst starts every this many *)
+  burst_size : int;
+  io_deadline_ms : float;
+  deadline_ms : float;   (** engine solve budget *)
+  verify_replay : bool;
+  journal : bool;
+}
+
+val default : config
+(** 1200 connections, seed 42, 45% hostile, 50 ms I/O deadline. *)
+
+type summary = {
+  connections : int;
+  frames_sent : int;     (** well-formed frames the script sent *)
+  responses : int;       (** response frames clients read back *)
+  ok_responses : int;
+  error_responses : int;
+  served : int;          (** engine's books at end of run *)
+  degraded : int;
+  frames_ok : int;       (** transport counters at end of run *)
+  frames_rejected : int;
+  client_gone : int;
+  io_deadline_expired : int;
+  overflow_shed : int;
+  max_conn_buffer : int; (** deepest per-connection output buffer *)
+  journal_lines : int;
+  journal_digest : int64;
+  digest : int64;        (** order-sensitive hash of every response byte *)
+  replay_verified : bool;
+  wall_ms : float;
+  violations : string list;
+}
+
+val run : config -> summary
+
+val run_full : config -> summary * Serve.Engine.t
+(** Also returns the first run's engine (live journal and metrics). *)
+
+val ok : summary -> bool
+val describe : summary -> string

@@ -1,0 +1,60 @@
+(** JSON request/response bodies carried inside {!Frame}s.
+
+    Requests mirror the [gssl serve] REPL verbs, plus [stats] and
+    [metrics] introspection:
+
+    {v
+      {"op":"query"}
+      {"op":"relabel","vertex":64,"label":1.0}
+      {"op":"stats"}
+      {"op":"metrics"}
+    v}
+
+    Responses are [{"ok":true,...}] or [{"ok":false,"error":CODE,
+    "detail":TEXT}].  A query/relabel response carries the engine's
+    status (served / degraded / shed, with the reason when not served),
+    latency and queue accounting, the predictions, and [pred_digest] —
+    a SplitMix64 digest over the prediction bit patterns, so a client
+    (and the differential test) can compare answers bit-exactly even
+    though JSON float rendering is lossy.
+
+    Parsing is total: any payload maps to a request or a typed
+    {!error}; non-finite numerics ([1e999], [NaN] spellings) are
+    rejected as [bad_field], never forwarded to the engine. *)
+
+type request =
+  | Query
+  | Relabel of { vertex : int; label : float }
+  | Stats
+  | Metrics
+
+type error =
+  | Malformed_json of string
+  | Not_an_object
+  | Missing_op
+  | Unknown_op of string
+  | Missing_field of { op : string; field : string }
+  | Bad_field of { op : string; field : string; reason : string }
+
+val error_code : error -> string
+(** Stable wire identifier: [malformed_json | not_an_object |
+    missing_op | unknown_op | missing_field | bad_field]. *)
+
+val describe_error : error -> string
+
+val parse_request : string -> (request, error) result
+(** Total — never raises. *)
+
+val op_name : request -> string
+val render_request : request -> string
+(** The canonical JSON encoding (what a well-behaved client sends). *)
+
+val predictions_digest : (int * float) array -> int64
+(** SplitMix64 digest over [(vertex, float bits)] pairs. *)
+
+val response_body : Serve.Engine.response -> Telemetry.Export.json
+val stats_body : Serve.Engine.t -> Telemetry.Export.json
+val metrics_body : Serve.Engine.t -> Telemetry.Export.json
+val error_body : code:string -> detail:string -> Telemetry.Export.json
+
+val render : Telemetry.Export.json -> string

@@ -1,0 +1,218 @@
+module Engine = Serve.Engine
+module Clock = Serve.Clock
+
+type address = Unix_path of string | Tcp of { host : string; port : int }
+
+type config = {
+  conn : Conn.config;
+  backlog : int;
+  drain_grace_ms : float;
+}
+
+let default_config =
+  { conn = Conn.default_config; backlog = 64; drain_grace_ms = 5_000. }
+
+type t = {
+  engine : Engine.t;
+  clock : Clock.t;
+  config : config;
+  listen_fd : Unix.file_descr;
+  sock_path : string option;
+  conns : (Unix.file_descr, Conn.t) Hashtbl.t;
+  rbuf : Bytes.t;
+  mutable next_conn : int;
+  mutable next_req : int;
+  mutable draining : bool;
+  mutable drain_started_ms : float;
+  mutable listen_open : bool;
+  mutable finished : bool;
+}
+
+let create ?(config = default_config) ~engine address =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let fd, path =
+    match address with
+    | Unix_path p ->
+        if Sys.file_exists p then (
+          try Unix.unlink p with Unix.Unix_error _ -> ());
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind fd (Unix.ADDR_UNIX p);
+        (fd, Some p)
+    | Tcp { host; port } ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        let addr =
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (
+            match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+            | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+            | _ -> Unix.inet_addr_loopback)
+        in
+        Unix.bind fd (Unix.ADDR_INET (addr, port));
+        (fd, None)
+  in
+  Unix.listen fd config.backlog;
+  Unix.set_nonblock fd;
+  { engine;
+    clock = Engine.clock engine;
+    config;
+    listen_fd = fd;
+    sock_path = path;
+    conns = Hashtbl.create 32;
+    rbuf = Bytes.create 65536;
+    next_conn = 0;
+    next_req = 0;
+    draining = false;
+    drain_started_ms = 0.;
+    listen_open = true;
+    finished = false }
+
+let port t =
+  match Unix.getsockname t.listen_fd with
+  | Unix.ADDR_INET (_, p) -> p
+  | _ -> 0
+  | exception Unix.Unix_error _ -> 0
+
+let close_listener t =
+  if t.listen_open then begin
+    t.listen_open <- false;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    match t.sock_path with
+    | Some p -> ( try Unix.unlink p with Unix.Unix_error _ | Sys_error _ -> ())
+    | None -> ()
+  end
+
+let close_conn t fd reason =
+  (match Hashtbl.find_opt t.conns fd with
+  | Some c -> Conn.shutdown c ~reason
+  | None -> ());
+  Hashtbl.remove t.conns fd;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_ready t =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept t.listen_fd with
+    | fd, _ ->
+        Unix.set_nonblock fd;
+        t.next_conn <- t.next_conn + 1;
+        let c =
+          Conn.create ~config:t.config.conn ~engine:t.engine
+            ~fresh_id:(fun () ->
+              t.next_req <- t.next_req + 1;
+              t.next_req)
+            ~id:t.next_conn ()
+        in
+        Hashtbl.replace t.conns fd c
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        continue := false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) -> ()
+    | exception Unix.Unix_error _ -> continue := false
+  done
+
+let read_ready t fd c =
+  match Unix.read fd t.rbuf 0 (Bytes.length t.rbuf) with
+  | 0 -> Conn.on_eof c
+  | n -> Conn.on_bytes c (Bytes.sub_string t.rbuf 0 n)
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+      ()
+  | exception Unix.Unix_error _ ->
+      Conn.abort c ~reason:"read error (peer gone)"
+
+let write_ready t fd c =
+  ignore t;
+  let s = Conn.pending c in
+  if String.length s > 0 then
+    match Unix.write_substring fd s 0 (String.length s) with
+    | n -> Conn.consume c n
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        ()
+    | exception Unix.Unix_error _ ->
+        Conn.abort c ~reason:"write error (peer gone)"
+
+let step ?(timeout_s = 0.05) t =
+  if not t.finished then begin
+    if t.draining then close_listener t;
+    let conn_fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) t.conns [] in
+    let readers =
+      (if t.listen_open then [ t.listen_fd ] else []) @ conn_fds
+    in
+    let writers =
+      List.filter
+        (fun fd ->
+          match Hashtbl.find_opt t.conns fd with
+          | Some c -> Conn.pending_len c > 0
+          | None -> false)
+        conn_fds
+    in
+    let rd, wr, _ =
+      try Unix.select readers writers [] timeout_s
+      with Unix.Unix_error ((Unix.EINTR | Unix.EBADF), _, _) -> ([], [], [])
+    in
+    if t.listen_open && List.memq t.listen_fd rd then accept_ready t;
+    List.iter
+      (fun fd ->
+        if fd != t.listen_fd then
+          match Hashtbl.find_opt t.conns fd with
+          | Some c -> read_ready t fd c
+          | None -> ())
+      rd;
+    List.iter
+      (fun fd ->
+        match Hashtbl.find_opt t.conns fd with
+        | Some c -> write_ready t fd c
+        | None -> ())
+      wr;
+    let now = Clock.now_ms t.clock in
+    let grace_expired =
+      t.draining && t.config.drain_grace_ms > 0.
+      && now -. t.drain_started_ms > t.config.drain_grace_ms
+    in
+    let to_close =
+      Hashtbl.fold
+        (fun fd c acc ->
+          Conn.tick c;
+          if Conn.is_closed c || Conn.want_close c then (fd, "closed") :: acc
+          else if grace_expired then (fd, "shed at drain") :: acc
+          else acc)
+        t.conns []
+    in
+    List.iter (fun (fd, reason) -> close_conn t fd reason) to_close;
+    if t.draining && Hashtbl.length t.conns = 0 then begin
+      t.finished <- true;
+      Serve.Transport.drained (Engine.transport t.engine)
+    end
+  end
+
+let request_drain t =
+  if not t.draining then begin
+    t.draining <- true;
+    t.drain_started_ms <- Clock.now_ms t.clock
+  end
+
+let draining t = t.draining
+let finished t = t.finished
+let live_conns t = Hashtbl.length t.conns
+
+let install_signal_handlers t =
+  let drain _ = request_drain t in
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle drain)
+   with Invalid_argument _ | Sys_error _ -> ());
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle drain)
+   with Invalid_argument _ | Sys_error _ -> ())
+
+let close t =
+  close_listener t;
+  let fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) t.conns [] in
+  List.iter (fun fd -> close_conn t fd "server closed") fds;
+  t.finished <- true
+
+let run t =
+  while not t.finished do
+    step t
+  done;
+  close t

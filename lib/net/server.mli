@@ -1,0 +1,58 @@
+(** Single-threaded, non-blocking socket server: the framed protocol
+    over a Unix-domain or TCP listener, one {!Conn} per accepted peer,
+    driven by a [select] event loop.
+
+    Per-connection state lives in {!Conn}, so everything the loop does
+    is mechanical: accept, read into a connection, flush pending
+    output, tick I/O deadlines, reap finished connections.  Socket
+    errors never escape — EPIPE and ECONNRESET on a connection count
+    [serve.transport.client_gone] and close it.
+
+    Graceful drain: {!request_drain} (wired to SIGTERM/SIGINT by
+    {!install_signal_handlers}) stops accepting, unlinks the listen
+    socket, finishes or sheds in-flight connections (a grace period
+    bounds how long a slow peer can hold the drain open), counts
+    [serve.transport.drained], and lets {!run} return so the caller
+    can flush the span journal and print the exit summary. *)
+
+type address =
+  | Unix_path of string  (** Unix-domain socket; unlinked on close *)
+  | Tcp of { host : string; port : int }
+      (** Port 0 binds an ephemeral port — see {!port}. *)
+
+type config = {
+  conn : Conn.config;
+  backlog : int;
+  drain_grace_ms : float;
+      (** draining connections still open after this long are shed *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> engine:Serve.Engine.t -> address -> t
+(** Binds and listens (non-blocking).  Raises [Unix.Unix_error] if the
+    address cannot be bound. *)
+
+val port : t -> int
+(** Actual bound TCP port (0 for Unix-domain sockets). *)
+
+val step : ?timeout_s:float -> t -> unit
+(** One event-loop turn.  Exposed so tests can drive the server
+    deterministically without threads. *)
+
+val run : t -> unit
+(** Loop until drained ({!finished}), then {!close}. *)
+
+val request_drain : t -> unit
+val draining : t -> bool
+val finished : t -> bool
+val live_conns : t -> int
+
+val install_signal_handlers : t -> unit
+(** SIGTERM/SIGINT → {!request_drain}; SIGPIPE ignored. *)
+
+val close : t -> unit
+(** Idempotent: close the listener (unlinking a Unix path) and shut
+    down any remaining connections. *)

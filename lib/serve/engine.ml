@@ -108,6 +108,7 @@ type t = {
   slo : Obs.Slo.t;
   journal : Obs.Journal.t option;
   st : internal_stats;
+  transport : Transport.t;
   mutable worker_free_ms : float;
   mutable pending_finish : float list;
 }
@@ -146,6 +147,7 @@ let create ?(clock = Clock.monotonic ()) ?journal config problem =
     st =
       { s_served = 0; s_degraded = 0; s_shed = 0; s_deadline_expired = 0;
         s_solver_aborts = 0; s_retried = 0; s_relabels = 0; s_max_backlog = 0 };
+    transport = Transport.create ();
     worker_free_ms = Clock.now_ms clock;
     pending_finish = [] }
 
@@ -169,6 +171,9 @@ let queue_histogram t = t.queue_wait
 let problem t = t.problem
 let breaker t = t.breaker
 let journal t = t.journal
+let clock t = t.clock
+let config t = t.config
+let transport t = t.transport
 let slo_snapshot t = Obs.Slo.snapshot t.slo
 
 (* Per-request trace context: the id is derived from (engine seed,
@@ -610,3 +615,4 @@ let metrics t =
       { name = "serve.queue_ms"; help = "admission queue wait";
         hist = t.queue_wait };
   ]
+  @ Transport.metrics t.transport

@@ -134,4 +134,12 @@ val latency_histogram : t -> Obs.Histogram.t
 val queue_histogram : t -> Obs.Histogram.t
 val problem : t -> Gssl.Problem.t
 val breaker : t -> Breaker.t
+val clock : t -> Clock.t
+val config : t -> config
+
+val transport : t -> Transport.t
+(** The engine's transport counters — incremented by the socket
+    front-end ([lib/net]) and folded into {!metrics} as
+    [serve.transport.*]. *)
+
 val status_name : status -> string
