@@ -2,7 +2,8 @@
 
 .PHONY: build test test-random test-domains1 test-tune-off tune-smoke \
 	fault-smoke soak-smoke bench-smoke bench-par bench bench-check \
-	bench-snapshot trace-smoke obs-smoke transport-smoke ci clean
+	bench-snapshot trace-smoke obs-smoke transport-smoke scale-smoke \
+	ci clean
 
 # Baseline report for the bench regression gate (see bench-check).
 BASELINE ?= BENCH_baseline.json
@@ -151,9 +152,18 @@ transport-smoke:
 	test $$rc -eq 0 || { echo "transport-smoke: drain exited $$rc"; exit 1; }; \
 	echo "transport-smoke: drain exit 0"
 
+# Scaling smoke: the million-vertex pipeline at a reduced, pinned-seed
+# size — ANN graph build under the recall floor, heavy-edge coarsening,
+# and the multigrid-preconditioned hard solve raced against flat CG.
+# `repro scale` exits non-zero if any scaling contract (recall floor,
+# iteration reduction, solver agreement) is violated.
+scale-smoke:
+	dune build bin/repro.exe
+	./_build/default/bin/repro.exe scale --count 12000 --seed 11 > /dev/null
+
 ci: build test test-domains1 test-tune-off test-random tune-smoke \
 	fault-smoke soak-smoke bench-smoke bench-par bench-check trace-smoke \
-	obs-smoke transport-smoke
+	obs-smoke transport-smoke scale-smoke
 
 clean:
 	dune clean

@@ -386,10 +386,39 @@ module Profile = struct
     in
     Gssl.Problem.make ~graph:(Graph.Weighted_graph.of_sparse w) ~labels
 
+  (* Like [knn_problem] but the graph comes from the randomized-tree ANN
+     path, so fixture construction stays far from O(n²) at the sizes the
+     multigrid phases run at. *)
+  let approx_knn_problem ~seed ~count ~n_labeled ~k =
+    let rng = Prng.Rng.create seed in
+    let samples =
+      Dataset.Synthetic.sample_many rng Dataset.Synthetic.Model1 count
+    in
+    let points = Array.map (fun s -> s.Dataset.Synthetic.x) samples in
+    let labels =
+      Array.init n_labeled (fun i -> samples.(i).Dataset.Synthetic.y)
+    in
+    let h = Kernel.Bandwidth.paper_rate ~d:5 n_labeled in
+    let w, _info =
+      Kernel.Similarity.knn_approx ~kernel:Kernel.Kernel_fn.Rbf ~bandwidth:h
+        ~k ~seed:(seed lxor 0x5ca1e) points
+    in
+    Gssl.Problem.make ~graph:(Graph.Weighted_graph.of_sparse w) ~labels
+
   let report ~smoke () =
     let n, m, knn_count, knn_k =
       if smoke then (40, 40, 150, 10) else (150, 150, 800, 12)
     in
+    (* scaling-layer sizes: ann_n sits above the ANN exact-cutoff so the
+       ann_build phase takes the tree path while knn_exact_build pays the
+       O(n²) reference cost on the same points; mg_n is the
+       low-label-rate solve the V-cycle preconditioner exists for;
+       scale_n is the end-to-end graph-build + multigrid-solve pipeline
+       (10⁶ vertices in profile mode). *)
+    let ann_n = if smoke then 3000 else 8000 in
+    let ann_k = 8 in
+    let mg_n = if smoke then 4000 else 100_000 in
+    let scale_n = if smoke then 20_000 else 1_000_000 in
     (* serial-vs-parallel kernel phases: run both legs over one fixture,
        assert the parallel leg is bit-identical to the serial one, and
        report the wall-clock ratio (meaningful only on multicore boxes;
@@ -491,6 +520,34 @@ module Profile = struct
     in
     let soak_summary = ref None in
     let journal_summary = ref None in
+    (* scaling fixtures: one point cloud shared by the ANN-vs-exact
+       graph-build race; one low-label-rate kNN problem shared by the
+       flat-vs-multigrid CG race; raw points + labels for the end-to-end
+       pipeline (there the graph build happens inside the phase, because
+       build cost is part of what scale_1m measures) *)
+    let ann_points =
+      Array.map
+        (fun s -> s.Dataset.Synthetic.x)
+        (synthetic_samples ~seed:101 ~model:Dataset.Synthetic.Model1
+           ~count:ann_n)
+    in
+    let ann_h = Kernel.Bandwidth.paper_rate ~d:5 ann_n in
+    let mg_problem =
+      approx_knn_problem ~seed:102 ~count:mg_n
+        ~n_labeled:(Stdlib.max 4 (mg_n / 200)) ~k:ann_k
+    in
+    let scale_samples =
+      synthetic_samples ~seed:103 ~model:Dataset.Synthetic.Model1
+        ~count:scale_n
+    in
+    let scale_points =
+      Array.map (fun s -> s.Dataset.Synthetic.x) scale_samples
+    in
+    let scale_labeled = Stdlib.max 8 (scale_n / 1000) in
+    let scale_labels =
+      Array.init scale_labeled (fun i -> scale_samples.(i).Dataset.Synthetic.y)
+    in
+    let scale_h = Kernel.Bandwidth.paper_rate ~d:5 scale_labeled in
     Obs.Histogram.attach_to_spans ();
     T.Registry.enable ();
     let phases =
@@ -507,6 +564,45 @@ module Profile = struct
         run_phase "hard_gauss_seidel" (fun () ->
             Gssl.Scalable.solve_stationary ~tol:1e-9
               Sparse.Stationary.Gauss_seidel sparse_problem);
+        (* scaling layer: the ANN graph build races the O(n²) exact
+           build on the same points under a recall floor, the
+           multigrid-preconditioned solve races flat (Jacobi-
+           preconditioned) CG on the same low-label-rate problem under
+           an iteration-reduction contract, and scale_1m runs the whole
+           pipeline — approximate graph build plus multigrid hard solve
+           — end to end (10⁶ vertices in profile mode) *)
+        run_phase "knn_exact_build" (fun () ->
+            Kernel.Similarity.knn ~kernel:Kernel.Kernel_fn.Rbf
+              ~bandwidth:ann_h ~k:ann_k ann_points);
+        run_phase "ann_build" (fun () ->
+            let w, info =
+              Kernel.Similarity.knn_approx ~kernel:Kernel.Kernel_fn.Rbf
+                ~bandwidth:ann_h ~k:ann_k ~seed:104 ~exact_cutoff:0 ann_points
+            in
+            (match info with
+            | Kernel.Similarity.Exact ->
+                failwith "bench: ann_build took the exact path"
+            | Kernel.Similarity.Approximate { recall; _ } ->
+                if recall < 0.9 then
+                  failwith
+                    (Printf.sprintf "bench: ann_build recall probe %.3f < 0.9"
+                       recall));
+            w);
+        run_phase "flat_cg" (fun () ->
+            Gssl.Scalable.solve_hard ~tol:1e-9 ~unanchored:`Impute mg_problem);
+        run_phase "mg_cg" (fun () ->
+            Gssl.Scalable.solve_hard ~tol:1e-9 ~precond:`Multigrid
+              ~unanchored:`Impute mg_problem);
+        run_phase "scale_1m" (fun () ->
+            let w, _info =
+              Kernel.Similarity.knn_approx ~kernel:Kernel.Kernel_fn.Rbf
+                ~bandwidth:scale_h ~k:ann_k ~seed:105 scale_points
+            in
+            Gssl.Scalable.solve_hard ~tol:1e-8 ~precond:`Multigrid
+              ~unanchored:`Impute
+              (Gssl.Problem.make
+                 ~graph:(Graph.Weighted_graph.of_sparse w)
+                 ~labels:scale_labels));
         run_phase "soft_direct" (fun () ->
             Gssl.Soft.solve ~method_:Gssl.Soft.Full_cholesky ~lambda:0.1
               dense_problem);
@@ -658,15 +754,16 @@ module Profile = struct
             ]
     in
     let open T.Export in
-    let wall name =
+    let phase_field field name =
       let is_phase p =
         match member "name" p with Some (Str s) -> s = name | _ -> false
       in
       match List.find_opt is_phase phases with
-      | Some p -> (
-          match member "wall_ms" p with Some (Num v) -> v | _ -> 0.)
+      | Some p -> (match member field p with Some (Num v) -> v | _ -> 0.)
       | None -> 0.
     in
+    let wall = phase_field "wall_ms" in
+    let iters = phase_field "iterations" in
     let ratio serial par =
       let s = wall serial and p = wall par in
       if p > 0. then s /. p else 0.
@@ -695,6 +792,15 @@ module Profile = struct
             Num (contract "pairwise_serial" "pairwise_tuned" pair_tuned_par) );
           ("spmv", Num (contract "spmv_serial" "spmv_tuned" spmv_tuned_par));
           ("lambda_path", Num (ratio "lambda_path_naive" "lambda_path"));
+          (* algorithmic ratios, meaningful on any core count: the ANN
+             build must beat the O(n²) exact build on wall clock at the
+             same recall floor, and multigrid-preconditioned CG must
+             need fewer iterations than flat CG on the same system *)
+          ("ann_build", Num (ratio "knn_exact_build" "ann_build"));
+          ( "mg_cg_iters",
+            Num
+              (let f = iters "flat_cg" and m = iters "mg_cg" in
+               if m > 0. then f /. m else 0.) );
         ]
     in
     let forced_parallel =
@@ -728,6 +834,10 @@ module Profile = struct
                  ("gemm_n", Num (float_of_int gemm_n));
                  ("pairwise_points", Num (float_of_int pair_n));
                  ("spmv_points", Num (float_of_int spmv_n));
+                 ("ann_points", Num (float_of_int ann_n));
+                 ("ann_k", Num (float_of_int ann_k));
+                 ("mg_points", Num (float_of_int mg_n));
+                 ("scale_points", Num (float_of_int scale_n));
                ] );
            ("domains", Num (float_of_int par_domains));
            ("speedup", speedup);
@@ -791,7 +901,8 @@ module Profile = struct
         "pairwise_serial"; "pairwise_par"; "spmv_serial"; "spmv_par";
         "gemm_tuned"; "pairwise_tuned"; "spmv_tuned"; "soak_replay";
         "soak_journal"; "transport_replay"; "soak_p50"; "soak_p99";
-        "slo_burn"; "journal_overhead";
+        "slo_burn"; "journal_overhead"; "knn_exact_build"; "ann_build";
+        "flat_cg"; "mg_cg"; "scale_1m";
       ];
     (* the soak percentiles are virtual-clock values: they must be
        strictly positive (something was actually served) and ordered *)
@@ -837,6 +948,56 @@ module Profile = struct
     if counter (find "lambda_path_naive") "linalg.cholesky_factor" < 13. then
       failwith
         "bench smoke: naive lambda_path shared factorizations unexpectedly";
+    (* the scaling layer's contracts: the ANN phase must actually have
+       built a forest (not fallen back to the exact path), both CG
+       phases must surface their iteration counts — per phase and
+       through the cg.iterations histogram — and the multigrid-
+       preconditioned solve must need strictly fewer iterations than
+       flat CG on the same system *)
+    if counter (find "ann_build") "graph.ann.builds" < 1. then
+      failwith "bench smoke: ann_build built no ANN forest";
+    if counter (find "scale_1m") "graph.ann.builds" < 1. then
+      failwith "bench smoke: scale_1m built no ANN forest";
+    if counter (find "mg_cg") "gssl.scalable_mg_solves" < 1. then
+      failwith "bench smoke: mg_cg did not take the multigrid path";
+    let cg_iter_histogram name =
+      match member "span_ms_quantiles" (find name) with
+      | Some (Obj kvs) -> (
+          match List.assoc_opt "cg.iterations" kvs with
+          | Some (Obj fields) -> (
+              match List.assoc_opt "max" fields with
+              | Some (Num v) -> v
+              | _ ->
+                  failwith
+                    (Printf.sprintf
+                       "bench smoke: phase %S cg.iterations histogram lacks \
+                        max"
+                       name))
+          | _ ->
+              failwith
+                (Printf.sprintf
+                   "bench smoke: phase %S lacks a cg.iterations histogram"
+                   name))
+      | _ -> failwith "bench smoke: phase lacks span_ms_quantiles object"
+    in
+    let flat_iters = field "iterations" (find "flat_cg")
+    and mg_iters = field "iterations" (find "mg_cg") in
+    if flat_iters <= 0. then
+      failwith "bench smoke: flat_cg reported zero iterations";
+    if mg_iters <= 0. then
+      failwith "bench smoke: mg_cg reported zero iterations";
+    if mg_iters >= flat_iters then
+      failwith
+        (Printf.sprintf
+           "bench smoke: multigrid CG took %g iterations, flat CG %g — no \
+            iteration reduction"
+           mg_iters flat_iters);
+    if cg_iter_histogram "flat_cg" <> flat_iters then
+      failwith
+        "bench smoke: flat_cg histogram disagrees with the iteration counter";
+    if cg_iter_histogram "mg_cg" <> mg_iters then
+      failwith
+        "bench smoke: mg_cg histogram disagrees with the iteration counter";
     (* the speedup contract: every recorded ratio must be >= 1.0 —
        serial-decided kernels are exactly 1.0 by identity, and a
        parallel-decided kernel or the shared lambda-path factorization
@@ -856,7 +1017,10 @@ module Profile = struct
             | _ ->
                 failwith
                   (Printf.sprintf "bench smoke: speedup lacks field %S" k))
-          [ "gemm"; "pairwise"; "spmv"; "lambda_path" ]
+          [
+            "gemm"; "pairwise"; "spmv"; "lambda_path"; "ann_build";
+            "mg_cg_iters";
+          ]
     | _ -> failwith "bench smoke: missing speedup object");
     (* the tuned legs must have logged their dispatch decisions *)
     List.iter

@@ -1,0 +1,410 @@
+module Vec = Linalg.Vec
+module Rng = Prng.Rng
+
+(* Approximate k-nearest-neighbours via a small forest of randomized
+   projection trees with multi-probe search.
+
+   Determinism contract: the forest is built serially with a seeded
+   generator consumed in DFS order, and each query depends only on the
+   forest and its own point — so fanning queries out over the domain
+   pool is bit-identical for any domain count, like every other pooled
+   kernel.  The recall knob is enforced by measurement: the search
+   budget is escalated (doubled) until a sampled recall probe meets the
+   target; once the budget covers every leaf the search degenerates to
+   exhaustive, so the target is always reachable. *)
+
+let c_builds = Telemetry.Counter.make "graph.ann.builds"
+let c_queries = Telemetry.Counter.make "graph.ann.queries"
+let c_candidates = Telemetry.Counter.make "graph.ann.candidates"
+let c_escalations = Telemetry.Counter.make "graph.ann.escalations"
+let c_exact_fallbacks = Telemetry.Counter.make "graph.ann.exact_fallbacks"
+
+type node =
+  | Leaf of int * int  (* offset, length into the tree's [idx] *)
+  | Split of { dir : Vec.t; thr : float; left : node; right : node }
+
+type tree = { idx : int array; root : node }
+
+type t = {
+  points : Vec.t array;
+  dim : int;
+  forest : tree array;
+  leaf_size : int;
+  total_leaves : int;
+}
+
+type info = {
+  exact : bool;
+  trees : int;
+  probes : int;
+  escalations : int;
+  recall : float;
+}
+
+let validate points =
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Ann: empty data";
+  let d = Array.length points.(0) in
+  Array.iter
+    (fun p -> if Array.length p <> d then invalid_arg "Ann: ragged data")
+    points;
+  (n, d)
+
+(* random unit direction: gaussian components (Box–Muller), normalized;
+   a degenerate all-zero draw falls back to the first axis *)
+let gaussian_direction rng d =
+  let dir = Array.init d (fun _ ->
+      let u1 = 1. -. Rng.float rng in
+      let u2 = Rng.float rng in
+      sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2))
+  in
+  let norm = Vec.norm2 dir in
+  if norm > 0. then Array.map (fun x -> x /. norm) dir
+  else Array.init d (fun i -> if i = 0 then 1. else 0.)
+
+(* Split the segment [off, off+len) of [idx] at its positional median
+   along a random direction.  The permutation is ordered by
+   (projection, point index) so exact projection ties cannot make the
+   layout depend on the sort's internals. *)
+let rec build_node rng points idx off len leaf_size leaves =
+  if len <= leaf_size then begin
+    incr leaves;
+    Leaf (off, len)
+  end
+  else begin
+    let d = Array.length points.(0) in
+    let dir = gaussian_direction rng d in
+    let proj = Array.init len (fun t -> Vec.dot points.(idx.(off + t)) dir) in
+    let perm = Array.init len Fun.id in
+    Array.sort
+      (fun a b ->
+        let c = Float.compare proj.(a) proj.(b) in
+        if c <> 0 then c else compare idx.(off + a) idx.(off + b))
+      perm;
+    let tmp = Array.init len (fun t -> idx.(off + perm.(t))) in
+    Array.blit tmp 0 idx off len;
+    let mid = len / 2 in
+    let thr = 0.5 *. (proj.(perm.(mid - 1)) +. proj.(perm.(mid))) in
+    let left = build_node rng points idx off mid leaf_size leaves in
+    let right =
+      build_node rng points idx (off + mid) (len - mid) leaf_size leaves
+    in
+    Split { dir; thr; left; right }
+  end
+
+let build ?(seed = 0x5eed) ?(trees = 3) ?(leaf_size = 24) points =
+  if trees < 1 then invalid_arg "Ann.build: trees must be >= 1";
+  if leaf_size < 1 then invalid_arg "Ann.build: leaf_size must be >= 1";
+  let n, dim = validate points in
+  Telemetry.Span.with_ "ann.build" (fun () ->
+      Telemetry.Counter.incr c_builds;
+      let rng = Rng.create seed in
+      let leaves = ref 0 in
+      let forest =
+        Array.init trees (fun t ->
+            let tree_rng = Rng.substream rng t in
+            let idx = Array.init n Fun.id in
+            let root = build_node tree_rng points idx 0 n leaf_size leaves in
+            { idx; root })
+      in
+      { points; dim; forest; leaf_size; total_leaves = !leaves })
+
+(* ---- multi-probe search ---------------------------------------- *)
+
+(* tiny binary min-heap keyed by split margin; payloads are
+   (tree index, node) pairs awaiting descent *)
+module Pq = struct
+  type 'a t = {
+    mutable keys : float array;
+    mutable data : 'a array;
+    mutable size : int;
+    dummy : 'a;
+  }
+
+  let create dummy =
+    { keys = Array.make 16 0.; data = Array.make 16 dummy; size = 0; dummy }
+
+  let push q k v =
+    if q.size = Array.length q.keys then begin
+      q.keys <- Array.append q.keys (Array.make q.size 0.);
+      q.data <- Array.append q.data (Array.make q.size q.dummy)
+    end;
+    let i = ref q.size in
+    q.size <- q.size + 1;
+    q.keys.(!i) <- k;
+    q.data.(!i) <- v;
+    while
+      !i > 0
+      &&
+      let p = (!i - 1) / 2 in
+      q.keys.(p) > q.keys.(!i)
+    do
+      let p = (!i - 1) / 2 in
+      let tk = q.keys.(p) and tv = q.data.(p) in
+      q.keys.(p) <- q.keys.(!i);
+      q.data.(p) <- q.data.(!i);
+      q.keys.(!i) <- tk;
+      q.data.(!i) <- tv;
+      i := p
+    done
+
+  let pop_min q =
+    if q.size = 0 then None
+    else begin
+      let v = q.data.(0) in
+      q.size <- q.size - 1;
+      q.keys.(0) <- q.keys.(q.size);
+      q.data.(0) <- q.data.(q.size);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let m = ref !i in
+        if l < q.size && q.keys.(l) < q.keys.(!m) then m := l;
+        if r < q.size && q.keys.(r) < q.keys.(!m) then m := r;
+        if !m = !i then continue := false
+        else begin
+          let tk = q.keys.(!m) and tv = q.data.(!m) in
+          q.keys.(!m) <- q.keys.(!i);
+          q.data.(!m) <- q.data.(!i);
+          q.keys.(!i) <- tk;
+          q.data.(!i) <- tv;
+          i := !m
+        end
+      done;
+      Some v
+    end
+end
+
+(* Collect candidate indices: seed the queue with every tree root at
+   margin 0, descend each popped node to a leaf — pushing the far child
+   of every split, keyed by the query's distance to the splitting
+   hyperplane — and stop after [budget] leaf visits.  When [budget]
+   covers [total_leaves] every point becomes a candidate, which is the
+   exhaustive limit the escalation loop relies on. *)
+let collect_candidates index q ~budget buf =
+  let nbuf = ref 0 in
+  let ensure need =
+    if Array.length !buf < need then begin
+      let grown = Array.make (max need (2 * Array.length !buf)) 0 in
+      Array.blit !buf 0 grown 0 !nbuf;
+      buf := grown
+    end
+  in
+  let pq = Pq.create (-1, index.forest.(0).root) in
+  Array.iteri (fun t tree -> Pq.push pq 0. (t, tree.root)) index.forest;
+  let visited = ref 0 in
+  let continue = ref true in
+  while !continue && !visited < budget do
+    match Pq.pop_min pq with
+    | None -> continue := false
+    | Some (t, node) ->
+        let idx = index.forest.(t).idx in
+        let rec descend node =
+          match node with
+          | Leaf (off, len) ->
+              incr visited;
+              ensure (!nbuf + len);
+              Array.blit idx off !buf !nbuf len;
+              nbuf := !nbuf + len
+          | Split { dir; thr; left; right } ->
+              let s = Vec.dot q dir -. thr in
+              let near, far = if s < 0. then (left, right) else (right, left) in
+              Pq.push pq (abs_float s) (t, far);
+              descend near
+        in
+        descend node
+  done;
+  !nbuf
+
+(* Select the [k] nearest of the (sorted, deduplicated) candidates by
+   the total order (distance², index).  Returns [None] when fewer than
+   [k] distinct candidates survive — the caller falls back to exact. *)
+let select_k points q ~exclude ~k buf ncand =
+  let cand = Array.sub buf 0 ncand in
+  Array.sort compare cand;
+  let uniq = ref 0 in
+  Array.iter (fun j ->
+      if j <> exclude && (!uniq = 0 || cand.(!uniq - 1) <> j) then begin
+        cand.(!uniq) <- j;
+        incr uniq
+      end)
+    cand;
+  let m = !uniq in
+  if m < k then None
+  else begin
+    let d2 = Array.init m (fun t -> Vec.dist2_sq points.(cand.(t)) q) in
+    let perm = Array.init m Fun.id in
+    Array.sort
+      (fun a b ->
+        let c = Float.compare d2.(a) d2.(b) in
+        if c <> 0 then c else compare cand.(a) cand.(b))
+      perm;
+    Some (Array.init k (fun t -> cand.(perm.(t))))
+  end
+
+(* exact k-nearest of point [i] under the same (distance², index) total
+   order the approximate path uses, so recall comparisons are
+   unambiguous even with tied distances *)
+let exact_k_nearest points n k i =
+  let d2 = Array.init n (fun j -> Vec.dist2_sq points.(j) points.(i)) in
+  let order = Array.init n Fun.id in
+  Array.sort
+    (fun a b ->
+      let c = Float.compare d2.(a) d2.(b) in
+      if c <> 0 then c else compare a b)
+    order;
+  let out = Array.make k 0 in
+  let filled = ref 0 and pos = ref 0 in
+  while !filled < k do
+    let j = order.(!pos) in
+    if j <> i then begin
+      out.(!filled) <- j;
+      incr filled
+    end;
+    incr pos
+  done;
+  out
+
+let query_point index i ~budget ~k buf =
+  Telemetry.Counter.incr c_queries;
+  let q = index.points.(i) in
+  let ncand = collect_candidates index q ~budget buf in
+  Telemetry.Counter.add c_candidates ncand;
+  match select_k index.points q ~exclude:i ~k !buf ncand with
+  | Some out -> out
+  | None ->
+      (* not enough distinct candidates (tiny budget / heavy duplicate
+         overlap between trees): answer exactly for this point *)
+      Telemetry.Counter.incr c_exact_fallbacks;
+      exact_k_nearest index.points (Array.length index.points) k i
+
+let query index ?(probes = 12) q k =
+  let n = Array.length index.points in
+  if k < 0 || k > n then invalid_arg "Ann.query: k out of range";
+  if Array.length q <> index.dim then invalid_arg "Ann.query: dimension mismatch";
+  if k = 0 then [||]
+  else begin
+    Telemetry.Counter.incr c_queries;
+    let buf = ref (Array.make (max 16 (probes * index.leaf_size)) 0) in
+    let ncand = collect_candidates index q ~budget:(max 1 probes) buf in
+    Telemetry.Counter.add c_candidates ncand;
+    match select_k index.points q ~exclude:(-1) ~k !buf ncand with
+    | Some out -> out
+    | None ->
+        Telemetry.Counter.incr c_exact_fallbacks;
+        let d2 = Array.init n (fun j -> Vec.dist2_sq index.points.(j) q) in
+        let order = Array.init n Fun.id in
+        Array.sort
+          (fun a b ->
+            let c = Float.compare d2.(a) d2.(b) in
+            if c <> 0 then c else compare a b)
+          order;
+        Array.sub order 0 k
+  end
+
+(* measured recall of the current budget on a fixed sample of queries:
+   |approx ∩ exact| / (k · #sample), with the exact sets computed once *)
+let sample_recall index ~budget ~k sample exact_sets =
+  let hits = ref 0 in
+  let buf = ref (Array.make (max 16 (budget * index.leaf_size)) 0) in
+  Array.iteri
+    (fun s i ->
+      let approx = query_point index i ~budget ~k buf in
+      let exact = exact_sets.(s) in
+      Array.iter
+        (fun j -> if Array.exists (fun e -> e = j) exact then incr hits)
+        approx)
+    sample;
+  float_of_int !hits /. float_of_int (k * Array.length sample)
+
+let plan_queries n ~budget ~leaf_size =
+  Parallel.Autotune.plan Parallel.Autotune.Pairwise
+    ~work:(n * budget * leaf_size) ~rows:n
+
+let all_k_nearest ?seed ?trees ?leaf_size ?(probes = 4)
+    ?(recall_target = 0.9) ?(recall_sample = 64) ?(exact_cutoff = 2048)
+    points k =
+  let n, _d = validate points in
+  if k < 0 || k >= n then invalid_arg "Ann.all_k_nearest: k must be < n";
+  if recall_target < 0. || recall_target > 1. then
+    invalid_arg "Ann.all_k_nearest: recall_target must be in [0, 1]";
+  if probes < 1 then invalid_arg "Ann.all_k_nearest: probes must be >= 1";
+  if k = 0 then
+    ( Array.make n [||],
+      { exact = true; trees = 0; probes = 0; escalations = 0; recall = 1. } )
+  else if n <= exact_cutoff then begin
+    (* small n: the exact Pairwise-style path, fanned out like the
+       pairwise kernel itself *)
+    Telemetry.Counter.incr c_exact_fallbacks;
+    let out = Array.make n [||] in
+    let rows lo hi =
+      for i = lo to hi - 1 do
+        out.(i) <- exact_k_nearest points n k i
+      done
+    in
+    (let { Parallel.Autotune.parallel = go_par; grain } =
+       Parallel.Autotune.plan Parallel.Autotune.Pairwise ~work:(n * n) ~rows:n
+     in
+     if go_par then Parallel.Pool.run ?grain n rows else rows 0 n);
+    ( out,
+      { exact = true; trees = 0; probes = 0; escalations = 0; recall = 1. } )
+  end
+  else begin
+    let index = build ?seed ?trees ?leaf_size points in
+    Telemetry.Span.with_ "ann.search" (fun () ->
+        let ntrees = Array.length index.forest in
+        (* recall probe sample (and its exact answers) is fixed up front,
+           derived from the same seed as the forest *)
+        let sample_size = min n (max 1 recall_sample) in
+        let sample_rng =
+          Rng.substream (Rng.create (Option.value seed ~default:0x5eed)) 7919
+        in
+        let sample =
+          Rng.sample_without_replacement sample_rng sample_size n
+        in
+        let exact_sets = Array.make sample_size [||] in
+        (let rows lo hi =
+           for s = lo to hi - 1 do
+             exact_sets.(s) <- exact_k_nearest points n k sample.(s)
+           done
+         in
+         let { Parallel.Autotune.parallel = go_par; grain } =
+           Parallel.Autotune.plan Parallel.Autotune.Pairwise
+             ~work:(sample_size * n) ~rows:sample_size
+         in
+         if go_par then Parallel.Pool.run ?grain sample_size rows
+         else rows 0 sample_size);
+        (* escalate the leaf-visit budget until the sampled recall meets
+           the target; at total_leaves the search is exhaustive, so the
+           loop always terminates with recall 1.0 in the worst case *)
+        let budget = ref (min index.total_leaves (ntrees * probes)) in
+        let escalations = ref 0 in
+        let recall = ref (sample_recall index ~budget:!budget ~k sample exact_sets) in
+        while !recall < recall_target && !budget < index.total_leaves do
+          budget := min index.total_leaves (2 * !budget);
+          incr escalations;
+          Telemetry.Counter.incr c_escalations;
+          recall := sample_recall index ~budget:!budget ~k sample exact_sets
+        done;
+        (* commit: run every query at the final budget, in parallel *)
+        let out = Array.make n [||] in
+        let rows lo hi =
+          let buf = ref (Array.make (max 16 (!budget * index.leaf_size)) 0) in
+          for i = lo to hi - 1 do
+            out.(i) <- query_point index i ~budget:!budget ~k buf
+          done
+        in
+        (let { Parallel.Autotune.parallel = go_par; grain } =
+           plan_queries n ~budget:!budget ~leaf_size:index.leaf_size
+         in
+         if go_par then Parallel.Pool.run ?grain n rows else rows 0 n);
+        ( out,
+          {
+            exact = false;
+            trees = ntrees;
+            probes = !budget;
+            escalations = !escalations;
+            recall = !recall;
+          } ))
+  end

@@ -1,0 +1,79 @@
+(** Approximate k-nearest-neighbours via randomized projection trees
+    with multi-probe search.
+
+    A forest of trees recursively splits the point set at the positional
+    median of a random-direction projection; a query descends every tree
+    and then probes further leaves in order of the query's distance to
+    the splitting hyperplanes (a shared priority queue across trees).
+    Candidates from the visited leaves are ranked exactly, so the only
+    approximation is which points become candidates.
+
+    {2 Determinism}
+
+    The forest build is serial and seeded; each query depends only on
+    the forest and its own point, so the query fan-out over the domain
+    pool (routed through [Parallel.Autotune], work measure
+    [n · budget · leaf_size]) is bit-identical for any domain count —
+    the same contract as every other pooled kernel.
+
+    {2 Recall model}
+
+    [all_k_nearest] measures recall on a fixed sample of queries against
+    the exact answers and doubles the leaf-visit budget until the
+    measured recall reaches [recall_target].  Once the budget covers
+    every leaf the search is exhaustive (every point is a candidate), so
+    the escalation loop always terminates — the target is reachable by
+    construction, not by luck.  Small inputs ([n <= exact_cutoff]) skip
+    the forest entirely and take the exact pairwise path. *)
+
+type t
+(** A built index over a fixed point set. *)
+
+type info = {
+  exact : bool;  (** the exact path answered (small [n] or [k = 0]) *)
+  trees : int;
+  probes : int;
+      (** final leaf-visit budget per query, after any escalations *)
+  escalations : int;
+      (** how many times the budget was doubled to reach the target *)
+  recall : float;
+      (** measured recall on the probe sample (1.0 on the exact path) *)
+}
+
+val build : ?seed:int -> ?trees:int -> ?leaf_size:int -> Linalg.Vec.t array -> t
+(** [build points] constructs the forest ([trees] defaults to 3,
+    [leaf_size] to 24, [seed] to a fixed constant).  Raises
+    [Invalid_argument] on empty or ragged data. *)
+
+val query : t -> ?probes:int -> Linalg.Vec.t -> int -> int array
+(** [query index q k] returns the indices of the approximate [k] nearest
+    points to an arbitrary query vector, ranked by (distance², index).
+    [probes] (default 12) bounds the leaf visits.  Falls back to an
+    exact scan when the probed leaves yield fewer than [k] distinct
+    candidates.  Raises [Invalid_argument] on dimension mismatch or
+    [k] out of range. *)
+
+val all_k_nearest :
+  ?seed:int ->
+  ?trees:int ->
+  ?leaf_size:int ->
+  ?probes:int ->
+  ?recall_target:float ->
+  ?recall_sample:int ->
+  ?exact_cutoff:int ->
+  Linalg.Vec.t array ->
+  int ->
+  int array array * info
+(** [all_k_nearest points k] returns each point's [k] approximate
+    nearest neighbours (self excluded, ranked by (distance², index))
+    plus an {!info} describing how the answer was produced.
+
+    [probes] (default 4) is the initial per-tree leaf-visit budget;
+    [recall_target] (default 0.9) the measured-recall threshold the
+    escalation loop enforces on a [recall_sample]-point probe (default
+    64 queries); [exact_cutoff] (default 2048) the size at or below
+    which the exact pairwise path answers directly.  Counters:
+    [graph.ann.builds], [graph.ann.queries], [graph.ann.candidates],
+    [graph.ann.escalations], [graph.ann.exact_fallbacks]; spans:
+    [ann.build], [ann.search].  Raises [Invalid_argument] unless
+    [0 <= k < n] and [0 <= recall_target <= 1]. *)

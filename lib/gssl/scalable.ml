@@ -2,6 +2,8 @@ module Vec = Linalg.Vec
 
 let c_solves = Telemetry.Counter.make "gssl.scalable_solves"
 let c_stationary_solves = Telemetry.Counter.make "gssl.scalable_stationary_solves"
+let c_mg_solves = Telemetry.Counter.make "gssl.scalable_mg_solves"
+let c_imputed = Telemetry.Counter.make "gssl.scalable_imputed"
 
 let check_anchored problem =
   let comps = Graph.Connectivity.components problem.Problem.graph in
@@ -65,49 +67,151 @@ let system_csr problem =
       else if j < n && i >= n then rhs.(i - n) <- rhs.(i - n) +. (w *. y.(j)));
   (Sparse.Csr.of_coo coo, rhs)
 
-let solve ?(tol = 1e-10) ?max_iter ?(observe = false) problem =
+(* Which unlabeled vertices live in a component that carries at least
+   one label.  [mask.(a)] indexes the unlabeled block. *)
+let anchored_mask problem =
+  let comps = Graph.Connectivity.components problem.Problem.graph in
+  let n = Problem.n_labeled problem in
+  let total = Problem.size problem in
+  let anchored = Hashtbl.create 8 in
+  for i = 0 to n - 1 do
+    Hashtbl.replace anchored comps.(i) ()
+  done;
+  Array.init (total - n) (fun a -> Hashtbl.mem anchored comps.(n + a))
+
+(* Restrict the fused system to the anchored unlabeled vertices.  Exact,
+   not approximate: unanchored components share no edges with anchored
+   ones, so dropping their rows/columns decouples nothing. *)
+let restrict_system w22 deg b mask =
+  let m = Array.length mask in
+  let sel = Array.make m (-1) in
+  let count = ref 0 in
+  for a = 0 to m - 1 do
+    if mask.(a) then begin
+      sel.(a) <- !count;
+      incr count
+    end
+  done;
+  let ms = !count in
+  let coo = Sparse.Coo.create ms ms in
+  for a = 0 to m - 1 do
+    if mask.(a) then
+      Sparse.Csr.iter_row w22 a (fun c w ->
+          if mask.(c) then Sparse.Coo.add coo sel.(a) sel.(c) w)
+  done;
+  let sdeg = Vec.zeros ms and sb = Vec.zeros ms in
+  for a = 0 to m - 1 do
+    if mask.(a) then begin
+      sdeg.(sel.(a)) <- deg.(a);
+      sb.(sel.(a)) <- b.(a)
+    end
+  done;
+  (Sparse.Csr.of_coo coo, sdeg, sb, sel)
+
+let solve_hard ?(tol = 1e-10) ?max_iter ?(observe = false)
+    ?(precond = `Jacobi) ?should_stop ?(unanchored = `Raise) problem =
   Telemetry.Span.with_ "gssl.scalable_solve" @@ fun () ->
   Telemetry.Counter.incr c_solves;
-  if Problem.n_unlabeled problem = 0 then [||]
+  (match precond with
+  | `Multigrid -> Telemetry.Counter.incr c_mg_solves
+  | `Jacobi -> ());
+  let m_all = Problem.n_unlabeled problem in
+  if m_all = 0 then [||]
   else begin
-    check_anchored problem;
-    let w22, deg, b = system_lap problem in
-    let m = Vec.dim b in
-    let op =
-      Sparse.Linop.of_fun ~dim:m
-        ~diag:(fun () ->
-          let wd = Sparse.Csr.diagonal w22 in
-          Array.init m (fun i -> deg.(i) -. wd.(i)))
-        (fun x -> Sparse.Csr.lap_mv w22 ~deg x)
+    let mask =
+      match unanchored with
+      | `Raise ->
+          check_anchored problem;
+          Array.make m_all true
+      | `Impute -> anchored_mask problem
     in
-    if not observe then Sparse.Cg.solve_exn ~tol ?max_iter op b
-    else begin
-      let out = Sparse.Cg.solve ~tol ?max_iter op b in
-      let convergence =
-        Obs.Health.convergence ~iterations:out.Sparse.Cg.iterations
-          ~final_residual:out.Sparse.Cg.residual_norm
-          ~best_residual:out.Sparse.Cg.best_residual
-          ~converged:out.Sparse.Cg.converged
-      in
-      let cond =
-        (* matrix-free estimate: power iteration on the operator and on
-           its inverse through an uncapped preconditioned CG solve *)
-        Obs.Health.cond_estimate ~dim:(Vec.dim b) ~apply:op.Sparse.Linop.apply
-          ~solve:(fun v ->
-            (Sparse.Cg.solve ~precondition:true op v).Sparse.Cg.solution)
-          ()
-      in
-      let cert =
-        Obs.Health.certify ~system:"gssl.scalable" ~rung:"cg" ~cond
-          ~convergence ~apply:op.Sparse.Linop.apply ~b out.Sparse.Cg.solution
-      in
-      Obs.Health.record cert;
-      (* certificate recorded even when the solve failed; then enforce
-         the same contract as the unobserved path *)
-      Sparse.Cg.ensure_converged op b out;
-      out.Sparse.Cg.solution
-    end
+    let w22, deg, b = system_lap problem in
+    let w22, deg, b, sel =
+      if Array.for_all Fun.id mask then (w22, deg, b, None)
+      else begin
+        let w, d, rhs, sel = restrict_system w22 deg b mask in
+        (w, d, rhs, Some sel)
+      end
+    in
+    let m = Vec.dim b in
+    let solution =
+      if m = 0 then [||]
+      else begin
+        let op =
+          Sparse.Linop.of_fun ~dim:m
+            ~diag:(fun () ->
+              let wd = Sparse.Csr.diagonal w22 in
+              Array.init m (fun i -> deg.(i) -. wd.(i)))
+            (fun x -> Sparse.Csr.lap_mv w22 ~deg x)
+        in
+        let precond_apply =
+          match precond with
+          | `Jacobi -> None
+          | `Multigrid ->
+              let mg = Sparse.Multigrid.build ~w:w22 ~diag:deg () in
+              Some (Sparse.Multigrid.precondition mg)
+        in
+        if not observe then begin
+          let out =
+            Sparse.Cg.solve ~tol ?max_iter ?precond_apply ?should_stop op b
+          in
+          Sparse.Cg.ensure_converged op b out;
+          out.Sparse.Cg.solution
+        end
+        else begin
+          let out =
+            Sparse.Cg.solve ~tol ?max_iter ?precond_apply ?should_stop op b
+          in
+          let convergence =
+            Obs.Health.convergence ~iterations:out.Sparse.Cg.iterations
+              ~final_residual:out.Sparse.Cg.residual_norm
+              ~best_residual:out.Sparse.Cg.best_residual
+              ~converged:out.Sparse.Cg.converged
+          in
+          let cond =
+            (* matrix-free estimate: power iteration on the operator and on
+               its inverse through an uncapped preconditioned CG solve *)
+            Obs.Health.cond_estimate ~dim:(Vec.dim b)
+              ~apply:op.Sparse.Linop.apply
+              ~solve:(fun v ->
+                (Sparse.Cg.solve ~precondition:true op v).Sparse.Cg.solution)
+              ()
+          in
+          let rung =
+            match precond with `Jacobi -> "cg" | `Multigrid -> "mg_cg"
+          in
+          let cert =
+            Obs.Health.certify ~system:"gssl.scalable" ~rung ~cond ~convergence
+              ~apply:op.Sparse.Linop.apply ~b out.Sparse.Cg.solution
+          in
+          Obs.Health.record cert;
+          (* certificate recorded even when the solve failed; then enforce
+             the same contract as the unobserved path *)
+          Sparse.Cg.ensure_converged op b out;
+          out.Sparse.Cg.solution
+        end
+      end
+    in
+    match sel with
+    | None -> solution
+    | Some sel ->
+        (* unanchored vertices carry no information from the labels: fill
+           them with the labeled mean, the hard criterion's degenerate
+           limit for an unanchored component (Prop II.2) *)
+        let ybar = Stats.Descriptive.mean problem.Problem.labels in
+        let out =
+          Array.init m_all (fun a ->
+              if sel.(a) >= 0 then solution.(sel.(a))
+              else begin
+                Telemetry.Counter.incr c_imputed;
+                ybar
+              end)
+        in
+        out
   end
+
+let solve ?tol ?max_iter ?observe problem =
+  solve_hard ?tol ?max_iter ?observe problem
 
 let solve_stationary ?(tol = 1e-10) ?max_iter method_ problem =
   Telemetry.Span.with_ "gssl.scalable_stationary_solve" @@ fun () ->

@@ -29,6 +29,36 @@ val solve :
     summary) — on a failed solve the certificate is recorded {e before}
     the [Failure] is raised, so the stagnation evidence survives. *)
 
+val solve_hard :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?observe:bool ->
+  ?precond:[ `Jacobi | `Multigrid ] ->
+  ?should_stop:(unit -> bool) ->
+  ?unanchored:[ `Raise | `Impute ] ->
+  Problem.t ->
+  Linalg.Vec.t
+(** The full-control hard-criterion solve ({!solve} is this with all
+    defaults).
+
+    [precond] selects the CG preconditioner: [`Jacobi] (default, the
+    operator diagonal) or [`Multigrid] — a symmetric V-cycle over a
+    heavy-edge coarsening hierarchy ({!Sparse.Multigrid}), built once
+    per call and plugged into [Cg.solve ~precond_apply], so the
+    cooperative-abort hook ([should_stop], how per-request deadlines
+    reach a running solve) and the [cg.solve] trace spans behave
+    identically under both preconditioners.
+
+    [unanchored] selects the policy for unlabeled components carrying
+    no label: [`Raise] (default) raises {!Hard.Unanchored_unlabeled}
+    like {!solve}; [`Impute] solves the anchored subsystem exactly
+    (unanchored components share no edges with it, so the restriction
+    loses nothing) and fills unanchored vertices with the labeled mean —
+    the hard criterion's degenerate limit for such components
+    (Prop II.2).  Imputed vertices are counted on
+    [gssl.scalable_imputed]; multigrid solves on
+    [gssl.scalable_mg_solves]. *)
+
 val solve_stationary :
   ?tol:float -> ?max_iter:int -> Sparse.Stationary.method_ -> Problem.t -> Linalg.Vec.t
 (** Same system solved by a stationary iteration (Jacobi = classic label

@@ -33,6 +33,87 @@ let knn ~kernel ~bandwidth ~k points =
   done;
   Sparse.Csr.of_coo coo
 
+type knn_info =
+  | Exact
+  | Approximate of {
+      recall : float;
+      probes : int;
+      escalations : int;
+      trees : int;
+    }
+
+let knn_approx ~kernel ~bandwidth ~k ?seed ?trees ?recall_target
+    ?(exact_cutoff = 2048) points =
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Similarity.knn_approx: empty data";
+  if k <= 0 || k >= n then
+    invalid_arg "Similarity.knn_approx: k must lie in [1, n-1]";
+  if n <= exact_cutoff then (knn ~kernel ~bandwidth ~k points, Exact)
+  else begin
+    let nb, info =
+      Graph.Ann.all_k_nearest ?seed ?trees ?recall_target ~exact_cutoff
+        points k
+    in
+    (* sparse mutual-or symmetrisation: the union adjacency is laid out
+       in one flat counting-sort pass (O(n·k) memory, never the O(n²)
+       boolean matrix of the exact path), then each row segment is
+       sorted and deduplicated.  Each unordered pair's weight is
+       evaluated once and written to both triangles, so the matrix is
+       exactly symmetric. *)
+    let cnt = Array.make n 0 in
+    Array.iteri
+      (fun i nbi ->
+        Array.iter
+          (fun j ->
+            cnt.(i) <- cnt.(i) + 1;
+            cnt.(j) <- cnt.(j) + 1)
+          nbi)
+      nb;
+    let off = Array.make (n + 1) 0 in
+    for i = 0 to n - 1 do
+      off.(i + 1) <- off.(i) + cnt.(i)
+    done;
+    let adj = Array.make off.(n) 0 in
+    let cursor = Array.sub off 0 n in
+    Array.iteri
+      (fun i nbi ->
+        Array.iter
+          (fun j ->
+            adj.(cursor.(i)) <- j;
+            cursor.(i) <- cursor.(i) + 1;
+            adj.(cursor.(j)) <- i;
+            cursor.(j) <- cursor.(j) + 1)
+          nbi)
+      nb;
+    let coo = Sparse.Coo.create n n in
+    for i = 0 to n - 1 do
+      Sparse.Coo.add coo i i
+        (Kernel_fn.eval kernel ~bandwidth points.(i) points.(i));
+      let seg = Array.sub adj off.(i) cnt.(i) in
+      Array.sort compare seg;
+      let prev = ref (-1) in
+      Array.iter
+        (fun j ->
+          if j <> !prev then begin
+            prev := j;
+            if j > i then begin
+              let w = Kernel_fn.eval kernel ~bandwidth points.(i) points.(j) in
+              Sparse.Coo.add coo i j w;
+              Sparse.Coo.add coo j i w
+            end
+          end)
+        seg
+    done;
+    ( Sparse.Csr.of_coo coo,
+      Approximate
+        {
+          recall = info.Graph.Ann.recall;
+          probes = info.Graph.Ann.probes;
+          escalations = info.Graph.Ann.escalations;
+          trees = info.Graph.Ann.trees;
+        } )
+  end
+
 let epsilon ~kernel ~bandwidth ~radius points =
   let n = Array.length points in
   if n = 0 then invalid_arg "Similarity.epsilon: empty data";

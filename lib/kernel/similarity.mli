@@ -29,6 +29,37 @@ val knn :
     entries are kept (self-similarity).  Raises [Invalid_argument] if
     [k <= 0] or [k >= n]. *)
 
+type knn_info =
+  | Exact  (** the exact [knn] path answered (small [n]) *)
+  | Approximate of {
+      recall : float;  (** measured on the ANN probe sample *)
+      probes : int;  (** final leaf-visit budget per query *)
+      escalations : int;
+      trees : int;
+    }
+
+val knn_approx :
+  kernel:Kernel_fn.t ->
+  bandwidth:float ->
+  k:int ->
+  ?seed:int ->
+  ?trees:int ->
+  ?recall_target:float ->
+  ?exact_cutoff:int ->
+  Linalg.Vec.t array ->
+  Sparse.Csr.t * knn_info
+(** Scalable variant of {!knn}: inputs at or below [exact_cutoff]
+    points (default 2048) take the exact path and return [Exact];
+    larger inputs build the graph from [Graph.Ann] approximate
+    neighbour lists (randomized projection trees with multi-probe
+    search, escalated until the measured recall reaches
+    [recall_target], default 0.9) with an O(n·k)-memory
+    symmetrisation — never the O(n²) boolean matrix of the exact path.
+    The result is exactly symmetric with K(0) self-similarities on the
+    diagonal, matching {!knn}'s conventions, and deterministic for any
+    domain count.  Raises [Invalid_argument] under {!knn}'s
+    conditions. *)
+
 val epsilon :
   kernel:Kernel_fn.t ->
   bandwidth:float ->

@@ -30,7 +30,7 @@ let recompute_true_residual op b x =
   else None
 
 let solve_impl ?x0 ?(tol = 1e-10) ?max_iter ?(precondition = true)
-    ?(should_stop = fun () -> false) (op : Linop.t) b =
+    ?precond_apply ?(should_stop = fun () -> false) (op : Linop.t) b =
   let n = op.Linop.dim in
   if Array.length b <> n then invalid_arg "Cg.solve: length mismatch";
   let max_iter = match max_iter with Some k -> k | None -> 10 * n in
@@ -39,12 +39,22 @@ let solve_impl ?x0 ?(tol = 1e-10) ?max_iter ?(precondition = true)
     invalid_arg "Cg.solve: x0 length mismatch";
   Telemetry.Counter.incr c_solves;
   let inv_diag =
-    if precondition then
+    if precondition && Option.is_none precond_apply then
       Some (Array.map (fun d -> if abs_float d > 1e-300 then 1. /. d else 1.) (op.Linop.diag ()))
     else None
   in
   let apply_precond r =
-    match inv_diag with None -> Vec.copy r | Some m -> Vec.mul m r
+    (* a caller-supplied preconditioner (e.g. a multigrid V-cycle) takes
+       precedence over the built-in Jacobi diagonal; it must apply a fixed
+       SPD operator for the PCG recurrences to stay valid *)
+    match precond_apply with
+    | Some f when precondition ->
+        let z = f r in
+        if Array.length z <> n then
+          invalid_arg "Cg.solve: precond_apply changed the dimension";
+        z
+    | _ -> (
+        match inv_diag with None -> Vec.copy r | Some m -> Vec.mul m r)
   in
   let b_norm = Vec.norm2 b in
   if b_norm = 0. then begin
@@ -123,7 +133,7 @@ let solve_impl ?x0 ?(tol = 1e-10) ?max_iter ?(precondition = true)
       converged; breakdown = !breakdown; aborted = !aborted }
   end
 
-let solve ?x0 ?tol ?max_iter ?precondition ?should_stop op b =
+let solve ?x0 ?tol ?max_iter ?precondition ?precond_apply ?should_stop op b =
   Telemetry.Span.with_ "cg.solve" (fun () ->
       (* also a span on the ambient request trace (when a serve-layer
          Trace_ctx is installed), annotated with the solve's outcome *)
@@ -131,8 +141,12 @@ let solve ?x0 ?tol ?max_iter ?precondition ?should_stop op b =
         ~fields:[ ("dim", Obs.Event.Int op.Linop.dim) ]
         (fun () ->
           let out =
-            solve_impl ?x0 ?tol ?max_iter ?precondition ?should_stop op b
+            solve_impl ?x0 ?tol ?max_iter ?precondition ?precond_apply
+              ?should_stop op b
           in
+          (* iteration-count distribution, so benches can compare
+             preconditioned vs flat solves by iterations, not wall alone *)
+          Obs.Histogram.observe "cg.iterations" (float_of_int out.iterations);
           Obs.Trace_ctx.annotate_current
             [
               ("iterations", Obs.Event.Int out.iterations);
@@ -156,7 +170,10 @@ let ensure_converged op b (out : outcome) =
          cause n n out.iterations out.residual_norm (Vec.norm2 b))
   end
 
-let solve_exn ?x0 ?tol ?max_iter ?precondition ?should_stop op b =
-  let out = solve ?x0 ?tol ?max_iter ?precondition ?should_stop op b in
+let solve_exn ?x0 ?tol ?max_iter ?precondition ?precond_apply ?should_stop op b
+    =
+  let out =
+    solve ?x0 ?tol ?max_iter ?precondition ?precond_apply ?should_stop op b
+  in
   ensure_converged op b out;
   out.solution

@@ -36,6 +36,7 @@ val solve :
   ?tol:float ->
   ?max_iter:int ->
   ?precondition:bool ->
+  ?precond_apply:(Linalg.Vec.t -> Linalg.Vec.t) ->
   ?should_stop:(unit -> bool) ->
   Linop.t ->
   Linalg.Vec.t ->
@@ -43,7 +44,15 @@ val solve :
 (** [solve op b] runs (preconditioned) CG on [op x = b].
     [tol] (default 1e-10) is relative to [‖b‖₂]; [max_iter] defaults to
     [10 * dim]; [precondition] (default true) enables the Jacobi
-    (diagonal) preconditioner.  [should_stop] (default [fun () -> false])
+    (diagonal) preconditioner.  [precond_apply], when supplied (and
+    [precondition] is true), replaces the Jacobi diagonal entirely: each
+    iteration solves [M z = r] by calling [precond_apply r].  The
+    callback must realise a {e fixed symmetric positive-definite}
+    operator (e.g. a symmetric multigrid V-cycle) or the PCG recurrences
+    lose their convergence guarantees.  Iteration counts of every solve
+    are recorded in the ["cg.iterations"] {!Obs.Histogram} summary while
+    telemetry is enabled, so preconditioner quality is observable, not
+    just wall time.  [should_stop] (default [fun () -> false])
     is polled once per iteration {e before} any work for that iteration;
     returning [true] ends the solve cooperatively with [aborted = true]
     and the current iterate as [solution] — this is how per-request
@@ -55,6 +64,7 @@ val solve_exn :
   ?tol:float ->
   ?max_iter:int ->
   ?precondition:bool ->
+  ?precond_apply:(Linalg.Vec.t -> Linalg.Vec.t) ->
   ?should_stop:(unit -> bool) ->
   Linop.t ->
   Linalg.Vec.t ->

@@ -1,0 +1,206 @@
+module Vec = Linalg.Vec
+
+(* Heavy-edge-matching graph coarsening.
+
+   Every level stores the operator A = diag(diag) − W in the same
+   (off-diagonal weights, diagonal vector) form [Csr.lap_mv] consumes,
+   so the whole hierarchy is applied without ever assembling a
+   Laplacian.  The transfer operators are piecewise-constant
+   aggregation: P(i, c) = 1 when fine vertex i belongs to aggregate c,
+   restriction is Pᵀ, and the coarse operator is the Galerkin product
+   PᵀAP — computed directly in (W, diag) form:
+
+     W_c(c, c')  = Σ  w_ij   over cross pairs  i ∈ c, j ∈ c'
+     diag_c(c)   = Σ diag_i  −  2 · Σ w_uv     over intra pairs u, v ∈ c
+
+   which conserves the total mass 1ᵀA1 exactly at every level. *)
+
+let c_levels = Telemetry.Counter.make "sparse.coarsen.levels"
+let c_matched = Telemetry.Counter.make "sparse.coarsen.matched_pairs"
+
+type graph = { w : Csr.t; diag : Vec.t }
+
+type t = {
+  graphs : graph array;  (* finest first *)
+  maps : int array array;  (* maps.(l) : level l vertex -> level l+1 aggregate *)
+}
+
+(* Greedy heavy-edge matching in ascending vertex order: each unmatched
+   vertex pairs with its heaviest unmatched neighbour (first-seen, i.e.
+   smallest index, on exact weight ties).  Deterministic by
+   construction. *)
+let heavy_edge_matching w n =
+  let mate = Array.make n (-1) in
+  for i = 0 to n - 1 do
+    if mate.(i) < 0 then begin
+      let best = ref (-1) and best_w = ref 0. in
+      Csr.iter_row w i (fun j wij ->
+          if j <> i && mate.(j) < 0 && wij > !best_w then begin
+            best := j;
+            best_w := wij
+          end);
+      if !best >= 0 then begin
+        mate.(i) <- !best;
+        mate.(!best) <- i
+      end
+    end
+  done;
+  mate
+
+(* Aggregates larger than this stop adopting singletons: hub-shaped
+   graphs would otherwise collapse whole stars into one aggregate,
+   which coarsens fast but destroys the coarse operator's locality. *)
+let max_aggregate = 8
+
+let coarsen_once { w; diag } =
+  let n = Array.length diag in
+  let mate = heavy_edge_matching w n in
+  let cmap = Array.make n (-1) in
+  let next = ref 0 in
+  let matched = ref 0 in
+  (* pair aggregates first, ids in ascending order of the lower mate *)
+  for i = 0 to n - 1 do
+    if cmap.(i) < 0 && mate.(i) >= 0 then begin
+      cmap.(i) <- !next;
+      cmap.(mate.(i)) <- !next;
+      incr matched;
+      incr next
+    end
+  done;
+  let pairs = !next in
+  (* Aggregation rescue.  The unmatched vertices form an independent
+     set (greedy matching is maximal), which on hub-dominated coarse
+     graphs is most of the level — pure pair matching then stagnates
+     far above the coarse cutoff.  Every neighbour of an unmatched
+     vertex is matched, so each singleton can join its heaviest
+     neighbour's pair aggregate instead (bounded by [max_aggregate]);
+     the Galerkin product below is already written for arbitrary
+     aggregate sizes, so symmetry, PSD-ness, zero row sums, and the
+     total mass are conserved exactly as for pairs. *)
+  let size = Array.make (Stdlib.max 1 pairs) 2 in
+  for i = 0 to n - 1 do
+    if cmap.(i) < 0 then begin
+      let best = ref (-1) and best_w = ref 0. in
+      Csr.iter_row w i (fun j wij ->
+          if j <> i && wij > !best_w then begin
+            let cj = cmap.(j) in
+            if cj >= 0 && size.(cj) < max_aggregate then begin
+              best := cj;
+              best_w := wij
+            end
+          end);
+      if !best >= 0 then begin
+        cmap.(i) <- !best;
+        size.(!best) <- size.(!best) + 1
+      end
+    end
+  done;
+  (* leftovers (isolated vertices, or all candidate aggregates full)
+     stay as singleton aggregates *)
+  for i = 0 to n - 1 do
+    if cmap.(i) < 0 then begin
+      cmap.(i) <- !next;
+      incr next
+    end
+  done;
+  let nc = !next in
+  Telemetry.Counter.add c_matched !matched;
+  let cdiag = Vec.zeros nc in
+  for i = 0 to n - 1 do
+    cdiag.(cmap.(i)) <- cdiag.(cmap.(i)) +. diag.(i)
+  done;
+  let coo = Coo.create nc nc in
+  for i = 0 to n - 1 do
+    Csr.iter_row w i (fun j wij ->
+        if j > i then begin
+          let ci = cmap.(i) and cj = cmap.(j) in
+          if ci = cj then
+            (* intra-aggregate edge: absorbed into the diagonal *)
+            cdiag.(ci) <- cdiag.(ci) -. (2. *. wij)
+          else begin
+            Coo.add coo ci cj wij;
+            Coo.add coo cj ci wij
+          end
+        end)
+  done;
+  ({ w = Csr.of_coo coo; diag = cdiag }, cmap, nc)
+
+let build ?(coarse_cutoff = 64) ?(max_levels = 25) ?(min_shrink = 0.95) ~w
+    ~diag () =
+  let rows, cols = Csr.dims w in
+  let n = Array.length diag in
+  if rows <> cols then invalid_arg "Coarsen.build: W must be square";
+  if rows <> n then invalid_arg "Coarsen.build: diag length mismatch";
+  if coarse_cutoff < 1 then invalid_arg "Coarsen.build: coarse_cutoff >= 1";
+  if max_levels < 1 then invalid_arg "Coarsen.build: max_levels >= 1";
+  if min_shrink <= 0. || min_shrink > 1. then
+    invalid_arg "Coarsen.build: min_shrink in (0, 1]";
+  Telemetry.Span.with_ "coarsen.build" (fun () ->
+      let graphs = ref [ { w; diag } ] in
+      let maps = ref [] in
+      let continue = ref true in
+      while !continue do
+        let g = List.hd !graphs in
+        let cur_n = Array.length g.diag in
+        if cur_n <= coarse_cutoff || List.length !graphs >= max_levels then
+          continue := false
+        else begin
+          let gc, cmap, nc = coarsen_once g in
+          (* stagnation guard: a matching that barely shrinks the graph
+             (edge-free or near-edge-free level) cannot make progress *)
+          if float_of_int nc > min_shrink *. float_of_int cur_n then
+            continue := false
+          else begin
+            graphs := gc :: !graphs;
+            maps := cmap :: !maps
+          end
+        end
+      done;
+      let t =
+        {
+          graphs = Array.of_list (List.rev !graphs);
+          maps = Array.of_list (List.rev !maps);
+        }
+      in
+      Telemetry.Counter.add c_levels (Array.length t.graphs);
+      t)
+
+let depth t = Array.length t.graphs
+
+let level t l =
+  if l < 0 || l >= Array.length t.graphs then
+    invalid_arg "Coarsen.level: out of range";
+  let g = t.graphs.(l) in
+  (g.w, g.diag)
+
+let level_size t l =
+  if l < 0 || l >= Array.length t.graphs then
+    invalid_arg "Coarsen.level_size: out of range";
+  Array.length t.graphs.(l).diag
+
+let map_at t l =
+  if l < 0 || l >= Array.length t.maps then
+    invalid_arg "Coarsen.map_at: out of range";
+  t.maps.(l)
+
+let apply t l x =
+  let g = t.graphs.(l) in
+  Csr.lap_mv g.w ~deg:g.diag x
+
+let restrict t l x =
+  if l < 0 || l >= Array.length t.maps then
+    invalid_arg "Coarsen.restrict: out of range";
+  let cmap = t.maps.(l) in
+  if Array.length x <> Array.length cmap then
+    invalid_arg "Coarsen.restrict: length mismatch";
+  let out = Vec.zeros (Array.length t.graphs.(l + 1).diag) in
+  Array.iteri (fun i c -> out.(c) <- out.(c) +. x.(i)) cmap;
+  out
+
+let prolong t l xc =
+  if l < 0 || l >= Array.length t.maps then
+    invalid_arg "Coarsen.prolong: out of range";
+  let cmap = t.maps.(l) in
+  if Array.length xc <> Array.length t.graphs.(l + 1).diag then
+    invalid_arg "Coarsen.prolong: length mismatch";
+  Array.map (fun c -> xc.(c)) cmap

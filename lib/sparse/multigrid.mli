@@ -1,0 +1,59 @@
+(** Symmetric V-cycle multigrid preconditioner for CG.
+
+    Built on a {!Coarsen} heavy-edge hierarchy of the operator
+    [A = diag(diag) − W].  One {!precondition} application runs a
+    single V-cycle: weighted-Jacobi pre-smoothing (damping [omega],
+    [smooth_iters] sweeps, zero initial guess), recursive coarse-grid
+    correction through the aggregation transfer operators, a direct
+    dense Cholesky solve at the coarsest level (ridge retry for
+    singular pure-Laplacian tails; Jacobi sweeps when factorization
+    fails or the coarsest level is too large for a dense factor), and
+    symmetric post-smoothing.
+
+    Because pre- and post-smoothing counts are equal, the smoother is
+    symmetric, and the coarse solve is symmetric, the V-cycle realises
+    a {e fixed symmetric positive-definite} operator — a valid
+    [Cg.solve ~precond_apply] preconditioner, so preconditioned CG
+    keeps its convergence theory, its cooperative-abort hook, and its
+    [cg.solve] trace spans. *)
+
+type t
+
+val build :
+  ?coarse_cutoff:int ->
+  ?max_levels:int ->
+  ?smooth_iters:int ->
+  ?omega:float ->
+  w:Csr.t ->
+  diag:Linalg.Vec.t ->
+  unit ->
+  t
+(** [build ~w ~diag ()] constructs the hierarchy and the coarse
+    factorization.  [smooth_iters] defaults to 2, [omega] to 2/3 (the
+    classical optimum for Jacobi on Laplacian-like spectra);
+    [coarse_cutoff] / [max_levels] are passed to {!Coarsen.build}.
+    Counters: [sparse.multigrid.builds], [sparse.multigrid.cycles];
+    span: [multigrid.build]. *)
+
+val precondition : t -> Linalg.Vec.t -> Linalg.Vec.t
+(** [precondition t r ≈ A⁻¹ r] by one V-cycle — the [precond_apply]
+    callback for {!Cg.solve}.  Linear and deterministic in [r]. *)
+
+val operator : t -> Linop.t
+(** The finest-level operator [A] as a matrix-free [Linop], applied via
+    the fused [Csr.lap_mv] kernel. *)
+
+val solve :
+  ?x0:Linalg.Vec.t ->
+  ?tol:float ->
+  ?max_iter:int ->
+  ?should_stop:(unit -> bool) ->
+  t ->
+  Linalg.Vec.t ->
+  Cg.outcome
+(** [solve t b] runs multigrid-preconditioned CG on [A x = b] —
+    {!Cg.solve} with {!precondition} plugged in, so deadlines
+    ([should_stop]) and trace spans behave exactly as for flat CG. *)
+
+val depth : t -> int
+val hierarchy : t -> Coarsen.t

@@ -1,0 +1,596 @@
+(* The million-vertex scaling layer: approximate kNN (Graph.Ann /
+   Similarity.knn_approx), heavy-edge coarsening (Sparse.Coarsen), the
+   multigrid V-cycle preconditioner (Sparse.Multigrid) and its plumbing
+   through Cg.solve ~precond_apply and Gssl.Scalable.solve_hard. *)
+
+open Test_util
+module Vec = Linalg.Vec
+module Mat = Linalg.Mat
+module Rng = Prng.Rng
+module Csr = Sparse.Csr
+module Coo = Sparse.Coo
+module Ann = Graph.Ann
+module Coarsen = Sparse.Coarsen
+module Mg = Sparse.Multigrid
+module Pool = Parallel.Pool
+
+let domain_counts = [ 1; 2; Stdlib.max 2 (Pool.default_domain_count ()) ]
+
+let random_points rng n d =
+  Array.init n (fun _ -> Array.init d (fun _ -> Rng.uniform rng (-5.) 5.))
+
+(* random connected graph: a random spanning tree plus [extra] random
+   edges, weights in [0.1, 1) (duplicates sum, staying positive) *)
+let random_connected_csr rng n ~extra =
+  let coo = Coo.create n n in
+  let add i j w =
+    if i <> j then begin
+      Coo.add coo i j w;
+      Coo.add coo j i w
+    end
+  in
+  for v = 1 to n - 1 do
+    add (Rng.int rng v) v (Rng.uniform rng 0.1 1.)
+  done;
+  for _ = 1 to extra do
+    let i = Rng.int rng n and j = Rng.int rng n in
+    add i j (Rng.uniform rng 0.1 1.)
+  done;
+  Csr.of_coo coo
+
+(* 2-D grid Laplacian weights: the classic multigrid model problem *)
+let grid_csr rows cols =
+  let n = rows * cols in
+  let coo = Coo.create n n in
+  let id r c = (r * cols) + c in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then begin
+        Coo.add coo (id r c) (id r (c + 1)) 1.;
+        Coo.add coo (id r (c + 1)) (id r c) 1.
+      end;
+      if r + 1 < rows then begin
+        Coo.add coo (id r c) (id (r + 1) c) 1.;
+        Coo.add coo (id (r + 1) c) (id r c) 1.
+      end
+    done
+  done;
+  Csr.of_coo coo
+
+let operator_of w deg =
+  let m = Array.length deg in
+  Sparse.Linop.of_fun ~dim:m
+    ~diag:(fun () ->
+      let wd = Csr.diagonal w in
+      Array.init m (fun i -> deg.(i) -. wd.(i)))
+    (fun x -> Csr.lap_mv w ~deg x)
+
+(* ------------------------------------------------------------------ *)
+(* ANN                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let recall_vs_exact points nb k =
+  let n = Array.length points in
+  let exact = Kernel.Pairwise.all_k_nearest points k in
+  let hits = ref 0 in
+  for i = 0 to n - 1 do
+    Array.iter
+      (fun j -> if Array.exists (fun e -> e = j) exact.(i) then incr hits)
+      nb.(i)
+  done;
+  float_of_int !hits /. float_of_int (n * k)
+
+let ann_recall_meets_target =
+  qprop ~count:20 "ann: measured recall >= target vs exact pairwise"
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 80 + Rng.int rng 120 in
+      let k = 1 + Rng.int rng 6 in
+      let points = random_points rng n 4 in
+      let nb, info =
+        Ann.all_k_nearest ~seed ~exact_cutoff:0 ~recall_target:0.9
+          ~recall_sample:n points k
+      in
+      if info.Ann.exact then QCheck.Test.fail_report "expected the ANN path";
+      if info.Ann.recall < 0.9 then
+        QCheck.Test.fail_reportf "reported recall %.3f < 0.9" info.Ann.recall;
+      (* the probe sample covered every point, so the reported recall is
+         the true recall; cross-check against the independent exact
+         kernel implementation *)
+      let r = recall_vs_exact points nb k in
+      if r < 0.9 -. 1e-9 then
+        QCheck.Test.fail_reportf "recall vs Pairwise %.3f < 0.9" r;
+      Array.iteri
+        (fun i nbi ->
+          if Array.length nbi <> k then
+            QCheck.Test.fail_reportf "row %d has %d neighbours, wanted %d" i
+              (Array.length nbi) k;
+          Array.iter
+            (fun j ->
+              if j = i || j < 0 || j >= n then
+                QCheck.Test.fail_reportf "row %d: bad neighbour %d" i j)
+            nbi)
+        nb;
+      true)
+
+let ann_bit_identical_across_domains =
+  qprop ~count:10 "ann: bit-identical across domain counts" (fun seed ->
+      let rng = Rng.create seed in
+      let n = 80 + Rng.int rng 100 in
+      let k = 1 + Rng.int rng 5 in
+      let points = random_points rng n 3 in
+      let run () =
+        Ann.all_k_nearest ~seed ~exact_cutoff:0 ~recall_sample:16 points k
+      in
+      let reference, _ = Pool.sequential run in
+      List.iter
+        (fun domains ->
+          let got, _ = Pool.with_default_domains domains run in
+          if got <> reference then
+            QCheck.Test.fail_reportf "domains=%d differs from serial" domains)
+        domain_counts;
+      true)
+
+let test_ann_exact_cutoff_matches_pairwise () =
+  let rng = Rng.create 11 in
+  let points = random_points rng 60 3 in
+  let nb, info = Ann.all_k_nearest points 4 in
+  Alcotest.(check bool) "exact path" true info.Ann.exact;
+  check_float "recall" 1.0 info.Ann.recall;
+  let exact = Kernel.Pairwise.all_k_nearest points 4 in
+  Array.iteri
+    (fun i nbi ->
+      let a = Array.copy nbi and b = Array.copy exact.(i) in
+      Array.sort compare a;
+      Array.sort compare b;
+      if a <> b then Alcotest.failf "row %d differs from Pairwise" i)
+    nb
+
+let test_ann_query_external () =
+  let rng = Rng.create 5 in
+  let points = random_points rng 400 3 in
+  let index = Ann.build ~seed:3 points in
+  let q = Array.init 3 (fun _ -> Rng.uniform rng (-5.) 5.) in
+  (* a huge probe budget makes the multi-probe search exhaustive *)
+  let got = Ann.query index ~probes:10_000 q 5 in
+  let d2 = Array.init 400 (fun j -> Vec.dist2_sq points.(j) q) in
+  let order = Array.init 400 Fun.id in
+  Array.sort
+    (fun a b ->
+      let c = Float.compare d2.(a) d2.(b) in
+      if c <> 0 then c else compare a b)
+    order;
+  Alcotest.(check (array int)) "exhaustive query is exact"
+    (Array.sub order 0 5) got
+
+let test_ann_validation () =
+  let points = random_points (Rng.create 1) 20 2 in
+  check_raises_invalid "k >= n" (fun () ->
+      ignore (Ann.all_k_nearest points 20));
+  check_raises_invalid "negative k" (fun () ->
+      ignore (Ann.all_k_nearest points (-1)));
+  check_raises_invalid "bad recall target" (fun () ->
+      ignore (Ann.all_k_nearest ~recall_target:1.5 points 3));
+  check_raises_invalid "empty" (fun () -> ignore (Ann.all_k_nearest [||] 1));
+  check_raises_invalid "ragged" (fun () ->
+      ignore (Ann.build [| [| 1.; 2. |]; [| 1. |] |]))
+
+(* ------------------------------------------------------------------ *)
+(* knn_approx                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_knn_approx_exact_path_matches_knn () =
+  let rng = Rng.create 21 in
+  let points = random_points rng 90 3 in
+  let kernel = Kernel.Kernel_fn.Rbf and bandwidth = 2.0 in
+  let w_exact = Kernel.Similarity.knn ~kernel ~bandwidth ~k:5 points in
+  let w_approx, info =
+    Kernel.Similarity.knn_approx ~kernel ~bandwidth ~k:5 points
+  in
+  (match info with
+  | Kernel.Similarity.Exact -> ()
+  | _ -> Alcotest.fail "expected the exact path below the cutoff");
+  check_mat ~tol:0. "same matrix" (Csr.to_dense w_exact)
+    (Csr.to_dense w_approx)
+
+let test_knn_approx_structure_and_determinism () =
+  let rng = Rng.create 31 in
+  let n = 300 in
+  let points = random_points rng n 4 in
+  let kernel = Kernel.Kernel_fn.Rbf and bandwidth = 2.5 in
+  let build () =
+    Kernel.Similarity.knn_approx ~kernel ~bandwidth ~k:5 ~seed:7
+      ~exact_cutoff:100 points
+  in
+  let w, info = Pool.sequential build in
+  (match info with
+  | Kernel.Similarity.Approximate { recall; _ } ->
+      Alcotest.(check bool) "recall target honoured" true (recall >= 0.9)
+  | Kernel.Similarity.Exact -> Alcotest.fail "expected the approximate path");
+  Alcotest.(check bool) "symmetric" true (Csr.is_symmetric w);
+  for i = 0 to n - 1 do
+    check_float (Printf.sprintf "self-similarity %d" i) 1. (Csr.get w i i);
+    let row = ref 0 in
+    Csr.iter_row w i (fun _ _ -> incr row);
+    if !row < 6 then Alcotest.failf "row %d has %d entries, wanted >= 6" i !row
+  done;
+  List.iter
+    (fun domains ->
+      let w', _ = Pool.with_default_domains domains build in
+      Alcotest.(check bool)
+        (Printf.sprintf "bit-identical at domains=%d" domains)
+        true
+        (w.Csr.row_ptr = w'.Csr.row_ptr
+        && w.Csr.col_idx = w'.Csr.col_idx
+        && w.Csr.values = w'.Csr.values))
+    domain_counts
+
+(* ------------------------------------------------------------------ *)
+(* coarsening invariants                                               *)
+(* ------------------------------------------------------------------ *)
+
+let total_weight w =
+  let n, _ = Csr.dims w in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    Csr.iter_row w i (fun _ v -> acc := !acc +. v)
+  done;
+  !acc
+
+let intra_weight w cmap =
+  let n, _ = Csr.dims w in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    Csr.iter_row w i (fun j v ->
+        if j > i && cmap.(i) = cmap.(j) then acc := !acc +. v)
+  done;
+  !acc
+
+let coarsen_invariants =
+  qprop ~count:25 "coarsen: symmetry, row sums, PSD, conservation"
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 40 + Rng.int rng 160 in
+      let w = random_connected_csr rng n ~extra:(2 * n) in
+      let deg = Csr.row_sums w in
+      (* half the cases test the pure Laplacian (zero row sums), half a
+         hard-criterion-like operator with boundary mass *)
+      let pure = Rng.bool rng in
+      let diag =
+        if pure then Vec.copy deg
+        else begin
+          let d = Vec.copy deg in
+          for _ = 0 to Rng.int rng 4 do
+            let v = Rng.int rng n in
+            d.(v) <- d.(v) +. Rng.uniform rng 0.5 2.
+          done;
+          d
+        end
+      in
+      let h = Coarsen.build ~coarse_cutoff:8 ~w ~diag () in
+      let depth = Coarsen.depth h in
+      if depth < 1 || depth > 25 then
+        QCheck.Test.fail_reportf "depth %d out of bounds" depth;
+      let mass l =
+        let wl, dl = Coarsen.level h l in
+        Vec.sum dl -. total_weight wl
+      in
+      for l = 0 to depth - 1 do
+        let wl, dl = Coarsen.level h l in
+        let nl = Array.length dl in
+        if l > 0 && nl >= Coarsen.level_size h (l - 1) then
+          QCheck.Test.fail_reportf "level %d did not shrink" l;
+        if not (Csr.is_symmetric wl) then
+          QCheck.Test.fail_reportf "level %d not symmetric" l;
+        (* A_l is PSD: x^T A_l x >= 0 for random x (pure Laplacian), and
+           zero row sums are preserved by the Galerkin product *)
+        if pure then begin
+          let rs = Csr.row_sums wl in
+          for i = 0 to nl - 1 do
+            if abs_float (dl.(i) -. rs.(i)) > 1e-8 *. (1. +. abs_float dl.(i))
+            then
+              QCheck.Test.fail_reportf "level %d row %d sum %g <> diag %g" l i
+                rs.(i) dl.(i)
+          done
+        end;
+        for _ = 1 to 5 do
+          let x = random_vec rng nl in
+          let q = Vec.dot x (Csr.lap_mv wl ~deg:dl x) in
+          if q < -1e-8 *. (1. +. Vec.norm2_sq x) then
+            QCheck.Test.fail_reportf "level %d not PSD: x^T A x = %g" l q
+        done;
+        (* conservation per match level: coarse edge weight = fine edge
+           weight minus the matched (intra-aggregate) weight, and the
+           total mass 1^T A 1 is invariant *)
+        if l + 1 < depth then begin
+          let wc, _ = Coarsen.level h (l + 1) in
+          let fine = total_weight wl /. 2. in
+          let matched = intra_weight wl (Coarsen.map_at h l) in
+          let coarse = total_weight wc /. 2. in
+          if abs_float (coarse -. (fine -. matched)) > 1e-6 *. (1. +. fine)
+          then
+            QCheck.Test.fail_reportf
+              "level %d edge weight: coarse %g <> fine %g - matched %g" l
+              coarse fine matched;
+          if abs_float (mass (l + 1) -. mass l) > 1e-6 *. (1. +. abs_float (mass l))
+          then
+            QCheck.Test.fail_reportf "level %d mass not conserved" l
+        end
+      done;
+      true)
+
+let galerkin_identity =
+  qprop ~count:20 "coarsen: A_{l+1} = P^T A_l P exactly" (fun seed ->
+      let rng = Rng.create seed in
+      let n = 30 + Rng.int rng 120 in
+      let w = random_connected_csr rng n ~extra:n in
+      let diag = Csr.row_sums w in
+      let h = Coarsen.build ~coarse_cutoff:4 ~w ~diag () in
+      for l = 0 to Coarsen.depth h - 2 do
+        let nc = Coarsen.level_size h (l + 1) in
+        let xc = random_vec rng nc in
+        let direct = Coarsen.apply h (l + 1) xc in
+        let via_fine =
+          Coarsen.restrict h l (Coarsen.apply h l (Coarsen.prolong h l xc))
+        in
+        let scale = 1. +. Vec.norm2 direct in
+        Array.iteri
+          (fun i v ->
+            if abs_float (v -. via_fine.(i)) > 1e-9 *. scale then
+              QCheck.Test.fail_reportf "level %d entry %d: %g <> %g" l i v
+                via_fine.(i))
+          direct
+      done;
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* multigrid                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let mg_agrees_with_flat_cg =
+  qprop ~count:20 "multigrid CG agrees with flat CG (<= 1e-8)" (fun seed ->
+      let rng = Rng.create seed in
+      let n = 30 + Rng.int rng 150 in
+      let w = random_connected_csr rng n ~extra:n in
+      let deg = Csr.row_sums w in
+      (* boundary mass keeps the system SPD *)
+      for _ = 0 to 2 do
+        let v = Rng.int rng n in
+        deg.(v) <- deg.(v) +. Rng.uniform rng 0.5 2.
+      done;
+      let b = random_vec rng n in
+      let op = operator_of w deg in
+      let flat = Sparse.Cg.solve ~tol:1e-12 ~max_iter:(50 * n) op b in
+      let mg = Mg.build ~w ~diag:deg () in
+      let pre =
+        Sparse.Cg.solve ~tol:1e-12 ~max_iter:(50 * n)
+          ~precond_apply:(Mg.precondition mg) op b
+      in
+      if not (flat.Sparse.Cg.converged && pre.Sparse.Cg.converged) then
+        QCheck.Test.fail_report "a solve failed to converge";
+      let xf = flat.Sparse.Cg.solution and xp = pre.Sparse.Cg.solution in
+      let scale = 1. +. Vec.norm2 xf in
+      Array.iteri
+        (fun i v ->
+          if abs_float (v -. xp.(i)) > 1e-8 *. scale then
+            QCheck.Test.fail_reportf "entry %d: flat %g vs mg %g" i v xp.(i))
+        xf;
+      true)
+
+let test_mg_reduces_iterations_on_grid () =
+  let w = grid_csr 40 40 in
+  let n = 1600 in
+  let deg = Csr.row_sums w in
+  deg.(0) <- deg.(0) +. 1.;
+  (* anchor one corner: the hard-criterion shape *)
+  let rng = Rng.create 17 in
+  let b = random_vec rng n in
+  let op = operator_of w deg in
+  let flat = Sparse.Cg.solve ~tol:1e-10 ~max_iter:(100 * n) op b in
+  let mg = Mg.build ~w ~diag:deg () in
+  let pre =
+    Sparse.Cg.solve ~tol:1e-10 ~max_iter:(100 * n)
+      ~precond_apply:(Mg.precondition mg) op b
+  in
+  Alcotest.(check bool) "flat converged" true flat.Sparse.Cg.converged;
+  Alcotest.(check bool) "mg converged" true pre.Sparse.Cg.converged;
+  if pre.Sparse.Cg.iterations >= flat.Sparse.Cg.iterations then
+    Alcotest.failf "mg took %d iterations, flat %d" pre.Sparse.Cg.iterations
+      flat.Sparse.Cg.iterations
+
+let test_mg_solve_convenience_and_abort () =
+  let w = grid_csr 12 12 in
+  let deg = Csr.row_sums w in
+  deg.(0) <- deg.(0) +. 1.;
+  let b = random_vec (Rng.create 3) 144 in
+  let mg = Mg.build ~w ~diag:deg () in
+  let out = Mg.solve ~tol:1e-11 mg b in
+  Alcotest.(check bool) "converged" true out.Sparse.Cg.converged;
+  let r = Vec.sub b (Csr.lap_mv w ~deg out.Sparse.Cg.solution) in
+  Alcotest.(check bool) "residual small" true (Vec.norm2 r <= 1e-9 *. (1. +. Vec.norm2 b));
+  (* the cooperative-abort hook survives the preconditioner plumbing *)
+  let aborted = Mg.solve ~should_stop:(fun () -> true) mg b in
+  Alcotest.(check bool) "aborted" true aborted.Sparse.Cg.aborted;
+  Alcotest.(check int) "no iterations" 0 aborted.Sparse.Cg.iterations
+
+let test_identity_precond_matches_unpreconditioned () =
+  let rng = Rng.create 23 in
+  let w = random_connected_csr rng 80 ~extra:160 in
+  let deg = Csr.row_sums w in
+  deg.(7) <- deg.(7) +. 1.5;
+  let b = random_vec rng 80 in
+  let op = operator_of w deg in
+  let plain = Sparse.Cg.solve ~precondition:false op b in
+  let ident = Sparse.Cg.solve ~precond_apply:Vec.copy op b in
+  Alcotest.(check int) "same iterations" plain.Sparse.Cg.iterations
+    ident.Sparse.Cg.iterations;
+  check_vec ~tol:0. "bit-identical solutions" plain.Sparse.Cg.solution
+    ident.Sparse.Cg.solution
+
+let test_cg_iterations_histogram () =
+  Telemetry.Registry.reset ();
+  Telemetry.Registry.with_enabled (fun () ->
+      let w = grid_csr 8 8 in
+      let deg = Csr.row_sums w in
+      deg.(0) <- deg.(0) +. 1.;
+      let b = random_vec (Rng.create 9) 64 in
+      let out = Sparse.Cg.solve (operator_of w deg) b in
+      Alcotest.(check bool) "converged" true out.Sparse.Cg.converged;
+      match Obs.Histogram.find "cg.iterations" with
+      | None -> Alcotest.fail "cg.iterations histogram missing"
+      | Some h ->
+          Alcotest.(check bool) "recorded" true (Obs.Histogram.count h >= 1);
+          check_float "max is the iteration count"
+            (float_of_int out.Sparse.Cg.iterations)
+            (Obs.Histogram.max_value h));
+  Telemetry.Registry.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Scalable.solve_hard                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let knn_problem rng ~n_points ~n_labeled ~k =
+  let points = random_points rng n_points 3 in
+  let w =
+    Kernel.Similarity.knn ~kernel:Kernel.Kernel_fn.Rbf ~bandwidth:2.5 ~k
+      points
+  in
+  let labels = Array.init n_labeled (fun _ -> Rng.uniform rng (-1.) 1.) in
+  Gssl.Problem.make ~graph:(Graph.Weighted_graph.of_sparse w) ~labels
+
+let solve_hard_mg_matches_jacobi =
+  qprop ~count:15 "solve_hard: multigrid matches Jacobi (<= 1e-8)"
+    (fun seed ->
+      let rng = Rng.create seed in
+      let p = knn_problem rng ~n_points:(60 + Rng.int rng 120) ~n_labeled:8 ~k:6 in
+      match Gssl.Scalable.solve p with
+      | exception Gssl.Hard.Unanchored_unlabeled _ ->
+          true (* disconnected draw: covered by the imputation test *)
+      | jac ->
+          let mg = Gssl.Scalable.solve_hard ~precond:`Multigrid p in
+          let scale = 1. +. Vec.norm2 jac in
+          Array.iteri
+            (fun i v ->
+              if abs_float (v -. mg.(i)) > 1e-8 *. scale then
+                QCheck.Test.fail_reportf "entry %d: jacobi %g vs mg %g" i v
+                  mg.(i))
+            jac;
+          true)
+
+let two_component_problem () =
+  (* vertices 0..4: an anchored component holding both labels;
+     vertices 5..8: a second component with no labels at all *)
+  let n = 9 in
+  let m = Mat.zeros n n in
+  let link i j w =
+    Mat.set m i j w;
+    Mat.set m j i w
+  in
+  for i = 0 to n - 1 do
+    Mat.set m i i 1.
+  done;
+  link 0 2 0.9;
+  link 1 2 0.7;
+  link 2 3 0.5;
+  link 3 4 0.6;
+  link 0 4 0.2;
+  link 5 6 0.8;
+  link 6 7 0.4;
+  link 7 8 0.9;
+  link 5 8 0.3;
+  Gssl.Problem.make ~graph:(Graph.Weighted_graph.of_dense m)
+    ~labels:[| 1.; -0.5 |]
+
+let test_solve_hard_unanchored_raise () =
+  let p = two_component_problem () in
+  (match Gssl.Scalable.solve_hard p with
+  | exception Gssl.Hard.Unanchored_unlabeled v ->
+      Alcotest.(check bool) "vertex in the unanchored component" true (v >= 5)
+  | _ -> Alcotest.fail "expected Unanchored_unlabeled");
+  match Gssl.Scalable.solve_hard ~unanchored:`Raise p with
+  | exception Gssl.Hard.Unanchored_unlabeled _ -> ()
+  | _ -> Alcotest.fail "expected Unanchored_unlabeled (explicit)"
+
+let test_solve_hard_unanchored_impute () =
+  let p = two_component_problem () in
+  let x = Gssl.Scalable.solve_hard ~unanchored:`Impute p in
+  Alcotest.(check int) "full unlabeled block" 7 (Array.length x);
+  let ybar = (1. -. 0.5) /. 2. in
+  (* block indices 3..6 are vertices 5..8: the unanchored component *)
+  for a = 3 to 6 do
+    check_float (Printf.sprintf "imputed entry %d" a) ybar x.(a)
+  done;
+  (* the anchored part must equal the solve of the anchored subgraph *)
+  let m5 = Mat.zeros 5 5 in
+  for i = 0 to 4 do
+    Mat.set m5 i i 1.
+  done;
+  let link i j w =
+    Mat.set m5 i j w;
+    Mat.set m5 j i w
+  in
+  link 0 2 0.9;
+  link 1 2 0.7;
+  link 2 3 0.5;
+  link 3 4 0.6;
+  link 0 4 0.2;
+  let p5 =
+    Gssl.Problem.make ~graph:(Graph.Weighted_graph.of_dense m5)
+      ~labels:[| 1.; -0.5 |]
+  in
+  let ref5 = Gssl.Hard.solve p5 in
+  for a = 0 to 2 do
+    check_float ~tol:1e-8 (Printf.sprintf "anchored entry %d" a) ref5.(a) x.(a)
+  done
+
+let test_solve_hard_matches_dense_hard () =
+  let rng = Rng.create 41 in
+  let p = knn_problem rng ~n_points:120 ~n_labeled:10 ~k:8 in
+  match Gssl.Hard.solve p with
+  | exception Gssl.Hard.Unanchored_unlabeled _ ->
+      Alcotest.fail "draw should be connected at k=8"
+  | dense ->
+      let mg = Gssl.Scalable.solve_hard ~precond:`Multigrid p in
+      check_vec ~tol:1e-7 "matches dense Hard.solve" dense mg
+
+let test_solve_hard_should_stop () =
+  let rng = Rng.create 43 in
+  let p = knn_problem rng ~n_points:150 ~n_labeled:6 ~k:6 in
+  match Gssl.Scalable.solve_hard ~should_stop:(fun () -> true) p with
+  | exception Failure msg ->
+      Alcotest.(check bool)
+        "abort is reported as a cooperative stop" true
+        (Astring.String.is_infix ~affix:"cooperative abort" msg)
+  | _ -> Alcotest.fail "expected Failure from the aborted solve"
+
+let suite =
+  ( "scale",
+    [
+      ann_recall_meets_target;
+      ann_bit_identical_across_domains;
+      case "ann: small n takes the exact pairwise path"
+        test_ann_exact_cutoff_matches_pairwise;
+      case "ann: exhaustive external query is exact" test_ann_query_external;
+      case "ann: input validation" test_ann_validation;
+      case "knn_approx: exact path matches knn"
+        test_knn_approx_exact_path_matches_knn;
+      case "knn_approx: structure and domain determinism"
+        test_knn_approx_structure_and_determinism;
+      coarsen_invariants;
+      galerkin_identity;
+      mg_agrees_with_flat_cg;
+      case "multigrid cuts CG iterations on a grid"
+        test_mg_reduces_iterations_on_grid;
+      case "multigrid solve + cooperative abort"
+        test_mg_solve_convenience_and_abort;
+      case "identity precond_apply = unpreconditioned CG"
+        test_identity_precond_matches_unpreconditioned;
+      case "cg.iterations histogram records solves"
+        test_cg_iterations_histogram;
+      solve_hard_mg_matches_jacobi;
+      case "solve_hard: unanchored `Raise" test_solve_hard_unanchored_raise;
+      case "solve_hard: unanchored `Impute" test_solve_hard_unanchored_impute;
+      case "solve_hard: multigrid matches dense Hard.solve"
+        test_solve_hard_matches_dense_hard;
+      case "solve_hard: should_stop aborts" test_solve_hard_should_stop;
+    ] )
